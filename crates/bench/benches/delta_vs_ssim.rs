@@ -1,0 +1,58 @@
+//! Ablation — Δ vs MSE/PSNR vs SSIM (paper §3.3).
+//!
+//! The paper argues for the raw pixel difference over perceptual metrics.
+//! This bench quantifies the cost side of that argument: Δ is a handful
+//! of XOR/popcounts; SSIM is two orders of magnitude more work per pair,
+//! which matters when Step II compares ~10⁹ pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sham_bench::medium_glyph_corpus;
+use sham_glyph::metrics::{delta, mse, psnr, ssim};
+
+fn bench_metrics(c: &mut Criterion) {
+    let glyphs = medium_glyph_corpus();
+    let pairs: Vec<_> = glyphs
+        .iter()
+        .zip(glyphs.iter().skip(1))
+        .take(256)
+        .map(|((_, a), (_, b))| (*a, *b))
+        .collect();
+
+    let mut group = c.benchmark_group("delta_vs_ssim");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+
+    group.bench_function("delta", |b| {
+        b.iter(|| {
+            let total: u64 = pairs.iter().map(|(x, y)| u64::from(delta(x, y))).sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("mse", |b| {
+        b.iter(|| {
+            let total: f64 = pairs.iter().map(|(x, y)| mse(x, y)).sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("psnr", |b| {
+        b.iter(|| {
+            let total: f64 = pairs
+                .iter()
+                .map(|(x, y)| {
+                    let p = psnr(x, y);
+                    if p.is_finite() { p } else { 0.0 }
+                })
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("ssim", |b| {
+        b.iter(|| {
+            let total: f64 = pairs.iter().map(|(x, y)| ssim(x, y)).sum();
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §4.2 — homograph detection throughput.
+//!
+//! The paper scans 955 K IDNs against the Alexa top-10k in 743.6 s, i.e.
+//! 0.07 s per reference domain. This bench measures the same matching
+//! loop (length-bucketed Algorithm 1) per batch of IDNs against the full
+//! 10k reference list, at several corpus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sham_bench::detection_corpus;
+use sham_confusables::UcDatabase;
+use sham_core::{Detector, Indexing};
+use sham_glyph::SynthUnifont;
+use sham_simchar::{build, BuildConfig, DbSelection, HomoglyphDb, Repertoire};
+
+fn bench_detection(c: &mut Criterion) {
+    let font = SynthUnifont::v12();
+    let simchar = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Latin Extended-A",
+                "Cyrillic",
+                "Greek and Coptic",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+
+    let mut group = c.benchmark_group("detection_throughput");
+    group.sample_size(10);
+
+    for idn_count in [1_000usize, 5_000, 20_000] {
+        let (references, idns) = detection_corpus(idn_count);
+        let db = HomoglyphDb::new(simchar.clone(), UcDatabase::embedded());
+        let mut detector = Detector::new(db, references);
+        group.throughput(Throughput::Elements(idn_count as u64));
+        group.bench_with_input(
+            BenchmarkId::new("alexa10k_refs", idn_count),
+            &idns,
+            |b, idns| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        detector
+                            .detect(idns, DbSelection::Union, Indexing::LengthBucket)
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

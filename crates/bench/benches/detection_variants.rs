@@ -1,0 +1,52 @@
+//! Ablation — Algorithm 1 candidate-generation strategies.
+//!
+//! Naive all-pairs matching (the paper notes the |N|·|M|·|L| complexity),
+//! the paper's length bucketing, and the canonical-hash index this
+//! reproduction adds. All three produce identical detections (asserted in
+//! unit tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sham_bench::detection_corpus;
+use sham_confusables::UcDatabase;
+use sham_core::{Detector, Indexing};
+use sham_glyph::SynthUnifont;
+use sham_simchar::{build, BuildConfig, DbSelection, HomoglyphDb, Repertoire};
+
+fn bench_variants(c: &mut Criterion) {
+    let font = SynthUnifont::v12();
+    let simchar = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Cyrillic",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+    let (references, idns) = detection_corpus(2_000);
+    let db = HomoglyphDb::new(simchar, UcDatabase::embedded());
+    let mut detector = Detector::new(db, references);
+
+    let mut group = c.benchmark_group("detection_variants");
+    group.sample_size(10);
+    for (name, indexing) in [
+        ("naive", Indexing::Naive),
+        ("length_bucket", Indexing::LengthBucket),
+        ("canonical_hash", Indexing::CanonicalHash),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &indexing, |b, &ix| {
+            b.iter(|| {
+                std::hint::black_box(
+                    detector.detect(&idns, DbSelection::Union, ix).len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

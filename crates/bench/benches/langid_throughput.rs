@@ -1,0 +1,37 @@
+//! Substrate cost — language identification over IDN stems (Table 7 runs
+//! it on every registered IDN).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sham_langid::identify;
+
+fn bench_langid(c: &mut Criterion) {
+    let stems: Vec<String> = [
+        "阿里巴巴",
+        "한국어도메인",
+        "東京タワーさくら",
+        "münchen-bücher",
+        "şehir-alışveriş",
+        "café-élysée",
+        "привет-мир",
+        "gооgle",
+        "plain-ascii-name",
+        "ไทยแลนด์",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let mut group = c.benchmark_group("langid");
+    group.throughput(Throughput::Elements(stems.len() as u64));
+    group.bench_function("identify_batch", |b| {
+        b.iter(|| {
+            for s in &stems {
+                std::hint::black_box(identify(s).language);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_langid);
+criterion_main!(benches);

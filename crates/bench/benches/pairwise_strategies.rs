@@ -1,0 +1,51 @@
+//! Ablation — pairwise comparison strategies (DESIGN.md §5).
+//!
+//! The paper brute-forces all ~1.4 B glyph pairs (10.9 h on 15 cores).
+//! This bench compares that baseline against the two exact accelerations
+//! on identical inputs: ink-count window pruning and the banded-signature
+//! index. All three return identical pair sets (asserted in the simchar
+//! unit tests); only the cost differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sham_bench::{glyphs_for, medium_glyph_corpus};
+use sham_simchar::{find_pairs, Strategy};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_strategies");
+    group.sample_size(10);
+
+    let medium = medium_glyph_corpus();
+    for (name, strategy) in [
+        ("brute_force", Strategy::BruteForce),
+        ("pixel_count_prune", Strategy::PixelCountPrune),
+        ("banded_index", Strategy::BandedIndex),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("medium", name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| std::hint::black_box(find_pairs(&medium, 4, strategy).len()))
+            },
+        );
+    }
+
+    // The Hangul-dominated corpus is where the accelerations matter: the
+    // brute-force quadratic blows up while the index stays tractable.
+    let hangul = glyphs_for(vec!["Hangul Syllables"]);
+    for (name, strategy) in [
+        ("pixel_count_prune", Strategy::PixelCountPrune),
+        ("banded_index", Strategy::BandedIndex),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("hangul_11k", name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| std::hint::black_box(find_pairs(&hangul, 4, strategy).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

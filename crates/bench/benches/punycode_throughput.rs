@@ -1,0 +1,60 @@
+//! Substrate cost — Punycode encode/decode and full-name parsing.
+//!
+//! Step 2 of the framework decodes every `xn--` label in a 141 M-name
+//! zone, so the codec sits on the ingest hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sham_punycode::{ace, bootstring, DomainName};
+
+fn inputs() -> Vec<String> {
+    vec![
+        "bücher".to_string(),
+        "münchen".to_string(),
+        "gооgle".to_string(),
+        "阿里巴巴".to_string(),
+        "한국어도메인".to_string(),
+        "ドメイン名例".to_string(),
+        "facébook".to_string(),
+        "пример".to_string(),
+    ]
+}
+
+fn bench_punycode(c: &mut Criterion) {
+    let unicode = inputs();
+    let encoded: Vec<String> =
+        unicode.iter().map(|s| bootstring::encode(s).unwrap()).collect();
+    let full_names: Vec<String> = unicode
+        .iter()
+        .map(|s| format!("{}.com", ace::to_ascii(s).unwrap()))
+        .collect();
+
+    let mut group = c.benchmark_group("punycode");
+    group.throughput(Throughput::Elements(unicode.len() as u64));
+
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            for s in &unicode {
+                std::hint::black_box(bootstring::encode(s).unwrap());
+            }
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            for s in &encoded {
+                std::hint::black_box(bootstring::decode(s).unwrap());
+            }
+        })
+    });
+    group.bench_function("domain_parse_and_unicode", |b| {
+        b.iter(|| {
+            for s in &full_names {
+                let d = DomainName::parse(s).unwrap();
+                std::hint::black_box(d.unicode_without_tld());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_punycode);
+criterion_main!(benches);

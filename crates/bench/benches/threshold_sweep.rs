@@ -1,0 +1,44 @@
+//! Ablation — the θ threshold (Figure 9's companion).
+//!
+//! Larger θ admits more pairs but (per the paper's Experiment 1) past
+//! θ = 4 the added pairs are not actually confusable. This bench measures
+//! how build cost and database size scale with θ; `repro fig9` produces
+//! the human-score side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sham_glyph::SynthUnifont;
+use sham_simchar::{build, BuildConfig, Repertoire};
+
+fn bench_thresholds(c: &mut Criterion) {
+    let font = SynthUnifont::v12();
+    let blocks = vec![
+        "Basic Latin",
+        "Latin-1 Supplement",
+        "Latin Extended-A",
+        "Cyrillic",
+        "Greek and Coptic",
+        "Armenian",
+    ];
+
+    let mut group = c.benchmark_group("threshold_sweep");
+    group.sample_size(10);
+    for theta in [0u32, 2, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| {
+                let result = build(
+                    &font,
+                    &BuildConfig {
+                        theta,
+                        repertoire: Repertoire::Blocks(blocks.clone()),
+                        ..BuildConfig::default()
+                    },
+                );
+                std::hint::black_box((result.db.pair_count(), result.db.char_count()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thresholds);
+criterion_main!(benches);

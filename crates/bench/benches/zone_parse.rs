@@ -1,0 +1,54 @@
+//! Substrate cost — zone-file parsing throughput (the Step 1 ingest of a
+//! 141 M-record zone dominates the paper's data pipeline wall time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sham_dns::{parse, parse_domain_list, parse_lenient};
+use std::fmt::Write as _;
+
+fn synth_zone(records: usize) -> String {
+    let mut s = String::from("$ORIGIN com.\n$TTL 172800\n");
+    for i in 0..records {
+        let _ = writeln!(s, "name{i} IN NS ns{}.hosting{}.example.", i % 2 + 1, i % 97);
+        if i % 3 == 0 {
+            let _ = writeln!(s, "name{i} IN A 198.51.{}.{}", (i / 250) % 256, i % 250 + 1);
+        }
+    }
+    s
+}
+
+fn synth_list(names: usize) -> String {
+    let mut s = String::new();
+    for i in 0..names {
+        let _ = writeln!(s, "name{i}.com");
+        if i % 11 == 0 {
+            let _ = writeln!(s, "xn--nme{i}-koa.com");
+        }
+    }
+    s
+}
+
+fn bench_zone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_parse");
+    group.sample_size(10);
+
+    for records in [10_000usize, 50_000] {
+        let text = synth_zone(records);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("strict", records), &text, |b, text| {
+            b.iter(|| std::hint::black_box(parse(text, "com").unwrap().records.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("lenient", records), &text, |b, text| {
+            b.iter(|| std::hint::black_box(parse_lenient(text, "com").0.records.len()))
+        });
+    }
+
+    let list = synth_list(50_000);
+    group.throughput(Throughput::Bytes(list.len() as u64));
+    group.bench_function("domain_list_50k", |b| {
+        b.iter(|| std::hint::black_box(parse_domain_list(&list).0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zone);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Bench inputs are deterministic and sized so each bench completes in
+//! seconds while still measuring the intended code path (the full-scale
+//! numbers live in `repro`, which times the real runs — see
+//! EXPERIMENTS.md).
+
+use sham_glyph::{Bitmap, GlyphSource, SynthUnifont};
+use sham_simchar::{builder::repertoire_code_points, Repertoire};
+use sham_unicode::CodePoint;
+
+/// Renders the PVALID glyphs of the given blocks.
+pub fn glyphs_for(blocks: Vec<&'static str>) -> Vec<(u32, Bitmap)> {
+    let font = SynthUnifont::v12();
+    repertoire_code_points(&font, &Repertoire::Blocks(blocks))
+        .into_iter()
+        .filter_map(|v| font.glyph(CodePoint(v)).map(|g| (v, g)))
+        .collect()
+}
+
+/// A medium corpus: Latin + Cyrillic + Greek + Armenian (~700 glyphs).
+pub fn medium_glyph_corpus() -> Vec<(u32, Bitmap)> {
+    glyphs_for(vec![
+        "Basic Latin",
+        "Latin-1 Supplement",
+        "Latin Extended-A",
+        "Cyrillic",
+        "Greek and Coptic",
+        "Armenian",
+    ])
+}
+
+/// A large corpus including Hangul (~12k glyphs) — the block that
+/// dominates the paper's pairwise cost.
+pub fn large_glyph_corpus() -> Vec<(u32, Bitmap)> {
+    glyphs_for(vec![
+        "Basic Latin",
+        "Latin-1 Supplement",
+        "Cyrillic",
+        "Hangul Syllables",
+    ])
+}
+
+/// Deterministic IDN stems for detection benches: `count` lookalikes of
+/// reference stems (every one detectable) mixed 1:1 with benign IDNs.
+pub fn detection_corpus(count: usize) -> (Vec<String>, Vec<(String, String)>) {
+    let references: Vec<String> = sham_workload::reference_list(10_000);
+    let mut idns = Vec::with_capacity(count);
+    for i in 0..count {
+        let stem = if i % 2 == 0 {
+            // A lookalike of a reference.
+            let target = &references[(i / 2) % 500];
+            let len = target.chars().count().max(1);
+            target
+                .chars()
+                .enumerate()
+                .map(|(pos, c)| {
+                    if pos == i % len {
+                        match c {
+                            'a' => 'а',
+                            'e' => 'е',
+                            'o' => 'о',
+                            'c' => 'с',
+                            'p' => 'р',
+                            other => other,
+                        }
+                    } else {
+                        c
+                    }
+                })
+                .collect::<String>()
+        } else {
+            // Benign IDN noise.
+            format!("münchen-shop-{i}")
+        };
+        let ace = sham_punycode::ace::to_ascii(&stem)
+            .map(|l| format!("{l}.com"))
+            .unwrap_or_else(|_| format!("{stem}.com"));
+        idns.push((stem, ace));
+    }
+    (references, idns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_deterministic() {
+        let a = medium_glyph_corpus();
+        let b = medium_glyph_corpus();
+        assert!(a.len() > 300, "{}", a.len());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn detection_corpus_has_expected_size() {
+        let (refs, idns) = detection_corpus(100);
+        assert_eq!(refs.len(), 10_000);
+        assert_eq!(idns.len(), 100);
+        assert!(idns.iter().all(|(_, ace)| ace.ends_with(".com")));
+    }
+}

@@ -1,0 +1,289 @@
+//! Embedded UC (confusables) data.
+//!
+//! The real `confusables.txt` ships ~6,300 mappings maintained by hand by
+//! the Unicode consortium. This module embeds a curated subset of those
+//! mappings (the cross-script letter prototypes that matter for IDN
+//! spoofing, including every pair the paper prints) in the original file
+//! format, and programmatically extends it with the large mechanical
+//! families of the real file — the Mathematical Alphanumeric Symbols and
+//! the Halfwidth/Fullwidth Forms — which give UC its characteristic
+//! shape: most UC characters are *not* IDNA-permitted (Table 1: 9,605
+//! chars total, only 980 ∩ IDNA).
+
+use crate::format::{parse, Mapping};
+
+/// Curated mappings in `confusables.txt` format.
+///
+/// Sources: well-known TR39 letter prototypes. The lowercase entries are
+/// PVALID and thus participate in IDN homograph detection; the uppercase
+/// block at the end is DISALLOWED for IDN and exists to model the real
+/// file's breadth.
+pub const CURATED: &str = "\
+# Curated confusables subset (TR39 format).
+# Lowercase cross-script prototypes.
+0430 ;\t0061 ;\tMA\t# ( \u{0430} -> a ) CYRILLIC SMALL A
+0251 ;\t0061 ;\tMA\t# ( \u{0251} -> a ) LATIN SMALL ALPHA
+03B1 ;\t0061 ;\tMA\t# ( \u{03B1} -> a ) GREEK SMALL ALPHA
+0253 ;\t0062 ;\tMA\t# ( \u{0253} -> b ) LATIN SMALL B WITH HOOK
+0441 ;\t0063 ;\tMA\t# ( \u{0441} -> c ) CYRILLIC SMALL ES
+03F2 ;\t0063 ;\tMA\t# ( \u{03F2} -> c ) GREEK LUNATE SIGMA
+1D04 ;\t0063 ;\tMA\t# ( \u{1D04} -> c ) LATIN SMALL CAPITAL C
+0501 ;\t0064 ;\tMA\t# ( \u{0501} -> d ) CYRILLIC SMALL KOMI DE
+0257 ;\t0064 ;\tMA\t# ( \u{0257} -> d ) LATIN SMALL D WITH HOOK
+0435 ;\t0065 ;\tMA\t# ( \u{0435} -> e ) CYRILLIC SMALL IE
+04BD ;\t0065 ;\tMA\t# ( \u{04BD} -> e ) CYRILLIC SMALL ABKHASIAN CHE
+0192 ;\t0066 ;\tMA\t# ( \u{0192} -> f ) LATIN SMALL F WITH HOOK
+03DD ;\t0066 ;\tMA\t# ( \u{03DD} -> f ) GREEK SMALL DIGAMMA
+0261 ;\t0067 ;\tMA\t# ( \u{0261} -> g ) LATIN SMALL SCRIPT G
+0581 ;\t0067 ;\tMA\t# ( \u{0581} -> g ) ARMENIAN SMALL CO
+04BB ;\t0068 ;\tMA\t# ( \u{04BB} -> h ) CYRILLIC SMALL SHHA
+0570 ;\t0068 ;\tMA\t# ( \u{0570} -> h ) ARMENIAN SMALL HO
+0131 ;\t0069 ;\tMA\t# ( \u{0131} -> i ) LATIN SMALL DOTLESS I
+0456 ;\t0069 ;\tMA\t# ( \u{0456} -> i ) CYRILLIC SMALL BYELORUSSIAN-UKRAINIAN I
+03B9 ;\t0069 ;\tMA\t# ( \u{03B9} -> i ) GREEK SMALL IOTA
+0269 ;\t0069 ;\tMA\t# ( \u{0269} -> i ) LATIN SMALL IOTA
+0458 ;\t006A ;\tMA\t# ( \u{0458} -> j ) CYRILLIC SMALL JE
+03F3 ;\t006A ;\tMA\t# ( \u{03F3} -> j ) GREEK LETTER YOT
+03BA ;\t006B ;\tMA\t# ( \u{03BA} -> k ) GREEK SMALL KAPPA
+043A ;\t006B ;\tMA\t# ( \u{043A} -> k ) CYRILLIC SMALL KA
+04CF ;\t006C ;\tMA\t# ( \u{04CF} -> l ) CYRILLIC SMALL PALOCHKA
+01C0 ;\t006C ;\tMA\t# ( \u{01C0} -> l ) LATIN LETTER DENTAL CLICK
+0627 ;\t006C ;\tMA\t# ( \u{0627} -> l ) ARABIC LETTER ALEF
+05D5 ;\t006C ;\tMA\t# ( \u{05D5} -> l ) HEBREW LETTER VAV
+0661 ;\t006C ;\tMA\t# ( \u{0661} -> l ) ARABIC-INDIC DIGIT ONE
+06F1 ;\t006C ;\tMA\t# ( \u{06F1} -> l ) EXTENDED ARABIC-INDIC DIGIT ONE
+2113 ;\t006C ;\tMA\t# ( \u{2113} -> l ) SCRIPT SMALL L
+0271 ;\t006D ;\tMA\t# ( \u{0271} -> m ) LATIN SMALL M WITH HOOK
+217F ;\t006D ;\tMA\t# ( \u{217F} -> m ) SMALL ROMAN NUMERAL 1000
+0578 ;\t006E ;\tMA\t# ( \u{0578} -> n ) ARMENIAN SMALL VO
+057C ;\t006E ;\tMA\t# ( \u{057C} -> n ) ARMENIAN SMALL RA
+0273 ;\t006E ;\tMA\t# ( \u{0273} -> n ) LATIN SMALL N WITH RETROFLEX HOOK
+043E ;\t006F ;\tMA\t# ( \u{043E} -> o ) CYRILLIC SMALL O
+03BF ;\t006F ;\tMA\t# ( \u{03BF} -> o ) GREEK SMALL OMICRON
+0585 ;\t006F ;\tMA\t# ( \u{0585} -> o ) ARMENIAN SMALL OH
+05E1 ;\t006F ;\tMA\t# ( \u{05E1} -> o ) HEBREW LETTER SAMEKH
+0665 ;\t006F ;\tMA\t# ( \u{0665} -> o ) ARABIC-INDIC DIGIT FIVE
+06F5 ;\t006F ;\tMA\t# ( \u{06F5} -> o ) EXTENDED ARABIC-INDIC DIGIT FIVE
+0966 ;\t006F ;\tMA\t# ( \u{0966} -> o ) DEVANAGARI DIGIT ZERO
+0A66 ;\t006F ;\tMA\t# ( \u{0A66} -> o ) GURMUKHI DIGIT ZERO
+0AE6 ;\t006F ;\tMA\t# ( \u{0AE6} -> o ) GUJARATI DIGIT ZERO
+0B66 ;\t006F ;\tMA\t# ( \u{0B66} -> o ) ORIYA DIGIT ZERO
+0BE6 ;\t006F ;\tMA\t# ( \u{0BE6} -> o ) TAMIL DIGIT ZERO
+0C66 ;\t006F ;\tMA\t# ( \u{0C66} -> o ) TELUGU DIGIT ZERO
+0CE6 ;\t006F ;\tMA\t# ( \u{0CE6} -> o ) KANNADA DIGIT ZERO
+0D66 ;\t006F ;\tMA\t# ( \u{0D66} -> o ) MALAYALAM DIGIT ZERO
+0E50 ;\t006F ;\tMA\t# ( \u{0E50} -> o ) THAI DIGIT ZERO
+0ED0 ;\t006F ;\tMA\t# ( \u{0ED0} -> o ) LAO DIGIT ZERO
+101D ;\t006F ;\tMA\t# ( \u{101D} -> o ) MYANMAR LETTER WA
+3007 ;\t006F ;\tMA\t# ( \u{3007} -> o ) IDEOGRAPHIC NUMBER ZERO
+0440 ;\t0070 ;\tMA\t# ( \u{0440} -> p ) CYRILLIC SMALL ER
+03C1 ;\t0070 ;\tMA\t# ( \u{03C1} -> p ) GREEK SMALL RHO
+0580 ;\t0070 ;\tMA\t# ( \u{0580} -> p ) ARMENIAN SMALL REH
+051B ;\t0071 ;\tMA\t# ( \u{051B} -> q ) CYRILLIC SMALL QA
+0563 ;\t0071 ;\tMA\t# ( \u{0563} -> q ) ARMENIAN SMALL GIM
+0433 ;\t0072 ;\tMA\t# ( \u{0433} -> r ) CYRILLIC SMALL GHE
+027C ;\t0072 ;\tMA\t# ( \u{027C} -> r ) LATIN SMALL R WITH LONG LEG
+0455 ;\t0073 ;\tMA\t# ( \u{0455} -> s ) CYRILLIC SMALL DZE
+0282 ;\t0073 ;\tMA\t# ( \u{0282} -> s ) LATIN SMALL S WITH HOOK
+03C4 ;\t0074 ;\tMA\t# ( \u{03C4} -> t ) GREEK SMALL TAU
+0442 ;\t0074 ;\tMA\t# ( \u{0442} -> t ) CYRILLIC SMALL TE
+057D ;\t0075 ;\tMA\t# ( \u{057D} -> u ) ARMENIAN SMALL SEH
+03C5 ;\t0075 ;\tMA\t# ( \u{03C5} -> u ) GREEK SMALL UPSILON
+028B ;\t0075 ;\tMA\t# ( \u{028B} -> u ) LATIN SMALL V WITH HOOK
+118D8 ;\t0075 ;\tMA\t# ( \u{118D8} -> u ) WARANG CITI SMALL PU (paper Fig. 11)
+03BD ;\t0076 ;\tMA\t# ( \u{03BD} -> v ) GREEK SMALL NU
+0475 ;\t0076 ;\tMA\t# ( \u{0475} -> v ) CYRILLIC SMALL IZHITSA
+2174 ;\t0076 ;\tMA\t# ( \u{2174} -> v ) SMALL ROMAN NUMERAL FIVE
+051D ;\t0077 ;\tMA\t# ( \u{051D} -> w ) CYRILLIC SMALL WE
+0461 ;\t0077 ;\tMA\t# ( \u{0461} -> w ) CYRILLIC SMALL OMEGA
+03C9 ;\t0077 ;\tMA\t# ( \u{03C9} -> w ) GREEK SMALL OMEGA
+0561 ;\t0077 ;\tMA\t# ( \u{0561} -> w ) ARMENIAN SMALL AYB
+0445 ;\t0078 ;\tMA\t# ( \u{0445} -> x ) CYRILLIC SMALL HA
+03C7 ;\t0078 ;\tMA\t# ( \u{03C7} -> x ) GREEK SMALL CHI
+0443 ;\t0079 ;\tMA\t# ( \u{0443} -> y ) CYRILLIC SMALL U
+04AF ;\t0079 ;\tMA\t# ( \u{04AF} -> y ) CYRILLIC SMALL STRAIGHT U
+0263 ;\t0079 ;\tMA\t# ( \u{0263} -> y ) LATIN SMALL GAMMA
+03B3 ;\t0079 ;\tMA\t# ( \u{03B3} -> y ) GREEK SMALL GAMMA
+028F ;\t0079 ;\tMA\t# ( \u{028F} -> y ) LATIN SMALL CAPITAL Y (paper Fig. 11)
+10E7 ;\t0079 ;\tMA\t# ( \u{10E7} -> y ) GEORGIAN LETTER QAR
+118DC ;\t0079 ;\tMA\t# ( \u{118DC} -> y ) WARANG CITI SMALL HAR (paper Fig. 11)
+0290 ;\t007A ;\tMA\t# ( \u{0290} -> z ) LATIN SMALL Z WITH RETROFLEX HOOK
+01B6 ;\t007A ;\tMA\t# ( \u{01B6} -> z ) LATIN SMALL Z WITH STROKE
+# Digit prototypes.
+0437 ;\t0033 ;\tMA\t# ( \u{0437} -> 3 ) CYRILLIC SMALL ZE
+04E1 ;\t0033 ;\tMA\t# ( \u{04E1} -> 3 ) CYRILLIC SMALL ABKHASIAN DZE
+0431 ;\t0036 ;\tMA\t# ( \u{0431} -> 6 ) CYRILLIC SMALL BE
+# Intra-CJK prototypes (Table 4: CJK is UC's largest IDNA block).
+30A8 ;\t5DE5 ;\tMA\t# ( \u{30A8} -> \u{5DE5} ) KATAKANA E -> CJK GONG
+30CB ;\t4E8C ;\tMA\t# ( \u{30CB} -> \u{4E8C} ) KATAKANA NI -> CJK TWO
+30AB ;\t529B ;\tMA\t# ( \u{30AB} -> \u{529B} ) KATAKANA KA -> CJK POWER
+30ED ;\t53E3 ;\tMA\t# ( \u{30ED} -> \u{53E3} ) KATAKANA RO -> CJK MOUTH
+4E36 ;\t4E35 ;\tMA\t# CJK stroke variants
+5713 ;\t5726 ;\tMA\t# CJK round variants
+# Thai/Lao cross-script.
+0E01 ;\t0E81 ;\tMA\t# THAI KO KAI -> LAO KO
+0E14 ;\t0E94 ;\tMA\t# THAI DO DEK -> LAO DO
+# Warang Citi small letters: TR39 maps several to Latin lowercase even
+# though the glyphs differ considerably (the paper's Figure 11 point).
+118C1 ;\t0061 ;\tMA\t# WARANG CITI SMALL A
+118C3 ;\t0065 ;\tMA\t# WARANG CITI SMALL E -> e
+118C5 ;\t006F ;\tMA\t# WARANG CITI SMALL O -> o
+118C7 ;\t0069 ;\tMA\t# WARANG CITI SMALL I -> i
+118CC ;\t0073 ;\tMA\t# WARANG CITI SMALL S -> s
+118CE ;\t0076 ;\tMA\t# WARANG CITI SMALL V -> v
+118D1 ;\t0067 ;\tMA\t# WARANG CITI SMALL G -> g
+118D4 ;\t006E ;\tMA\t# WARANG CITI SMALL N -> n
+118D6 ;\t0063 ;\tMA\t# WARANG CITI SMALL C -> c
+118DF ;\t007A ;\tMA\t# WARANG CITI SMALL Z
+# (118D8 -> u and 118DC -> y are listed with the letter prototypes above.)
+# Uppercase prototypes (DISALLOWED for IDN; modelled for UC breadth).
+0410 ;\t0041 ;\tMA\t# CYRILLIC CAPITAL A
+0391 ;\t0041 ;\tMA\t# GREEK CAPITAL ALPHA
+0412 ;\t0042 ;\tMA\t# CYRILLIC CAPITAL VE
+0392 ;\t0042 ;\tMA\t# GREEK CAPITAL BETA
+0421 ;\t0043 ;\tMA\t# CYRILLIC CAPITAL ES
+03F9 ;\t0043 ;\tMA\t# GREEK CAPITAL LUNATE SIGMA
+0415 ;\t0045 ;\tMA\t# CYRILLIC CAPITAL IE
+0395 ;\t0045 ;\tMA\t# GREEK CAPITAL EPSILON
+041D ;\t0048 ;\tMA\t# CYRILLIC CAPITAL EN
+0397 ;\t0048 ;\tMA\t# GREEK CAPITAL ETA
+0406 ;\t0049 ;\tMA\t# CYRILLIC CAPITAL BYELORUSSIAN-UKRAINIAN I
+0399 ;\t0049 ;\tMA\t# GREEK CAPITAL IOTA
+0408 ;\t004A ;\tMA\t# CYRILLIC CAPITAL JE
+041A ;\t004B ;\tMA\t# CYRILLIC CAPITAL KA
+039A ;\t004B ;\tMA\t# GREEK CAPITAL KAPPA
+041C ;\t004D ;\tMA\t# CYRILLIC CAPITAL EM
+039C ;\t004D ;\tMA\t# GREEK CAPITAL MU
+039D ;\t004E ;\tMA\t# GREEK CAPITAL NU
+041E ;\t004F ;\tMA\t# CYRILLIC CAPITAL O
+039F ;\t004F ;\tMA\t# GREEK CAPITAL OMICRON
+0420 ;\t0050 ;\tMA\t# CYRILLIC CAPITAL ER
+03A1 ;\t0050 ;\tMA\t# GREEK CAPITAL RHO
+0405 ;\t0053 ;\tMA\t# CYRILLIC CAPITAL DZE
+0422 ;\t0054 ;\tMA\t# CYRILLIC CAPITAL TE
+03A4 ;\t0054 ;\tMA\t# GREEK CAPITAL TAU
+0425 ;\t0058 ;\tMA\t# CYRILLIC CAPITAL HA
+03A7 ;\t0058 ;\tMA\t# GREEK CAPITAL CHI
+03A5 ;\t0059 ;\tMA\t# GREEK CAPITAL UPSILON
+0396 ;\t005A ;\tMA\t# GREEK CAPITAL ZETA
+";
+
+/// Generates the Mathematical Alphanumeric Symbols family: 26 styled
+/// upper + 26 styled lower per style block, each mapping to its ASCII
+/// prototype (real TR39 content, generated instead of listed).
+pub fn math_alphanumeric() -> Vec<Mapping> {
+    // (block start, prototype start, count)
+    const STYLES: &[(u32, u32, u32)] = &[
+        (0x1D400, 0x41, 26), // bold upper
+        (0x1D41A, 0x61, 26), // bold lower
+        (0x1D434, 0x41, 26), // italic upper
+        (0x1D44E, 0x61, 26), // italic lower
+        (0x1D468, 0x41, 26), // bold italic upper
+        (0x1D482, 0x61, 26), // bold italic lower
+        (0x1D49C, 0x41, 26), // script upper
+        (0x1D4B6, 0x61, 26), // script lower
+        (0x1D4D0, 0x41, 26), // bold script upper
+        (0x1D4EA, 0x61, 26), // bold script lower
+        (0x1D504, 0x41, 26), // fraktur upper
+        (0x1D51E, 0x61, 26), // fraktur lower
+        (0x1D538, 0x41, 26), // double-struck upper
+        (0x1D552, 0x61, 26), // double-struck lower
+        (0x1D56C, 0x41, 26), // bold fraktur upper
+        (0x1D586, 0x61, 26), // bold fraktur lower
+        (0x1D5A0, 0x41, 26), // sans upper
+        (0x1D5BA, 0x61, 26), // sans lower
+        (0x1D5D4, 0x41, 26), // sans bold upper
+        (0x1D5EE, 0x61, 26), // sans bold lower
+        (0x1D608, 0x41, 26), // sans italic upper
+        (0x1D622, 0x61, 26), // sans italic lower
+        (0x1D63C, 0x41, 26), // sans bold italic upper
+        (0x1D656, 0x61, 26), // sans bold italic lower
+        (0x1D670, 0x41, 26), // monospace upper
+        (0x1D68A, 0x61, 26), // monospace lower
+        (0x1D7CE, 0x30, 10), // bold digits
+        (0x1D7D8, 0x30, 10), // double-struck digits
+        (0x1D7E2, 0x30, 10), // sans digits
+        (0x1D7EC, 0x30, 10), // sans bold digits
+        (0x1D7F6, 0x30, 10), // monospace digits
+    ];
+    let mut out = Vec::new();
+    for &(start, proto, count) in STYLES {
+        for i in 0..count {
+            out.push(Mapping {
+                source: start + i,
+                target: vec![proto + i],
+                class: "MA".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Generates the Halfwidth/Fullwidth Forms family (real TR39 content).
+pub fn fullwidth_forms() -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for i in 0..26 {
+        out.push(Mapping { source: 0xFF21 + i, target: vec![0x41 + i], class: "MA".into() });
+        out.push(Mapping { source: 0xFF41 + i, target: vec![0x61 + i], class: "MA".into() });
+    }
+    for i in 0..10 {
+        out.push(Mapping { source: 0xFF10 + i, target: vec![0x30 + i], class: "MA".into() });
+    }
+    out
+}
+
+/// All embedded mappings: curated text + generated families.
+pub fn embedded_mappings() -> Vec<Mapping> {
+    let mut out = parse(CURATED).expect("embedded curated data must parse");
+    out.extend(math_alphanumeric());
+    out.extend(fullwidth_forms());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_data_parses() {
+        let maps = parse(CURATED).unwrap();
+        assert!(maps.len() > 100, "only {} curated mappings", maps.len());
+    }
+
+    #[test]
+    fn paper_pairs_present() {
+        let maps = parse(CURATED).unwrap();
+        let has = |s: u32, t: u32| maps.iter().any(|m| m.source == s && m.target == vec![t]);
+        assert!(has(0x0430, 0x61)); // Cyrillic a (Gabrilovich 2002)
+        assert!(has(0x0585, 0x6F)); // Fig. 2
+        assert!(has(0x0ED0, 0x6F)); // Fig. 12
+        assert!(has(0x118D8, 0x75)); // Fig. 11
+        assert!(has(0x118DC, 0x79)); // Fig. 11
+        assert!(has(0x028F, 0x79)); // Fig. 11
+        assert!(has(0x30A8, 0x5DE5)); // §2.2 non-Latin homograph
+    }
+
+    #[test]
+    fn generated_families_have_expected_sizes() {
+        assert_eq!(math_alphanumeric().len(), 26 * 26 + 5 * 10);
+        assert_eq!(fullwidth_forms().len(), 62);
+    }
+
+    #[test]
+    fn embedded_total_scale() {
+        let all = embedded_mappings();
+        // Hundreds of mappings — an order of magnitude below the real
+        // 6,296, but with the same PVALID/DISALLOWED split (Table 1).
+        assert!(all.len() > 800, "{}", all.len());
+        assert!(all.len() < 3000);
+    }
+
+    #[test]
+    fn no_duplicate_sources() {
+        let all = embedded_mappings();
+        let mut seen = std::collections::HashSet::new();
+        for m in &all {
+            assert!(seen.insert(m.source), "duplicate source U+{:04X}", m.source);
+        }
+    }
+}

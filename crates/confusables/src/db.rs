@@ -1,0 +1,211 @@
+//! The UC database type: prototype lookup, skeletons and pair queries.
+
+use crate::format::Mapping;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The UC (Unicode confusables) database.
+///
+/// Maps each source code point to its prototype sequence. Two strings are
+/// confusable when their skeletons — the fixpoint of prototype mapping —
+/// are equal (TR39 §4).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UcDatabase {
+    map: BTreeMap<u32, Vec<u32>>,
+}
+
+impl UcDatabase {
+    /// Builds a database from parsed mappings. Later duplicates of a
+    /// source are ignored (first wins, as in the published file).
+    pub fn from_mappings(mappings: impl IntoIterator<Item = Mapping>) -> Self {
+        let mut map = BTreeMap::new();
+        for m in mappings {
+            map.entry(m.source).or_insert(m.target);
+        }
+        UcDatabase { map }
+    }
+
+    /// The embedded curated + generated dataset (see [`crate::data`]).
+    pub fn embedded() -> Self {
+        Self::from_mappings(crate::data::embedded_mappings())
+    }
+
+    /// Number of mapping entries ("homoglyph pairs" in Table 1).
+    pub fn pair_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// All code points mentioned (sources and targets) — the "characters"
+    /// count of Table 1.
+    pub fn char_set(&self) -> BTreeSet<u32> {
+        let mut set = BTreeSet::new();
+        for (&src, targets) in &self.map {
+            set.insert(src);
+            set.extend(targets.iter().copied());
+        }
+        set
+    }
+
+    /// Prototype sequence for `cp`, if listed as a source.
+    pub fn prototype(&self, cp: u32) -> Option<&[u32]> {
+        self.map.get(&cp).map(Vec::as_slice)
+    }
+
+    /// Iterates `(source, prototype)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.map.iter().map(|(&s, t)| (s, t.as_slice()))
+    }
+
+    /// TR39 skeleton: maps every character to its prototype, repeatedly,
+    /// until a fixpoint (with a depth guard against accidental cycles).
+    pub fn skeleton(&self, s: &str) -> String {
+        let mut current: Vec<u32> = s.chars().map(|c| c as u32).collect();
+        for _ in 0..8 {
+            let mut next = Vec::with_capacity(current.len());
+            let mut changed = false;
+            for &cp in &current {
+                match self.map.get(&cp) {
+                    Some(proto) if proto.as_slice() != [cp] => {
+                        next.extend_from_slice(proto);
+                        changed = true;
+                    }
+                    _ => next.push(cp),
+                }
+            }
+            current = next;
+            if !changed {
+                break;
+            }
+        }
+        current
+            .into_iter()
+            .map(|v| char::from_u32(v).unwrap_or('\u{FFFD}'))
+            .collect()
+    }
+
+    /// True when the two strings are confusable per TR39 (equal skeletons).
+    pub fn confusable(&self, a: &str, b: &str) -> bool {
+        self.skeleton(a) == self.skeleton(b)
+    }
+
+    /// True when the single code points form a listed homoglyph pair: one
+    /// maps to the other, or both map to the same prototype. This is the
+    /// per-character check Algorithm 1 performs.
+    pub fn is_pair(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let proto_a = self.map.get(&a).cloned().unwrap_or_else(|| vec![a]);
+        let proto_b = self.map.get(&b).cloned().unwrap_or_else(|| vec![b]);
+        proto_a == proto_b || proto_a.as_slice() == [b] || proto_b.as_slice() == [a]
+    }
+
+    /// Restricts the database to sources (and single-char targets) that
+    /// satisfy `keep` — used to compute UC ∩ IDNA (Table 1).
+    pub fn filter(&self, mut keep: impl FnMut(u32) -> bool) -> UcDatabase {
+        let map = self
+            .map
+            .iter()
+            .filter(|(&src, targets)| keep(src) && targets.iter().all(|&t| keep(t)))
+            .map(|(&s, t)| (s, t.clone()))
+            .collect();
+        UcDatabase { map }
+    }
+
+    /// Homoglyphs of a given prototype character: every source whose
+    /// prototype is exactly `[proto]`.
+    pub fn homoglyphs_of(&self, proto: u32) -> Vec<u32> {
+        self.map
+            .iter()
+            .filter(|(_, t)| t.as_slice() == [proto])
+            .map(|(&s, _)| s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse;
+
+    fn small() -> UcDatabase {
+        UcDatabase::from_mappings(
+            parse(
+                "0430 ; 0061 ; MA\n\
+                 03B1 ; 0061 ; MA\n\
+                 0441 ; 0063 ; MA\n\
+                 FB01 ; 0066 0069 ; MA\n",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn prototype_lookup() {
+        let db = small();
+        assert_eq!(db.prototype(0x0430), Some(&[0x61u32][..]));
+        assert_eq!(db.prototype(0x61), None);
+    }
+
+    #[test]
+    fn skeleton_maps_to_fixpoint() {
+        let db = small();
+        assert_eq!(db.skeleton("са"), "ca"); // Cyrillic es + a
+        assert_eq!(db.skeleton("ﬁn"), "fin"); // ligature expands
+        assert_eq!(db.skeleton("plain"), "plain");
+    }
+
+    #[test]
+    fn confusable_strings() {
+        let db = small();
+        assert!(db.confusable("са", "ca"));
+        assert!(db.confusable("а", "α")); // both map to a
+        assert!(!db.confusable("ca", "co"));
+    }
+
+    #[test]
+    fn is_pair_symmetric_and_irreflexive() {
+        let db = small();
+        assert!(db.is_pair(0x0430, 0x61));
+        assert!(db.is_pair(0x61, 0x0430));
+        assert!(db.is_pair(0x0430, 0x03B1)); // shared prototype
+        assert!(!db.is_pair(0x61, 0x61));
+        assert!(!db.is_pair(0x0430, 0x63));
+    }
+
+    #[test]
+    fn filter_restricts_both_sides() {
+        let db = small();
+        let filtered = db.filter(|cp| cp != 0x61);
+        // 0441 -> 0063 and the fi ligature survive; both a-mappings drop.
+        assert_eq!(filtered.pair_count(), 2);
+    }
+
+    #[test]
+    fn homoglyphs_of_collects_sources() {
+        let db = small();
+        let mut h = db.homoglyphs_of(0x61);
+        h.sort();
+        assert_eq!(h, vec![0x03B1, 0x0430]);
+    }
+
+    #[test]
+    fn embedded_shape_matches_table1() {
+        let db = UcDatabase::embedded();
+        let total_chars = db.char_set().len();
+        let idna = db.filter(|cp| {
+            sham_unicode::is_pvalid(sham_unicode::CodePoint(cp))
+        });
+        let idna_chars = idna.char_set().len();
+        // Table 1 structure: most UC characters are NOT IDNA-permitted.
+        assert!(total_chars > 900, "total = {total_chars}");
+        assert!(idna_chars < total_chars / 3, "idna = {idna_chars} of {total_chars}");
+        assert!(idna.pair_count() > 50);
+    }
+
+    #[test]
+    fn skeleton_handles_unmapped_supplementary() {
+        let db = small();
+        assert_eq!(db.skeleton("a\u{1F600}"), "a\u{1F600}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Parser and writer for the Unicode TR39 `confusables.txt` format.
+//!
+//! Each data line maps a *source* code point to its *prototype* (target)
+//! sequence:
+//!
+//! ```text
+//! 0430 ;  0061 ;  MA  # ( а → a ) CYRILLIC SMALL LETTER A → LATIN SMALL LETTER A
+//! ```
+//!
+//! Fields are semicolon separated: source code point, target code point
+//! sequence (space separated), mapping type (`MA` in the published file),
+//! then an optional `#` comment. Blank lines and full-line comments are
+//! skipped. The parser is tolerant of the BOM and of variable whitespace,
+//! matching the real file.
+
+use std::fmt::Write as _;
+
+/// One confusable mapping: `source` looks like the `target` sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// Source code point.
+    pub source: u32,
+    /// Prototype sequence (almost always a single code point).
+    pub target: Vec<u32>,
+    /// Mapping class from the file (`MA` = "mixed-script confusable").
+    pub class: String,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line where the error occurred.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "confusables.txt line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_hex(field: &str, line: usize) -> Result<u32, ParseError> {
+    u32::from_str_radix(field.trim(), 16).map_err(|_| ParseError {
+        line,
+        message: format!("bad code point {field:?}"),
+    })
+}
+
+/// Parses the full text of a confusables file.
+pub fn parse(text: &str) -> Result<Vec<Mapping>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_start_matches('\u{FEFF}');
+        let data = match line.find('#') {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        let data = data.trim();
+        if data.is_empty() {
+            continue;
+        }
+        let mut fields = data.split(';');
+        let source = fields.next().ok_or_else(|| ParseError {
+            line: line_no,
+            message: "missing source field".into(),
+        })?;
+        let target = fields.next().ok_or_else(|| ParseError {
+            line: line_no,
+            message: "missing target field".into(),
+        })?;
+        let class = fields.next().unwrap_or("MA").trim().to_string();
+
+        let source = parse_hex(source, line_no)?;
+        let mut target_seq = Vec::new();
+        for part in target.split_whitespace() {
+            target_seq.push(parse_hex(part, line_no)?);
+        }
+        if target_seq.is_empty() {
+            return Err(ParseError { line: line_no, message: "empty target sequence".into() });
+        }
+        out.push(Mapping { source, target: target_seq, class });
+    }
+    Ok(out)
+}
+
+/// Serialises mappings back to the file format (with names omitted).
+pub fn write(mappings: &[Mapping]) -> String {
+    let mut s = String::new();
+    s.push_str("# confusables data (ShamFinder reproduction)\n");
+    for m in mappings {
+        let mut target = String::new();
+        for (i, t) in m.target.iter().enumerate() {
+            if i > 0 {
+                target.push(' ');
+            }
+            let _ = write!(target, "{t:04X}");
+        }
+        let _ = writeln!(s, "{:04X} ;\t{} ;\t{}", m.source, target, m.class);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_real_format_lines() {
+        let text = "\u{FEFF}# header comment\n\
+                    \n\
+                    0430 ;\t0061 ;\tMA\t# ( а → a ) CYRILLIC SMALL LETTER A\n\
+                    FB01 ;  0066 0069 ; MA # ligature fi\n";
+        let maps = parse(text).unwrap();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].source, 0x0430);
+        assert_eq!(maps[0].target, vec![0x0061]);
+        assert_eq!(maps[0].class, "MA");
+        assert_eq!(maps[1].target, vec![0x0066, 0x0069]);
+    }
+
+    #[test]
+    fn rejects_bad_hex() {
+        let err = parse("XYZ ; 0061 ; MA\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bad code point"));
+    }
+
+    #[test]
+    fn rejects_empty_target() {
+        let err = parse("0430 ;  ; MA\n").unwrap_err();
+        assert!(err.message.contains("empty target"));
+    }
+
+    #[test]
+    fn missing_class_defaults_to_ma() {
+        let maps = parse("0430 ; 0061\n").unwrap();
+        assert_eq!(maps[0].class, "MA");
+    }
+
+    #[test]
+    fn round_trip() {
+        let maps = vec![
+            Mapping { source: 0x0430, target: vec![0x61], class: "MA".into() },
+            Mapping { source: 0xFB01, target: vec![0x66, 0x69], class: "MA".into() },
+        ];
+        let text = write(&maps);
+        assert_eq!(parse(&text).unwrap(), maps);
+    }
+
+    #[test]
+    fn comment_only_file_is_empty() {
+        assert!(parse("# nothing\n# here\n").unwrap().is_empty());
+    }
+}

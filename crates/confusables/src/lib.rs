@@ -1,0 +1,28 @@
+//! UC — the Unicode TR39 confusables database substrate.
+//!
+//! The paper uses the consortium-maintained `confusables.txt` ("UC") as
+//! one half of its homoglyph database (§3.2). This crate implements the
+//! file format ([`format`](mod@format)), embeds a curated subset of the real mappings
+//! plus the file's large mechanical families ([`data`]), and exposes the
+//! database operations the detector needs ([`db`]): prototype lookup,
+//! TR39 skeletons, and per-character pair queries.
+//!
+//! # Example
+//!
+//! ```
+//! use sham_confusables::UcDatabase;
+//!
+//! let uc = UcDatabase::embedded();
+//! // The 2002 homograph-attack letters: Cyrillic с and о.
+//! assert!(uc.confusable("miсrоsоft", "microsoft"));
+//! assert!(uc.is_pair('о' as u32, 'o' as u32));
+//! ```
+
+pub mod data;
+pub mod db;
+pub mod format;
+pub mod restriction;
+
+pub use db::UcDatabase;
+pub use restriction::{restriction_level, whole_script_confusable, RestrictionLevel};
+pub use format::{parse, write, Mapping, ParseError};

@@ -1,0 +1,215 @@
+//! UTS #39 §5.2 restriction levels and whole-script confusable checks.
+//!
+//! Browsers implement the paper's §2.2 display decisions in terms of the
+//! Unicode security mechanisms this module models: a label is assigned
+//! the most restrictive level it satisfies, and spoof checkers flag
+//! labels that are whole-script confusable with a reference (the
+//! all-Cyrillic `фасебоок` case single-level mixed-script rules miss).
+
+use serde::{Deserialize, Serialize};
+use sham_unicode::{script_of, CodePoint, Script};
+
+/// UTS #39 restriction levels, most to least restrictive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RestrictionLevel {
+    /// All characters are ASCII.
+    AsciiOnly,
+    /// A single script (plus Common/Inherited).
+    SingleScript,
+    /// Latin may mix with Han-based recommended combinations
+    /// (Han + Hiragana + Katakana; Han + Bopomofo; Han + Hangul).
+    HighlyRestrictive,
+    /// Latin plus one other recommended script, except Cyrillic or Greek.
+    ModeratelyRestrictive,
+    /// Any mixture of recommended scripts.
+    MinimallyRestrictive,
+    /// Everything else.
+    Unrestricted,
+}
+
+impl RestrictionLevel {
+    /// Display name as in UTS #39.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestrictionLevel::AsciiOnly => "ASCII-Only",
+            RestrictionLevel::SingleScript => "Single Script",
+            RestrictionLevel::HighlyRestrictive => "Highly Restrictive",
+            RestrictionLevel::ModeratelyRestrictive => "Moderately Restrictive",
+            RestrictionLevel::MinimallyRestrictive => "Minimally Restrictive",
+            RestrictionLevel::Unrestricted => "Unrestricted",
+        }
+    }
+}
+
+/// Resolved script set of a label: scripts excluding Common/Inherited.
+fn script_set(label: &str) -> Vec<Script> {
+    let mut out: Vec<Script> = Vec::new();
+    for c in label.chars() {
+        let s = script_of(CodePoint::from(c));
+        if s == Script::Common || s == Script::Inherited {
+            continue;
+        }
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// True when the set is one of the Han-based combinations Highly
+/// Restrictive permits alongside Latin.
+fn is_han_combination(non_latin: &[Script]) -> bool {
+    let set: std::collections::BTreeSet<Script> = non_latin.iter().copied().collect();
+    if !set.contains(&Script::Han) {
+        return false;
+    }
+    set.iter().all(|s| {
+        matches!(
+            s,
+            Script::Han | Script::Hiragana | Script::Katakana | Script::Bopomofo | Script::Hangul
+        )
+    })
+}
+
+/// Computes the most restrictive level `label` satisfies.
+pub fn restriction_level(label: &str) -> RestrictionLevel {
+    if label.is_ascii() {
+        return RestrictionLevel::AsciiOnly;
+    }
+    let scripts = script_set(label);
+    if scripts.len() <= 1 {
+        return RestrictionLevel::SingleScript;
+    }
+    let has_latin = scripts.contains(&Script::Latin);
+    let non_latin: Vec<Script> =
+        scripts.iter().copied().filter(|&s| s != Script::Latin).collect();
+
+    if has_latin && is_han_combination(&non_latin) {
+        return RestrictionLevel::HighlyRestrictive;
+    }
+    // Kana/Han mixes without Latin are single-language text and also
+    // highly restrictive.
+    if !has_latin && is_han_combination(&scripts) {
+        return RestrictionLevel::HighlyRestrictive;
+    }
+    if has_latin
+        && non_latin.len() == 1
+        && !matches!(non_latin[0], Script::Cyrillic | Script::Greek)
+        && non_latin[0] != Script::Unknown
+    {
+        return RestrictionLevel::ModeratelyRestrictive;
+    }
+    if !scripts.contains(&Script::Unknown) {
+        return RestrictionLevel::MinimallyRestrictive;
+    }
+    RestrictionLevel::Unrestricted
+}
+
+/// True when every character of `label` maps (via this database's
+/// prototypes) into `target_script` — TR39's *whole-script confusable*
+/// test. `фасебоок` is single-script Cyrillic yet whole-script
+/// confusable with Latin.
+pub fn whole_script_confusable(
+    db: &crate::UcDatabase,
+    label: &str,
+    target_script: Script,
+) -> bool {
+    let mut mapped_any = false;
+    for c in label.chars() {
+        let s = script_of(CodePoint::from(c));
+        if s == Script::Common || s == Script::Inherited {
+            continue;
+        }
+        if s == target_script {
+            continue;
+        }
+        // The character must have a prototype in the target script.
+        let Some(proto) = db.prototype(c as u32) else { return false };
+        let lands_in_target = proto.iter().all(|&p| {
+            CodePoint::new(p)
+                .map(|cp| {
+                    let ps = script_of(cp);
+                    ps == target_script || ps == Script::Common
+                })
+                .unwrap_or(false)
+        });
+        if !lands_in_target {
+            return false;
+        }
+        mapped_any = true;
+    }
+    mapped_any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UcDatabase;
+
+    #[test]
+    fn ascii_and_single_script() {
+        assert_eq!(restriction_level("example"), RestrictionLevel::AsciiOnly);
+        assert_eq!(restriction_level("пример"), RestrictionLevel::SingleScript);
+        assert_eq!(restriction_level("日本語"), RestrictionLevel::SingleScript);
+        assert_eq!(restriction_level("münchen"), RestrictionLevel::SingleScript);
+    }
+
+    #[test]
+    fn han_combinations_are_highly_restrictive() {
+        assert_eq!(
+            restriction_level("tokyo東京"),
+            RestrictionLevel::HighlyRestrictive
+        );
+        assert_eq!(
+            restriction_level("東京タワー"),
+            RestrictionLevel::HighlyRestrictive
+        );
+        assert_eq!(
+            restriction_level("latin한국漢字"),
+            RestrictionLevel::HighlyRestrictive
+        );
+    }
+
+    #[test]
+    fn latin_plus_other_script() {
+        // Latin + Thai: moderately restrictive.
+        assert_eq!(
+            restriction_level("shopไทย"),
+            RestrictionLevel::ModeratelyRestrictive
+        );
+        // Latin + Cyrillic: explicitly NOT moderately restrictive —
+        // this is the homograph mix (gооgle).
+        assert_eq!(
+            restriction_level("gооgle"),
+            RestrictionLevel::MinimallyRestrictive
+        );
+        // Latin + Greek likewise.
+        assert_eq!(
+            restriction_level("gοοgle"),
+            RestrictionLevel::MinimallyRestrictive
+        );
+    }
+
+    #[test]
+    fn whole_script_cyrillic_lookalike_is_flagged() {
+        let db = UcDatabase::embedded();
+        // All-Cyrillic string built from Latin-confusable letters:
+        // every character has a Latin prototype.
+        assert!(whole_script_confusable(&db, "сосо", Script::Latin));
+        assert!(whole_script_confusable(&db, "хосе", Script::Latin));
+        // Ordinary Cyrillic text contains letters with no Latin twin.
+        assert!(!whole_script_confusable(&db, "привет", Script::Latin));
+        // Pure Latin is not *confusable with* Latin — nothing maps.
+        assert!(!whole_script_confusable(&db, "plain", Script::Latin));
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(RestrictionLevel::AsciiOnly < RestrictionLevel::SingleScript);
+        assert!(RestrictionLevel::SingleScript < RestrictionLevel::HighlyRestrictive);
+        assert!(
+            RestrictionLevel::ModeratelyRestrictive < RestrictionLevel::MinimallyRestrictive
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Algorithm 1 — IDN homograph detection.
+//!
+//! For every reference domain name `r` and every registered IDN `x` of the
+//! same character length (both with the TLD removed), the characters are
+//! compared position by position: equal characters pass; unequal
+//! characters pass only if the homoglyph database lists them as a pair;
+//! anything else rejects `x` for this reference (paper §3.1, Fig. 2).
+//!
+//! Three execution strategies are provided for the `detection_variants`
+//! ablation bench:
+//!
+//! * [`Indexing::Naive`] — compare every (reference, IDN) combination.
+//! * [`Indexing::LengthBucket`] — the paper's optimisation: only compare
+//!   strings of equal length.
+//! * [`Indexing::CanonicalHash`] — additionally canonicalise every
+//!   character to a representative of its homoglyph equivalence class and
+//!   look references up by canonical string hash (exact for pair sets
+//!   that form transitive classes, which both UC prototypes and the
+//!   visual-class geometry of SynthUnifont produce; candidates are always
+//!   re-verified with the pairwise test, so no false positives).
+
+use crate::detection::{CharSubstitution, Detection};
+use serde::{Deserialize, Serialize};
+use sham_simchar::{DbSelection, HomoglyphDb};
+use std::collections::HashMap;
+
+/// Candidate-generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Indexing {
+    /// All pairs.
+    Naive,
+    /// Bucket by string length (the paper's approach).
+    LengthBucket,
+    /// Length bucket + canonical-representative hashing.
+    CanonicalHash,
+}
+
+/// The homograph detector: a homoglyph database plus a reference list.
+pub struct Detector {
+    db: HomoglyphDb,
+    references: Vec<Vec<char>>,
+    reference_names: Vec<String>,
+    /// canonical representative per code point (lazy, for CanonicalHash).
+    canon: HashMap<u32, u32>,
+    canon_index: HashMap<u64, Vec<usize>>,
+}
+
+impl Detector {
+    /// Builds a detector for `references` (TLD-stripped ASCII stems,
+    /// e.g. `"google"`).
+    pub fn new(db: HomoglyphDb, references: impl IntoIterator<Item = String>) -> Self {
+        let reference_names: Vec<String> = references.into_iter().collect();
+        let references = reference_names.iter().map(|r| r.chars().collect()).collect();
+        let mut d = Detector {
+            db,
+            references,
+            reference_names,
+            canon: HashMap::new(),
+            canon_index: HashMap::new(),
+        };
+        d.build_canonical_index();
+        d
+    }
+
+    /// The underlying homoglyph database.
+    pub fn db(&self) -> &HomoglyphDb {
+        &self.db
+    }
+
+    /// Reference stems.
+    pub fn references(&self) -> &[String] {
+        &self.reference_names
+    }
+
+    /// Canonical representative of a code point: the smallest member of
+    /// its homoglyph neighbourhood (code point itself included). ASCII
+    /// letters are the smallest members of their classes by construction,
+    /// so canonicalisation maps homoglyphs onto their ASCII targets.
+    fn canonical(&mut self, cp: u32) -> u32 {
+        if let Some(&c) = self.canon.get(&cp) {
+            return c;
+        }
+        let mut min = cp;
+        for h in self.db.homoglyphs_of(cp) {
+            min = min.min(h);
+        }
+        self.canon.insert(cp, min);
+        min
+    }
+
+    fn canonical_hash(&mut self, chars: &[char]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &c in chars {
+            let canon = self.canonical(c as u32);
+            h ^= u64::from(canon);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn build_canonical_index(&mut self) {
+        let refs = self.references.clone();
+        for (idx, r) in refs.iter().enumerate() {
+            let h = self.canonical_hash(r);
+            self.canon_index.entry(h).or_default().push(idx);
+        }
+    }
+
+    /// The inner character-by-character test of Algorithm 1. Returns the
+    /// substitutions when `idn` is a homograph of `reference`.
+    pub fn matches(
+        &self,
+        reference: &[char],
+        idn: &[char],
+        selection: DbSelection,
+    ) -> Option<Vec<CharSubstitution>> {
+        if reference.len() != idn.len() {
+            return None;
+        }
+        let mut subs = Vec::new();
+        for (pos, (&rc, &xc)) in reference.iter().zip(idn.iter()).enumerate() {
+            if rc == xc {
+                continue;
+            }
+            if self.db.is_pair_with(rc as u32, xc as u32, selection) {
+                subs.push(CharSubstitution {
+                    position: pos,
+                    original: rc,
+                    homoglyph: xc,
+                    source: self.db.source_of(rc as u32, xc as u32),
+                });
+            } else {
+                return None;
+            }
+        }
+        // An IDN equal to the reference (no substitutions) is the
+        // reference itself, not a homograph.
+        if subs.is_empty() {
+            None
+        } else {
+            Some(subs)
+        }
+    }
+
+    /// Runs detection over `idns` (Unicode stems, TLD removed) with the
+    /// given database selection and indexing strategy.
+    pub fn detect(
+        &mut self,
+        idns: &[(String, String)], // (unicode stem, full ACE name)
+        selection: DbSelection,
+        indexing: Indexing,
+    ) -> Vec<Detection> {
+        match indexing {
+            Indexing::Naive => self.detect_naive(idns, selection),
+            Indexing::LengthBucket => self.detect_bucketed(idns, selection),
+            Indexing::CanonicalHash => self.detect_canonical(idns, selection),
+        }
+    }
+
+    fn emit(
+        &self,
+        ref_idx: usize,
+        stem: &str,
+        ace: &str,
+        subs: Vec<CharSubstitution>,
+        out: &mut Vec<Detection>,
+    ) {
+        out.push(Detection {
+            idn_unicode: stem.to_string(),
+            idn_ascii: ace.to_string(),
+            reference: self.reference_names[ref_idx].clone(),
+            substitutions: subs,
+        });
+    }
+
+    fn detect_naive(&self, idns: &[(String, String)], selection: DbSelection) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for (stem, ace) in idns {
+            let chars: Vec<char> = stem.chars().collect();
+            for (ref_idx, r) in self.references.iter().enumerate() {
+                if let Some(subs) = self.matches(r, &chars, selection) {
+                    self.emit(ref_idx, stem, ace, subs, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn detect_bucketed(&self, idns: &[(String, String)], selection: DbSelection) -> Vec<Detection> {
+        // Bucket references by length once; compare each IDN only against
+        // same-length references (the paper's Algorithm 1 loop shape).
+        let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (idx, r) in self.references.iter().enumerate() {
+            by_len.entry(r.len()).or_default().push(idx);
+        }
+        let mut out = Vec::new();
+        for (stem, ace) in idns {
+            let chars: Vec<char> = stem.chars().collect();
+            let Some(bucket) = by_len.get(&chars.len()) else { continue };
+            for &ref_idx in bucket {
+                if let Some(subs) = self.matches(&self.references[ref_idx], &chars, selection) {
+                    self.emit(ref_idx, stem, ace, subs, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn detect_canonical(
+        &mut self,
+        idns: &[(String, String)],
+        selection: DbSelection,
+    ) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for (stem, ace) in idns {
+            let chars: Vec<char> = stem.chars().collect();
+            let h = self.canonical_hash(&chars);
+            let Some(candidates) = self.canon_index.get(&h).cloned() else { continue };
+            for ref_idx in candidates {
+                let r = self.references[ref_idx].clone();
+                if let Some(subs) = self.matches(&r, &chars, selection) {
+                    self.emit(ref_idx, stem, ace, subs, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, Repertoire};
+
+    fn detector(refs: &[&str]) -> Detector {
+        let font = SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                    "Greek and Coptic",
+                    "Armenian",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        let db = HomoglyphDb::new(result.db, UcDatabase::embedded());
+        Detector::new(db, refs.iter().map(|s| s.to_string()))
+    }
+
+    fn idn(stem: &str) -> (String, String) {
+        let ace = sham_punycode::ace::to_ascii(stem).unwrap();
+        (stem.to_string(), format!("{ace}.com"))
+    }
+
+    #[test]
+    fn paper_figure2_example() {
+        // gоогle with Armenian օ (U+0585): the paper's Fig. 2 left side.
+        let mut d = detector(&["google", "facebook"]);
+        let idns = vec![idn("gօօgle")];
+        let hits = d.detect(&idns, DbSelection::Union, Indexing::LengthBucket);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].reference, "google");
+        assert_eq!(hits[0].substitutions.len(), 2);
+        assert_eq!(hits[0].substitutions[0].original, 'o');
+        assert_eq!(hits[0].substitutions[0].homoglyph, 'օ');
+    }
+
+    #[test]
+    fn figure2_negative_example() {
+        // "gocaié" (right side of Fig. 2) is not a homograph of google.
+        let mut d = detector(&["google"]);
+        let hits = d.detect(&[idn("gocaié")], DbSelection::Union, Indexing::LengthBucket);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_is_skipped() {
+        let mut d = detector(&["google"]);
+        let hits = d.detect(&[idn("gооgl")], DbSelection::Union, Indexing::LengthBucket);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn identical_string_is_not_a_homograph() {
+        let mut d = detector(&["google"]);
+        let hits = d.detect(
+            &[("google".to_string(), "google.com".to_string())],
+            DbSelection::Union,
+            Indexing::LengthBucket,
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn all_indexing_strategies_agree() {
+        let mut d = detector(&["google", "amazon", "facebook", "apple"]);
+        let idns = vec![
+            idn("gооgle"),  // Cyrillic o's
+            idn("аmazon"),  // Cyrillic a
+            idn("fаcebook"),
+            idn("аpple"),
+            idn("banana"),  // no reference
+            idn("gοοgle"),  // Greek omicrons
+        ];
+        let naive = d.detect(&idns, DbSelection::Union, Indexing::Naive);
+        let bucket = d.detect(&idns, DbSelection::Union, Indexing::LengthBucket);
+        let canon = d.detect(&idns, DbSelection::Union, Indexing::CanonicalHash);
+        let key = |v: &[Detection]| {
+            let mut k: Vec<(String, String)> = v
+                .iter()
+                .map(|h| (h.idn_unicode.clone(), h.reference.clone()))
+                .collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&naive), key(&bucket));
+        assert_eq!(key(&naive), key(&canon));
+        assert_eq!(naive.len(), 5);
+    }
+
+    #[test]
+    fn db_selection_changes_detections() {
+        // é is a SimChar-only homoglyph of e (UC does not list accents).
+        let mut d = detector(&["facebook"]);
+        let idns = vec![idn("facébook")];
+        assert_eq!(d.detect(&idns, DbSelection::Union, Indexing::LengthBucket).len(), 1);
+        assert_eq!(d.detect(&idns, DbSelection::SimCharOnly, Indexing::LengthBucket).len(), 1);
+        assert!(d.detect(&idns, DbSelection::UcOnly, Indexing::LengthBucket).is_empty());
+    }
+
+    #[test]
+    fn multiple_references_can_match_one_idn() {
+        let mut d = detector(&["ab", "ab"]);
+        // Both (identical) references match; detection reports both.
+        let idns = vec![idn("аb")]; // Cyrillic а
+        let hits = d.detect(&idns, DbSelection::Union, Indexing::Naive);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn substitution_positions_are_recorded() {
+        let mut d = detector(&["paypal"]);
+        let hits = d.detect(&[idn("pаypаl")], DbSelection::Union, Indexing::LengthBucket);
+        assert_eq!(hits.len(), 1);
+        let positions: Vec<usize> =
+            hits[0].substitutions.iter().map(|s| s.position).collect();
+        assert_eq!(positions, vec![1, 4]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Detection result types shared across the framework.
+
+use serde::{Deserialize, Serialize};
+use sham_simchar::PairSource;
+
+/// One substituted character inside a detected homograph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharSubstitution {
+    /// Character position in the stem (0-based).
+    pub position: usize,
+    /// The reference (original) character.
+    pub original: char,
+    /// The visually similar character found in the IDN.
+    pub homoglyph: char,
+    /// Which database attests the pair.
+    pub source: Option<PairSource>,
+}
+
+/// A detected IDN homograph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Unicode stem of the IDN (TLD removed), e.g. `gօօgle`.
+    pub idn_unicode: String,
+    /// Full registered name in ACE form, e.g. `xn--ggle-0nda8c.com`.
+    pub idn_ascii: String,
+    /// The targeted reference stem, e.g. `google`.
+    pub reference: String,
+    /// The differential characters — the pinpointing capability the paper
+    /// highlights as ShamFinder's advantage over image-based detectors.
+    pub substitutions: Vec<CharSubstitution>,
+}
+
+impl Detection {
+    /// Number of substituted positions.
+    pub fn substitution_count(&self) -> usize {
+        self.substitutions.len()
+    }
+
+    /// True when every substitution is attested by SimChar alone —
+    /// detections prior work (UC-based) would have missed.
+    pub fn simchar_exclusive(&self) -> bool {
+        self.substitutions
+            .iter()
+            .all(|s| s.source == Some(PairSource::SimChar))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simchar_exclusive_logic() {
+        let base = Detection {
+            idn_unicode: "facébook".into(),
+            idn_ascii: "xn--facbook-dya.com".into(),
+            reference: "facebook".into(),
+            substitutions: vec![CharSubstitution {
+                position: 3,
+                original: 'e',
+                homoglyph: 'é',
+                source: Some(PairSource::SimChar),
+            }],
+        };
+        assert!(base.simchar_exclusive());
+        assert_eq!(base.substitution_count(), 1);
+
+        let mut mixed = base.clone();
+        mixed.substitutions.push(CharSubstitution {
+            position: 0,
+            original: 'f',
+            homoglyph: 'ф',
+            source: Some(PairSource::Both),
+        });
+        assert!(!mixed.simchar_exclusive());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let d = Detection {
+            idn_unicode: "gօօgle".into(),
+            idn_ascii: "xn--ggle-0nda8c.com".into(),
+            reference: "google".into(),
+            substitutions: vec![],
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Detection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

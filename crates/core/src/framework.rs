@@ -1,0 +1,212 @@
+//! The end-to-end ShamFinder pipeline (paper Fig. 1).
+//!
+//! * **Step 1** — collect registered domain names for a TLD (zone files or
+//!   domain lists; the caller supplies the iterator).
+//! * **Step 2** — extract IDNs: names with an `xn--` label.
+//! * **Step 3** — match the IDNs against a reference list of popular
+//!   domains using the homoglyph database (Algorithm 1).
+
+use crate::algorithm::{Detector, Indexing};
+use crate::detection::Detection;
+use serde::{Deserialize, Serialize};
+use sham_confusables::UcDatabase;
+use sham_punycode::DomainName;
+use sham_simchar::{DbSelection, HomoglyphDb, SimCharDb};
+
+/// Pipeline outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameworkReport {
+    /// Step 1: domains inspected.
+    pub total_domains: usize,
+    /// Step 2: IDNs among them.
+    pub idn_count: usize,
+    /// Step 3: detections.
+    pub detections: Vec<Detection>,
+}
+
+impl FrameworkReport {
+    /// IDN share of the corpus (Table 6's percentage column).
+    pub fn idn_fraction(&self) -> f64 {
+        if self.total_domains == 0 {
+            0.0
+        } else {
+            self.idn_count as f64 / self.total_domains as f64
+        }
+    }
+}
+
+/// The configured pipeline.
+pub struct Framework {
+    detector: Detector,
+    tld: String,
+    selection: DbSelection,
+    indexing: Indexing,
+}
+
+impl Framework {
+    /// Assembles the framework from its components. `references` are
+    /// popular-domain stems for the TLD (Alexa-style, TLD removed).
+    pub fn new(
+        simchar: SimCharDb,
+        uc: UcDatabase,
+        references: impl IntoIterator<Item = String>,
+        tld: &str,
+    ) -> Self {
+        Framework {
+            detector: Detector::new(HomoglyphDb::new(simchar, uc), references),
+            tld: tld.to_string(),
+            selection: DbSelection::Union,
+            indexing: Indexing::LengthBucket,
+        }
+    }
+
+    /// Switches the database selection (Tables 8 and 14 compare UC-only,
+    /// SimChar-only and the union).
+    pub fn with_selection(mut self, selection: DbSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Switches the candidate-generation strategy.
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// Access to the inner detector (for revert/highlight helpers).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Step 2: extracts the IDNs of this TLD as
+    /// `(unicode stem, full ACE name)` pairs.
+    pub fn extract_idns<'a>(
+        &self,
+        domains: impl IntoIterator<Item = &'a DomainName>,
+    ) -> Vec<(String, String)> {
+        domains
+            .into_iter()
+            .filter(|d| d.tld() == self.tld && d.is_idn())
+            .filter_map(|d| {
+                d.unicode_without_tld()
+                    .map(|stem| (stem, d.as_ascii().to_string()))
+            })
+            .collect()
+    }
+
+    /// Runs Steps 1–3 over a domain corpus.
+    pub fn run<'a>(
+        &mut self,
+        domains: impl IntoIterator<Item = &'a DomainName>,
+    ) -> FrameworkReport {
+        let all: Vec<&DomainName> = domains.into_iter().collect();
+        let total_domains = all.len();
+        let idns = self.extract_idns(all);
+        let idn_count = idns.len();
+        let detections = self.detector.detect(&idns, self.selection, self.indexing);
+        FrameworkReport { total_domains, idn_count, detections }
+    }
+
+    /// Runs Step 3 only, on pre-extracted IDNs (used by the timing
+    /// benchmark of §4.2 to isolate matching cost).
+    pub fn detect_only(&mut self, idns: &[(String, String)]) -> Vec<Detection> {
+        self.detector.detect(idns, self.selection, self.indexing)
+    }
+
+    /// Runs Step 3 with an explicit database selection, leaving the
+    /// configured default untouched (Tables 8/14 sweep selections).
+    pub fn detect_only_with(
+        &mut self,
+        idns: &[(String, String)],
+        selection: DbSelection,
+    ) -> Vec<Detection> {
+        self.detector.detect(idns, selection, self.indexing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, Repertoire};
+
+    fn framework(refs: &[&str]) -> Framework {
+        let font = SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        Framework::new(
+            result.db,
+            UcDatabase::embedded(),
+            refs.iter().map(|s| s.to_string()),
+            "com",
+        )
+    }
+
+    fn corpus() -> Vec<DomainName> {
+        [
+            "google.com",
+            "xn--ggle-55da.com",    // gооgle (Cyrillic о)
+            "xn--facbook-dya.com",  // facébook
+            "ordinary.com",
+            "xn--fiq228c.com",      // 中文 — IDN, not a homograph
+            "xn--ggle-55da.net",    // wrong TLD
+        ]
+        .iter()
+        .map(|s| DomainName::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn full_pipeline_counts_and_detects() {
+        let mut fw = framework(&["google", "facebook"]);
+        let corpus = corpus();
+        let report = fw.run(&corpus);
+        assert_eq!(report.total_domains, 6);
+        assert_eq!(report.idn_count, 3); // the three .com IDNs
+        assert_eq!(report.detections.len(), 2);
+        let refs: Vec<&str> =
+            report.detections.iter().map(|d| d.reference.as_str()).collect();
+        assert!(refs.contains(&"google"));
+        assert!(refs.contains(&"facebook"));
+        assert!((report.idn_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extract_idns_respects_tld() {
+        let fw = framework(&["google"]);
+        let corpus = corpus();
+        let idns = fw.extract_idns(&corpus);
+        assert_eq!(idns.len(), 3);
+        assert!(idns.iter().all(|(_, ace)| ace.ends_with(".com")));
+    }
+
+    #[test]
+    fn uc_only_selection_misses_accent_homograph() {
+        let corpus = corpus();
+        let mut uc_only =
+            framework(&["google", "facebook"]).with_selection(DbSelection::UcOnly);
+        let report = uc_only.run(&corpus);
+        // UC lists Cyrillic о→o but not é→e: only the google homograph.
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].reference, "google");
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_report() {
+        let mut fw = framework(&["google"]);
+        let report = fw.run(&[]);
+        assert_eq!(report.total_domains, 0);
+        assert_eq!(report.idn_count, 0);
+        assert!(report.detections.is_empty());
+        assert_eq!(report.idn_fraction(), 0.0);
+    }
+}

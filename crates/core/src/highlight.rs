@@ -1,0 +1,171 @@
+//! Warning-UI data for the paper's proposed countermeasure (§7.2, Fig. 12).
+//!
+//! Instead of forcibly degrading an IDN to Punycode, the paper proposes a
+//! UI that shows the Unicode form and *explains* the deception: which
+//! character was replaced, by what, and from which script/block. This
+//! module produces that explanation from a [`Detection`].
+
+use crate::detection::Detection;
+use serde::{Deserialize, Serialize};
+use sham_unicode::{block_of, script_of, CodePoint};
+
+/// A fully described character substitution, ready for rendering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HighlightedSubstitution {
+    /// Position in the stem.
+    pub position: usize,
+    /// The lookalike character in the IDN.
+    pub homoglyph: char,
+    /// Its code point, formatted `U+XXXX`.
+    pub homoglyph_code: String,
+    /// Unicode block of the lookalike (e.g. `Lao`).
+    pub homoglyph_block: String,
+    /// Script of the lookalike.
+    pub homoglyph_script: String,
+    /// The original character it imitates.
+    pub original: char,
+    /// Its code point.
+    pub original_code: String,
+    /// Block of the original (typically `Basic Latin`).
+    pub original_block: String,
+}
+
+/// The warning panel of Fig. 12.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// The domain the user is visiting (Unicode form plus TLD).
+    pub visiting: String,
+    /// The domain it imitates.
+    pub did_you_mean: String,
+    /// Per-character explanations.
+    pub substitutions: Vec<HighlightedSubstitution>,
+}
+
+impl Warning {
+    /// Builds the warning for a detection within the given TLD.
+    pub fn from_detection(detection: &Detection, tld: &str) -> Warning {
+        let substitutions = detection
+            .substitutions
+            .iter()
+            .map(|s| {
+                let h_cp = CodePoint::from(s.homoglyph);
+                let o_cp = CodePoint::from(s.original);
+                HighlightedSubstitution {
+                    position: s.position,
+                    homoglyph: s.homoglyph,
+                    homoglyph_code: h_cp.to_string(),
+                    homoglyph_block: block_of(h_cp).map_or("Unknown", |b| b.name).to_string(),
+                    homoglyph_script: script_of(h_cp).name().to_string(),
+                    original: s.original,
+                    original_code: o_cp.to_string(),
+                    original_block: block_of(o_cp).map_or("Unknown", |b| b.name).to_string(),
+                }
+            })
+            .collect();
+        Warning {
+            visiting: format!("{}.{}", detection.idn_unicode, tld),
+            did_you_mean: format!("{}.{}", detection.reference, tld),
+            substitutions,
+        }
+    }
+
+    /// Renders the panel as plain text (the Fig. 12 layout).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "WARNING — use of homoglyph detected.");
+        let _ = writeln!(s, "You are accessing {}.", self.visiting);
+        let _ = writeln!(s, "Did you mean {}?", self.did_you_mean);
+        for sub in &self.substitutions {
+            let _ = writeln!(
+                s,
+                "  position {}: '{}' {} ({}) imitates '{}' {} ({})",
+                sub.position,
+                sub.homoglyph,
+                sub.homoglyph_code,
+                sub.homoglyph_block,
+                sub.original,
+                sub.original_code,
+                sub.original_block,
+            );
+        }
+        s
+    }
+
+    /// Marks the substituted positions in the stem with brackets, e.g.
+    /// `g[օ][օ]gle` — the "highlighting the anomalous characters" use the
+    /// abstract describes.
+    pub fn emphasised_stem(&self, stem: &str) -> String {
+        let marked: std::collections::HashSet<usize> =
+            self.substitutions.iter().map(|s| s.position).collect();
+        let mut out = String::new();
+        for (i, c) in stem.chars().enumerate() {
+            if marked.contains(&i) {
+                out.push('[');
+                out.push(c);
+                out.push(']');
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::CharSubstitution;
+    use sham_simchar::PairSource;
+
+    fn fig12_detection() -> Detection {
+        Detection {
+            idn_unicode: "g\u{0ED0}\u{0ED0}gle".into(),
+            idn_ascii: "xn--ggle-r9e2v.com".into(),
+            reference: "google".into(),
+            substitutions: vec![
+                CharSubstitution {
+                    position: 1,
+                    original: 'o',
+                    homoglyph: '\u{0ED0}',
+                    source: Some(PairSource::Both),
+                },
+                CharSubstitution {
+                    position: 2,
+                    original: 'o',
+                    homoglyph: '\u{0ED0}',
+                    source: Some(PairSource::Both),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn warning_names_lao_digit_zero_block() {
+        let w = Warning::from_detection(&fig12_detection(), "com");
+        assert_eq!(w.visiting, "g\u{0ED0}\u{0ED0}gle.com");
+        assert_eq!(w.did_you_mean, "google.com");
+        assert_eq!(w.substitutions[0].homoglyph_block, "Lao");
+        assert_eq!(w.substitutions[0].homoglyph_code, "U+0ED0");
+        assert_eq!(w.substitutions[0].original_block, "Basic Latin");
+    }
+
+    #[test]
+    fn render_text_contains_fig12_lines() {
+        let w = Warning::from_detection(&fig12_detection(), "com");
+        let text = w.render_text();
+        assert!(text.contains("use of homoglyph detected"));
+        assert!(text.contains("Did you mean google.com?"));
+        assert!(text.contains("U+0ED0"));
+        assert!(text.contains("Lao"));
+    }
+
+    #[test]
+    fn emphasis_brackets_substituted_positions() {
+        let w = Warning::from_detection(&fig12_detection(), "com");
+        assert_eq!(
+            w.emphasised_stem("g\u{0ED0}\u{0ED0}gle"),
+            "g[\u{0ED0}][\u{0ED0}]gle"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! ShamFinder — the IDN homograph detection framework (paper §3).
+//!
+//! This crate is the paper's primary contribution: given a homoglyph
+//! database (SimChar ∪ UC, from `sham-simchar`) and a reference list of
+//! popular domains, it detects registered IDN homographs, pinpoints the
+//! differential characters, reverts homographs to their original domains,
+//! and models the browser display policies the paper critiques.
+//!
+//! * [`algorithm`] — Algorithm 1 with three candidate-generation
+//!   strategies (naive / length-bucketed / canonical-hash).
+//! * [`framework`] — the Steps 1–3 pipeline of Fig. 1.
+//! * [`revert`] — §6.4's homograph-to-original reverting.
+//! * [`highlight`] — the Fig. 12 warning-UI data.
+//! * [`policy`] — Chrome/Firefox-style display policy simulation.
+//! * [`registry`] — per-TLD inclusion-based IDN tables (§2.1).
+//! * [`plagiarism`] — homoglyph-obfuscated plagiarism detection, the
+//!   §9 application of SimChar.
+//!
+//! # Example
+//!
+//! ```
+//! use sham_core::{Framework, DbSelection};
+//! use sham_confusables::UcDatabase;
+//! use sham_glyph::SynthUnifont;
+//! use sham_punycode::DomainName;
+//! use sham_simchar::{build, BuildConfig, Repertoire};
+//!
+//! let font = SynthUnifont::v12();
+//! let simchar = build(&font, &BuildConfig {
+//!     repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+//!     ..BuildConfig::default()
+//! }).db;
+//! let mut fw = Framework::new(
+//!     simchar,
+//!     UcDatabase::embedded(),
+//!     vec!["google".to_string()],
+//!     "com",
+//! );
+//! let corpus = vec![DomainName::parse("xn--ggle-55da.com").unwrap()];
+//! let report = fw.run(&corpus);
+//! assert_eq!(report.detections[0].reference, "google");
+//! ```
+
+pub mod algorithm;
+pub mod detection;
+pub mod framework;
+pub mod highlight;
+pub mod plagiarism;
+pub mod policy;
+pub mod registry;
+pub mod revert;
+
+pub use algorithm::{Detector, Indexing};
+pub use detection::{CharSubstitution, Detection};
+pub use framework::{Framework, FrameworkReport};
+pub use highlight::{HighlightedSubstitution, Warning};
+pub use policy::{bypasses_policy, display, Display, Policy};
+pub use plagiarism::{scan_text, similarity_gap, PlagiarismScan};
+pub use registry::IdnTable;
+pub use revert::{revert_char, revert_stem, Reverted};
+
+// Re-export the database selection so framework users need not depend on
+// sham-simchar directly.
+pub use sham_simchar::DbSelection;

@@ -1,0 +1,140 @@
+//! Browser IDN display-policy model (paper §2.2 and §7.2).
+//!
+//! After the 2017 disclosure, Chrome and Firefox began displaying an IDN
+//! as Punycode whenever its label mixes scripts suspiciously. The paper
+//! points out two gaps: (1) forced Punycode destroys usability and hides
+//! the *reason* from the user; (2) Latin+CJK mixes are still displayed in
+//! Unicode, and whole-script (non-Latin) homographs pass entirely. This
+//! module models those policies so the gaps are measurable.
+
+use serde::{Deserialize, Serialize};
+use sham_punycode::DomainName;
+use sham_unicode::scripts_in;
+use sham_unicode::Script;
+
+/// How a browser renders an IDN in the address bar.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Display {
+    /// Shown in Unicode form.
+    Unicode(String),
+    /// Degraded to Punycode (ACE) form.
+    Punycode(String),
+}
+
+/// The display policies modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Pre-2017 behaviour: always display Unicode.
+    Legacy,
+    /// Post-2017 Chrome/Firefox-style mixed-script rule: a label mixing
+    /// Latin with a non-CJK script is shown as Punycode; single-script
+    /// labels and Latin+CJK mixes are shown in Unicode.
+    MixedScriptPunycode,
+}
+
+/// Evaluates how `domain` is displayed under `policy`.
+pub fn display(domain: &DomainName, policy: Policy) -> Display {
+    let unicode = match domain.to_unicode() {
+        Ok(u) => u,
+        // Garbage ACE labels always degrade to the wire form.
+        Err(_) => return Display::Punycode(domain.as_ascii().to_string()),
+    };
+    match policy {
+        Policy::Legacy => Display::Unicode(unicode),
+        Policy::MixedScriptPunycode => {
+            for label in unicode.split('.') {
+                if label_is_suspicious(label) {
+                    return Display::Punycode(domain.as_ascii().to_string());
+                }
+            }
+            Display::Unicode(unicode)
+        }
+    }
+}
+
+/// The mixed-script test applied per label.
+fn label_is_suspicious(label: &str) -> bool {
+    let scripts = scripts_in(label);
+    if scripts.len() <= 1 {
+        return false;
+    }
+    let has_latin = scripts.contains(&Script::Latin);
+    if !has_latin {
+        // Non-Latin mixes (e.g. Han + Katakana) pass in real browsers —
+        // the weakness the paper's §2.2 工業大学/エ業大学 example shows.
+        return false;
+    }
+    // Latin + CJK is a conventional (Japanese) combination and passes.
+    scripts
+        .iter()
+        .any(|s| *s != Script::Latin && !s.is_cjk())
+}
+
+/// True when the displayed form would fool a user looking for
+/// `reference`: the domain renders in Unicode and is not the reference
+/// itself. Used by the measurement study to count policy bypasses.
+pub fn bypasses_policy(domain: &DomainName, policy: Policy) -> bool {
+    matches!(display(domain, policy), Display::Unicode(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn legacy_always_unicode() {
+        let dom = d("gооgle.com"); // Latin + Cyrillic
+        assert!(matches!(display(&dom, Policy::Legacy), Display::Unicode(_)));
+    }
+
+    #[test]
+    fn latin_cyrillic_mix_degrades() {
+        let dom = d("gооgle.com");
+        match display(&dom, Policy::MixedScriptPunycode) {
+            Display::Punycode(p) => assert!(p.starts_with("xn--")),
+            other => panic!("expected punycode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_cyrillic_whole_script_passes() {
+        // An all-Cyrillic lookalike is single-script: browsers display it.
+        let dom = d("фасебоок.com");
+        assert!(bypasses_policy(&dom, Policy::MixedScriptPunycode));
+    }
+
+    #[test]
+    fn latin_cjk_mix_passes() {
+        // The paper's §2.2 point: Latin+CJK renders in Unicode.
+        let dom = d("tokyo大学.com");
+        assert!(bypasses_policy(&dom, Policy::MixedScriptPunycode));
+    }
+
+    #[test]
+    fn non_latin_homograph_passes() {
+        // エ業大学 (Katakana エ replacing 工): Han + Katakana mix, no
+        // Latin — current policies show it in Unicode.
+        let dom = d("エ業大学.com");
+        assert!(bypasses_policy(&dom, Policy::MixedScriptPunycode));
+    }
+
+    #[test]
+    fn accent_only_label_is_single_script_and_passes() {
+        // facébook is all-Latin: the 2017 rules do not degrade it.
+        let dom = d("facébook.com");
+        assert!(bypasses_policy(&dom, Policy::MixedScriptPunycode));
+    }
+
+    #[test]
+    fn ascii_domains_always_unicode() {
+        let dom = d("example.com");
+        assert!(matches!(
+            display(&dom, Policy::MixedScriptPunycode),
+            Display::Unicode(u) if u == "example.com"
+        ));
+    }
+}

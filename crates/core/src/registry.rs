@@ -1,0 +1,233 @@
+//! Per-TLD IDN registration policies (paper §2.1).
+//!
+//! ICANN's 2003 guidelines require registries to use an *inclusion-based*
+//! approach: each TLD publishes an IANA IDN table listing exactly the
+//! code points it permits. The paper's motivating observation is the
+//! asymmetry this creates — `.jp` limits IDN to LDH + kana + a CJK subset
+//! so `ácm.jp` cannot exist, while `.com` permits 97 blocks and therefore
+//! admits homoglyphs from dozens of scripts.
+//!
+//! This module models that mechanism with representative tables for the
+//! TLDs the paper names, and answers the question the attacker (and the
+//! defender) asks: *which homographs of this label are registrable under
+//! this TLD?*
+
+use serde::{Deserialize, Serialize};
+use sham_unicode::{block_of, is_pvalid, CodePoint};
+
+/// An inclusion-based registry policy: a TLD plus the Unicode blocks its
+/// IANA IDN table draws from. LDH characters are always permitted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdnTable {
+    /// The TLD this table governs.
+    pub tld: String,
+    /// Permitted Unicode blocks (by published block name).
+    pub blocks: Vec<String>,
+}
+
+impl IdnTable {
+    /// The `.com` policy: effectively every PVALID script (the paper:
+    /// "characters across 97 different Unicode blocks can be used").
+    pub fn com() -> IdnTable {
+        IdnTable {
+            tld: "com".into(),
+            blocks: sham_unicode::blocks::BLOCKS
+                .iter()
+                .map(|b| b.name.to_string())
+                .collect(),
+        }
+    }
+
+    /// The `.jp` policy (paper §2.1): LDH, Hiragana, Katakana and a CJK
+    /// subset — no Latin-lookalike scripts at all.
+    pub fn jp() -> IdnTable {
+        IdnTable {
+            tld: "jp".into(),
+            blocks: vec![
+                "Hiragana".into(),
+                "Katakana".into(),
+                "Katakana Phonetic Extensions".into(),
+                "CJK Unified Ideographs".into(),
+                "CJK Unified Ideographs Extension A".into(),
+            ],
+        }
+    }
+
+    /// A `.de`-style policy: Latin with the German/European additions.
+    pub fn de() -> IdnTable {
+        IdnTable {
+            tld: "de".into(),
+            blocks: vec![
+                "Latin-1 Supplement".into(),
+                "Latin Extended-A".into(),
+                "Latin Extended-B".into(),
+                "Latin Extended Additional".into(),
+            ],
+        }
+    }
+
+    /// The Cyrillic `рф` ccTLD (paper §7.1): Cyrillic only.
+    pub fn rf() -> IdnTable {
+        IdnTable {
+            tld: "xn--p1ai".into(),
+            blocks: vec!["Cyrillic".into(), "Cyrillic Supplement".into()],
+        }
+    }
+
+    /// A Korean policy: Hangul plus CJK.
+    pub fn kr() -> IdnTable {
+        IdnTable {
+            tld: "kr".into(),
+            blocks: vec![
+                "Hangul Syllables".into(),
+                "Hangul Jamo".into(),
+                "CJK Unified Ideographs".into(),
+            ],
+        }
+    }
+
+    /// All built-in tables.
+    pub fn builtin() -> Vec<IdnTable> {
+        vec![Self::com(), Self::jp(), Self::de(), Self::rf(), Self::kr()]
+    }
+
+    /// True when the single character may appear in a registered label
+    /// under this TLD: either LDH, or PVALID inside a permitted block.
+    pub fn permits_char(&self, c: char) -> bool {
+        if sham_unicode::is_ldh(c) {
+            return c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-';
+        }
+        let cp = CodePoint::from(c);
+        if !is_pvalid(cp) {
+            return false;
+        }
+        block_of(cp).is_some_and(|b| self.blocks.iter().any(|name| name == b.name))
+    }
+
+    /// True when the whole label is registrable under this TLD.
+    pub fn permits_label(&self, label: &str) -> bool {
+        !label.is_empty()
+            && !label.starts_with('-')
+            && !label.ends_with('-')
+            && label.chars().all(|c| self.permits_char(c))
+    }
+
+    /// Filters homoglyph candidates for `c` down to the registrable ones.
+    /// This is the per-TLD attack surface: under `.jp` the Latin letters
+    /// have zero candidates, under `.com` dozens.
+    pub fn registrable_homoglyphs(
+        &self,
+        db: &sham_simchar::HomoglyphDb,
+        c: char,
+    ) -> Vec<char> {
+        db.homoglyphs_of(c as u32)
+            .into_iter()
+            .filter_map(char::from_u32)
+            .filter(|&h| !h.is_ascii() && self.permits_char(h))
+            .collect()
+    }
+
+    /// Counts the registrable single-substitution homographs of `label`
+    /// under this TLD — the number the paper's §2.1 argument predicts to
+    /// be large for `.com` and zero for a Latin label under `.jp`.
+    pub fn homograph_surface(&self, db: &sham_simchar::HomoglyphDb, label: &str) -> usize {
+        label
+            .chars()
+            .map(|c| self.registrable_homoglyphs(db, c).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+    use std::sync::OnceLock;
+
+    fn db() -> &'static HomoglyphDb {
+        static DB: OnceLock<HomoglyphDb> = OnceLock::new();
+        DB.get_or_init(|| {
+            let font = SynthUnifont::v12();
+            let result = build(
+                &font,
+                &BuildConfig {
+                    repertoire: Repertoire::Blocks(vec![
+                        "Basic Latin",
+                        "Latin-1 Supplement",
+                        "Cyrillic",
+                        "Greek and Coptic",
+                        "Katakana",
+                        "CJK Unified Ideographs",
+                    ]),
+                    ..BuildConfig::default()
+                },
+            );
+            HomoglyphDb::new(result.db, UcDatabase::embedded())
+        })
+    }
+
+    #[test]
+    fn jp_rejects_latin_homoglyph_labels() {
+        let jp = IdnTable::jp();
+        // The paper's exact claim: ácm.jp cannot be registered.
+        assert!(!jp.permits_label("ácm"));
+        assert!(!jp.permits_label("gооgle")); // Cyrillic о
+        // Plain LDH and Japanese labels are fine.
+        assert!(jp.permits_label("acm"));
+        assert!(jp.permits_label("さくら"));
+        assert!(jp.permits_label("工業大学"));
+    }
+
+    #[test]
+    fn com_admits_what_jp_rejects() {
+        let com = IdnTable::com();
+        assert!(com.permits_label("ácm"));
+        assert!(com.permits_label("gооgle"));
+        assert!(com.permits_label("工業大学"));
+    }
+
+    #[test]
+    fn rf_is_cyrillic_only() {
+        let rf = IdnTable::rf();
+        assert!(rf.permits_label("пример"));
+        // LDH ASCII is always permitted at the protocol level.
+        assert!(rf.permits_label("example"));
+        assert!(rf.permits_label("abv123"));
+        assert!(!rf.permits_label("日本")); // Han not in the table
+        assert!(!rf.permits_label("münchen")); // Latin-1 not in the table
+    }
+
+    #[test]
+    fn homograph_surface_matches_paper_asymmetry() {
+        let db = db();
+        let com = IdnTable::com();
+        let jp = IdnTable::jp();
+        let surface_com = com.homograph_surface(db, "google");
+        let surface_jp = jp.homograph_surface(db, "google");
+        assert!(surface_com > 10, "com surface = {surface_com}");
+        assert_eq!(surface_jp, 0, "jp must offer no Latin homoglyphs");
+        // But a Japanese brand IS attackable under both: 工 ↔ エ.
+        let surface_jp_cjk = jp.homograph_surface(db, "工業大学");
+        assert!(surface_jp_cjk >= 1, "jp CJK surface = {surface_jp_cjk}");
+    }
+
+    #[test]
+    fn uppercase_never_registrable() {
+        for table in IdnTable::builtin() {
+            assert!(!table.permits_label("Google"), "{}", table.tld);
+            assert!(!table.permits_label("-lead"), "{}", table.tld);
+            assert!(!table.permits_label(""), "{}", table.tld);
+        }
+    }
+
+    #[test]
+    fn de_permits_exactly_latin_extensions() {
+        let de = IdnTable::de();
+        assert!(de.permits_label("münchen"));
+        assert!(de.permits_label("straße"));
+        assert!(!de.permits_label("gооgle")); // Cyrillic blocked
+        assert!(!de.permits_label("さくら"));
+    }
+}

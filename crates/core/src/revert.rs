@@ -1,0 +1,147 @@
+//! Reverting a detected homograph to its original domain (paper §6.4).
+//!
+//! Starting from a reference list misses homographs of unpopular domains.
+//! But given a malicious IDN, the homoglyph database can be inverted:
+//! replace every non-LDH character with its Basic Latin homoglyph and
+//! recover the most plausible original ASCII domain. The paper uses this
+//! to attribute 91 malicious IDNs to targets outside the Alexa top-1k.
+
+use sham_simchar::HomoglyphDb;
+use sham_unicode::is_ldh;
+
+/// Outcome of a revert attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reverted {
+    /// Every character mapped to LDH; the candidate original stem.
+    Original(String),
+    /// Some characters had no LDH homoglyph; the partial mapping with
+    /// un-revertable characters kept as-is.
+    Partial(String, Vec<char>),
+}
+
+impl Reverted {
+    /// The reverted stem regardless of completeness.
+    pub fn stem(&self) -> &str {
+        match self {
+            Reverted::Original(s) | Reverted::Partial(s, _) => s,
+        }
+    }
+
+    /// True when the revert was complete.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Reverted::Original(_))
+    }
+}
+
+/// Best LDH substitute for a single character: the smallest ASCII
+/// homoglyph (ASCII letters sort below every other candidate, and the
+/// visual classes anchor on ASCII, so "smallest ASCII" is the prototype).
+pub fn revert_char(db: &HomoglyphDb, c: char) -> Option<char> {
+    if is_ldh(c) {
+        return Some(c.to_ascii_lowercase());
+    }
+    db.homoglyphs_of(c as u32)
+        .into_iter()
+        .filter_map(char::from_u32)
+        .filter(|&h| is_ldh(h))
+        .min()
+}
+
+/// Reverts a Unicode stem to its candidate original ASCII stem.
+pub fn revert_stem(db: &HomoglyphDb, stem: &str) -> Reverted {
+    let mut out = String::with_capacity(stem.len());
+    let mut failed = Vec::new();
+    for c in stem.chars() {
+        if c == '.' || c == '-' {
+            out.push(c);
+            continue;
+        }
+        match revert_char(db, c) {
+            Some(ascii) => out.push(ascii),
+            None => {
+                out.push(c);
+                failed.push(c);
+            }
+        }
+    }
+    if failed.is_empty() {
+        Reverted::Original(out)
+    } else {
+        Reverted::Partial(out, failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, Repertoire};
+
+    fn db() -> HomoglyphDb {
+        let font = SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                    "Armenian",
+                    "Lao",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        HomoglyphDb::new(result.db, UcDatabase::embedded())
+    }
+
+    #[test]
+    fn reverts_cyrillic_spoof() {
+        let db = db();
+        let r = revert_stem(&db, "gооgle"); // Cyrillic о
+        assert_eq!(r, Reverted::Original("google".to_string()));
+    }
+
+    #[test]
+    fn reverts_accented_spoof() {
+        let db = db();
+        let r = revert_stem(&db, "facébook");
+        assert_eq!(r, Reverted::Original("facebook".to_string()));
+    }
+
+    #[test]
+    fn reverts_paper_fig12_lao_zero() {
+        let db = db();
+        let r = revert_stem(&db, "g\u{0ED0}\u{0ED0}gle");
+        assert_eq!(r, Reverted::Original("google".to_string()));
+    }
+
+    #[test]
+    fn ascii_passes_through_lowercased() {
+        let db = db();
+        assert_eq!(revert_stem(&db, "plain-name"), Reverted::Original("plain-name".into()));
+    }
+
+    #[test]
+    fn unrevertable_chars_are_reported() {
+        let db = db();
+        // 工 has no LDH homoglyph in this small build.
+        match revert_stem(&db, "工business") {
+            Reverted::Partial(stem, failed) => {
+                assert_eq!(failed, vec!['工']);
+                assert!(stem.ends_with("business"));
+            }
+            other => panic!("expected partial revert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revert_char_prefers_ascii_letters() {
+        let db = db();
+        assert_eq!(revert_char(&db, 'о'), Some('o')); // Cyrillic
+        assert_eq!(revert_char(&db, 'օ'), Some('o')); // Armenian
+        assert_eq!(revert_char(&db, 'x'), Some('x'));
+        assert_eq!(revert_char(&db, 'X'), Some('x'));
+    }
+}

@@ -1,0 +1,30 @@
+//! DNS substrate for the ShamFinder measurement study.
+//!
+//! The paper's pipeline consumes the `.com` zone file, resolves NS/A/MX
+//! records for detected homographs, port-scans the live ones and ranks
+//! them by passive-DNS resolution volume. This crate provides those
+//! pieces over synthetic data (plus a real TCP prober for tests):
+//!
+//! * [`records`] / [`zone`] — master-file parsing and serialization with
+//!   strict and lenient modes.
+//! * [`resolver`] — an in-memory resolver with CNAME chasing.
+//! * [`portscan`] — trait-based port probing: a real `std::net` connect
+//!   scanner and a deterministic simulated back-end, plus a threaded
+//!   scan driver.
+//! * [`passive`] — a passive-DNS sensor model with binomial sampling.
+//! * [`wire`] — the RFC 1035 wire-format codec (with name-compression
+//!   decoding) plus a loopback UDP server/stub-client pair.
+
+pub mod passive;
+pub mod wire;
+pub mod portscan;
+pub mod records;
+pub mod resolver;
+pub mod zone;
+
+pub use passive::PassiveDns;
+pub use portscan::{scan, table10_counts, HostScan, PortProber, ProbeOutcome, SimProber, TcpProber};
+pub use records::{RecordData, RecordType, ResourceRecord};
+pub use resolver::{LookupResult, SimResolver};
+pub use wire::{udp_query, Message, Question, Rcode, UdpDnsServer, WireAnswer, WireError};
+pub use zone::{parse, parse_domain_list, parse_lenient, Zone, ZoneError};

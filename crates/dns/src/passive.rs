@@ -1,0 +1,172 @@
+//! Passive-DNS model (paper §6.2, Table 11).
+//!
+//! The paper queries Farsight DNSDB — a sensor network of cooperating
+//! cache resolvers — for cumulative resolution counts of the detected
+//! homographs, noting that passive DNS sees a *sample* of global lookups.
+//! This module models exactly that: a set of sensors, each observing an
+//! independent binomial sample of a domain's true lookup volume.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A simulated passive-DNS aggregation service.
+#[derive(Debug, Clone, Default)]
+pub struct PassiveDns {
+    counts: HashMap<String, u64>,
+}
+
+impl PassiveDns {
+    /// Empty database.
+    pub fn new() -> Self {
+        PassiveDns::default()
+    }
+
+    /// Records `n` observed resolutions of `name`.
+    pub fn observe(&mut self, name: &str, n: u64) {
+        *self.counts.entry(name.to_string()).or_default() += n;
+    }
+
+    /// Builds the database by sampling ground-truth lookup volumes:
+    /// each of `sensors` sensors sees each lookup independently with
+    /// probability `coverage` (0.0–1.0). Deterministic given `seed`.
+    ///
+    /// The observed count is therefore below the true count in
+    /// expectation by the factor `sensors × coverage` — reproducing the
+    /// paper's caveat that "actual numbers of DNS lookups over the entire
+    /// Internet should be much larger".
+    pub fn from_ground_truth<'a>(
+        truth: impl IntoIterator<Item = (&'a str, u64)>,
+        sensors: usize,
+        coverage: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&coverage));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = PassiveDns::new();
+        for (name, true_count) in truth {
+            let mut seen = 0u64;
+            for _ in 0..sensors {
+                // Binomial(true_count, coverage) via normal approximation
+                // for large counts, exact sampling for small ones.
+                seen += sample_binomial(&mut rng, true_count, coverage);
+            }
+            if seen > 0 {
+                db.observe(name, seen);
+            }
+        }
+        db
+    }
+
+    /// Cumulative observed resolutions for a name.
+    pub fn resolutions(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of names with at least one observation.
+    pub fn name_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most-resolved names, descending (Table 11's ranking).
+    pub fn top(&self, k: usize) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> =
+            self.counts.iter().map(|(n, &c)| (n.clone(), c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        (0..n).filter(|_| rng.gen_bool(p)).count() as u64
+    } else {
+        // Normal approximation, clamped to [0, n].
+        let mean = n as f64 * p;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_accumulates() {
+        let mut db = PassiveDns::new();
+        db.observe("a.com", 10);
+        db.observe("a.com", 5);
+        assert_eq!(db.resolutions("a.com"), 15);
+        assert_eq!(db.resolutions("b.com"), 0);
+    }
+
+    #[test]
+    fn top_ranks_descending() {
+        let mut db = PassiveDns::new();
+        db.observe("small.com", 10);
+        db.observe("big.com", 1000);
+        db.observe("mid.com", 100);
+        let top = db.top(2);
+        assert_eq!(top[0].0, "big.com");
+        assert_eq!(top[1].0, "mid.com");
+    }
+
+    #[test]
+    fn sampling_undercounts_truth() {
+        let truth = vec![("popular.com", 100_000u64), ("rare.com", 10)];
+        let db = PassiveDns::from_ground_truth(
+            truth.iter().map(|&(n, c)| (n, c)),
+            4,
+            0.05,
+            42,
+        );
+        let observed = db.resolutions("popular.com");
+        // Expected ≈ 100_000 × 4 × 0.05 = 20_000; far below the truth.
+        assert!(observed > 10_000 && observed < 30_000, "observed = {observed}");
+        assert!(observed < 100_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let truth = [("x.com", 5000u64)];
+        let a = PassiveDns::from_ground_truth(truth.iter().map(|&(n, c)| (n, c)), 3, 0.1, 7);
+        let b = PassiveDns::from_ground_truth(truth.iter().map(|&(n, c)| (n, c)), 3, 0.1, 7);
+        assert_eq!(a.resolutions("x.com"), b.resolutions("x.com"));
+    }
+
+    #[test]
+    fn ranking_preserved_under_sampling() {
+        // Zipf-ish truth: sampling must preserve the order of well
+        // separated counts (what Table 11 relies on).
+        let truth: Vec<(String, u64)> =
+            (1..=20u64).map(|i| (format!("d{i}.com"), 1_000_000 / i)).collect();
+        let db = PassiveDns::from_ground_truth(
+            truth.iter().map(|(n, c)| (n.as_str(), *c)),
+            5,
+            0.02,
+            99,
+        );
+        let top = db.top(3);
+        assert_eq!(top[0].0, "d1.com");
+        assert_eq!(top[1].0, "d2.com");
+        assert_eq!(top[2].0, "d3.com");
+    }
+
+    #[test]
+    fn zero_coverage_sees_nothing() {
+        let db = PassiveDns::from_ground_truth([("a.com", 100u64)], 3, 0.0, 1);
+        assert_eq!(db.name_count(), 0);
+    }
+}

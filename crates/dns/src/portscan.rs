@@ -1,0 +1,234 @@
+//! Port scanning (paper §6.1, Table 10).
+//!
+//! After NS/A liveness filtering, the paper probes TCP/80 and TCP/443 on
+//! every detected homograph. The prober is a trait with two back-ends:
+//!
+//! * [`TcpProber`] — a real connect-scan over `std::net` with a timeout,
+//!   used in integration tests against in-process listeners (and usable
+//!   against real targets where that is appropriate);
+//! * [`SimProber`] — a deterministic table of open ports, fed by the
+//!   workload generator for the large-scale study.
+//!
+//! [`scan`] fans a batch of probes out over a worker pool (crossbeam
+//! scoped threads) — the probes are network-bound, so this mirrors how a
+//! real scanner would behave, per the guides' advice to keep blocking I/O
+//! on threads.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Result of probing one (host, port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeOutcome {
+    /// TCP handshake completed.
+    Open,
+    /// Connection refused.
+    Closed,
+    /// No response within the timeout.
+    Timeout,
+}
+
+impl ProbeOutcome {
+    /// True when the service answered.
+    pub fn is_open(self) -> bool {
+        self == ProbeOutcome::Open
+    }
+}
+
+/// A port prober back-end.
+pub trait PortProber: Sync {
+    /// Probes `host:port`. `host` is a domain name or address literal.
+    fn probe(&self, host: &str, port: u16) -> ProbeOutcome;
+}
+
+/// Real TCP connect scanner.
+#[derive(Debug, Clone)]
+pub struct TcpProber {
+    /// Connect timeout per probe.
+    pub timeout: Duration,
+    /// Optional host→address override (a /etc/hosts analogue so tests can
+    /// point names at loopback listeners).
+    pub hosts_override: HashMap<String, SocketAddr>,
+}
+
+impl Default for TcpProber {
+    fn default() -> Self {
+        TcpProber { timeout: Duration::from_millis(500), hosts_override: HashMap::new() }
+    }
+}
+
+impl PortProber for TcpProber {
+    fn probe(&self, host: &str, port: u16) -> ProbeOutcome {
+        let addr: SocketAddr = match self.hosts_override.get(host) {
+            Some(&a) => SocketAddr::new(a.ip(), port),
+            None => match format!("{host}:{port}").parse() {
+                Ok(a) => a,
+                // Names without an override would need live DNS; treat as
+                // unreachable rather than leaking traffic in tests.
+                Err(_) => return ProbeOutcome::Timeout,
+            },
+        };
+        match TcpStream::connect_timeout(&addr, self.timeout) {
+            Ok(_) => ProbeOutcome::Open,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => ProbeOutcome::Closed,
+            Err(_) => ProbeOutcome::Timeout,
+        }
+    }
+}
+
+/// Deterministic prober over a static open-port table.
+#[derive(Debug, Clone, Default)]
+pub struct SimProber {
+    open: HashMap<(String, u16), bool>,
+}
+
+impl SimProber {
+    /// Creates an empty table (everything reads as `Closed`).
+    pub fn new() -> Self {
+        SimProber::default()
+    }
+
+    /// Declares `host:port` open (`true`) or timing out (`false`:
+    /// filtered host — distinguishes Closed from Timeout in reports).
+    pub fn set(&mut self, host: &str, port: u16, responsive: bool) {
+        self.open.insert((host.to_string(), port), responsive);
+    }
+}
+
+impl PortProber for SimProber {
+    fn probe(&self, host: &str, port: u16) -> ProbeOutcome {
+        match self.open.get(&(host.to_string(), port)) {
+            Some(true) => ProbeOutcome::Open,
+            Some(false) => ProbeOutcome::Timeout,
+            None => ProbeOutcome::Closed,
+        }
+    }
+}
+
+/// Scan report for one host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostScan {
+    /// The probed host.
+    pub host: String,
+    /// Per-port outcomes in the order requested.
+    pub ports: Vec<(u16, ProbeOutcome)>,
+}
+
+impl HostScan {
+    /// True when `port` answered.
+    pub fn open(&self, port: u16) -> bool {
+        self.ports.iter().any(|&(p, o)| p == port && o.is_open())
+    }
+
+    /// True when any probed port answered (the paper's "active" notion).
+    pub fn any_open(&self) -> bool {
+        self.ports.iter().any(|&(_, o)| o.is_open())
+    }
+}
+
+/// Scans `hosts` × `ports` with `workers` threads.
+pub fn scan(
+    prober: &dyn PortProber,
+    hosts: &[String],
+    ports: &[u16],
+    workers: usize,
+) -> Vec<HostScan> {
+    assert!(workers > 0, "at least one worker required");
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<HostScan>>> =
+        hosts.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers.min(hosts.len().max(1)) {
+            s.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= hosts.len() {
+                    break;
+                }
+                let host = &hosts[idx];
+                let outcomes: Vec<(u16, ProbeOutcome)> =
+                    ports.iter().map(|&p| (p, prober.probe(host, p))).collect();
+                *results[idx].lock() =
+                    Some(HostScan { host: host.clone(), ports: outcomes });
+            });
+        }
+    })
+    .expect("scan workers must not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every host scanned"))
+        .collect()
+}
+
+/// Aggregates scans into the paper's Table 10 rows:
+/// `(open80, open443, open_both, unique_active)`.
+pub fn table10_counts(scans: &[HostScan]) -> (usize, usize, usize, usize) {
+    let open80 = scans.iter().filter(|s| s.open(80)).count();
+    let open443 = scans.iter().filter(|s| s.open(443)).count();
+    let both = scans.iter().filter(|s| s.open(80) && s.open(443)).count();
+    let any = scans.iter().filter(|s| s.any_open()).count();
+    (open80, open443, both, any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn sim_prober_reads_table() {
+        let mut p = SimProber::new();
+        p.set("a.com", 80, true);
+        p.set("a.com", 443, true);
+        p.set("b.com", 80, true);
+        p.set("c.com", 80, false);
+        assert_eq!(p.probe("a.com", 80), ProbeOutcome::Open);
+        assert_eq!(p.probe("b.com", 443), ProbeOutcome::Closed);
+        assert_eq!(p.probe("c.com", 80), ProbeOutcome::Timeout);
+    }
+
+    #[test]
+    fn scan_and_table10_shape() {
+        let mut p = SimProber::new();
+        p.set("a.com", 80, true);
+        p.set("a.com", 443, true);
+        p.set("b.com", 80, true);
+        p.set("d.com", 443, true);
+        let hosts: Vec<String> =
+            ["a.com", "b.com", "c.com", "d.com"].iter().map(|s| s.to_string()).collect();
+        let scans = scan(&p, &hosts, &[80, 443], 3);
+        assert_eq!(scans.len(), 4);
+        // Results preserve host order despite the thread pool.
+        assert_eq!(scans[0].host, "a.com");
+        let (o80, o443, both, any) = table10_counts(&scans);
+        assert_eq!((o80, o443, both, any), (2, 2, 1, 3));
+    }
+
+    #[test]
+    fn tcp_prober_against_local_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Keep accepting in the background so connects complete.
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                drop(stream);
+            }
+        });
+
+        let mut prober = TcpProber::default();
+        prober.hosts_override.insert("test.local".to_string(), addr);
+        assert_eq!(prober.probe("test.local", addr.port()), ProbeOutcome::Open);
+
+        // A port nothing listens on: connection refused on loopback.
+        let closed = TcpProber::default().probe("127.0.0.1", 1);
+        assert!(matches!(closed, ProbeOutcome::Closed | ProbeOutcome::Timeout));
+    }
+
+    #[test]
+    fn empty_host_list() {
+        let p = SimProber::new();
+        assert!(scan(&p, &[], &[80], 4).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulated DNS resolver over in-memory zones.
+//!
+//! The paper's active-analysis phase (§6.1) checks, for every detected
+//! homograph, whether NS records exist, whether A records exist, and only
+//! then port-scans. The study here runs against generated zones, so the
+//! resolver is a lookup structure over [`crate::zone::Zone`] contents with
+//! CNAME chasing — behaviourally the part of a resolver those checks need.
+
+use crate::records::{RecordData, RecordType, ResourceRecord};
+use crate::zone::Zone;
+use sham_punycode::DomainName;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Maximum CNAME chain length before giving up (loop guard).
+const MAX_CNAME_DEPTH: usize = 8;
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Records found.
+    Records(Vec<RecordData>),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist at all.
+    NxDomain,
+}
+
+impl LookupResult {
+    /// True when at least one record was returned.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, LookupResult::Records(_))
+    }
+}
+
+/// An in-memory resolver.
+#[derive(Debug, Default)]
+pub struct SimResolver {
+    by_name: HashMap<DomainName, Vec<ResourceRecord>>,
+}
+
+impl SimResolver {
+    /// Builds a resolver from zones.
+    pub fn new(zones: impl IntoIterator<Item = Zone>) -> Self {
+        let mut by_name: HashMap<DomainName, Vec<ResourceRecord>> = HashMap::new();
+        for zone in zones {
+            for r in zone.records {
+                by_name.entry(r.name.clone()).or_default().push(r);
+            }
+        }
+        SimResolver { by_name }
+    }
+
+    /// Number of distinct names with records.
+    pub fn name_count(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Looks up `rtype` records for `name`, chasing CNAMEs.
+    pub fn lookup(&self, name: &DomainName, rtype: RecordType) -> LookupResult {
+        let mut current = name.clone();
+        for _ in 0..MAX_CNAME_DEPTH {
+            let Some(records) = self.by_name.get(&current) else {
+                return LookupResult::NxDomain;
+            };
+            let matching: Vec<RecordData> = records
+                .iter()
+                .filter(|r| r.data.record_type() == rtype)
+                .map(|r| r.data.clone())
+                .collect();
+            if !matching.is_empty() {
+                return LookupResult::Records(matching);
+            }
+            // Chase a CNAME if present (and the query was not for CNAME).
+            let cname = records.iter().find_map(|r| match &r.data {
+                RecordData::Cname(target) if rtype != RecordType::Cname => Some(target.clone()),
+                _ => None,
+            });
+            match cname {
+                Some(target) => current = target,
+                None => return LookupResult::NoData,
+            }
+        }
+        LookupResult::NoData
+    }
+
+    /// True when the name has NS records — the paper's liveness gate
+    /// before deeper probing.
+    pub fn has_ns(&self, name: &DomainName) -> bool {
+        self.lookup(name, RecordType::Ns).is_positive()
+    }
+
+    /// The NS target host names for a domain.
+    pub fn ns_hosts(&self, name: &DomainName) -> Vec<DomainName> {
+        match self.lookup(name, RecordType::Ns) {
+            LookupResult::Records(rs) => rs
+                .into_iter()
+                .filter_map(|d| match d {
+                    RecordData::Ns(h) => Some(h),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// A records (following CNAME) for a domain.
+    pub fn a_records(&self, name: &DomainName) -> Vec<Ipv4Addr> {
+        match self.lookup(name, RecordType::A) {
+            LookupResult::Records(rs) => rs
+                .into_iter()
+                .filter_map(|d| match d {
+                    RecordData::A(ip) => Some(ip),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// True when the name has an MX record (Table 11's MX column).
+    pub fn has_mx(&self, name: &DomainName) -> bool {
+        self.lookup(name, RecordType::Mx).is_positive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::parse;
+
+    fn resolver() -> SimResolver {
+        let zone = parse(
+            "$ORIGIN com.\n\
+             alive IN NS ns1.hosting.example.\n\
+             alive IN A 192.0.2.5\n\
+             alive IN MX 10 mail.alive.com.\n\
+             parked IN NS ns.parkingcrew.example.\n\
+             www.alive IN CNAME alive.com.\n\
+             deep IN CNAME www.alive.com.\n\
+             loopy IN CNAME loopy2.com.\n\
+             loopy2 IN CNAME loopy.com.\n",
+            "com",
+        )
+        .unwrap();
+        SimResolver::new([zone])
+    }
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn direct_lookup() {
+        let r = resolver();
+        assert!(r.has_ns(&name("alive.com")));
+        assert_eq!(r.a_records(&name("alive.com")), vec![Ipv4Addr::new(192, 0, 2, 5)]);
+        assert!(r.has_mx(&name("alive.com")));
+        assert!(!r.has_mx(&name("parked.com")));
+    }
+
+    #[test]
+    fn nxdomain_vs_nodata() {
+        let r = resolver();
+        assert_eq!(r.lookup(&name("missing.com"), RecordType::A), LookupResult::NxDomain);
+        assert_eq!(r.lookup(&name("parked.com"), RecordType::A), LookupResult::NoData);
+    }
+
+    #[test]
+    fn cname_chain_is_followed() {
+        let r = resolver();
+        assert_eq!(r.a_records(&name("www.alive.com")), vec![Ipv4Addr::new(192, 0, 2, 5)]);
+        // Two-level chain.
+        assert_eq!(r.a_records(&name("deep.com")), vec![Ipv4Addr::new(192, 0, 2, 5)]);
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let r = resolver();
+        assert_eq!(r.lookup(&name("loopy.com"), RecordType::A), LookupResult::NoData);
+    }
+
+    #[test]
+    fn ns_hosts_extraction() {
+        let r = resolver();
+        let hosts = r.ns_hosts(&name("parked.com"));
+        assert_eq!(hosts.len(), 1);
+        assert_eq!(hosts[0].as_ascii(), "ns.parkingcrew.example");
+    }
+}

@@ -1,0 +1,604 @@
+//! DNS wire-format message codec (RFC 1035 §4) and a loopback UDP
+//! resolver pair.
+//!
+//! The measurement study's NS/A/MX checks (§6.1) are lookups a resolver
+//! performs on the wire. The zone-level simulation answers most of the
+//! reproduction's needs, but a substrate claiming DNS support should
+//! speak the actual protocol: this module encodes and decodes DNS
+//! messages — header, question and answer sections, including name
+//! compression on decode — and provides a minimal UDP server/client pair
+//! used by the integration tests to run real lookups against the
+//! [`crate::resolver::SimResolver`].
+
+use crate::records::{RecordData, RecordType};
+use crate::resolver::{LookupResult, SimResolver};
+use bytes::{Buf, BufMut, BytesMut};
+use sham_punycode::DomainName;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Wire-level record type codes (RFC 1035 §3.2.2).
+pub fn type_code(rtype: RecordType) -> u16 {
+    match rtype {
+        RecordType::A => 1,
+        RecordType::Ns => 2,
+        RecordType::Cname => 5,
+        RecordType::Mx => 15,
+        RecordType::Txt => 16,
+        RecordType::Aaaa => 28,
+    }
+}
+
+/// Inverse of [`type_code`].
+pub fn type_from_code(code: u16) -> Option<RecordType> {
+    match code {
+        1 => Some(RecordType::A),
+        2 => Some(RecordType::Ns),
+        5 => Some(RecordType::Cname),
+        15 => Some(RecordType::Mx),
+        16 => Some(RecordType::Txt),
+        28 => Some(RecordType::Aaaa),
+        _ => None,
+    }
+}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+}
+
+impl Rcode {
+    fn to_bits(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Rcode {
+        match bits & 0xF {
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            _ => Rcode::NoError,
+        }
+    }
+}
+
+/// A DNS question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: DomainName,
+    /// Queried type.
+    pub rtype: RecordType,
+}
+
+/// A decoded answer record (name, type, TTL, RDATA in presentation form
+/// where structured decoding is not needed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireAnswer {
+    /// Owner name.
+    pub name: DomainName,
+    /// Record type.
+    pub rtype: RecordType,
+    /// TTL seconds.
+    pub ttl: u32,
+    /// Decoded RDATA.
+    pub data: RecordData,
+}
+
+/// A DNS message (the subset the resolver exchange needs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses.
+    pub response: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<WireAnswer>,
+}
+
+impl Message {
+    /// Builds a query message.
+    pub fn query(id: u16, name: DomainName, rtype: RecordType) -> Message {
+        Message {
+            id,
+            response: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name, rtype }],
+            answers: Vec::new(),
+        }
+    }
+}
+
+/// Wire decode/encode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Message shorter than its structure claims.
+    Truncated,
+    /// A domain name failed validation.
+    BadName(String),
+    /// A compression pointer loops or points forward.
+    BadPointer,
+    /// A label exceeds 63 octets.
+    LabelTooLong,
+    /// Unsupported record type code in a context that needs decoding.
+    UnsupportedType(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadName(n) => write!(f, "bad name {n:?}"),
+            WireError::BadPointer => write!(f, "bad compression pointer"),
+            WireError::LabelTooLong => write!(f, "label exceeds 63 octets"),
+            WireError::UnsupportedType(t) => write!(f, "unsupported rrtype {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_name(buf: &mut BytesMut, name: &DomainName) {
+    for label in name.labels() {
+        debug_assert!(label.len() <= 63);
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+    }
+    buf.put_u8(0);
+}
+
+/// Encodes a message (no compression on encode — legal and simpler).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(512);
+    buf.put_u16(msg.id);
+    let mut flags: u16 = 0;
+    if msg.response {
+        flags |= 0x8000;
+        flags |= 0x0400; // AA
+    } else {
+        flags |= 0x0100; // RD
+    }
+    flags |= u16::from(msg.rcode.to_bits());
+    buf.put_u16(flags);
+    buf.put_u16(msg.questions.len() as u16);
+    buf.put_u16(msg.answers.len() as u16);
+    buf.put_u16(0); // NS count
+    buf.put_u16(0); // AR count
+
+    for q in &msg.questions {
+        put_name(&mut buf, &q.name);
+        buf.put_u16(type_code(q.rtype));
+        buf.put_u16(1); // IN
+    }
+    for a in &msg.answers {
+        put_name(&mut buf, &a.name);
+        buf.put_u16(type_code(a.rtype));
+        buf.put_u16(1);
+        buf.put_u32(a.ttl);
+        let mut rdata = BytesMut::new();
+        match &a.data {
+            RecordData::A(ip) => rdata.put_slice(&ip.octets()),
+            RecordData::Aaaa(ip) => rdata.put_slice(&ip.octets()),
+            RecordData::Ns(d) | RecordData::Cname(d) => put_name(&mut rdata, d),
+            RecordData::Mx { preference, exchange } => {
+                rdata.put_u16(*preference);
+                put_name(&mut rdata, exchange);
+            }
+            RecordData::Txt(t) => {
+                let bytes = t.as_bytes();
+                let take = bytes.len().min(255);
+                rdata.put_u8(take as u8);
+                rdata.put_slice(&bytes[..take]);
+            }
+        }
+        buf.put_u16(rdata.len() as u16);
+        buf.put_slice(&rdata);
+    }
+    buf.to_vec()
+}
+
+/// Reads a (possibly compressed) name starting at `pos`; returns the name
+/// and the position just past it in the original (uncompressed) stream.
+fn read_name(data: &[u8], mut pos: usize) -> Result<(DomainName, usize), WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut jumped = false;
+    let mut after = pos;
+    let mut hops = 0;
+    loop {
+        let &len = data.get(pos).ok_or(WireError::Truncated)?;
+        if len & 0xC0 == 0xC0 {
+            // Compression pointer.
+            let second = *data.get(pos + 1).ok_or(WireError::Truncated)? as usize;
+            let target = ((len as usize & 0x3F) << 8) | second;
+            if !jumped {
+                after = pos + 2;
+                jumped = true;
+            }
+            if target >= pos {
+                return Err(WireError::BadPointer);
+            }
+            pos = target;
+            hops += 1;
+            if hops > 32 {
+                return Err(WireError::BadPointer);
+            }
+            continue;
+        }
+        if len == 0 {
+            if !jumped {
+                after = pos + 1;
+            }
+            break;
+        }
+        if len > 63 {
+            return Err(WireError::LabelTooLong);
+        }
+        let start = pos + 1;
+        let end = start + len as usize;
+        let raw = data.get(start..end).ok_or(WireError::Truncated)?;
+        labels.push(String::from_utf8_lossy(raw).into_owned());
+        pos = end;
+    }
+    if labels.is_empty() {
+        return Err(WireError::BadName("<root>".into()));
+    }
+    let joined = labels.join(".");
+    let name = DomainName::parse(&joined).map_err(|e| WireError::BadName(format!("{joined}: {e}")))?;
+    Ok((name, after))
+}
+
+/// Decodes a message.
+pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+    if data.len() < 12 {
+        return Err(WireError::Truncated);
+    }
+    let mut header = &data[..12];
+    let id = header.get_u16();
+    let flags = header.get_u16();
+    let qd = header.get_u16() as usize;
+    let an = header.get_u16() as usize;
+    let _ns = header.get_u16();
+    let _ar = header.get_u16();
+
+    let mut pos = 12usize;
+    let mut questions = Vec::with_capacity(qd);
+    for _ in 0..qd {
+        let (name, after) = read_name(data, pos)?;
+        let mut fixed = data.get(after..after + 4).ok_or(WireError::Truncated)?;
+        let code = fixed.get_u16();
+        let _class = fixed.get_u16();
+        let rtype = type_from_code(code).ok_or(WireError::UnsupportedType(code))?;
+        questions.push(Question { name, rtype });
+        pos = after + 4;
+    }
+
+    let mut answers = Vec::with_capacity(an);
+    for _ in 0..an {
+        let (name, after) = read_name(data, pos)?;
+        let mut fixed = data.get(after..after + 10).ok_or(WireError::Truncated)?;
+        let code = fixed.get_u16();
+        let _class = fixed.get_u16();
+        let ttl = fixed.get_u32();
+        let rdlen = fixed.get_u16() as usize;
+        let rdata_start = after + 10;
+        let rdata = data
+            .get(rdata_start..rdata_start + rdlen)
+            .ok_or(WireError::Truncated)?;
+        let rtype = type_from_code(code).ok_or(WireError::UnsupportedType(code))?;
+        let record = match rtype {
+            RecordType::A => {
+                if rdata.len() != 4 {
+                    return Err(WireError::Truncated);
+                }
+                RecordData::A(std::net::Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
+            }
+            RecordType::Aaaa => {
+                let octets: [u8; 16] =
+                    rdata.try_into().map_err(|_| WireError::Truncated)?;
+                RecordData::Aaaa(std::net::Ipv6Addr::from(octets))
+            }
+            RecordType::Ns => RecordData::Ns(read_name(data, rdata_start)?.0),
+            RecordType::Cname => RecordData::Cname(read_name(data, rdata_start)?.0),
+            RecordType::Mx => {
+                if rdata.len() < 3 {
+                    return Err(WireError::Truncated);
+                }
+                let preference = u16::from_be_bytes([rdata[0], rdata[1]]);
+                RecordData::Mx {
+                    preference,
+                    exchange: read_name(data, rdata_start + 2)?.0,
+                }
+            }
+            RecordType::Txt => {
+                let len = *rdata.first().ok_or(WireError::Truncated)? as usize;
+                let text = rdata.get(1..1 + len).ok_or(WireError::Truncated)?;
+                RecordData::Txt(String::from_utf8_lossy(text).into_owned())
+            }
+        };
+        answers.push(WireAnswer { name, rtype, ttl, data: record });
+        pos = rdata_start + rdlen;
+    }
+
+    Ok(Message {
+        id,
+        response: flags & 0x8000 != 0,
+        rcode: Rcode::from_bits((flags & 0xF) as u8),
+        questions,
+        answers,
+    })
+}
+
+/// A UDP DNS server answering from a [`SimResolver`]. Runs on a loopback
+/// socket in a background thread; used by integration tests to exercise
+/// the full wire path.
+pub struct UdpDnsServer {
+    addr: SocketAddr,
+}
+
+impl UdpDnsServer {
+    /// Spawns the server on an ephemeral loopback port.
+    pub fn spawn(resolver: SimResolver) -> std::io::Result<UdpDnsServer> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        let addr = socket.local_addr()?;
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1500];
+            loop {
+                let Ok((len, peer)) = socket.recv_from(&mut buf) else { break };
+                let reply = match decode(&buf[..len]) {
+                    Ok(query) => answer(&resolver, &query),
+                    Err(_) => continue,
+                };
+                let _ = socket.send_to(&encode(&reply), peer);
+            }
+        });
+        Ok(UdpDnsServer { addr })
+    }
+
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Builds the response for a query against the resolver.
+pub fn answer(resolver: &SimResolver, query: &Message) -> Message {
+    let mut response = Message {
+        id: query.id,
+        response: true,
+        rcode: Rcode::NoError,
+        questions: query.questions.clone(),
+        answers: Vec::new(),
+    };
+    let Some(q) = query.questions.first() else {
+        response.rcode = Rcode::FormErr;
+        return response;
+    };
+    match resolver.lookup(&q.name, q.rtype) {
+        LookupResult::Records(records) => {
+            for data in records {
+                response.answers.push(WireAnswer {
+                    name: q.name.clone(),
+                    rtype: data.record_type(),
+                    ttl: 300,
+                    data,
+                });
+            }
+        }
+        LookupResult::NoData => {}
+        LookupResult::NxDomain => response.rcode = Rcode::NxDomain,
+    }
+    response
+}
+
+/// A blocking UDP stub resolver client.
+pub fn udp_query(
+    server: SocketAddr,
+    name: &DomainName,
+    rtype: RecordType,
+    timeout: Duration,
+) -> std::io::Result<Message> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.set_read_timeout(Some(timeout))?;
+    let id = (std::process::id() as u16) ^ name.as_ascii().len() as u16 ^ 0x5A5A;
+    let query = Message::query(id, name.clone(), rtype);
+    socket.send_to(&encode(&query), server)?;
+    let mut buf = [0u8; 1500];
+    let (len, _) = socket.recv_from(&mut buf)?;
+    decode(&buf[..len]).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::parse;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x1234, name("xn--ggle-55da.com"), RecordType::Ns);
+        let bytes = encode(&q);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn response_with_all_record_types_round_trips() {
+        let answers = vec![
+            WireAnswer {
+                name: name("a.com"),
+                rtype: RecordType::A,
+                ttl: 60,
+                data: RecordData::A(Ipv4Addr::new(192, 0, 2, 7)),
+            },
+            WireAnswer {
+                name: name("a.com"),
+                rtype: RecordType::Ns,
+                ttl: 60,
+                data: RecordData::Ns(name("ns1.host.example")),
+            },
+            WireAnswer {
+                name: name("a.com"),
+                rtype: RecordType::Mx,
+                ttl: 60,
+                data: RecordData::Mx { preference: 10, exchange: name("mx.a.com") },
+            },
+            WireAnswer {
+                name: name("a.com"),
+                rtype: RecordType::Txt,
+                ttl: 60,
+                data: RecordData::Txt("hello".into()),
+            },
+        ];
+        let msg = Message {
+            id: 7,
+            response: true,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name: name("a.com"), rtype: RecordType::A }],
+            answers,
+        };
+        let back = decode(&encode(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_handles_compression_pointers() {
+        // Hand-built message: question for a.com, answer NS with the
+        // owner name as a pointer back to the question name.
+        let mut buf = BytesMut::new();
+        buf.put_u16(1); // id
+        buf.put_u16(0x8400); // response + AA
+        buf.put_u16(1); // qd
+        buf.put_u16(1); // an
+        buf.put_u16(0);
+        buf.put_u16(0);
+        // question name at offset 12: "a" "com"
+        buf.put_u8(1);
+        buf.put_slice(b"a");
+        buf.put_u8(3);
+        buf.put_slice(b"com");
+        buf.put_u8(0);
+        buf.put_u16(2); // NS
+        buf.put_u16(1);
+        // answer: pointer to offset 12
+        buf.put_u8(0xC0);
+        buf.put_u8(12);
+        buf.put_u16(2); // NS
+        buf.put_u16(1);
+        buf.put_u32(300);
+        // rdata: ns1.<pointer to "com" at offset 14>
+        let rdata_len_pos = buf.len();
+        buf.put_u16(0); // placeholder
+        let rdata_start = buf.len();
+        buf.put_u8(3);
+        buf.put_slice(b"ns1");
+        buf.put_u8(0xC0);
+        buf.put_u8(14);
+        let rdata_len = (buf.len() - rdata_start) as u16;
+        buf[rdata_len_pos..rdata_len_pos + 2].copy_from_slice(&rdata_len.to_be_bytes());
+
+        let msg = decode(&buf).unwrap();
+        assert_eq!(msg.answers.len(), 1);
+        assert_eq!(msg.answers[0].name.as_ascii(), "a.com");
+        match &msg.answers[0].data {
+            RecordData::Ns(ns) => assert_eq!(ns.as_ascii(), "ns1.com"),
+            other => panic!("expected NS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_forward_and_looping_pointers() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u16(0x0100);
+        buf.put_u16(1);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        // Pointer to itself at offset 12.
+        buf.put_u8(0xC0);
+        buf.put_u8(12);
+        buf.put_u16(1);
+        buf.put_u16(1);
+        assert_eq!(decode(&buf), Err(WireError::BadPointer));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let q = Message::query(9, name("abc.com"), RecordType::A);
+        let bytes = encode(&q);
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn udp_server_answers_real_queries() {
+        let zone = parse(
+            "$ORIGIN com.\n\
+             alive IN NS ns1.host.example.\n\
+             alive IN A 192.0.2.5\n\
+             alive IN MX 10 mail.alive.com.\n",
+            "com",
+        )
+        .unwrap();
+        let server = UdpDnsServer::spawn(SimResolver::new([zone])).unwrap();
+
+        let resp = udp_query(
+            server.addr(),
+            &name("alive.com"),
+            RecordType::A,
+            Duration::from_millis(800),
+        )
+        .unwrap();
+        assert!(resp.response);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(
+            resp.answers[0].data,
+            RecordData::A(Ipv4Addr::new(192, 0, 2, 5))
+        );
+
+        // NXDOMAIN for a missing name.
+        let resp = udp_query(
+            server.addr(),
+            &name("missing.com"),
+            RecordType::A,
+            Duration::from_millis(800),
+        )
+        .unwrap();
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(resp.answers.is_empty());
+
+        // NoData for a type the name lacks.
+        let resp = udp_query(
+            server.addr(),
+            &name("alive.com"),
+            RecordType::Aaaa,
+            Duration::from_millis(800),
+        )
+        .unwrap();
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! DNS master-file (zone file) parser and serializer.
+//!
+//! The measurement's Step 1 ingests the `.com` zone file (paper §5.2,
+//! Verisign's published zone). This module implements the subset of
+//! RFC 1035 master-file syntax such zone dumps use: `$ORIGIN` and `$TTL`
+//! directives, `;` comments, `@` for the origin, relative and absolute
+//! owner names, optional TTL/class fields, and the record types of
+//! [`crate::records`].
+//!
+//! [`parse`] is strict (first error wins); [`parse_lenient`] skips bad
+//! lines and reports them — zone dumps in the wild contain garbage, and
+//! the failure-injection tests exercise exactly that.
+
+use crate::records::{RecordData, RecordType, ResourceRecord};
+use sham_punycode::DomainName;
+use std::fmt::Write as _;
+
+/// A parsed zone: an origin plus its records.
+#[derive(Debug, Clone, Default)]
+pub struct Zone {
+    /// Zone origin (e.g. `com`).
+    pub origin: String,
+    /// Default TTL applied where records omit one.
+    pub default_ttl: u32,
+    /// All records in file order.
+    pub records: Vec<ResourceRecord>,
+}
+
+impl Zone {
+    /// Iterates the distinct owner names, in first-appearance order.
+    pub fn owner_names(&self) -> Vec<&DomainName> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if seen.insert(&r.name) {
+                out.push(&r.name);
+            }
+        }
+        out
+    }
+
+    /// Serialises back to master-file text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "$ORIGIN {}.", self.origin);
+        let _ = writeln!(s, "$TTL {}", self.default_ttl);
+        for r in &self.records {
+            let _ = writeln!(s, "{r}");
+        }
+        s
+    }
+}
+
+/// A line-level parse problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZoneError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zone line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+fn err(line: usize, message: impl Into<String>) -> ZoneError {
+    ZoneError { line, message: message.into() }
+}
+
+/// Resolves an owner-name token against the origin.
+fn resolve_name(token: &str, origin: &str, line: usize) -> Result<DomainName, ZoneError> {
+    let full = if token == "@" {
+        origin.to_string()
+    } else if let Some(absolute) = token.strip_suffix('.') {
+        absolute.to_string()
+    } else if origin.is_empty() {
+        token.to_string()
+    } else {
+        format!("{token}.{origin}")
+    };
+    DomainName::parse(&full).map_err(|e| err(line, format!("bad name {token:?}: {e}")))
+}
+
+struct LineParser<'a> {
+    origin: String,
+    default_ttl: u32,
+    last_owner: Option<DomainName>,
+    text: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(text: &'a str, fallback_origin: &str) -> Self {
+        LineParser {
+            origin: fallback_origin.to_string(),
+            default_ttl: 86_400,
+            last_owner: None,
+            text,
+        }
+    }
+
+    /// Parses one data line (comments/blank already stripped). Returns
+    /// `Ok(None)` for directives.
+    fn parse_line(&mut self, line: &str, no: usize) -> Result<Option<ResourceRecord>, ZoneError> {
+        if let Some(rest) = line.strip_prefix("$ORIGIN") {
+            let token = rest.trim().trim_end_matches('.');
+            if token.is_empty() {
+                return Err(err(no, "$ORIGIN requires a name"));
+            }
+            self.origin = token.to_string();
+            return Ok(None);
+        }
+        if let Some(rest) = line.strip_prefix("$TTL") {
+            self.default_ttl = rest
+                .trim()
+                .parse()
+                .map_err(|e| err(no, format!("bad $TTL: {e}")))?;
+            return Ok(None);
+        }
+
+        let starts_with_space = line.starts_with(' ') || line.starts_with('\t');
+        let mut tokens = line.split_whitespace().peekable();
+
+        // Owner: blank-led lines reuse the previous owner.
+        let owner = if starts_with_space {
+            self.last_owner
+                .clone()
+                .ok_or_else(|| err(no, "continuation line with no previous owner"))?
+        } else {
+            let tok = tokens.next().ok_or_else(|| err(no, "empty record line"))?;
+            resolve_name(tok, &self.origin, no)?
+        };
+        self.last_owner = Some(owner.clone());
+
+        // Optional TTL and class.
+        let mut ttl = self.default_ttl;
+        if let Some(tok) = tokens.peek() {
+            if let Ok(v) = tok.parse::<u32>() {
+                ttl = v;
+                tokens.next();
+            }
+        }
+        if tokens.peek().is_some_and(|t| t.eq_ignore_ascii_case("IN")) {
+            tokens.next();
+        }
+
+        let type_tok = tokens.next().ok_or_else(|| err(no, "missing record type"))?;
+        let rtype = RecordType::parse(type_tok)
+            .ok_or_else(|| err(no, format!("unsupported record type {type_tok:?}")))?;
+
+        let data = match rtype {
+            RecordType::A => {
+                let ip = tokens.next().ok_or_else(|| err(no, "A record missing address"))?;
+                RecordData::A(ip.parse().map_err(|e| err(no, format!("bad IPv4: {e}")))?)
+            }
+            RecordType::Aaaa => {
+                let ip = tokens.next().ok_or_else(|| err(no, "AAAA record missing address"))?;
+                RecordData::Aaaa(ip.parse().map_err(|e| err(no, format!("bad IPv6: {e}")))?)
+            }
+            RecordType::Ns => {
+                let t = tokens.next().ok_or_else(|| err(no, "NS record missing target"))?;
+                RecordData::Ns(resolve_name(t, &self.origin, no)?)
+            }
+            RecordType::Cname => {
+                let t = tokens.next().ok_or_else(|| err(no, "CNAME missing target"))?;
+                RecordData::Cname(resolve_name(t, &self.origin, no)?)
+            }
+            RecordType::Mx => {
+                let pref = tokens
+                    .next()
+                    .ok_or_else(|| err(no, "MX missing preference"))?
+                    .parse()
+                    .map_err(|e| err(no, format!("bad MX preference: {e}")))?;
+                let t = tokens.next().ok_or_else(|| err(no, "MX missing exchange"))?;
+                RecordData::Mx { preference: pref, exchange: resolve_name(t, &self.origin, no)? }
+            }
+            RecordType::Txt => {
+                let rest: Vec<&str> = tokens.collect();
+                let joined = rest.join(" ");
+                RecordData::Txt(joined.trim_matches('"').to_string())
+            }
+        };
+        Ok(Some(ResourceRecord { name: owner, ttl, data }))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A ';' inside a quoted TXT string is data, not a comment.
+    let mut in_quotes = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ';' if !in_quotes => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Strict parse: the first malformed line aborts.
+pub fn parse(text: &str, fallback_origin: &str) -> Result<Zone, ZoneError> {
+    let mut parser = LineParser::new(text, fallback_origin);
+    let mut records = Vec::new();
+    for (idx, raw) in parser.text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rr) = parser.parse_line(line, idx + 1)? {
+            records.push(rr);
+        }
+    }
+    Ok(Zone { origin: parser.origin, default_ttl: parser.default_ttl, records })
+}
+
+/// Lenient parse: malformed lines are collected, good lines kept.
+pub fn parse_lenient(text: &str, fallback_origin: &str) -> (Zone, Vec<ZoneError>) {
+    let mut parser = LineParser::new(text, fallback_origin);
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, raw) in parser.text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parser.parse_line(line, idx + 1) {
+            Ok(Some(rr)) => records.push(rr),
+            Ok(None) => {}
+            Err(e) => errors.push(e),
+        }
+    }
+    (
+        Zone { origin: parser.origin, default_ttl: parser.default_ttl, records },
+        errors,
+    )
+}
+
+/// Parses a plain domain list (one name per line, `#` comments) — the
+/// `domainlists.io`-style complement of Table 6.
+pub fn parse_domain_list(text: &str) -> (Vec<DomainName>, usize) {
+    let mut out = Vec::new();
+    let mut bad = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        match DomainName::parse(line) {
+            Ok(d) => out.push(d),
+            Err(_) => bad += 1,
+        }
+    }
+    (out, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+$ORIGIN com.
+$TTL 172800
+; delegation records
+google\tIN\tNS\tns1.google.com.
+google\tIN\tNS\tns2.google.com.
+xn--ggle-55da 3600 IN NS ns1.parking.example.
+www.google IN A 192.0.2.10
+mail IN MX 10 mx.mail.com.
+alias IN CNAME www.google.com.
+note IN TXT \"hello; world\"
+";
+
+    #[test]
+    fn parses_sample_zone() {
+        let zone = parse(SAMPLE, "com").unwrap();
+        assert_eq!(zone.origin, "com");
+        assert_eq!(zone.default_ttl, 172_800);
+        assert_eq!(zone.records.len(), 7);
+        assert_eq!(zone.records[0].name.as_ascii(), "google.com");
+        assert_eq!(zone.records[2].ttl, 3600);
+        assert_eq!(zone.records[2].name.as_ascii(), "xn--ggle-55da.com");
+    }
+
+    #[test]
+    fn relative_and_absolute_names() {
+        let zone = parse(SAMPLE, "com").unwrap();
+        match &zone.records[0].data {
+            RecordData::Ns(ns) => assert_eq!(ns.as_ascii(), "ns1.google.com"),
+            other => panic!("expected NS, got {other:?}"),
+        }
+        match &zone.records[4].data {
+            RecordData::Mx { preference, exchange } => {
+                assert_eq!(*preference, 10);
+                assert_eq!(exchange.as_ascii(), "mx.mail.com");
+            }
+            other => panic!("expected MX, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_semicolon_is_not_a_comment() {
+        let zone = parse(SAMPLE, "com").unwrap();
+        match &zone.records[6].data {
+            RecordData::Txt(t) => assert_eq!(t, "hello; world"),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_sign_is_origin() {
+        let zone = parse("$ORIGIN example.com.\n@ IN A 192.0.2.1\n", "").unwrap();
+        assert_eq!(zone.records[0].name.as_ascii(), "example.com");
+    }
+
+    #[test]
+    fn continuation_lines_reuse_owner() {
+        let text = "$ORIGIN com.\ngoogle IN NS ns1.google.com.\n\tIN NS ns2.google.com.\n";
+        let zone = parse(text, "com").unwrap();
+        assert_eq!(zone.records.len(), 2);
+        assert_eq!(zone.records[1].name.as_ascii(), "google.com");
+    }
+
+    #[test]
+    fn strict_parse_reports_line_numbers() {
+        let text = "$ORIGIN com.\ngood IN A 192.0.2.1\nbad IN A not-an-ip\n";
+        let e = parse(text, "com").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bad IPv4"));
+    }
+
+    #[test]
+    fn lenient_parse_skips_garbage() {
+        let text = "$ORIGIN com.\n\
+                    good IN A 192.0.2.1\n\
+                    broken IN A nope\n\
+                    alsogood IN NS ns.x.com.\n\
+                    ???\n";
+        let (zone, errors) = parse_lenient(text, "com");
+        assert_eq!(zone.records.len(), 2);
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let zone = parse(SAMPLE, "com").unwrap();
+        let text = zone.to_text();
+        let again = parse(&text, "com").unwrap();
+        assert_eq!(zone.records, again.records);
+    }
+
+    #[test]
+    fn domain_list_parsing() {
+        let (names, bad) = parse_domain_list(
+            "google.com\n# comment\nxn--ggle-55da.com\n..bad..\nexample.com # trailing\n",
+        );
+        assert_eq!(names.len(), 3);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn unsupported_type_is_an_error() {
+        let e = parse("$ORIGIN com.\nx IN SOA whatever\n", "com").unwrap_err();
+        assert!(e.message.contains("unsupported record type"));
+    }
+}

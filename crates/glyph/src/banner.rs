@@ -1,0 +1,176 @@
+//! Text-banner rendering: draw a whole string with the glyph font.
+//!
+//! The paper's argument rests on *visual* indistinguishability — a
+//! homograph and its target render identically in an address bar. This
+//! module renders a string as one wide bitmap banner (each character cell
+//! 32×32, packed side by side with trimmed advance), so examples and
+//! documentation can show the address-bar view and diff two banners
+//! pixel by pixel.
+
+use crate::bitmap::{Bitmap, SIZE};
+use crate::font::GlyphSource;
+use sham_unicode::CodePoint;
+
+/// A rendered text banner: `height` rows of arbitrary width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Banner {
+    width: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl Banner {
+    /// Banner height in pixels (one glyph cell).
+    pub const HEIGHT: usize = SIZE;
+
+    /// Pixel at `(x, y)`; out of range reads white.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.rows.get(y).and_then(|r| r.get(x)).copied().unwrap_or(false)
+    }
+
+    /// Banner width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of differing pixels between two banners (padded with white
+    /// to the wider one) — the string-level Δ.
+    pub fn delta(&self, other: &Banner) -> u32 {
+        let width = self.width.max(other.width);
+        let mut d = 0u32;
+        for y in 0..Self::HEIGHT {
+            for x in 0..width {
+                if self.get(x, y) != other.get(x, y) {
+                    d += 1;
+                }
+            }
+        }
+        d
+    }
+
+    /// ASCII-art rendering, cropped vertically to the inked band.
+    pub fn ascii_art(&self) -> String {
+        let first = (0..Self::HEIGHT)
+            .find(|&y| (0..self.width).any(|x| self.get(x, y)))
+            .unwrap_or(0);
+        let last = (0..Self::HEIGHT)
+            .rev()
+            .find(|&y| (0..self.width).any(|x| self.get(x, y)))
+            .unwrap_or(Self::HEIGHT - 1);
+        let mut s = String::new();
+        for y in first..=last {
+            for x in 0..self.width {
+                s.push(if self.get(x, y) { '█' } else { ' ' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Horizontal extent (min, max inclusive) of a glyph's ink, or `None`
+/// for blank glyphs.
+fn ink_extent(glyph: &Bitmap) -> Option<(usize, usize)> {
+    let mut min = SIZE;
+    let mut max = 0usize;
+    for y in 0..SIZE {
+        for x in 0..SIZE {
+            if glyph.get(x, y) {
+                min = min.min(x);
+                max = max.max(x);
+            }
+        }
+    }
+    (min <= max).then_some((min, max))
+}
+
+/// Renders `text` with `font`. Characters the font lacks render as a
+/// narrow replacement box; spaces advance half a cell.
+pub fn render(font: &impl GlyphSource, text: &str) -> Banner {
+    let mut rows = vec![Vec::new(); SIZE];
+    let gap = 2usize;
+    for c in text.chars() {
+        if c == ' ' {
+            for row in rows.iter_mut() {
+                row.extend(std::iter::repeat(false).take(SIZE / 2));
+            }
+            continue;
+        }
+        let glyph = font.glyph(CodePoint::from(c));
+        match glyph.as_ref().and_then(|g| ink_extent(g).map(|e| (g, e))) {
+            Some((g, (min, max))) => {
+                for (y, row) in rows.iter_mut().enumerate() {
+                    for x in min..=max {
+                        row.push(g.get(x, y));
+                    }
+                    row.extend(std::iter::repeat(false).take(gap));
+                }
+            }
+            None => {
+                // Replacement box for uncovered characters.
+                for (y, row) in rows.iter_mut().enumerate() {
+                    for x in 0..10 {
+                        let edge = y == 8 || y == 24 || x == 0 || x == 9;
+                        row.push(edge && (8..=24).contains(&y));
+                    }
+                    row.extend(std::iter::repeat(false).take(gap));
+                }
+            }
+        }
+    }
+    let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+    for row in rows.iter_mut() {
+        row.resize(width, false);
+    }
+    Banner { width, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::font::SynthUnifont;
+
+    #[test]
+    fn renders_nonempty_banner() {
+        let font = SynthUnifont::v12();
+        let b = render(&font, "google");
+        assert!(b.width() > 60);
+        assert!(b.ascii_art().contains('█'));
+    }
+
+    #[test]
+    fn identical_lookalike_strings_render_identically() {
+        let font = SynthUnifont::v12();
+        // Cyrillic о is a dist-0 twin of Latin o: the banners match
+        // pixel for pixel — the whole point of the attack.
+        let real = render(&font, "google");
+        let spoof = render(&font, "gооgle");
+        assert_eq!(real.delta(&spoof), 0);
+    }
+
+    #[test]
+    fn accented_lookalike_differs_by_accent_ink_only() {
+        let font = SynthUnifont::v12();
+        let real = render(&font, "facebook");
+        let spoof = render(&font, "facébook");
+        let d = real.delta(&spoof);
+        assert!(d >= 1 && d <= 4, "banner delta = {d}");
+    }
+
+    #[test]
+    fn different_strings_differ_a_lot() {
+        let font = SynthUnifont::v12();
+        let a = render(&font, "google");
+        let b = render(&font, "amazon");
+        assert!(a.delta(&b) > 100);
+    }
+
+    #[test]
+    fn spaces_and_missing_glyphs_are_handled() {
+        let font = SynthUnifont::v12();
+        let b = render(&font, "a b");
+        assert!(b.width() > 0);
+        // Control characters are uncovered → replacement box, no panic.
+        let c = render(&font, "a\u{7}b");
+        assert!(c.width() > 0);
+    }
+}

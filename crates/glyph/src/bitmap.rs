@@ -1,0 +1,329 @@
+//! Fixed 32×32 binary bitmap — the glyph representation of the paper.
+//!
+//! The paper renders every character as a 32×32 black-and-white image
+//! (§3.3 Step I) and compares images by counting differing pixels. A
+//! bitmap is stored as one `u32` per row, so the Δ metric is 32 XORs and
+//! popcounts.
+
+use serde::{Deserialize, Serialize};
+
+/// Side length of every glyph bitmap.
+pub const SIZE: usize = 32;
+
+/// A 32×32 binary image. Bit `x` of `rows[y]` is the pixel at column `x`,
+/// row `y`; 1 = black (ink), 0 = white.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bitmap {
+    rows: [u32; SIZE],
+}
+
+impl Default for Bitmap {
+    fn default() -> Self {
+        Bitmap::empty()
+    }
+}
+
+impl Bitmap {
+    /// The all-white bitmap.
+    pub const fn empty() -> Self {
+        Bitmap { rows: [0; SIZE] }
+    }
+
+    /// Builds a bitmap from raw row data.
+    pub const fn from_rows(rows: [u32; SIZE]) -> Self {
+        Bitmap { rows }
+    }
+
+    /// Raw row data.
+    pub fn rows(&self) -> &[u32; SIZE] {
+        &self.rows
+    }
+
+    /// Reads pixel `(x, y)`. Out-of-range coordinates read as white.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        if x >= SIZE || y >= SIZE {
+            return false;
+        }
+        (self.rows[y] >> x) & 1 == 1
+    }
+
+    /// Sets pixel `(x, y)` to `ink`. Out-of-range coordinates are ignored,
+    /// so shape-drawing code may overhang the canvas safely.
+    pub fn set(&mut self, x: usize, y: usize, ink: bool) {
+        if x >= SIZE || y >= SIZE {
+            return;
+        }
+        if ink {
+            self.rows[y] |= 1 << x;
+        } else {
+            self.rows[y] &= !(1 << x);
+        }
+    }
+
+    /// Flips pixel `(x, y)`, returning the new value.
+    pub fn toggle(&mut self, x: usize, y: usize) -> bool {
+        if x >= SIZE || y >= SIZE {
+            return false;
+        }
+        self.rows[y] ^= 1 << x;
+        self.get(x, y)
+    }
+
+    /// Number of black pixels. Step III of the SimChar construction
+    /// eliminates "sparse" glyphs with fewer than 10 black pixels.
+    pub fn popcount(&self) -> u32 {
+        self.rows.iter().map(|r| r.count_ones()).sum()
+    }
+
+    /// Pixel-difference metric Δ between two bitmaps (paper §3.3):
+    /// the number of positions where the images disagree.
+    pub fn delta(&self, other: &Bitmap) -> u32 {
+        self.rows
+            .iter()
+            .zip(other.rows.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Merges another bitmap into this one (ink union).
+    pub fn union_with(&mut self, other: &Bitmap) {
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Draws `other` offset by `(dx, dy)` pixels (may be negative);
+    /// pixels falling outside the canvas are clipped.
+    pub fn blit(&mut self, other: &Bitmap, dx: i32, dy: i32) {
+        for y in 0..SIZE {
+            let ty = y as i32 + dy;
+            if !(0..SIZE as i32).contains(&ty) {
+                continue;
+            }
+            let row = other.rows[y];
+            let shifted = if dx >= 0 {
+                (row as u64) << dx
+            } else {
+                (row as u64) >> (-dx)
+            };
+            self.rows[ty as usize] |= (shifted & 0xFFFF_FFFF) as u32;
+        }
+    }
+
+    /// Nearest-neighbour upscale of an 8×8 source (stored in the top-left
+    /// corner) by an integer factor, placed at `(ox, oy)`.
+    pub fn upscale_8x8(src: &[u8; 8], factor: usize, ox: usize, oy: usize) -> Bitmap {
+        let mut out = Bitmap::empty();
+        for (sy, byte) in src.iter().enumerate() {
+            for sx in 0..8 {
+                if (byte >> sx) & 1 == 1 {
+                    for fy in 0..factor {
+                        for fx in 0..factor {
+                            out.set(ox + sx * factor + fx, oy + sy * factor + fy, true);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the bitmap into `n` horizontal bands and hashes each band's
+    /// exact content. If `delta(a, b) <= n - 1`, the pigeonhole principle
+    /// guarantees at least one band with zero differing pixels, i.e. one
+    /// equal hash — the exact-candidate property the banded pair index in
+    /// `sham-simchar` relies on.
+    pub fn band_signatures(&self, n: usize) -> Vec<u64> {
+        assert!(n >= 1 && n <= SIZE);
+        let mut out = Vec::with_capacity(n);
+        let base = SIZE / n;
+        let extra = SIZE % n;
+        let mut row = 0usize;
+        for band in 0..n {
+            let height = base + usize::from(band < extra);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            for _ in 0..height {
+                h ^= self.rows[row] as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                // Mix the row index so an empty band in a different
+                // position hashes differently.
+                h ^= row as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                row += 1;
+            }
+            out.push(h);
+        }
+        debug_assert_eq!(row, SIZE);
+        out
+    }
+
+    /// Renders the bitmap as ASCII art, `#` for ink (Figures 5–7 output).
+    pub fn ascii_art(&self) -> String {
+        let mut s = String::with_capacity(SIZE * (SIZE + 1));
+        for y in 0..SIZE {
+            for x in 0..SIZE {
+                s.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders two bitmaps side by side with a gutter (for figure output).
+    pub fn ascii_art_pair(a: &Bitmap, b: &Bitmap) -> String {
+        let mut s = String::new();
+        for y in 0..SIZE {
+            for x in 0..SIZE {
+                s.push(if a.get(x, y) { '#' } else { '.' });
+            }
+            s.push_str("   ");
+            for x in 0..SIZE {
+                s.push(if b.get(x, y) { '#' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap({} px)", self.popcount())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut b = Bitmap::empty();
+        assert!(!b.get(5, 7));
+        b.set(5, 7, true);
+        assert!(b.get(5, 7));
+        b.set(5, 7, false);
+        assert!(!b.get(5, 7));
+    }
+
+    #[test]
+    fn out_of_range_is_clipped() {
+        let mut b = Bitmap::empty();
+        b.set(32, 0, true);
+        b.set(0, 32, true);
+        assert_eq!(b.popcount(), 0);
+        assert!(!b.get(100, 100));
+    }
+
+    #[test]
+    fn popcount_counts_ink() {
+        let mut b = Bitmap::empty();
+        for i in 0..10 {
+            b.set(i, i, true);
+        }
+        assert_eq!(b.popcount(), 10);
+    }
+
+    #[test]
+    fn delta_is_symmetric_and_zero_on_identity() {
+        let mut a = Bitmap::empty();
+        let mut b = Bitmap::empty();
+        a.set(1, 1, true);
+        a.set(2, 2, true);
+        b.set(2, 2, true);
+        b.set(3, 3, true);
+        assert_eq!(a.delta(&a), 0);
+        assert_eq!(a.delta(&b), b.delta(&a));
+        assert_eq!(a.delta(&b), 2);
+    }
+
+    #[test]
+    fn delta_equals_popcount_against_empty() {
+        let mut a = Bitmap::empty();
+        for i in 0..17 {
+            a.set(i % 32, (i * 7) % 32, true);
+        }
+        assert_eq!(a.delta(&Bitmap::empty()), a.popcount());
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut b = Bitmap::empty();
+        assert!(b.toggle(4, 4));
+        assert!(!b.toggle(4, 4));
+    }
+
+    #[test]
+    fn blit_with_offsets_clips() {
+        let mut src = Bitmap::empty();
+        src.set(0, 0, true);
+        src.set(31, 31, true);
+        let mut dst = Bitmap::empty();
+        dst.blit(&src, 1, 1);
+        assert!(dst.get(1, 1));
+        assert_eq!(dst.popcount(), 1); // (31,31) clipped off
+
+        let mut dst2 = Bitmap::empty();
+        dst2.blit(&src, -1, -1);
+        assert!(dst2.get(30, 30));
+        assert_eq!(dst2.popcount(), 1);
+    }
+
+    #[test]
+    fn upscale_preserves_area_scaling() {
+        let mut src = [0u8; 8];
+        src[0] = 0b0000_0011; // two pixels
+        let up = Bitmap::upscale_8x8(&src, 3, 0, 0);
+        assert_eq!(up.popcount(), 2 * 9);
+        assert!(up.get(0, 0) && up.get(2, 2) && up.get(3, 0) && up.get(5, 2));
+        assert!(!up.get(6, 0));
+    }
+
+    #[test]
+    fn band_signature_pigeonhole_property() {
+        // If delta <= bands-1, at least one band hash must match.
+        let mut a = Bitmap::empty();
+        for i in 0..40 {
+            a.set((i * 3) % 32, (i * 11) % 32, true);
+        }
+        let mut b = a;
+        // Flip 4 pixels.
+        for i in 0..4 {
+            b.toggle(i, i * 5 + 1);
+        }
+        assert!(a.delta(&b) <= 4);
+        let sa = a.band_signatures(5);
+        let sb = b.band_signatures(5);
+        assert!(sa.iter().zip(&sb).any(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn band_signatures_distinguish_band_position() {
+        let mut a = Bitmap::empty();
+        a.set(0, 0, true);
+        let mut b = Bitmap::empty();
+        b.set(0, 31, true);
+        let sa = a.band_signatures(5);
+        let sb = b.band_signatures(5);
+        assert_ne!(sa[0], sb[0]);
+        assert_ne!(sa[4], sb[4]);
+    }
+
+    #[test]
+    fn ascii_art_dimensions() {
+        let art = Bitmap::empty().ascii_art();
+        assert_eq!(art.lines().count(), 32);
+        assert!(art.lines().all(|l| l.chars().count() == 32));
+    }
+
+    #[test]
+    fn union_with_is_ink_or() {
+        let mut a = Bitmap::empty();
+        a.set(0, 0, true);
+        let mut b = Bitmap::empty();
+        b.set(1, 1, true);
+        a.union_with(&b);
+        assert!(a.get(0, 0) && a.get(1, 1));
+        assert_eq!(a.popcount(), 2);
+    }
+}

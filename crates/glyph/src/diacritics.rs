@@ -1,0 +1,372 @@
+//! Diacritic composition for accented Latin letters.
+//!
+//! SimChar's most important finding for Latin targets (paper Table 3) is
+//! that *accented* variants dominate the homoglyphs of letters like `o`
+//! and `e`: at 32×32, an acute or a dot above changes only a few pixels.
+//! SynthUnifont therefore renders `é` as the `e` base glyph plus an accent
+//! drawn at fine resolution. Accent ink sizes are chosen so that the small
+//! marks (acute, grave, dot, macron, cedilla, …) fall at Δ ≤ 4 — inside
+//! the paper's threshold — while bulkier marks (diaeresis, ring, tilde,
+//! circumflex) fall outside, giving the same in/out split the paper's
+//! Figure 6 illustrates.
+
+use crate::bitmap::Bitmap;
+
+/// Diacritical marks the composer can draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Accent {
+    Acute,
+    Grave,
+    Circumflex,
+    Tilde,
+    Diaeresis,
+    RingAbove,
+    Macron,
+    Breve,
+    DotAbove,
+    DoubleAcute,
+    Caron,
+    Cedilla,
+    Ogonek,
+    DotBelow,
+    Stroke,
+    HookAbove,
+    Horn,
+}
+
+impl Accent {
+    /// Approximate ink cost in pixels (the Δ an accent contributes when
+    /// added to an unaccented base glyph). Small marks (acute, dots,
+    /// diaeresis, macron, cedilla, …) cost ≤ 4 pixels and land inside the
+    /// paper's θ = 4 — which is how SimChar ends up listing the accented
+    /// variants that dominate Table 3 (and why the paper's Table 11 could
+    /// flag `döviz`). Bulkier marks (circumflex, tilde, ring, caron, …)
+    /// stay outside.
+    pub fn ink(self) -> u32 {
+        match self {
+            Accent::Acute | Accent::Grave => 3,
+            Accent::DotAbove | Accent::Macron | Accent::Cedilla | Accent::Ogonek
+            | Accent::DotBelow | Accent::HookAbove | Accent::Diaeresis => 4,
+            Accent::Stroke => 4,
+            Accent::Breve | Accent::Circumflex | Accent::Caron | Accent::Horn
+            | Accent::Tilde => 5,
+            Accent::DoubleAcute | Accent::RingAbove => 6,
+        }
+    }
+}
+
+/// Where the base letter sits on the 32×32 canvas: the 8×8 base glyph is
+/// upscaled ×3 to 24×24 and placed at this offset, leaving headroom for
+/// marks above (rows 0..4) and below (rows 29..31).
+pub const BASE_OFFSET_X: usize = 4;
+/// See [`BASE_OFFSET_X`].
+pub const BASE_OFFSET_Y: usize = 5;
+/// Upscale factor for the 8×8 base font.
+pub const BASE_SCALE: usize = 3;
+
+/// Draws `accent` onto `bmp`. `cx` is the horizontal centre of the letter
+/// (usually 14–16). Above-marks land in rows 0..=4, below-marks in rows
+/// 29..=31, overlay marks strike through the letter body.
+pub fn draw_accent(bmp: &mut Bitmap, accent: Accent, cx: usize) {
+    let ink = |bmp: &mut Bitmap, pts: &[(i32, i32)]| {
+        for &(dx, dy) in pts {
+            let x = cx as i32 + dx;
+            let y = dy;
+            if x >= 0 && y >= 0 {
+                bmp.set(x as usize, y as usize, true);
+            }
+        }
+    };
+    match accent {
+        Accent::Acute => ink(bmp, &[(0, 3), (1, 2), (2, 1)]),
+        Accent::Grave => ink(bmp, &[(0, 3), (-1, 2), (-2, 1)]),
+        Accent::Circumflex => ink(bmp, &[(-2, 3), (-1, 2), (0, 1), (1, 2), (2, 3)]),
+        Accent::Tilde => ink(bmp, &[(-3, 3), (-2, 2), (-1, 2), (0, 3), (1, 2)]),
+        Accent::Diaeresis => ink(bmp, &[(-3, 2), (-2, 2), (2, 2), (3, 2)]),
+        Accent::RingAbove => {
+            ink(bmp, &[(-1, 0), (0, 0), (-2, 1), (1, 1), (-1, 3), (0, 3)])
+        }
+        Accent::Macron => ink(bmp, &[(-2, 2), (-1, 2), (0, 2), (1, 2)]),
+        Accent::Breve => ink(bmp, &[(-2, 1), (-2, 2), (-1, 3), (0, 3), (1, 2)]),
+        Accent::DotAbove => ink(bmp, &[(-1, 1), (0, 1), (-1, 2), (0, 2)]),
+        Accent::DoubleAcute => ink(bmp, &[(-2, 3), (-1, 2), (0, 1), (1, 3), (2, 2), (3, 1)]),
+        Accent::Caron => ink(bmp, &[(-2, 1), (-1, 2), (0, 3), (1, 2), (2, 1)]),
+        Accent::HookAbove => ink(bmp, &[(0, 0), (1, 1), (1, 2), (0, 3)]),
+        // Below-marks: rows 29..=31.
+        Accent::Cedilla => ink(bmp, &[(0, 29), (1, 30), (0, 31), (-1, 31)]),
+        Accent::Ogonek => ink(bmp, &[(1, 29), (0, 30), (1, 31), (2, 31)]),
+        Accent::DotBelow => ink(bmp, &[(-1, 29), (0, 29), (-1, 30), (0, 30)]),
+        // Overlay marks: strike through the letter body. Drawn as a short
+        // diagonal near the centre; some pixels may already be ink, so the
+        // effective Δ is at most 4.
+        Accent::Stroke => ink(bmp, &[(-3, 15), (-2, 14), (2, 13), (3, 12)]),
+        Accent::Horn => ink(bmp, &[(4, 8), (5, 7), (5, 6), (4, 5), (5, 9)]),
+    }
+}
+
+/// A decomposition entry: an accented code point, its ASCII base letter,
+/// and the accents to draw.
+#[derive(Debug, Clone, Copy)]
+pub struct Decomposition {
+    /// The accented code point.
+    pub code_point: u32,
+    /// ASCII base letter whose glyph is reused.
+    pub base: char,
+    /// Accent drawn above/below/through the base.
+    pub accent: Accent,
+}
+
+/// Exact decomposition table for Latin-1 Supplement letters.
+#[rustfmt::skip]
+pub const LATIN1: &[Decomposition] = &[
+    // Uppercase.
+    Decomposition { code_point: 0x00C0, base: 'A', accent: Accent::Grave },
+    Decomposition { code_point: 0x00C1, base: 'A', accent: Accent::Acute },
+    Decomposition { code_point: 0x00C2, base: 'A', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00C3, base: 'A', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00C4, base: 'A', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00C5, base: 'A', accent: Accent::RingAbove },
+    Decomposition { code_point: 0x00C7, base: 'C', accent: Accent::Cedilla },
+    Decomposition { code_point: 0x00C8, base: 'E', accent: Accent::Grave },
+    Decomposition { code_point: 0x00C9, base: 'E', accent: Accent::Acute },
+    Decomposition { code_point: 0x00CA, base: 'E', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00CB, base: 'E', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00CC, base: 'I', accent: Accent::Grave },
+    Decomposition { code_point: 0x00CD, base: 'I', accent: Accent::Acute },
+    Decomposition { code_point: 0x00CE, base: 'I', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00CF, base: 'I', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00D1, base: 'N', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00D2, base: 'O', accent: Accent::Grave },
+    Decomposition { code_point: 0x00D3, base: 'O', accent: Accent::Acute },
+    Decomposition { code_point: 0x00D4, base: 'O', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00D5, base: 'O', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00D6, base: 'O', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00D8, base: 'O', accent: Accent::Stroke },
+    Decomposition { code_point: 0x00D9, base: 'U', accent: Accent::Grave },
+    Decomposition { code_point: 0x00DA, base: 'U', accent: Accent::Acute },
+    Decomposition { code_point: 0x00DB, base: 'U', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00DC, base: 'U', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00DD, base: 'Y', accent: Accent::Acute },
+    // Lowercase (the PVALID half that matters for SimChar).
+    Decomposition { code_point: 0x00E0, base: 'a', accent: Accent::Grave },
+    Decomposition { code_point: 0x00E1, base: 'a', accent: Accent::Acute },
+    Decomposition { code_point: 0x00E2, base: 'a', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00E3, base: 'a', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00E4, base: 'a', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00E5, base: 'a', accent: Accent::RingAbove },
+    Decomposition { code_point: 0x00E7, base: 'c', accent: Accent::Cedilla },
+    Decomposition { code_point: 0x00E8, base: 'e', accent: Accent::Grave },
+    Decomposition { code_point: 0x00E9, base: 'e', accent: Accent::Acute },
+    Decomposition { code_point: 0x00EA, base: 'e', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00EB, base: 'e', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00EC, base: 'i', accent: Accent::Grave },
+    Decomposition { code_point: 0x00ED, base: 'i', accent: Accent::Acute },
+    Decomposition { code_point: 0x00EE, base: 'i', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00EF, base: 'i', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00F1, base: 'n', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00F2, base: 'o', accent: Accent::Grave },
+    Decomposition { code_point: 0x00F3, base: 'o', accent: Accent::Acute },
+    Decomposition { code_point: 0x00F4, base: 'o', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00F5, base: 'o', accent: Accent::Tilde },
+    Decomposition { code_point: 0x00F6, base: 'o', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00F8, base: 'o', accent: Accent::Stroke },
+    Decomposition { code_point: 0x00F9, base: 'u', accent: Accent::Grave },
+    Decomposition { code_point: 0x00FA, base: 'u', accent: Accent::Acute },
+    Decomposition { code_point: 0x00FB, base: 'u', accent: Accent::Circumflex },
+    Decomposition { code_point: 0x00FC, base: 'u', accent: Accent::Diaeresis },
+    Decomposition { code_point: 0x00FD, base: 'y', accent: Accent::Acute },
+    Decomposition { code_point: 0x00FF, base: 'y', accent: Accent::Diaeresis },
+];
+
+/// Latin Extended-A: each entry covers an (uppercase, lowercase) pair at
+/// consecutive code points — `(first_code_point, base_upper, base_lower,
+/// accent)`. This is the published decomposition of the block.
+#[rustfmt::skip]
+const EXT_A_PAIRS: &[(u32, char, Accent)] = &[
+    (0x0100, 'a', Accent::Macron), (0x0102, 'a', Accent::Breve), (0x0104, 'a', Accent::Ogonek),
+    (0x0106, 'c', Accent::Acute), (0x0108, 'c', Accent::Circumflex), (0x010A, 'c', Accent::DotAbove),
+    (0x010C, 'c', Accent::Caron), (0x010E, 'd', Accent::Caron), (0x0110, 'd', Accent::Stroke),
+    (0x0112, 'e', Accent::Macron), (0x0114, 'e', Accent::Breve), (0x0116, 'e', Accent::DotAbove),
+    (0x0118, 'e', Accent::Ogonek), (0x011A, 'e', Accent::Caron), (0x011C, 'g', Accent::Circumflex),
+    (0x011E, 'g', Accent::Breve), (0x0120, 'g', Accent::DotAbove), (0x0122, 'g', Accent::Cedilla),
+    (0x0124, 'h', Accent::Circumflex), (0x0126, 'h', Accent::Stroke), (0x0128, 'i', Accent::Tilde),
+    (0x012A, 'i', Accent::Macron), (0x012C, 'i', Accent::Breve), (0x012E, 'i', Accent::Ogonek),
+    (0x0134, 'j', Accent::Circumflex), (0x0136, 'k', Accent::Cedilla),
+    (0x0139, 'l', Accent::Acute), (0x013B, 'l', Accent::Cedilla), (0x013D, 'l', Accent::Caron),
+    (0x0141, 'l', Accent::Stroke), (0x0143, 'n', Accent::Acute), (0x0145, 'n', Accent::Cedilla),
+    (0x0147, 'n', Accent::Caron), (0x014C, 'o', Accent::Macron), (0x014E, 'o', Accent::Breve),
+    (0x0150, 'o', Accent::DoubleAcute), (0x0154, 'r', Accent::Acute), (0x0156, 'r', Accent::Cedilla),
+    (0x0158, 'r', Accent::Caron), (0x015A, 's', Accent::Acute), (0x015C, 's', Accent::Circumflex),
+    (0x015E, 's', Accent::Cedilla), (0x0160, 's', Accent::Caron), (0x0162, 't', Accent::Cedilla),
+    (0x0164, 't', Accent::Caron), (0x0166, 't', Accent::Stroke), (0x0168, 'u', Accent::Tilde),
+    (0x016A, 'u', Accent::Macron), (0x016C, 'u', Accent::Breve), (0x016E, 'u', Accent::RingAbove),
+    (0x0170, 'u', Accent::DoubleAcute), (0x0172, 'u', Accent::Ogonek), (0x0174, 'w', Accent::Circumflex),
+    (0x0176, 'y', Accent::Circumflex), (0x0179, 'z', Accent::Acute), (0x017B, 'z', Accent::DotAbove),
+    (0x017D, 'z', Accent::Caron),
+];
+
+/// Vietnamese-range bases in Latin Extended Additional (real block
+/// structure: runs of a/e/i/o/u/y with stacked accents).
+const VIETNAMESE_RUNS: &[(u32, u32, char)] = &[
+    (0x1EA0, 0x1EB7, 'a'),
+    (0x1EB8, 0x1EC7, 'e'),
+    (0x1EC8, 0x1ECB, 'i'),
+    (0x1ECC, 0x1EE3, 'o'),
+    (0x1EE4, 0x1EF1, 'u'),
+    (0x1EF2, 0x1EF9, 'y'),
+];
+
+/// Accent cycle used for the approximated parts of Latin Extended
+/// Additional (see DESIGN.md §3 on approximations).
+const EXT_ADDITIONAL_ACCENTS: &[Accent] = &[
+    Accent::DotBelow,
+    Accent::Acute,
+    Accent::Grave,
+    Accent::HookAbove,
+    Accent::Tilde,
+    Accent::Macron,
+    Accent::DotAbove,
+    Accent::Breve,
+];
+
+/// Looks up the decomposition of `cp`, if this module models it.
+pub fn decompose(cp: u32) -> Option<Decomposition> {
+    if let Some(&d) = LATIN1.iter().find(|d| d.code_point == cp) {
+        return Some(d);
+    }
+    // Latin Extended-A pairs: even offset = uppercase, odd = lowercase.
+    if (0x0100..=0x017E).contains(&cp) {
+        for &(start, base, accent) in EXT_A_PAIRS {
+            if cp == start {
+                return Some(Decomposition {
+                    code_point: cp,
+                    base: base.to_ascii_uppercase(),
+                    accent,
+                });
+            }
+            if cp == start + 1 {
+                return Some(Decomposition { code_point: cp, base, accent });
+            }
+        }
+        return None;
+    }
+    // Latin Extended Additional.
+    if (0x1E00..=0x1EFF).contains(&cp) {
+        let lower_base = VIETNAMESE_RUNS
+            .iter()
+            .find(|&&(lo, hi, _)| (lo..=hi).contains(&cp))
+            .map(|&(_, _, b)| b)
+            .or_else(|| {
+                // 0x1E00..0x1E9F: bases advance roughly every 6 points
+                // through the consonant alphabet (approximation).
+                const BASES: &[char] = &[
+                    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'k', 'l', 'm', 'n', 'o', 'p',
+                    'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+                ];
+                if cp < 0x1EA0 {
+                    Some(BASES[((cp - 0x1E00) / 6) as usize % BASES.len()])
+                } else {
+                    None
+                }
+            })?;
+        let accent = EXT_ADDITIONAL_ACCENTS[(cp % EXT_ADDITIONAL_ACCENTS.len() as u32) as usize];
+        // Even code points in this block are uppercase, odd lowercase —
+        // true for 0x1E00..0x1E95 and for the Vietnamese range.
+        let base = if cp % 2 == 0 { lower_base.to_ascii_uppercase() } else { lower_base };
+        return Some(Decomposition { code_point: cp, base, accent });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Bitmap;
+
+    #[test]
+    fn latin1_lookups() {
+        let d = decompose(0xE9).unwrap(); // é
+        assert_eq!(d.base, 'e');
+        assert_eq!(d.accent, Accent::Acute);
+        let d = decompose(0xE7).unwrap(); // ç
+        assert_eq!(d.base, 'c');
+        assert_eq!(d.accent, Accent::Cedilla);
+        assert!(decompose(0xE6).is_none()); // æ has no single base
+        assert!(decompose(0xDF).is_none()); // ß
+    }
+
+    #[test]
+    fn ext_a_case_pairing() {
+        let upper = decompose(0x0100).unwrap(); // Ā
+        let lower = decompose(0x0101).unwrap(); // ā
+        assert_eq!(upper.base, 'A');
+        assert_eq!(lower.base, 'a');
+        assert_eq!(upper.accent, Accent::Macron);
+        assert_eq!(lower.accent, Accent::Macron);
+        // š
+        let s_caron = decompose(0x0161).unwrap();
+        assert_eq!(s_caron.base, 's');
+        assert_eq!(s_caron.accent, Accent::Caron);
+    }
+
+    #[test]
+    fn vietnamese_runs_have_right_bases() {
+        assert_eq!(decompose(0x1EA1).unwrap().base, 'a'); // ạ
+        assert_eq!(decompose(0x1EC9).unwrap().base, 'i'); // ỉ
+        assert_eq!(decompose(0x1ED3).unwrap().base, 'o');
+        assert_eq!(decompose(0x1EF3).unwrap().base, 'y');
+    }
+
+    #[test]
+    fn accent_ink_cost_matches_drawn_pixels() {
+        // Drawn on an empty canvas, above-marks must cost exactly ink().
+        for accent in [
+            Accent::Acute,
+            Accent::Grave,
+            Accent::Circumflex,
+            Accent::Tilde,
+            Accent::Diaeresis,
+            Accent::RingAbove,
+            Accent::Macron,
+            Accent::Breve,
+            Accent::DotAbove,
+            Accent::DoubleAcute,
+            Accent::Caron,
+            Accent::Cedilla,
+            Accent::Ogonek,
+            Accent::DotBelow,
+            Accent::HookAbove,
+        ] {
+            let mut b = Bitmap::empty();
+            draw_accent(&mut b, accent, 15);
+            assert_eq!(b.popcount(), accent.ink(), "{accent:?}");
+        }
+    }
+
+    #[test]
+    fn small_accents_fall_within_threshold() {
+        // The Δ ≤ 4 split that drives Table 3.
+        assert!(Accent::Acute.ink() <= 4);
+        assert!(Accent::DotAbove.ink() <= 4);
+        assert!(Accent::Macron.ink() <= 4);
+        assert!(Accent::Cedilla.ink() <= 4);
+        assert!(Accent::Diaeresis.ink() <= 4); // ö/ä/ü are SimChar pairs
+        assert!(Accent::Tilde.ink() > 4);
+        assert!(Accent::Circumflex.ink() > 4);
+        assert!(Accent::RingAbove.ink() > 4);
+    }
+
+    #[test]
+    fn above_marks_stay_in_headroom() {
+        for accent in [Accent::Acute, Accent::Circumflex, Accent::Diaeresis, Accent::RingAbove] {
+            let mut b = Bitmap::empty();
+            draw_accent(&mut b, accent, 15);
+            for y in 5..29 {
+                for x in 0..32 {
+                    assert!(!b.get(x, y), "{accent:?} leaked into letter area at ({x},{y})");
+                }
+            }
+        }
+    }
+}

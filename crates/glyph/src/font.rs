@@ -1,0 +1,405 @@
+//! SynthUnifont — the GNU-Unifont substitute (DESIGN.md §3).
+//!
+//! A [`SynthUnifont`] renders any covered code point to a 32×32 bitmap by
+//! dispatching, in order, to: the visual-class table, the embedded ASCII
+//! font, the Latin diacritic compositor, the Hangul jamo composer, the
+//! sparse-mark generator, the digit generator, and finally the per-block
+//! twin-row stroke synthesiser. Coverage mirrors Unifont 12: the whole
+//! Basic Multilingual Plane plus a selection of SMP scripts — and *not*
+//! the ideographic plane, which is how the paper ends up with 52,457 of
+//! the 123,006 IDNA characters having glyphs (Table 2).
+
+use crate::bitmap::Bitmap;
+use crate::diacritics::{self, BASE_OFFSET_X, BASE_OFFSET_Y, BASE_SCALE};
+use crate::font8x8;
+use crate::prng::mix;
+use crate::scriptgen::{self, TwinParams};
+use crate::visual;
+use sham_unicode::{block_of, category, script_of, CodePoint, GeneralCategory, Plane, Script};
+
+/// A source of glyph bitmaps.
+pub trait GlyphSource {
+    /// Renders the glyph for `cp`, or `None` when the font has no glyph.
+    fn glyph(&self, cp: CodePoint) -> Option<Bitmap>;
+
+    /// True when the font has a glyph for `cp`.
+    fn covers(&self, cp: CodePoint) -> bool {
+        self.glyph(cp).is_some()
+    }
+
+    /// Identifier used in reports (e.g. `SynthUnifont12`).
+    fn name(&self) -> String;
+}
+
+/// Font version, mirroring Unifont releases. Version 12 covers a few SMP
+/// blocks that version 11 lacks, which drives the paper's point (§4.2)
+/// that SimChar needs re-building only when the font/Unicode version
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FontVersion {
+    /// Unifont 11-equivalent coverage.
+    V11,
+    /// Unifont 12-equivalent coverage (the paper's choice).
+    V12,
+}
+
+/// The procedural bitmap font. Cheap to construct; glyph rendering is a
+/// pure function so the type is `Copy` and thread-safe.
+///
+/// `family_salt` selects the font family: 0 renders the Unifont-like
+/// default; any other value renders the same structural rules (ASCII
+/// letterforms, diacritic composition, visual classes, jamo/ideograph
+/// composition) with different procedural stroke shapes — a second
+/// typeface, for the paper's §7.1 "Font Type" sensitivity study.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthUnifont {
+    version: FontVersion,
+    family_salt: u64,
+}
+
+/// SMP blocks covered by version 12.
+const SMP_COVERED_V12: &[&str] = &[
+    "Linear B Syllabary",
+    "Gothic",
+    "Deseret",
+    "Shavian",
+    "Osmanya",
+    "Osage",
+    "Cypriot Syllabary",
+    "Warang Citi",
+    "Kana Supplement",
+    "Mathematical Alphanumeric Symbols",
+    "Adlam",
+    "Emoticons",
+];
+
+/// Blocks that version 11 does not cover (added "later").
+const NOT_IN_V11: &[&str] = &[
+    "Osage",
+    "Adlam",
+    "Georgian Extended",
+    "Cyrillic Extended-C",
+    "Dogra",
+];
+
+impl SynthUnifont {
+    /// The paper's font: Unifont 12-equivalent.
+    pub fn v12() -> Self {
+        SynthUnifont { version: FontVersion::V12, family_salt: 0 }
+    }
+
+    /// The previous release, for update-cost experiments.
+    pub fn v11() -> Self {
+        SynthUnifont { version: FontVersion::V11, family_salt: 0 }
+    }
+
+    /// A second typeface ("SynthNoto"): same coverage and structural
+    /// rules, different procedural letterforms. Used by the `fonts`
+    /// sensitivity study (paper §7.1: "it would be straightforward to
+    /// extend our evaluation to other font families").
+    pub fn noto() -> Self {
+        SynthUnifont { version: FontVersion::V12, family_salt: 0x4E4F_544F }
+    }
+
+    /// Font version.
+    pub fn version(&self) -> FontVersion {
+        self.version
+    }
+
+    fn block_covered(&self, name: &str, plane: Plane) -> bool {
+        let in_v12 = match plane {
+            Plane::Bmp => true,
+            Plane::Smp => SMP_COVERED_V12.contains(&name),
+            Plane::Sip | Plane::Tip => false,
+        };
+        match self.version {
+            FontVersion::V12 => in_v12,
+            FontVersion::V11 => in_v12 && !NOT_IN_V11.contains(&name),
+        }
+    }
+
+    /// Per-block twin parameters: the geometry knob that reproduces the
+    /// paper's Table 4 block profile (see module docs of
+    /// [`crate::scriptgen`]).
+    fn twin_params(block: &str) -> TwinParams {
+        match block {
+            "Unified Canadian Aboriginal Syllabics"
+            | "Unified Canadian Aboriginal Syllabics Extended" => {
+                TwinParams { granularity: 16, rate_permille: 500, max_mod: 2 }
+            }
+            "Vai" => TwinParams { granularity: 16, rate_permille: 350, max_mod: 2 },
+            "Arabic" | "Arabic Supplement" | "Arabic Extended-A" => {
+                TwinParams { granularity: 16, rate_permille: 400, max_mod: 2 }
+            }
+            "CJK Unified Ideographs"
+            | "CJK Unified Ideographs Extension A"
+            | "CJK Compatibility Ideographs" => {
+                TwinParams { granularity: 32, rate_permille: 8, max_mod: 2 }
+            }
+            "Hangul Jamo" | "Hangul Compatibility Jamo" | "Hangul Jamo Extended-A"
+            | "Hangul Jamo Extended-B" => {
+                TwinParams { granularity: 16, rate_permille: 50, max_mod: 2 }
+            }
+            "Thai" | "Lao" | "Myanmar" | "Khmer" => {
+                TwinParams { granularity: 16, rate_permille: 30, max_mod: 2 }
+            }
+            "Devanagari" | "Bengali" | "Gurmukhi" | "Gujarati" | "Oriya" | "Tamil" | "Telugu"
+            | "Kannada" | "Malayalam" | "Sinhala" => {
+                TwinParams { granularity: 16, rate_permille: 20, max_mod: 2 }
+            }
+            "Ethiopic" | "Yi Syllables" | "Cherokee" | "Hebrew" => {
+                TwinParams { granularity: 16, rate_permille: 20, max_mod: 2 }
+            }
+            _ => TwinParams { granularity: 16, rate_permille: 5, max_mod: 2 },
+        }
+    }
+
+    /// Renders the ASCII base glyph (upscaled into the letter area).
+    fn ascii_glyph(c: char) -> Option<Bitmap> {
+        let g = font8x8::glyph8(c)?;
+        Some(Bitmap::upscale_8x8(&g, BASE_SCALE, BASE_OFFSET_X, BASE_OFFSET_Y))
+    }
+
+    /// Renders `cp` ignoring the visual-class table (used for class
+    /// anchors to avoid recursion).
+    fn render_base(&self, cp: CodePoint) -> Option<Bitmap> {
+        let v = cp.0;
+        // ASCII.
+        if let Some(c) = cp.to_char() {
+            if c.is_ascii() {
+                return Self::ascii_glyph(c);
+            }
+        }
+        // Latin diacritic compositions.
+        if let Some(d) = diacritics::decompose(v) {
+            let mut bmp = Self::ascii_glyph(d.base)?;
+            diacritics::draw_accent(&mut bmp, d.accent, 15);
+            return Some(bmp);
+        }
+        // Hangul syllables.
+        if let Some(bmp) = scriptgen::hangul_syllable_styled(v, self.family_salt) {
+            return Some(bmp);
+        }
+        let block = block_of(cp)?;
+        let style = mix(0x424C_4F43, fxhash_str(block.name)) ^ self.family_salt;
+        match category(cp) {
+            GeneralCategory::Mark => Some(scriptgen::sparse_mark(v)),
+            GeneralCategory::DecimalNumber => Some(scriptgen::digit_glyph(v)),
+            GeneralCategory::Control | GeneralCategory::Format | GeneralCategory::Separator => {
+                None
+            }
+            GeneralCategory::Unassigned => None,
+            cat if cat.is_letter() => {
+                let ideographic = script_of(cp) == Script::Han;
+                Some(scriptgen::twin_row_glyph(v, style, Self::twin_params(block.name), ideographic))
+            }
+            // Symbols, punctuation and other numbers get dense distinct
+            // glyphs (they exist in the font but are DISALLOWED for IDN).
+            _ => Some(scriptgen::twin_row_glyph(v, style ^ 0x53, TwinParams::NONE, false)),
+        }
+    }
+}
+
+/// FNV-1a over a block name: a stable per-block style seed.
+fn fxhash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl GlyphSource for SynthUnifont {
+    fn glyph(&self, cp: CodePoint) -> Option<Bitmap> {
+        if !self.covers(cp) {
+            return None;
+        }
+        // Visual classes first: members render as their anchor ± dist px.
+        if let Some((class, member)) = visual::lookup(cp.0) {
+            let anchor = CodePoint::from(class.anchor);
+            let base = self.render_base(anchor)?;
+            return Some(if member.dist == 0 {
+                base
+            } else {
+                scriptgen::perturb(base, mix(0x434C_4153, u64::from(cp.0)), u32::from(member.dist))
+            });
+        }
+        self.render_base(cp)
+    }
+
+    fn covers(&self, cp: CodePoint) -> bool {
+        if cp.0 < 0x20 {
+            return false;
+        }
+        if cp.0 < 0x80 {
+            return true;
+        }
+        match block_of(cp) {
+            Some(b) => {
+                self.block_covered(b.name, b.plane())
+                    && !matches!(
+                        category(cp),
+                        GeneralCategory::Control
+                            | GeneralCategory::Format
+                            | GeneralCategory::Separator
+                            | GeneralCategory::Unassigned
+                    )
+            }
+            None => false,
+        }
+    }
+
+    fn name(&self) -> String {
+        let family = if self.family_salt == 0 { "SynthUnifont" } else { "SynthNoto" };
+        match self.version {
+            FontVersion::V11 => format!("{family}11"),
+            FontVersion::V12 => format!("{family}12"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn font() -> SynthUnifont {
+        SynthUnifont::v12()
+    }
+
+    fn g(c: char) -> Bitmap {
+        font().glyph(CodePoint::from(c)).unwrap()
+    }
+
+    #[test]
+    fn ascii_renders() {
+        for c in "abcdefghijklmnopqrstuvwxyz0123456789-".chars() {
+            let bmp = g(c);
+            assert!(bmp.popcount() >= 10, "{c} too sparse: {}", bmp.popcount());
+        }
+    }
+
+    #[test]
+    fn dist0_class_members_render_identically() {
+        assert_eq!(g('a'), g('а')); // Cyrillic a
+        assert_eq!(g('o'), g('о')); // Cyrillic o
+        assert_eq!(g('o'), g('ο')); // Greek omicron
+        assert_eq!(g('c'), g('с'));
+        assert_eq!(g('e'), g('е'));
+        assert_eq!(g('p'), g('р'));
+    }
+
+    #[test]
+    fn small_dist_members_are_within_threshold() {
+        // Paper Fig. 2: Armenian o (U+0585) ↔ Latin o.
+        let d = g('o').delta(&g('օ'));
+        assert!(d >= 1 && d <= 4, "delta = {d}");
+        // Paper Fig. 12: Lao digit zero ↔ Latin o.
+        let d = g('o').delta(&g('\u{0ED0}'));
+        assert!(d >= 1 && d <= 4, "delta = {d}");
+        // Paper §2.2: 工 ↔ エ.
+        let d = g('工').delta(&g('エ'));
+        assert!(d >= 1 && d <= 4, "delta = {d}");
+    }
+
+    #[test]
+    fn figure11_members_are_outside_threshold() {
+        let d = g('u').delta(&font().glyph(CodePoint(0x118D8)).unwrap());
+        assert!(d > 4, "U+118D8 delta = {d}");
+        let d = g('y').delta(&font().glyph(CodePoint(0x118DC)).unwrap());
+        assert!(d > 4, "U+118DC delta = {d}");
+    }
+
+    #[test]
+    fn accents_move_delta_as_designed() {
+        // é = e + acute (3 px) — a SimChar homoglyph.
+        assert_eq!(g('e').delta(&g('é')), 3);
+        // ö = o + diaeresis (4 px) — just inside the threshold.
+        assert_eq!(g('o').delta(&g('ö')), 4);
+        // õ = o + tilde (5 px) — just outside.
+        assert_eq!(g('o').delta(&g('õ')), 5);
+        // Accented pairs with the same base differ only in the accents;
+        // acute and grave share their lowest pixel, so Δ = 3 + 3 − 2.
+        assert_eq!(g('é').delta(&g('è')), 4);
+    }
+
+    #[test]
+    fn distinct_ascii_letters_are_far_apart() {
+        let letters: Vec<char> = ('a'..='z').collect();
+        for (i, &a) in letters.iter().enumerate() {
+            for &b in &letters[i + 1..] {
+                let d = g(a).delta(&g(b));
+                assert!(d > 4, "{a} vs {b} delta = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_rules() {
+        let f = font();
+        assert!(f.covers(CodePoint::from('a')));
+        assert!(f.covers(CodePoint::from('工')));
+        assert!(f.covers(CodePoint::from('가')));
+        assert!(f.covers(CodePoint(0x118D8))); // Warang Citi (SMP, covered)
+        assert!(!f.covers(CodePoint(0x20000))); // CJK Ext B (SIP, not covered)
+        assert!(!f.covers(CodePoint(0x200C))); // ZWNJ: no visible glyph
+        assert!(!f.covers(CodePoint(0xE000))); // unassigned gap
+    }
+
+    #[test]
+    fn v11_lacks_recent_blocks() {
+        let old = SynthUnifont::v11();
+        let new = SynthUnifont::v12();
+        let adlam = CodePoint(0x1E922);
+        assert!(!old.covers(adlam));
+        assert!(new.covers(adlam));
+        // Shared blocks render identically across versions (glyphs are
+        // stable; releases only add coverage).
+        let cp = CodePoint::from('가');
+        assert_eq!(old.glyph(cp), new.glyph(cp));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let f1 = font();
+        let f2 = font();
+        for v in [0x61u32, 0x4E8D, 0xAC01, 0xA505, 0x0E01, 0x0431] {
+            let cp = CodePoint(v);
+            assert_eq!(f1.glyph(cp), f2.glyph(cp), "U+{v:04X}");
+        }
+    }
+
+    #[test]
+    fn noto_family_differs_procedurally_but_shares_structure() {
+        let uni = SynthUnifont::v12();
+        let noto = SynthUnifont::noto();
+        assert_eq!(noto.name(), "SynthNoto12");
+        // ASCII and visual classes are structural: identical across
+        // families (the attack does not depend on typeface).
+        assert_eq!(uni.glyph(CodePoint::from('a')), noto.glyph(CodePoint::from('a')));
+        assert_eq!(uni.glyph(CodePoint::from('а')), noto.glyph(CodePoint::from('а')));
+        // Procedural glyphs differ between families.
+        let cp = CodePoint::from('가');
+        assert_ne!(uni.glyph(cp), noto.glyph(cp));
+        let cp = CodePoint(0x0E01); // Thai letter
+        assert_ne!(uni.glyph(cp), noto.glyph(cp));
+        // But each family is internally deterministic.
+        assert_eq!(noto.glyph(cp), SynthUnifont::noto().glyph(cp));
+    }
+
+    #[test]
+    fn marks_render_sparse() {
+        let f = font();
+        let m = f.glyph(CodePoint(0x0301)).unwrap();
+        assert!(m.popcount() < 10);
+    }
+
+    #[test]
+    fn letters_render_dense() {
+        let f = font();
+        for v in [0x4E8Du32, 0xAC01, 0xA505, 0x0E01, 0x05D0, 0x0631] {
+            let bmp = f.glyph(CodePoint(v)).unwrap();
+            assert!(bmp.popcount() >= 10, "U+{v:04X}: {} px", bmp.popcount());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Bitmap glyph substrate for the ShamFinder reproduction.
+//!
+//! The paper renders every IDNA-permitted character with GNU Unifont and
+//! compares 32×32 binary images by pixel difference (Δ). That font is not
+//! available offline, so this crate provides **SynthUnifont**: a fully
+//! deterministic, procedural bitmap font with the same *structure* — see
+//! `DESIGN.md` §3 for the substitution argument and [`font`] for the
+//! dispatch rules.
+//!
+//! The crate also implements the paper's image metrics (Δ, MSE, PSNR) plus
+//! SSIM for the ablation benches.
+//!
+//! # Example
+//!
+//! ```
+//! use sham_glyph::{GlyphSource, SynthUnifont, metrics};
+//! use sham_unicode::CodePoint;
+//!
+//! let font = SynthUnifont::v12();
+//! let latin_o = font.glyph(CodePoint::from('o')).unwrap();
+//! let cyr_o = font.glyph(CodePoint::from('о')).unwrap(); // U+043E
+//! assert_eq!(metrics::delta(&latin_o, &cyr_o), 0); // pixel-identical
+//! ```
+
+pub mod banner;
+pub mod bitmap;
+pub mod diacritics;
+pub mod font;
+pub mod font8x8;
+pub mod metrics;
+pub mod prng;
+pub mod scriptgen;
+pub mod visual;
+
+pub use banner::{render as render_banner, Banner};
+pub use bitmap::{Bitmap, SIZE};
+pub use font::{FontVersion, GlyphSource, SynthUnifont};
+pub use metrics::{delta, mse, psnr, ssim};

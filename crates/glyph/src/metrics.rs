@@ -1,0 +1,179 @@
+//! Image-similarity metrics over binary glyph bitmaps.
+//!
+//! The paper's primary metric is the raw pixel difference Δ, chosen over
+//! perceptual metrics because the goal is detecting *identical-looking*
+//! glyphs, not grading degradation (§3.3). For the paper's side
+//! discussion — and for the `delta_vs_ssim` ablation bench — this module
+//! also implements MSE, PSNR and a full windowed SSIM.
+
+use crate::bitmap::{Bitmap, SIZE};
+
+/// Pixel-difference metric Δ (paper §3.3).
+pub fn delta(a: &Bitmap, b: &Bitmap) -> u32 {
+    a.delta(b)
+}
+
+/// Mean squared error. For binary images `MSE = Δ / N²` (paper §3.3).
+pub fn mse(a: &Bitmap, b: &Bitmap) -> f64 {
+    f64::from(a.delta(b)) / ((SIZE * SIZE) as f64)
+}
+
+/// Peak signal-to-noise ratio in dB:
+/// `PSNR = 20·log10(N) − 10·log10(Δ)` (paper §3.3).
+///
+/// Returns `f64::INFINITY` for identical images (Δ = 0).
+pub fn psnr(a: &Bitmap, b: &Bitmap) -> f64 {
+    let d = a.delta(b);
+    if d == 0 {
+        return f64::INFINITY;
+    }
+    20.0 * (SIZE as f64).log10() - 10.0 * f64::from(d).log10()
+}
+
+/// Structural similarity index, computed over sliding 8×8 windows with
+/// stride 4 and averaged, with the standard stabilisation constants for a
+/// dynamic range of 1.0.
+///
+/// SSIM is in `[-1, 1]`; 1 means identical.
+pub fn ssim(a: &Bitmap, b: &Bitmap) -> f64 {
+    const WIN: usize = 8;
+    const STRIDE: usize = 4;
+    const C1: f64 = 0.01 * 0.01; // (K1·L)², L = 1
+    const C2: f64 = 0.03 * 0.03;
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut wy = 0;
+    while wy + WIN <= SIZE {
+        let mut wx = 0;
+        while wx + WIN <= SIZE {
+            let n = (WIN * WIN) as f64;
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            for y in wy..wy + WIN {
+                for x in wx..wx + WIN {
+                    sum_a += f64::from(u8::from(a.get(x, y)));
+                    sum_b += f64::from(u8::from(b.get(x, y)));
+                }
+            }
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let mut var_a = 0.0;
+            let mut var_b = 0.0;
+            let mut cov = 0.0;
+            for y in wy..wy + WIN {
+                for x in wx..wx + WIN {
+                    let pa = f64::from(u8::from(a.get(x, y))) - mu_a;
+                    let pb = f64::from(u8::from(b.get(x, y))) - mu_b;
+                    var_a += pa * pa;
+                    var_b += pb * pb;
+                    cov += pa * pb;
+                }
+            }
+            var_a /= n - 1.0;
+            var_b /= n - 1.0;
+            cov /= n - 1.0;
+
+            let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += s;
+            windows += 1;
+            wx += STRIDE;
+        }
+        wy += STRIDE;
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes() -> Bitmap {
+        let mut b = Bitmap::empty();
+        for y in 0..SIZE {
+            for x in 0..SIZE {
+                if (x / 2) % 2 == 0 {
+                    b.set(x, y, true);
+                }
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn mse_matches_delta_over_n_squared() {
+        let a = stripes();
+        let mut b = a;
+        b.toggle(0, 0);
+        b.toggle(5, 5);
+        assert_eq!(a.delta(&b), 2);
+        let expected = 2.0 / 1024.0;
+        assert!((mse(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_formula_agrees_with_paper() {
+        let a = stripes();
+        let mut b = a;
+        for i in 0..4 {
+            b.toggle(i, 0);
+        }
+        // PSNR = 20·log10(32) − 10·log10(4) ≈ 30.103 − 6.021 = 24.082 dB.
+        let p = psnr(&a, &b);
+        assert!((p - 24.0824).abs() < 1e-3, "psnr = {p}");
+    }
+
+    #[test]
+    fn psnr_of_identity_is_infinite() {
+        let a = stripes();
+        assert!(psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_delta() {
+        let a = stripes();
+        let mut b1 = a;
+        b1.toggle(0, 0);
+        let mut b4 = a;
+        for i in 0..4 {
+            b4.toggle(i, 1);
+        }
+        assert!(psnr(&a, &b1) > psnr(&a, &b4));
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let a = stripes();
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssim_orders_similarity() {
+        let a = stripes();
+        let mut slight = a;
+        slight.toggle(3, 3);
+        let inverse = {
+            let mut inv = Bitmap::empty();
+            for y in 0..SIZE {
+                for x in 0..SIZE {
+                    inv.set(x, y, !a.get(x, y));
+                }
+            }
+            inv
+        };
+        let s_slight = ssim(&a, &slight);
+        let s_inverse = ssim(&a, &inverse);
+        assert!(s_slight > 0.9, "slight = {s_slight}");
+        assert!(s_inverse < s_slight, "inverse = {s_inverse}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = stripes();
+        let mut b = a;
+        b.toggle(1, 2);
+        b.toggle(9, 9);
+        assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-12);
+    }
+}

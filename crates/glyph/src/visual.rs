@@ -1,0 +1,339 @@
+//! Visual equivalence classes: the curated cross-script homoglyph seed.
+//!
+//! Real fonts render the Cyrillic `о` and the Latin `o` with the *same*
+//! outline — that is a property of the font, not of any confusables list.
+//! SynthUnifont models it with visual classes: each member code point
+//! renders as the glyph of an anchor shape plus a deterministic
+//! perturbation of `dist` pixels. `dist = 0` members are pixel-identical
+//! to the anchor; `dist <= 4` members fall inside the paper's SimChar
+//! threshold; larger distances model characters that a human may link
+//! semantically but that a pixel metric (and a careful human, per the
+//! paper's Figure 11) tells apart.
+//!
+//! The table is curated from well-known homoglyph relationships (the same
+//! knowledge the TR39 confusables file encodes) plus the specific examples
+//! the paper prints in Figures 2, 5, 6, 11 and 12.
+
+/// A member of a visual class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassMember {
+    /// Code point that renders like the class anchor.
+    pub code_point: u32,
+    /// Pixel perturbation distance from the anchor glyph.
+    pub dist: u8,
+}
+
+/// A visual class: an anchor (usually an ASCII letter) and the code points
+/// that render like it.
+#[derive(Debug, Clone, Copy)]
+pub struct VisualClass {
+    /// Anchor character. For intra-script classes with no ASCII anchor the
+    /// anchor is the first member and renders procedurally.
+    pub anchor: char,
+    /// Members, excluding the anchor itself.
+    pub members: &'static [ClassMember],
+}
+
+macro_rules! members {
+    ($(($cp:expr, $d:expr)),* $(,)?) => {
+        &[ $( ClassMember { code_point: $cp, dist: $d } ),* ]
+    };
+}
+
+/// The visual class table.
+#[rustfmt::skip]
+pub const CLASSES: &[VisualClass] = &[
+    VisualClass { anchor: 'a', members: members![
+        (0x0430, 0), // CYRILLIC SMALL A
+        (0x0251, 2), // LATIN SMALL ALPHA
+        (0x03B1, 5), // GREEK SMALL ALPHA (distinct tail)
+    ]},
+    VisualClass { anchor: 'b', members: members![
+        (0x0253, 2), // LATIN SMALL B WITH HOOK (paper Fig. 5)
+        (0x0184, 5), // LATIN SMALL TONE SIX
+        (0x042C, 7), // CYRILLIC CAPITAL SOFT SIGN (UC-style semantic pair)
+    ]},
+    VisualClass { anchor: 'c', members: members![
+        (0x0441, 0), // CYRILLIC SMALL ES
+        (0x03F2, 0), // GREEK LUNATE SIGMA
+        (0x1D04, 1), // LATIN LETTER SMALL CAPITAL C
+        (0x217D, 1), // SMALL ROMAN NUMERAL 100 (not PVALID)
+    ]},
+    VisualClass { anchor: 'd', members: members![
+        (0x0501, 0), // CYRILLIC SMALL KOMI DE
+        (0x0257, 2), // LATIN SMALL D WITH HOOK
+        (0x0256, 3), // LATIN SMALL D WITH TAIL
+        (0x217E, 1), // SMALL ROMAN NUMERAL 500 (not PVALID)
+    ]},
+    VisualClass { anchor: 'e', members: members![
+        (0x0435, 0), // CYRILLIC SMALL IE
+        (0x04BD, 3), // CYRILLIC SMALL ABKHASIAN CHE
+        (0x0247, 4), // LATIN SMALL E WITH STROKE
+        (0x212E, 6), // ESTIMATED SYMBOL (not PVALID)
+    ]},
+    VisualClass { anchor: 'f', members: members![
+        (0x03DD, 3), // GREEK SMALL DIGAMMA
+        (0x0192, 3), // LATIN SMALL F WITH HOOK
+        (0x0584, 6), // ARMENIAN SMALL KEH (semantic only)
+    ]},
+    VisualClass { anchor: 'g', members: members![
+        (0x0261, 0), // LATIN SMALL SCRIPT G
+        (0x0581, 3), // ARMENIAN SMALL CO
+        (0x018D, 4), // LATIN SMALL TURNED DELTA
+    ]},
+    VisualClass { anchor: 'h', members: members![
+        (0x04BB, 0), // CYRILLIC SMALL SHHA
+        (0x0570, 1), // ARMENIAN SMALL HO
+        (0x13C2, 6), // CHEROKEE NAH (capital-form, distinct)
+    ]},
+    VisualClass { anchor: 'i', members: members![
+        (0x0456, 0), // CYRILLIC SMALL BYELORUSSIAN-UKRAINIAN I
+        (0x03B9, 2), // GREEK SMALL IOTA
+        (0x0269, 2), // LATIN SMALL IOTA
+        (0x0131, 2), // LATIN SMALL DOTLESS I (the gmaıl attack of Table 11)
+        (0x2170, 1), // SMALL ROMAN NUMERAL ONE (not PVALID)
+    ]},
+    VisualClass { anchor: 'j', members: members![
+        (0x0458, 0), // CYRILLIC SMALL JE
+        (0x03F3, 0), // GREEK LETTER YOT
+    ]},
+    VisualClass { anchor: 'k', members: members![
+        (0x043A, 2), // CYRILLIC SMALL KA
+        (0x03BA, 2), // GREEK SMALL KAPPA
+        (0x049B, 4), // CYRILLIC SMALL KA WITH DESCENDER
+    ]},
+    VisualClass { anchor: 'l', members: members![
+        (0x04CF, 0), // CYRILLIC SMALL PALOCHKA
+        (0x01C0, 0), // LATIN LETTER DENTAL CLICK
+        (0x0627, 2), // ARABIC LETTER ALEF
+        (0x0661, 3), // ARABIC-INDIC DIGIT ONE
+        (0x06F1, 3), // EXTENDED ARABIC-INDIC DIGIT ONE
+        (0x05D5, 4), // HEBREW LETTER VAV
+        (0x2113, 6), // SCRIPT SMALL L (not PVALID)
+    ]},
+    VisualClass { anchor: 'm', members: members![
+        (0x0271, 2), // LATIN SMALL M WITH HOOK
+        (0x043C, 6), // CYRILLIC SMALL EM (capital-form lowercase)
+        (0x217F, 1), // SMALL ROMAN NUMERAL 1000 (not PVALID)
+    ]},
+    VisualClass { anchor: 'n', members: members![
+        (0x0578, 1), // ARMENIAN SMALL VO
+        (0x057C, 2), // ARMENIAN SMALL RA
+        (0x0273, 2), // LATIN SMALL N WITH RETROFLEX HOOK
+        (0x043F, 5), // CYRILLIC SMALL PE (semantic)
+    ]},
+    VisualClass { anchor: 'o', members: members![
+        (0x043E, 0), // CYRILLIC SMALL O
+        (0x03BF, 0), // GREEK SMALL OMICRON
+        (0x0585, 1), // ARMENIAN SMALL OH (paper Fig. 2)
+        (0x0BE6, 1), // TAMIL DIGIT ZERO
+        (0x0966, 1), // DEVANAGARI DIGIT ZERO
+        (0x0A66, 1), // GURMUKHI DIGIT ZERO
+        (0x0AE6, 1), // GUJARATI DIGIT ZERO
+        (0x0B66, 1), // ORIYA DIGIT ZERO
+        (0x101D, 1), // MYANMAR LETTER WA
+        (0x0665, 2), // ARABIC-INDIC DIGIT FIVE
+        (0x0ED0, 2), // LAO DIGIT ZERO (paper Fig. 12)
+        (0x0C66, 2), // TELUGU DIGIT ZERO
+        (0x0CE6, 2), // KANNADA DIGIT ZERO
+        (0x0D66, 2), // MALAYALAM DIGIT ZERO
+        (0x0E50, 3), // THAI DIGIT ZERO
+        (0x06F5, 3), // EXTENDED ARABIC-INDIC DIGIT FIVE
+        (0x3007, 3), // IDEOGRAPHIC NUMBER ZERO
+        (0x04E7, 5), // CYRILLIC SMALL O WITH DIAERESIS
+        (0x05E1, 5), // HEBREW LETTER SAMEKH
+        (0x0D20, 5), // MALAYALAM LETTER TTHA
+    ]},
+    VisualClass { anchor: 'p', members: members![
+        (0x0440, 0), // CYRILLIC SMALL ER
+        (0x03C1, 2), // GREEK SMALL RHO
+        (0x0580, 2), // ARMENIAN SMALL REH
+        (0x2374, 5), // APL FUNCTIONAL SYMBOL RHO (not PVALID)
+    ]},
+    VisualClass { anchor: 'q', members: members![
+        (0x051B, 0), // CYRILLIC SMALL QA
+        (0x0563, 2), // ARMENIAN SMALL GIM
+        (0x0566, 3), // ARMENIAN SMALL ZA
+    ]},
+    VisualClass { anchor: 'r', members: members![
+        (0x0433, 2), // CYRILLIC SMALL GHE
+        (0x027C, 1), // LATIN SMALL R WITH LONG LEG
+        (0x0453, 4), // CYRILLIC SMALL GJE
+        (0x0280, 4), // LATIN LETTER SMALL CAPITAL R
+    ]},
+    VisualClass { anchor: 's', members: members![
+        (0x0455, 0), // CYRILLIC SMALL DZE
+        (0x0282, 2), // LATIN SMALL S WITH HOOK
+        (0x01BD, 4), // LATIN SMALL TONE FIVE
+        (0x0586, 6), // ARMENIAN SMALL FEH (semantic)
+    ]},
+    VisualClass { anchor: 't', members: members![
+        (0x03C4, 3), // GREEK SMALL TAU
+        (0x0442, 5), // CYRILLIC SMALL TE (capital-form lowercase)
+        (0x057F, 4), // ARMENIAN SMALL TIWN
+    ]},
+    VisualClass { anchor: 'u', members: members![
+        (0x057D, 0), // ARMENIAN SMALL SEH
+        (0x03C5, 1), // GREEK SMALL UPSILON
+        (0x028B, 2), // LATIN SMALL V WITH HOOK
+        (0x0446, 5), // CYRILLIC SMALL TSE
+        (0x118D8, 8), // WARANG CITI SMALL PU (paper Fig. 11: UC pair judged distinct)
+    ]},
+    VisualClass { anchor: 'v', members: members![
+        (0x03BD, 1), // GREEK SMALL NU
+        (0x0475, 1), // CYRILLIC SMALL IZHITSA
+        (0x05D8, 6), // HEBREW LETTER TET (semantic)
+        (0x2174, 1), // SMALL ROMAN NUMERAL FIVE (not PVALID)
+    ]},
+    VisualClass { anchor: 'w', members: members![
+        (0x051D, 0), // CYRILLIC SMALL WE
+        (0x0461, 1), // CYRILLIC SMALL OMEGA
+        (0x0561, 3), // ARMENIAN SMALL AYB
+        (0x03C9, 4), // GREEK SMALL OMEGA
+        (0x0448, 5), // CYRILLIC SMALL SHA
+        (0x028D, 3), // LATIN SMALL TURNED W
+    ]},
+    VisualClass { anchor: 'x', members: members![
+        (0x0445, 0), // CYRILLIC SMALL HA
+        (0x03C7, 2), // GREEK SMALL CHI
+        (0x04B3, 3), // CYRILLIC SMALL HA WITH DESCENDER
+        (0x2179, 1), // SMALL ROMAN NUMERAL TEN (not PVALID)
+    ]},
+    VisualClass { anchor: 'y', members: members![
+        (0x0443, 0), // CYRILLIC SMALL U
+        (0x04AF, 1), // CYRILLIC SMALL STRAIGHT U
+        (0x10E7, 2), // GEORGIAN LETTER QAR (paper Fig. 5)
+        (0x0263, 3), // LATIN SMALL GAMMA
+        (0x03B3, 4), // GREEK SMALL GAMMA
+        (0x028F, 7), // LATIN SMALL CAPITAL Y (paper Fig. 11: judged distinct)
+        (0x118DC, 9), // WARANG CITI SMALL HAR (paper Fig. 11: judged distinct)
+    ]},
+    VisualClass { anchor: 'z', members: members![
+        (0x0290, 2), // LATIN SMALL Z WITH RETROFLEX HOOK
+        (0x01B6, 2), // LATIN SMALL Z WITH STROKE
+        (0x0396, 6), // GREEK CAPITAL ZETA (not PVALID)
+    ]},
+    // Digit anchors.
+    VisualClass { anchor: '3', members: members![
+        (0x0437, 1), // CYRILLIC SMALL ZE
+        (0x04E1, 2), // CYRILLIC SMALL ABKHASIAN DZE
+    ]},
+    VisualClass { anchor: '6', members: members![
+        (0x0431, 4), // CYRILLIC SMALL BE
+    ]},
+    VisualClass { anchor: '8', members: members![
+        (0x0222, 4), // LATIN CAPITAL OU
+    ]},
+    // Intra-script classes printed in the paper's figures. The anchor is
+    // the first member; it renders procedurally and the others follow it.
+    VisualClass { anchor: '\u{5DE5}', members: members![
+        (0x30A8, 1), // KATAKANA E — 工/エ example of §2.2
+        (0x30A6, 9), // KATAKANA U (same block, distinct)
+    ]},
+    VisualClass { anchor: '\u{91CC}', members: members![
+        (0x573C, 2), // paper Fig. 5 CJK pair
+    ]},
+    VisualClass { anchor: '\u{BFC8}', members: members![
+        (0xBF58, 2), // paper Fig. 5 Hangul pair
+    ]},
+    VisualClass { anchor: '\u{0B32}', members: members![
+        (0x0B33, 3), // paper Fig. 5 Oriya pair ଲ/ଳ
+    ]},
+    VisualClass { anchor: '\u{4E8C}', members: members![
+        (0x30CB, 2), // KATAKANA NI vs CJK TWO
+    ]},
+    VisualClass { anchor: '\u{529B}', members: members![
+        (0x30AB, 3), // KATAKANA KA vs CJK POWER
+    ]},
+];
+
+/// Finds the class and member entry for a code point, if any.
+pub fn lookup(cp: u32) -> Option<(&'static VisualClass, ClassMember)> {
+    for class in CLASSES {
+        if class.anchor as u32 == cp {
+            return Some((class, ClassMember { code_point: cp, dist: 0 }));
+        }
+        for &m in class.members {
+            if m.code_point == cp {
+                return Some((class, m));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lookup_finds_members_and_anchors() {
+        let (class, m) = lookup(0x0430).unwrap(); // Cyrillic a
+        assert_eq!(class.anchor, 'a');
+        assert_eq!(m.dist, 0);
+
+        let (class, m) = lookup('o' as u32).unwrap();
+        assert_eq!(class.anchor, 'o');
+        assert_eq!(m.dist, 0);
+
+        assert!(lookup(0x4E00).is_none());
+    }
+
+    #[test]
+    fn paper_figure_examples_present() {
+        assert_eq!(lookup(0x0585).unwrap().0.anchor, 'o'); // Fig. 2
+        assert_eq!(lookup(0x0ED0).unwrap().0.anchor, 'o'); // Fig. 12
+        assert_eq!(lookup(0x30A8).unwrap().0.anchor, '工'); // §2.2
+        assert_eq!(lookup(0x10E7).unwrap().0.anchor, 'y'); // Fig. 5
+        assert_eq!(lookup(0x118D8).unwrap().0.anchor, 'u'); // Fig. 11
+        assert_eq!(lookup(0x118DC).unwrap().0.anchor, 'y'); // Fig. 11
+        assert_eq!(lookup(0x0B33).unwrap().0.anchor, '\u{0B32}'); // Fig. 5
+    }
+
+    #[test]
+    fn figure11_pairs_are_outside_simchar_threshold() {
+        // The paper's least-confusable UC pairs must have dist > 4 so the
+        // pixel metric excludes them from SimChar.
+        for cp in [0x118D8u32, 0x118DC, 0x028F] {
+            assert!(lookup(cp).unwrap().1.dist > 4, "U+{cp:04X}");
+        }
+    }
+
+    #[test]
+    fn no_code_point_in_two_classes() {
+        let mut seen = HashSet::new();
+        for class in CLASSES {
+            assert!(seen.insert(class.anchor as u32), "anchor {:?} duplicated", class.anchor);
+            for m in class.members {
+                assert!(seen.insert(m.code_point), "U+{:04X} duplicated", m.code_point);
+            }
+        }
+    }
+
+    #[test]
+    fn o_class_is_largest_latin_class() {
+        // Table 3: 'o' is the most vulnerable letter.
+        let o_len = lookup('o' as u32).unwrap().0.members.len();
+        for c in 'a'..='z' {
+            if c == 'o' {
+                continue;
+            }
+            if let Some((class, _)) = lookup(c as u32) {
+                assert!(class.members.len() <= o_len, "{c} class larger than o");
+            }
+        }
+    }
+
+    #[test]
+    fn dist_zero_members_exist_for_core_spoof_letters() {
+        // The classic phishing letters must have at least one perfect twin.
+        for c in ['a', 'c', 'e', 'o', 'p', 's', 'x', 'y'] {
+            let (class, _) = lookup(c as u32).unwrap();
+            assert!(
+                class.members.iter().any(|m| m.dist == 0),
+                "{c} has no dist-0 member"
+            );
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Language identification for IDN labels (paper §5.2, Table 7).
+//!
+//! The paper runs LangID over the Unicode form of every registered IDN to
+//! ask which languages drive IDN adoption (answer: Chinese, Korean and
+//! Japanese dominate, with German and Turkish the largest Latin-script
+//! contributors). This substrate classifies a label by a script histogram
+//! plus per-language diacritic markers — exactly the evidence an IDN
+//! label offers (an IDN label is non-ASCII by definition, so markers are
+//! always present).
+
+use serde::{Deserialize, Serialize};
+use sham_unicode::{script_of, CodePoint, Script};
+
+/// Languages the classifier distinguishes (the paper's Table 7 rows plus
+/// the other languages its corpus contains).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Language {
+    Chinese,
+    Japanese,
+    Korean,
+    German,
+    Turkish,
+    French,
+    Spanish,
+    Vietnamese,
+    Russian,
+    Arabic,
+    Hebrew,
+    Greek,
+    Thai,
+    English,
+    Other,
+}
+
+impl Language {
+    /// Display name (matching the paper's Table 7 spellings where they
+    /// appear there).
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::Chinese => "Chinese",
+            Language::Japanese => "Japanese",
+            Language::Korean => "Korean",
+            Language::German => "German",
+            Language::Turkish => "Turkish",
+            Language::French => "French",
+            Language::Spanish => "Spanish",
+            Language::Vietnamese => "Vietnamese",
+            Language::Russian => "Russian",
+            Language::Arabic => "Arabic",
+            Language::Hebrew => "Hebrew",
+            Language::Greek => "Greek",
+            Language::Thai => "Thai",
+            Language::English => "English",
+            Language::Other => "Other",
+        }
+    }
+}
+
+/// A classification with supporting evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Identification {
+    /// Most plausible language.
+    pub language: Language,
+    /// Fraction of characters supporting the call (0.0–1.0).
+    pub confidence: f64,
+}
+
+/// Latin-script diacritic markers per language. Vietnamese has the most
+/// distinctive repertoire, so it carries the highest weight; `ç` is
+/// shared between French and Turkish and is weighted weakly.
+fn latin_marker_score(c: char) -> Option<(Language, u32)> {
+    let v = c as u32;
+    if (0x1EA0..=0x1EF9).contains(&v) || matches!(c, 'ơ' | 'ư' | 'đ' | 'ă') {
+        return Some((Language::Vietnamese, 3));
+    }
+    // Turkish-specific letters are decisive: they outweigh any number of
+    // shared umlauts in domain-sized text (e.g. "düğün" is Turkish).
+    if matches!(c, 'ğ' | 'ş' | 'ı' | 'İ') {
+        return Some((Language::Turkish, 5));
+    }
+    if matches!(c, 'ß') {
+        return Some((Language::German, 3));
+    }
+    if matches!(c, 'ä' | 'ö' | 'ü') {
+        return Some((Language::German, 2));
+    }
+    if matches!(c, 'é' | 'è' | 'ê' | 'ë' | 'à' | 'â' | 'î' | 'ï' | 'ô' | 'û' | 'ù' | 'œ') {
+        return Some((Language::French, 2));
+    }
+    if matches!(c, 'ñ' | 'á' | 'í' | 'ó' | 'ú') {
+        return Some((Language::Spanish, 2));
+    }
+    // ç is shared between Turkish and French; Turkish uses it more
+    // densely in domain-sized text, so lean Turkish at low weight.
+    if c == 'ç' {
+        return Some((Language::Turkish, 1));
+    }
+    None
+}
+
+/// Identifies the most plausible language of a label.
+///
+/// Separators and ASCII digits are ignored: they carry no language
+/// signal, and IDN labels frequently end in numeric disambiguators.
+pub fn identify(text: &str) -> Identification {
+    let chars: Vec<char> = text
+        .chars()
+        .filter(|c| *c != '.' && *c != '-' && !c.is_ascii_digit())
+        .collect();
+    if chars.is_empty() {
+        return Identification { language: Language::Other, confidence: 0.0 };
+    }
+    let total = chars.len() as f64;
+
+    // Script histogram.
+    let mut han = 0usize;
+    let mut kana = 0usize;
+    let mut hangul = 0usize;
+    let mut latin = 0usize;
+    let mut script_votes: std::collections::BTreeMap<Language, usize> = Default::default();
+    for &c in &chars {
+        match script_of(CodePoint::from(c)) {
+            Script::Han => han += 1,
+            Script::Hiragana | Script::Katakana => kana += 1,
+            Script::Hangul => hangul += 1,
+            Script::Latin => latin += 1,
+            Script::Cyrillic => *script_votes.entry(Language::Russian).or_default() += 1,
+            Script::Arabic => *script_votes.entry(Language::Arabic).or_default() += 1,
+            Script::Hebrew => *script_votes.entry(Language::Hebrew).or_default() += 1,
+            Script::Greek => *script_votes.entry(Language::Greek).or_default() += 1,
+            Script::Thai => *script_votes.entry(Language::Thai).or_default() += 1,
+            _ => {}
+        }
+    }
+
+    // CJK resolution: any kana ⇒ Japanese (Japanese text mixes Han and
+    // kana); Hangul ⇒ Korean; Han-only ⇒ Chinese.
+    if kana > 0 && kana + han >= chars.len() / 2 {
+        return Identification {
+            language: Language::Japanese,
+            confidence: (kana + han) as f64 / total,
+        };
+    }
+    if hangul > 0 {
+        return Identification { language: Language::Korean, confidence: hangul as f64 / total };
+    }
+    if han > 0 && han >= chars.len() / 2 {
+        return Identification { language: Language::Chinese, confidence: han as f64 / total };
+    }
+
+    // Non-Latin alphabetic scripts.
+    if let Some((&lang, &votes)) = script_votes.iter().max_by_key(|&(_, &v)| v) {
+        if votes * 2 >= chars.len() {
+            return Identification { language: lang, confidence: votes as f64 / total };
+        }
+    }
+
+    // Latin: diacritic markers decide.
+    if latin > 0 {
+        let mut scores: std::collections::BTreeMap<Language, u32> = Default::default();
+        for &c in &chars {
+            if let Some((lang, w)) = latin_marker_score(c) {
+                *scores.entry(lang).or_default() += w;
+            }
+        }
+        if let Some((&lang, &score)) = scores.iter().max_by_key(|&(_, &s)| s) {
+            if score > 0 {
+                let marked = chars.iter().filter(|&&c| latin_marker_score(c).is_some()).count();
+                return Identification {
+                    language: lang,
+                    confidence: (marked as f64 / total).min(1.0),
+                };
+            }
+        }
+        // Plain ASCII label.
+        return Identification { language: Language::English, confidence: 0.5 };
+    }
+
+    Identification { language: Language::Other, confidence: 0.0 }
+}
+
+/// Aggregates identifications into Table 7 rows:
+/// `(language, count, fraction)` sorted by count descending.
+pub fn table7_rows(labels: impl IntoIterator<Item = Language>) -> Vec<(Language, usize, f64)> {
+    let mut counts: std::collections::BTreeMap<Language, usize> = Default::default();
+    let mut total = 0usize;
+    for l in labels {
+        *counts.entry(l).or_default() += 1;
+        total += 1;
+    }
+    let mut rows: Vec<(Language, usize, f64)> = counts
+        .into_iter()
+        .map(|(l, c)| (l, c, c as f64 / total.max(1) as f64))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lang(s: &str) -> Language {
+        identify(s).language
+    }
+
+    #[test]
+    fn cjk_resolution() {
+        assert_eq!(lang("阿里巴巴"), Language::Chinese);
+        assert_eq!(lang("工業大学"), Language::Chinese); // Han-only
+        assert_eq!(lang("さくら"), Language::Japanese);
+        assert_eq!(lang("東京タワー"), Language::Japanese); // Han + Katakana
+        assert_eq!(lang("한국어"), Language::Korean);
+    }
+
+    #[test]
+    fn latin_diacritic_languages() {
+        assert_eq!(lang("münchen"), Language::German);
+        assert_eq!(lang("straße"), Language::German);
+        assert_eq!(lang("türkiye-şehir"), Language::Turkish);
+        assert_eq!(lang("ığdır"), Language::Turkish);
+        assert_eq!(lang("café-élysée"), Language::French);
+        assert_eq!(lang("españa-señor"), Language::Spanish);
+        assert_eq!(lang("việtnam"), Language::Vietnamese);
+    }
+
+    #[test]
+    fn other_scripts() {
+        assert_eq!(lang("привет"), Language::Russian);
+        assert_eq!(lang("שלום"), Language::Hebrew);
+        assert_eq!(lang("ελληνικά"), Language::Greek);
+        assert_eq!(lang("ไทยแลนด์"), Language::Thai);
+    }
+
+    #[test]
+    fn ascii_is_english_and_empty_is_other() {
+        assert_eq!(lang("example"), Language::English);
+        assert_eq!(identify("").language, Language::Other);
+        assert_eq!(identify("---").language, Language::Other);
+    }
+
+    #[test]
+    fn confidence_reflects_evidence() {
+        let strong = identify("한국어");
+        assert!(strong.confidence > 0.9);
+        let weak = identify("abcdefgü");
+        assert!(weak.confidence < 0.5);
+    }
+
+    #[test]
+    fn dots_and_hyphens_ignored() {
+        assert_eq!(lang("mün-chen.shop"), Language::German);
+    }
+
+    #[test]
+    fn table7_aggregation() {
+        let rows = table7_rows(vec![
+            Language::Chinese,
+            Language::Chinese,
+            Language::Korean,
+            Language::German,
+        ]);
+        assert_eq!(rows[0], (Language::Chinese, 2, 0.5));
+        assert_eq!(rows[1].1, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        for s in ["阿里巴巴", "münchen", "한국어"] {
+            assert_eq!(identify(s), identify(s));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! End-to-end experiment reproduction for the ShamFinder paper.
+//!
+//! * [`chardb`] — Tables 1–5 and Figures 5–7 (the homoglyph databases
+//!   themselves).
+//! * [`study`] — Tables 6–14 and the §4.2/§6.4 analyses over a generated
+//!   workload.
+//! * [`humanstudy`] — Figures 9–11 (the perception experiments) over real
+//!   glyph pairs.
+//! * [`tables`] — plain-text table rendering.
+//!
+//! The `repro` binary regenerates any single experiment or all of them:
+//!
+//! ```text
+//! cargo run --release -p sham-measure --bin repro -- all
+//! cargo run --release -p sham-measure --bin repro -- table8 table9
+//! cargo run --release -p sham-measure --bin repro -- --scale test table6
+//! ```
+
+pub mod chardb;
+pub mod humanstudy;
+pub mod study;
+pub mod tables;
+
+pub use chardb::CharDbContext;
+pub use study::{ActiveAnalysis, CorpusStats, Study};
+pub use tables::{thousands, TextTable};

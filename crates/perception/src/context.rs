@@ -1,0 +1,146 @@
+//! Context-aware confusability — the paper's §7.1 future-work item.
+//!
+//! The paper evaluates homoglyphs one character at a time and notes that
+//! "as homoglyphs are generally abused in a word or even in a sentence,
+//! we may also need to study the confusability of homoglyphs by using
+//! words … because this context may affect the user's perception." This
+//! module implements that extension: a word-level stimulus model in
+//! which a substitution's visibility is *diluted* by the surrounding
+//! characters — a single `օ` hides better inside `myetherwallet` than
+//! inside `oo`.
+
+use crate::model::{latent_mean, Stimulus};
+use crate::stats::{BoxStats, Score};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A word-level stimulus: the reference word shown next to a homograph
+/// with the given per-substitution pixel deltas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WordStimulus {
+    /// Character length of the word.
+    pub word_len: usize,
+    /// Pixel Δ of each substituted position.
+    pub deltas: Vec<u32>,
+}
+
+impl WordStimulus {
+    /// Effective per-character visibility of the substitutions: total
+    /// changed ink spread over the word. A single Δ=4 substitution in a
+    /// 4-letter word is as visible as Δ=4 on its own; the same
+    /// substitution in a 13-letter word is diluted ~3×.
+    pub fn effective_delta(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 0.0;
+        }
+        let total: u32 = self.deltas.iter().sum();
+        let dilution = (self.word_len as f64 / 4.0).max(1.0);
+        f64::from(total) / dilution
+    }
+
+    /// Latent word-level confusability on the 1–5 scale: interpolate the
+    /// single-character latent curve at the effective delta.
+    pub fn latent_mean(&self) -> f64 {
+        let eff = self.effective_delta();
+        let lo = eff.floor() as u32;
+        let hi = lo + 1;
+        let frac = eff - f64::from(lo);
+        let at = |d: u32| latent_mean(Stimulus::Pair { delta: d.min(8) });
+        at(lo) * (1.0 - frac) + at(hi) * frac
+    }
+}
+
+/// Aggregate outcome of the word-context experiment.
+#[derive(Debug, Clone)]
+pub struct ContextOutcome {
+    /// Per-condition statistics, keyed by condition label.
+    pub by_condition: Vec<(String, BoxStats)>,
+}
+
+/// Runs the word-context experiment: each `(label, stimulus)` judged by
+/// `raters` simulated participants with the usual bias/noise model.
+pub fn run_word_experiment(
+    conditions: &[(String, WordStimulus)],
+    raters: usize,
+    seed: u64,
+) -> ContextOutcome {
+    let mut by_condition = Vec::new();
+    for (label, stimulus) in conditions {
+        let mut scores: Vec<Score> = Vec::with_capacity(raters);
+        for rater in 0..raters {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (rater as u64).wrapping_mul(0x9E37_79B9));
+            let bias: f64 = rng.gen_range(-0.4..0.4);
+            let noise: f64 = rng.gen_range(-0.8..0.8);
+            let score = (stimulus.latent_mean() + bias + noise).round().clamp(1.0, 5.0);
+            scores.push(score as Score);
+        }
+        if let Some(stats) = BoxStats::compute(&scores) {
+            by_condition.push((label.clone(), stats));
+        }
+    }
+    ContextOutcome { by_condition }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stim(word_len: usize, deltas: &[u32]) -> WordStimulus {
+        WordStimulus { word_len, deltas: deltas.to_vec() }
+    }
+
+    #[test]
+    fn longer_words_dilute_substitutions() {
+        // The same Δ=4 homoglyph is judged more confusable (harder to
+        // spot) inside a longer word.
+        let short = stim(4, &[4]);
+        let long = stim(13, &[4]);
+        assert!(long.latent_mean() > short.latent_mean());
+        assert!(long.effective_delta() < short.effective_delta());
+    }
+
+    #[test]
+    fn more_substitutions_reduce_confusability() {
+        // Two substitutions in the same word are easier to notice.
+        let one = stim(6, &[3]);
+        let two = stim(6, &[3, 3]);
+        assert!(two.latent_mean() < one.latent_mean());
+    }
+
+    #[test]
+    fn perfect_twins_stay_perfect_in_any_context() {
+        let s = stim(10, &[0]);
+        assert_eq!(s.effective_delta(), 0.0);
+        assert!(s.latent_mean() > 4.7);
+    }
+
+    #[test]
+    fn word_experiment_orders_conditions() {
+        let conditions = vec![
+            ("single-char".to_string(), stim(4, &[4])),
+            ("in-myetherwallet".to_string(), stim(13, &[4])),
+            ("double-sub".to_string(), stim(6, &[4, 4])),
+        ];
+        let outcome = run_word_experiment(&conditions, 120, 42);
+        let get = |name: &str| {
+            outcome
+                .by_condition
+                .iter()
+                .find(|(c, _)| c == name)
+                .map(|(_, s)| s.mean)
+                .unwrap()
+        };
+        assert!(get("in-myetherwallet") > get("single-char"));
+        assert!(get("double-sub") < get("single-char"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let conditions = vec![("x".to_string(), stim(8, &[2]))];
+        let a = run_word_experiment(&conditions, 50, 7);
+        let b = run_word_experiment(&conditions, 50, 7);
+        assert_eq!(a.by_condition[0].1.mean, b.by_condition[0].1.mean);
+    }
+}

@@ -1,0 +1,266 @@
+//! The MTurk experiment harness (paper §4.1).
+//!
+//! Reproduces the paper's protocol: assignments show one pair each;
+//! participants must pass recruitment criteria; dummy pairs and Δ = 0
+//! pairs act as catch trials; participants failing either filter have
+//! *all* their responses removed; remaining responses aggregate into
+//! per-condition boxplots (Figures 9 and 10).
+
+use crate::model::{Rater, Stimulus};
+use crate::stats::{BoxStats, Score};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A labelled stimulus in the task deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeckItem {
+    /// Condition label used for aggregation (e.g. `delta=4`, `SimChar`,
+    /// `UC`, `Random`).
+    pub condition: String,
+    /// What the participant sees.
+    pub stimulus: Stimulus,
+}
+
+/// One recorded response.
+#[derive(Debug, Clone)]
+pub struct ResponseRecord {
+    /// Responding rater.
+    pub rater: usize,
+    /// Deck index answered.
+    pub item: usize,
+    /// Likert score given.
+    pub score: Score,
+}
+
+/// Experiment configuration mirroring the paper's setup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of recruited participants (before filtering).
+    pub raters: usize,
+    /// Population rate of careless raters, per mille.
+    pub careless_permille: u32,
+    /// Reward per assignment in US cents (the paper pays 5¢).
+    pub reward_cents: u32,
+    /// Seconds a typical assignment takes (the paper measured ~15 s).
+    pub seconds_per_assignment: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            raters: 30,
+            careless_permille: 150,
+            reward_cents: 5,
+            seconds_per_assignment: 15,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Experiment outcome.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Per-condition score statistics after filtering.
+    pub by_condition: Vec<(String, BoxStats)>,
+    /// Raters removed by the quality filters.
+    pub removed_raters: usize,
+    /// Responses that survived filtering.
+    pub effective_responses: usize,
+    /// Total payout in US cents (all responses are paid, filtered or not).
+    pub total_reward_cents: u64,
+    /// Implied hourly compensation in USD (paper: ≈ 12 USD/h).
+    pub hourly_rate_usd: f64,
+}
+
+/// Runs the experiment: every rater judges every deck item.
+pub fn run(deck: &[DeckItem], config: &ExperimentConfig) -> ExperimentOutcome {
+    let mut responses: Vec<ResponseRecord> = Vec::with_capacity(deck.len() * config.raters);
+    for rater_id in 0..config.raters {
+        let mut rater = Rater::new(rater_id, config.seed, config.careless_permille);
+        for (item_idx, item) in deck.iter().enumerate() {
+            let score = rater.judge(item.stimulus);
+            responses.push(ResponseRecord { rater: rater_id, item: item_idx, score });
+        }
+    }
+
+    // Quality filters (paper §4.1): a rater is unreliable if they judged
+    // any dummy as confusing (score ≥ 4) or any Δ = 0 pair as distinct
+    // (score ≤ 2). All of an unreliable rater's responses are removed.
+    let mut unreliable: Vec<bool> = vec![false; config.raters];
+    for r in &responses {
+        match deck[r.item].stimulus {
+            Stimulus::Dummy if r.score >= 4 => unreliable[r.rater] = true,
+            Stimulus::Pair { delta: 0 } if r.score <= 2 => unreliable[r.rater] = true,
+            _ => {}
+        }
+    }
+
+    let kept: Vec<&ResponseRecord> =
+        responses.iter().filter(|r| !unreliable[r.rater]).collect();
+
+    let mut per_condition: HashMap<&str, Vec<Score>> = HashMap::new();
+    for r in &kept {
+        per_condition
+            .entry(deck[r.item].condition.as_str())
+            .or_default()
+            .push(r.score);
+    }
+    let mut by_condition: Vec<(String, BoxStats)> = per_condition
+        .into_iter()
+        .filter_map(|(cond, scores)| {
+            BoxStats::compute(&scores).map(|s| (cond.to_string(), s))
+        })
+        .collect();
+    by_condition.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let total_assignments = responses.len() as u64;
+    let total_reward_cents = total_assignments * u64::from(config.reward_cents);
+    let hourly_rate_usd = if config.seconds_per_assignment == 0 {
+        0.0
+    } else {
+        f64::from(config.reward_cents) / 100.0 * 3600.0
+            / f64::from(config.seconds_per_assignment)
+    };
+
+    ExperimentOutcome {
+        by_condition,
+        removed_raters: unreliable.iter().filter(|&&u| u).count(),
+        effective_responses: kept.len(),
+        total_reward_cents,
+        hourly_rate_usd,
+    }
+}
+
+/// Builds the paper's Experiment 1 deck: `pairs_per_delta` pairs for each
+/// Δ in `0..=max_delta` plus `dummies` catch trials.
+pub fn experiment1_deck(max_delta: u32, pairs_per_delta: usize, dummies: usize) -> Vec<DeckItem> {
+    let mut deck = Vec::new();
+    for delta in 0..=max_delta {
+        for _ in 0..pairs_per_delta {
+            deck.push(DeckItem {
+                condition: format!("delta={delta}"),
+                stimulus: Stimulus::Pair { delta },
+            });
+        }
+    }
+    for _ in 0..dummies {
+        deck.push(DeckItem { condition: "Random".to_string(), stimulus: Stimulus::Dummy });
+    }
+    deck
+}
+
+/// Builds the Experiment 2 deck from actual pair Δ values sampled from
+/// the SimChar build (`simchar_deltas`, all ≤ θ) and the UC list
+/// (`uc_deltas`, measured with the same font — UC contains semantic pairs
+/// with large pixel distance, which is what drags its scores below
+/// SimChar's in Figure 10).
+pub fn experiment2_deck(
+    simchar_deltas: &[u32],
+    uc_deltas: &[u32],
+    dummies: usize,
+) -> Vec<DeckItem> {
+    let mut deck = Vec::new();
+    for &d in simchar_deltas {
+        deck.push(DeckItem {
+            condition: "SimChar".to_string(),
+            stimulus: Stimulus::Pair { delta: d },
+        });
+    }
+    for &d in uc_deltas {
+        deck.push(DeckItem { condition: "UC".to_string(), stimulus: Stimulus::Pair { delta: d } });
+    }
+    for _ in 0..dummies {
+        deck.push(DeckItem { condition: "Random".to_string(), stimulus: Stimulus::Dummy });
+    }
+    deck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_for<'a>(outcome: &'a ExperimentOutcome, cond: &str) -> &'a BoxStats {
+        &outcome
+            .by_condition
+            .iter()
+            .find(|(c, _)| c == cond)
+            .unwrap_or_else(|| panic!("missing condition {cond}"))
+            .1
+    }
+
+    #[test]
+    fn experiment1_reproduces_figure9_shape() {
+        let deck = experiment1_deck(8, 20, 30);
+        let outcome = run(&deck, &ExperimentConfig::default());
+        let at4 = stats_for(&outcome, "delta=4");
+        let at5 = stats_for(&outcome, "delta=5");
+        // Paper: Δ=4 → mean 3.57 / median 4; Δ=5 → mean 2.57 / median 2-3.
+        assert!((at4.mean - 3.6).abs() < 0.35, "Δ=4 mean {}", at4.mean);
+        assert_eq!(at4.median, 4.0);
+        assert!((at5.mean - 2.6).abs() < 0.35, "Δ=5 mean {}", at5.mean);
+        assert!(at5.median <= 3.0);
+        // Monotone decrease of means across Δ.
+        let means: Vec<f64> =
+            (0..=8).map(|d| stats_for(&outcome, &format!("delta={d}")).mean).collect();
+        for w in means.windows(2) {
+            assert!(w[0] >= w[1] - 0.15, "means not decreasing: {means:?}");
+        }
+    }
+
+    #[test]
+    fn experiment2_reproduces_figure10_shape() {
+        // SimChar pairs live at Δ ≤ 4; UC mixes small and large distances.
+        let simchar: Vec<u32> = (0..100).map(|i| i % 5).collect();
+        let uc: Vec<u32> = (0..30).map(|i| if i % 3 == 0 { 7 } else { i % 5 }).collect();
+        let deck = experiment2_deck(&simchar, &uc, 30);
+        let outcome = run(&deck, &ExperimentConfig::default());
+        let sim = stats_for(&outcome, "SimChar");
+        let uc_s = stats_for(&outcome, "UC");
+        let rand = stats_for(&outcome, "Random");
+        assert!(sim.mean > 4.0, "SimChar mean {}", sim.mean);
+        assert!(uc_s.mean < sim.mean, "UC {} !< SimChar {}", uc_s.mean, sim.mean);
+        assert_eq!(sim.median, 4.0);
+        assert!(rand.mean < 2.0, "Random mean {}", rand.mean);
+    }
+
+    #[test]
+    fn quality_filters_remove_careless_raters() {
+        let deck = experiment1_deck(4, 10, 20);
+        let strict = run(
+            &deck,
+            &ExperimentConfig { careless_permille: 400, ..ExperimentConfig::default() },
+        );
+        assert!(strict.removed_raters > 0);
+        // Careless raters answer uniformly, so with 20 dummies they are
+        // caught with overwhelming probability.
+        let clean = run(
+            &deck,
+            &ExperimentConfig { careless_permille: 0, ..ExperimentConfig::default() },
+        );
+        assert!(clean.removed_raters <= clean.effective_responses);
+        assert!(strict.effective_responses < deck.len() * 30);
+    }
+
+    #[test]
+    fn reward_accounting_matches_paper() {
+        let deck = experiment1_deck(0, 1, 0);
+        let outcome = run(&deck, &ExperimentConfig::default());
+        // 5¢ per 15 s ⇒ 12 USD/h, inside the paper's 7–12 USD/h band.
+        assert!((outcome.hourly_rate_usd - 12.0).abs() < 1e-9);
+        assert_eq!(outcome.total_reward_cents, 30 * 5);
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        let deck = experiment1_deck(2, 5, 5);
+        let a = run(&deck, &ExperimentConfig::default());
+        let b = run(&deck, &ExperimentConfig::default());
+        assert_eq!(a.effective_responses, b.effective_responses);
+        for ((ca, sa), (cb, sb)) in a.by_condition.iter().zip(&b.by_condition) {
+            assert_eq!(ca, cb);
+            assert_eq!(sa.mean, sb.mean);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Human-perception study simulator (paper §4.1).
+//!
+//! The paper validates SimChar's θ = 4 threshold and compares SimChar's
+//! and UC's confusability with MTurk crowd studies. Crowd workers are not
+//! available offline, so this crate substitutes a calibrated psychometric
+//! model (DESIGN.md §3): raters with individual bias and noise, a
+//! careless-rater subpopulation, the paper's catch-trial filters applied
+//! literally, and Likert/boxplot statistics for Figures 9–10.
+//!
+//! * [`model`] — the rater model and latent confusability curve.
+//! * [`experiment`] — the deck/run/filter/aggregate harness.
+//! * [`stats`] — boxplot summaries.
+//! * [`context`] — the §7.1 word-context extension: substitution
+//!   visibility diluted by surrounding characters.
+
+pub mod context;
+pub mod experiment;
+pub mod model;
+pub mod stats;
+
+pub use experiment::{
+    experiment1_deck, experiment2_deck, run, DeckItem, ExperimentConfig, ExperimentOutcome,
+};
+pub use context::{run_word_experiment, ContextOutcome, WordStimulus};
+pub use model::{latent_mean, Rater, Stimulus};
+pub use stats::{BoxStats, Score};

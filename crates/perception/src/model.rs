@@ -1,0 +1,134 @@
+//! Psychometric rater model (DESIGN.md §3 substitution for MTurk).
+//!
+//! Calibrated so the simulated crowd reproduces the paper's §4.1
+//! findings: pairs at Δ = 4 score mean ≈ 3.6 / median 4 ("confusing"),
+//! pairs at Δ = 5 drop to mean ≈ 2.6 / median 2 ("distinct") — the cliff
+//! that justifies θ = 4 — and random pairs concentrate at "very
+//! distinct".
+
+use crate::stats::Score;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a participant is shown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stimulus {
+    /// A candidate homoglyph pair with its true pixel difference.
+    Pair {
+        /// Pixel difference Δ of the two glyphs.
+        delta: u32,
+    },
+    /// A dummy pair of two entirely unrelated characters (catch trial).
+    Dummy,
+}
+
+/// Latent mean confusability for a stimulus, on the 1–5 scale.
+///
+/// Piecewise calibration with the paper's cliff between Δ = 4 and Δ = 5.
+pub fn latent_mean(stimulus: Stimulus) -> f64 {
+    match stimulus {
+        Stimulus::Pair { delta } => match delta {
+            0 => 4.85,
+            1 => 4.60,
+            2 => 4.30,
+            3 => 3.95,
+            4 => 3.60,
+            5 => 2.55,
+            6 => 2.10,
+            7 => 1.75,
+            _ => 1.50,
+        },
+        Stimulus::Dummy => 1.25,
+    }
+}
+
+/// A simulated crowd worker.
+#[derive(Debug, Clone)]
+pub struct Rater {
+    /// Stable identifier.
+    pub id: usize,
+    /// Systematic bias added to every judgement (lenient/strict raters).
+    pub bias: f64,
+    /// A careless rater answers uniformly at random — the behaviour the
+    /// paper's catch trials are designed to detect.
+    pub careless: bool,
+    rng: StdRng,
+}
+
+impl Rater {
+    /// Creates a rater. `careless_permille` is the population rate of
+    /// careless raters (the paper filters them out post hoc).
+    pub fn new(id: usize, seed: u64, careless_permille: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
+        let careless = rng.gen_range(0..1000) < careless_permille;
+        let bias = rng.gen_range(-0.4..0.4);
+        Rater { id, bias, careless, rng }
+    }
+
+    /// Produces a Likert judgement for a stimulus.
+    pub fn judge(&mut self, stimulus: Stimulus) -> Score {
+        if self.careless {
+            return self.rng.gen_range(1..=5);
+        }
+        let mu = latent_mean(stimulus) + self.bias;
+        let noise: f64 = self.rng.gen_range(-0.8..0.8);
+        (mu + noise).round().clamp(1.0, 5.0) as Score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latent_mean_is_monotone_in_delta() {
+        let mut prev = f64::INFINITY;
+        for d in 0..=8 {
+            let m = latent_mean(Stimulus::Pair { delta: d });
+            assert!(m < prev, "not monotone at delta {d}");
+            prev = m;
+        }
+        assert!(latent_mean(Stimulus::Dummy) < latent_mean(Stimulus::Pair { delta: 8 }));
+    }
+
+    #[test]
+    fn paper_cliff_between_4_and_5() {
+        let at4 = latent_mean(Stimulus::Pair { delta: 4 });
+        let at5 = latent_mean(Stimulus::Pair { delta: 5 });
+        assert!(at4 > 3.4 && at4 < 3.8, "Δ=4 mean {at4}");
+        assert!(at5 > 2.3 && at5 < 2.8, "Δ=5 mean {at5}");
+        assert!(at4 - at5 > 0.8, "cliff too small");
+    }
+
+    #[test]
+    fn honest_raters_track_latent_mean() {
+        let mut r = Rater::new(1, 42, 0);
+        assert!(!r.careless);
+        let scores: Vec<Score> =
+            (0..500).map(|_| r.judge(Stimulus::Pair { delta: 0 })).collect();
+        let mean = scores.iter().map(|&s| f64::from(s)).sum::<f64>() / 500.0;
+        assert!(mean > 4.2, "mean = {mean}");
+        let dummy: Vec<Score> = (0..500).map(|_| r.judge(Stimulus::Dummy)).collect();
+        let dmean = dummy.iter().map(|&s| f64::from(s)).sum::<f64>() / 500.0;
+        assert!(dmean < 2.2, "dummy mean = {dmean}");
+    }
+
+    #[test]
+    fn careless_rate_controls_population() {
+        let careless = (0..300)
+            .filter(|&i| Rater::new(i, 7, 300).careless)
+            .count();
+        assert!(careless > 50 && careless < 150, "careless = {careless}");
+        assert!((0..300).all(|i| !Rater::new(i, 7, 0).careless));
+    }
+
+    #[test]
+    fn judgements_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut r = Rater::new(3, seed, 0);
+            (0..10).map(|d| r.judge(Stimulus::Pair { delta: d % 9 })).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,132 @@
+//! Likert-scale statistics and boxplot summaries (Figures 9 and 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-level confusability score (paper §4.1):
+/// 1 = very distinct … 5 = very confusing.
+pub type Score = u8;
+
+/// Boxplot summary in the paper's figure configuration: median notch,
+/// mean dashes, quartile box, 1.5·IQR whiskers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Number of responses.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (Q2).
+    pub median: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker (smallest value ≥ Q1 − 1.5·IQR).
+    pub whisker_low: f64,
+    /// Upper whisker (largest value ≤ Q3 + 1.5·IQR).
+    pub whisker_high: f64,
+}
+
+/// Linear-interpolation quantile over a sorted slice.
+fn quantile(sorted: &[Score], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return f64::from(sorted[0]);
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    f64::from(sorted[lo]) * (1.0 - frac) + f64::from(sorted[hi]) * frac
+}
+
+impl BoxStats {
+    /// Computes the summary of a score sample. Returns `None` for empty
+    /// samples.
+    pub fn compute(scores: &[Score]) -> Option<BoxStats> {
+        if scores.is_empty() {
+            return None;
+        }
+        let mut sorted = scores.to_vec();
+        sorted.sort_unstable();
+        let mean = sorted.iter().map(|&s| f64::from(s)).sum::<f64>() / sorted.len() as f64;
+        let median = quantile(&sorted, 0.5);
+        let q1 = quantile(&sorted, 0.25);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let low_fence = q1 - 1.5 * iqr;
+        let high_fence = q3 + 1.5 * iqr;
+        let whisker_low = sorted
+            .iter()
+            .map(|&s| f64::from(s))
+            .find(|&v| v >= low_fence)
+            .unwrap_or(f64::from(sorted[0]));
+        let whisker_high = sorted
+            .iter()
+            .rev()
+            .map(|&s| f64::from(s))
+            .find(|&v| v <= high_fence)
+            .unwrap_or(f64::from(*sorted.last().expect("non-empty")));
+        Some(BoxStats { n: sorted.len(), mean, median, q1, q3, whisker_low, whisker_high })
+    }
+
+    /// One-line rendering for figure output.
+    pub fn render_row(&self, label: &str) -> String {
+        format!(
+            "{label:>10}  n={:<5} mean={:.2} median={:.1} Q1={:.1} Q3={:.1} whiskers=[{:.1}, {:.1}]",
+            self.n, self.mean, self.median, self.q1, self.q3, self.whisker_low, self.whisker_high
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = BoxStats::compute(&[4]).unwrap();
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.q1, 4.0);
+        assert_eq!(s.whisker_high, 4.0);
+    }
+
+    #[test]
+    fn known_quartiles() {
+        let s = BoxStats::compute(&[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn whiskers_respect_fences() {
+        // One extreme outlier among tight values.
+        let mut scores = vec![3u8; 50];
+        scores.push(5);
+        let s = BoxStats::compute(&scores).unwrap();
+        // IQR = 0 ⇒ fences at 3.0; the 5 is an outlier beyond the whisker.
+        assert_eq!(s.whisker_high, 3.0);
+    }
+
+    #[test]
+    fn mean_and_median_diverge_on_skew() {
+        let s = BoxStats::compute(&[1, 1, 1, 1, 5]).unwrap();
+        assert_eq!(s.median, 1.0);
+        assert!(s.mean > 1.5);
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let s = BoxStats::compute(&[2, 3, 4]).unwrap();
+        let row = s.render_row("Δ=4");
+        assert!(row.contains("mean=3.00"));
+        assert!(row.contains("n=3"));
+    }
+}

@@ -1,0 +1,138 @@
+//! ACE (ASCII-Compatible Encoding) label conversion.
+//!
+//! A Unicode label becomes an ACE label by Punycode-encoding it and
+//! prepending `xn--` (RFC 5890). Pure-ASCII labels pass through unchanged
+//! (lowercased, since DNS is case-insensitive).
+
+use crate::{bootstring, PunycodeError};
+
+/// The ACE prefix marking an encoded label.
+pub const ACE_PREFIX: &str = "xn--";
+
+/// Maximum length of a DNS label in octets.
+pub const MAX_LABEL_OCTETS: usize = 63;
+
+/// True when the label (in either form) is an IDN label, i.e. carries the
+/// ACE prefix or contains non-ASCII characters.
+pub fn is_idn_label(label: &str) -> bool {
+    label.starts_with(ACE_PREFIX) || !label.is_ascii()
+}
+
+/// Converts a single Unicode label to its ACE form.
+///
+/// ASCII labels are lowercased and returned as-is; non-ASCII labels are
+/// lowercased (simple case folding), Punycode encoded and `xn--` prefixed.
+/// The result is checked against the 63-octet DNS label limit.
+pub fn to_ascii(label: &str) -> Result<String, PunycodeError> {
+    if label.is_empty() {
+        return Err(PunycodeError::EmptyLabel);
+    }
+    let folded: String = label.chars().flat_map(|c| c.to_lowercase()).collect();
+    let out = if folded.is_ascii() {
+        folded
+    } else {
+        let mut s = String::from(ACE_PREFIX);
+        s.push_str(&bootstring::encode(&folded)?);
+        s
+    };
+    if out.len() > MAX_LABEL_OCTETS {
+        return Err(PunycodeError::LabelTooLong(out.len()));
+    }
+    Ok(out)
+}
+
+/// Converts a single label to its Unicode form.
+///
+/// Labels without the ACE prefix are returned unchanged. Prefixed labels
+/// are decoded; a prefixed label that decodes to pure ASCII or fails to
+/// round-trip is rejected (RFC 5891's "check hyphens / check ACE" spirit:
+/// such labels are spoofing vectors themselves).
+pub fn to_unicode(label: &str) -> Result<String, PunycodeError> {
+    if label.is_empty() {
+        return Err(PunycodeError::EmptyLabel);
+    }
+    let lower = label.to_ascii_lowercase();
+    let Some(encoded) = lower.strip_prefix(ACE_PREFIX) else {
+        return Ok(lower);
+    };
+    let decoded = bootstring::decode(encoded)?;
+    if decoded.is_ascii() {
+        return Err(PunycodeError::NotAcePrefixed);
+    }
+    // Round-trip check: re-encoding must reproduce the input exactly,
+    // otherwise the ACE form is not canonical.
+    let reencoded = bootstring::encode(&decoded)?;
+    if reencoded != encoded {
+        return Err(PunycodeError::NotAcePrefixed);
+    }
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_label_passes_through_lowercased() {
+        assert_eq!(to_ascii("Google").unwrap(), "google");
+        assert_eq!(to_unicode("GOOGLE").unwrap(), "google");
+    }
+
+    #[test]
+    fn idn_label_round_trip() {
+        let ace = to_ascii("münchen").unwrap();
+        assert!(ace.starts_with(ACE_PREFIX));
+        assert_eq!(to_unicode(&ace).unwrap(), "münchen");
+    }
+
+    #[test]
+    fn paper_alibaba_example() {
+        assert_eq!(to_ascii("阿里巴巴").unwrap(), "xn--tsta8290bfzd");
+        assert_eq!(to_unicode("xn--tsta8290bfzd").unwrap(), "阿里巴巴");
+    }
+
+    #[test]
+    fn uppercase_unicode_is_folded() {
+        assert_eq!(to_ascii("MÜNCHEN").unwrap(), to_ascii("münchen").unwrap());
+    }
+
+    #[test]
+    fn fake_ace_label_rejected() {
+        // Decodes to ASCII only — not a legitimate IDN label.
+        assert_eq!(to_unicode("xn--abc-"), Err(PunycodeError::NotAcePrefixed));
+    }
+
+    #[test]
+    fn non_canonical_ace_rejected() {
+        // Mixed-case digits decode but re-encode differently... actually
+        // digits are case-folded first, so craft a non-shortest form by
+        // corrupting a known-good encoding's trailing digit.
+        let good = to_ascii("bücher").unwrap(); // xn--bcher-kva
+        let mut bad = good.clone();
+        bad.pop();
+        bad.push('b'); // xn--bcher-kvb decodes to a different char; must round-trip or fail
+        match to_unicode(&bad) {
+            Ok(s) => assert_ne!(s, "bücher"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn empty_labels_rejected() {
+        assert_eq!(to_ascii(""), Err(PunycodeError::EmptyLabel));
+        assert_eq!(to_unicode(""), Err(PunycodeError::EmptyLabel));
+    }
+
+    #[test]
+    fn long_label_rejected() {
+        let long = "ü".repeat(80);
+        assert!(matches!(to_ascii(&long), Err(PunycodeError::LabelTooLong(_))));
+    }
+
+    #[test]
+    fn is_idn_label_detection() {
+        assert!(is_idn_label("xn--bcher-kva"));
+        assert!(is_idn_label("bücher"));
+        assert!(!is_idn_label("books"));
+    }
+}

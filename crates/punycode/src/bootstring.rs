@@ -1,0 +1,324 @@
+//! The Bootstring algorithm with the Punycode parameters (RFC 3492).
+//!
+//! Bootstring represents a sequence of Unicode code points as a sequence of
+//! "basic" (ASCII) code points: the basic code points of the input are
+//! copied literally, then each non-basic code point is encoded as a
+//! generalized-variable-length-integer *delta* that tells the decoder where
+//! to insert it. Punycode instantiates Bootstring with:
+//!
+//! ```text
+//! base = 36, tmin = 1, tmax = 26, skew = 38, damp = 700,
+//! initial_bias = 72, initial_n = 0x80, delimiter = '-'
+//! ```
+//!
+//! All arithmetic is checked; inputs that would overflow the RFC's 32-bit
+//! model are rejected with [`PunycodeError::Overflow`] rather than wrapping.
+
+use crate::PunycodeError;
+
+const BASE: u32 = 36;
+const TMIN: u32 = 1;
+const TMAX: u32 = 26;
+const SKEW: u32 = 38;
+const DAMP: u32 = 700;
+const INITIAL_BIAS: u32 = 72;
+const INITIAL_N: u32 = 0x80;
+const DELIMITER: char = '-';
+
+/// Maps a digit value `0..36` to its lowercase basic code point
+/// (`a..z` = 0..25, `0..9` = 26..35).
+fn encode_digit(d: u32) -> char {
+    debug_assert!(d < BASE);
+    if d < 26 {
+        (b'a' + d as u8) as char
+    } else {
+        (b'0' + (d - 26) as u8) as char
+    }
+}
+
+/// Maps a basic code point to its digit value, case-insensitively.
+fn decode_digit(c: char) -> Result<u32, PunycodeError> {
+    match c {
+        'a'..='z' => Ok(c as u32 - 'a' as u32),
+        'A'..='Z' => Ok(c as u32 - 'A' as u32),
+        '0'..='9' => Ok(c as u32 - '0' as u32 + 26),
+        _ => Err(PunycodeError::InvalidDigit(c)),
+    }
+}
+
+/// Bias adaptation (RFC 3492 §3.4).
+fn adapt(mut delta: u32, num_points: u32, first_time: bool) -> u32 {
+    delta /= if first_time { DAMP } else { 2 };
+    delta += delta / num_points;
+    let mut k = 0;
+    while delta > ((BASE - TMIN) * TMAX) / 2 {
+        delta /= BASE - TMIN;
+        k += BASE;
+    }
+    k + (((BASE - TMIN + 1) * delta) / (delta + SKEW))
+}
+
+/// Encodes `input` to its Punycode form (RFC 3492 §6.3).
+///
+/// The output contains only basic code points. Inputs consisting solely of
+/// basic code points are valid and produce `input + "-"`; ACE-level logic
+/// (deciding whether to encode at all) lives in [`crate::ace`].
+pub fn encode(input: &str) -> Result<String, PunycodeError> {
+    let code_points: Vec<u32> = input.chars().map(|c| c as u32).collect();
+    let mut output = String::with_capacity(input.len());
+
+    // Copy basic code points, then the delimiter (if any basics were copied).
+    for &cp in &code_points {
+        if cp < INITIAL_N {
+            output.push(char::from_u32(cp).expect("basic code point"));
+        }
+    }
+    let basic_count = output.chars().count() as u32;
+    if basic_count > 0 {
+        output.push(DELIMITER);
+    }
+
+    let mut n = INITIAL_N;
+    let mut delta: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+    let mut handled = basic_count; // code points encoded/copied so far
+
+    while (handled as usize) < code_points.len() {
+        // Find the smallest un-handled code point >= n.
+        let m = code_points
+            .iter()
+            .copied()
+            .filter(|&cp| cp >= n)
+            .min()
+            .expect("at least one remaining code point");
+
+        let width = handled
+            .checked_add(1)
+            .ok_or(PunycodeError::Overflow)?;
+        delta = delta
+            .checked_add(
+                (m - n)
+                    .checked_mul(width)
+                    .ok_or(PunycodeError::Overflow)?,
+            )
+            .ok_or(PunycodeError::Overflow)?;
+        n = m;
+
+        for &cp in &code_points {
+            if cp < n {
+                delta = delta.checked_add(1).ok_or(PunycodeError::Overflow)?;
+            }
+            if cp == n {
+                // Encode delta as a variable-length integer.
+                let mut q = delta;
+                let mut k = BASE;
+                loop {
+                    let t = if k <= bias {
+                        TMIN
+                    } else if k >= bias + TMAX {
+                        TMAX
+                    } else {
+                        k - bias
+                    };
+                    if q < t {
+                        break;
+                    }
+                    output.push(encode_digit(t + (q - t) % (BASE - t)));
+                    q = (q - t) / (BASE - t);
+                    k += BASE;
+                }
+                output.push(encode_digit(q));
+                bias = adapt(delta, handled + 1, handled == basic_count);
+                delta = 0;
+                handled += 1;
+            }
+        }
+        delta = delta.checked_add(1).ok_or(PunycodeError::Overflow)?;
+        n = n.checked_add(1).ok_or(PunycodeError::Overflow)?;
+    }
+
+    Ok(output)
+}
+
+/// Decodes a Punycode string back to Unicode (RFC 3492 §6.2).
+pub fn decode(input: &str) -> Result<String, PunycodeError> {
+    // Split at the last delimiter: everything before is literal basic
+    // code points; everything after is the extended part.
+    let (basic_part, extended) = match input.rfind(DELIMITER) {
+        Some(pos) => (&input[..pos], &input[pos + 1..]),
+        None => ("", input),
+    };
+
+    let mut output: Vec<u32> = Vec::with_capacity(input.len());
+    for c in basic_part.chars() {
+        if !c.is_ascii() {
+            return Err(PunycodeError::NonBasic(c));
+        }
+        output.push(c as u32);
+    }
+
+    let mut n = INITIAL_N;
+    let mut i: u32 = 0;
+    let mut bias = INITIAL_BIAS;
+
+    let mut chars = extended.chars().peekable();
+    while chars.peek().is_some() {
+        let old_i = i;
+        let mut w: u32 = 1;
+        let mut k = BASE;
+        loop {
+            let c = chars.next().ok_or(PunycodeError::Overflow)?;
+            let digit = decode_digit(c)?;
+            i = i
+                .checked_add(digit.checked_mul(w).ok_or(PunycodeError::Overflow)?)
+                .ok_or(PunycodeError::Overflow)?;
+            let t = if k <= bias {
+                TMIN
+            } else if k >= bias + TMAX {
+                TMAX
+            } else {
+                k - bias
+            };
+            if digit < t {
+                break;
+            }
+            w = w.checked_mul(BASE - t).ok_or(PunycodeError::Overflow)?;
+            k += BASE;
+        }
+
+        let len_plus_one = (output.len() as u32)
+            .checked_add(1)
+            .ok_or(PunycodeError::Overflow)?;
+        bias = adapt(i - old_i, len_plus_one, old_i == 0);
+        n = n
+            .checked_add(i / len_plus_one)
+            .ok_or(PunycodeError::Overflow)?;
+        i %= len_plus_one;
+
+        if char::from_u32(n).is_none() || (0xD800..=0xDFFF).contains(&n) {
+            return Err(PunycodeError::InvalidCodePoint(n));
+        }
+        output.insert(i as usize, n);
+        i += 1;
+    }
+
+    output
+        .into_iter()
+        .map(|v| char::from_u32(v).ok_or(PunycodeError::InvalidCodePoint(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Vectors from RFC 3492 §7.1 and from the paper itself.
+    #[test]
+    fn rfc3492_sample_strings() {
+        // (A) Arabic (Egyptian).
+        let arabic: String = [
+            0x0644u32, 0x064A, 0x0647, 0x0645, 0x0627, 0x0628, 0x062A, 0x0643, 0x0644, 0x0645,
+            0x0648, 0x0634, 0x0639, 0x0631, 0x0628, 0x064A, 0x061F,
+        ]
+        .iter()
+        .map(|&v| char::from_u32(v).unwrap())
+        .collect();
+        assert_eq!(encode(&arabic).unwrap(), "egbpdaj6bu4bxfgehfvwxn");
+        assert_eq!(decode("egbpdaj6bu4bxfgehfvwxn").unwrap(), arabic);
+
+        // (B) Chinese (simplified).
+        let chinese: String = [
+            0x4ED6u32, 0x4EEC, 0x4E3A, 0x4EC0, 0x4E48, 0x4E0D, 0x8BF4, 0x4E2D, 0x6587,
+        ]
+        .iter()
+        .map(|&v| char::from_u32(v).unwrap())
+        .collect();
+        assert_eq!(encode(&chinese).unwrap(), "ihqwcrb4cv8a8dqg056pqjye");
+        assert_eq!(decode("ihqwcrb4cv8a8dqg056pqjye").unwrap(), chinese);
+
+        // (I) Russian (Cyrillic).
+        let russian: String = [
+            0x043Fu32, 0x043E, 0x0447, 0x0435, 0x043C, 0x0443, 0x0436, 0x0435, 0x043E, 0x043D,
+            0x0438, 0x043D, 0x0435, 0x0433, 0x043E, 0x0432, 0x043E, 0x0440, 0x044F, 0x0442, 0x043F,
+            0x043E, 0x0440, 0x0443, 0x0441, 0x0441, 0x043A, 0x0438,
+        ]
+        .iter()
+        .map(|&v| char::from_u32(v).unwrap())
+        .collect();
+        assert_eq!(encode(&russian).unwrap(), "b1abfaaepdrnnbgefbadotcwatmq2g4l");
+    }
+
+    #[test]
+    fn paper_examples() {
+        // §2.1: "阿里巴巴" ⇒ "tsta8290bfzd".
+        assert_eq!(encode("阿里巴巴").unwrap(), "tsta8290bfzd");
+        assert_eq!(decode("tsta8290bfzd").unwrap(), "阿里巴巴");
+        // §2.2: "facébook" ⇒ "facbook-dya".
+        assert_eq!(encode("facébook").unwrap(), "facbook-dya");
+        assert_eq!(decode("facbook-dya").unwrap(), "facébook");
+    }
+
+    #[test]
+    fn well_known_labels() {
+        assert_eq!(encode("bücher").unwrap(), "bcher-kva");
+        assert_eq!(decode("bcher-kva").unwrap(), "bücher");
+    }
+
+    #[test]
+    fn all_basic_input_gets_trailing_delimiter() {
+        assert_eq!(encode("abc").unwrap(), "abc-");
+        assert_eq!(decode("abc-").unwrap(), "abc");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(encode("").unwrap(), "");
+        assert_eq!(decode("").unwrap(), "");
+    }
+
+    #[test]
+    fn decode_rejects_invalid_digit() {
+        assert!(matches!(decode("ab!c"), Err(PunycodeError::InvalidDigit('!'))));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_extended_part() {
+        // A dangling variable-length integer must not panic.
+        let err = decode("abc-99999999").unwrap_err();
+        assert!(matches!(
+            err,
+            PunycodeError::Overflow | PunycodeError::InvalidCodePoint(_)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_surrogate_targets() {
+        // Force a code point into the surrogate range via a large delta.
+        let res = decode("0000000000");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn decode_is_case_insensitive_in_digits() {
+        // Digit values are case-insensitive; literal basic code points keep
+        // their case. The inserted ü is always lowercase.
+        assert_eq!(decode("BCHER-KVA").unwrap(), "BüCHER");
+        assert_eq!(decode("bcher-KVA").unwrap(), "bücher");
+    }
+
+    #[test]
+    fn delta_ordering_is_stable() {
+        // Mixed basic and non-basic with repeated insertions.
+        let s = "éxémplé-aé";
+        let enc = encode(s).unwrap();
+        assert_eq!(decode(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn supplementary_plane_round_trip() {
+        let s = "a\u{10330}b\u{1F600}"; // Gothic letter + emoticon
+        let enc = encode(s).unwrap();
+        assert!(enc.is_ascii());
+        assert_eq!(decode(&enc).unwrap(), s);
+    }
+}

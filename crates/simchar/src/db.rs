@@ -1,0 +1,257 @@
+//! The SimChar database: pair storage, profiles and serialization.
+
+use crate::pairs::Pair;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The SimChar homoglyph database (paper §3.3–3.4): the set of
+/// IDNA-permitted character pairs whose glyphs differ by at most θ pixels,
+/// after sparse elimination.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimCharDb {
+    theta: u32,
+    /// Canonicalised pairs (a < b) with their Δ.
+    pairs: Vec<(u32, u32, u8)>,
+    /// Adjacency: code point → (partner, Δ).
+    #[serde(skip)]
+    adjacency: BTreeMap<u32, Vec<(u32, u8)>>,
+}
+
+impl SimCharDb {
+    /// Builds the database from detected pairs.
+    pub fn from_pairs(pairs: Vec<Pair>, theta: u32) -> Self {
+        let mut db = SimCharDb {
+            theta,
+            pairs: pairs.iter().map(|p| (p.a, p.b, p.delta)).collect(),
+            adjacency: BTreeMap::new(),
+        };
+        db.pairs.sort_unstable();
+        db.pairs.dedup();
+        db.rebuild_adjacency();
+        db
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        self.adjacency.clear();
+        for &(a, b, d) in &self.pairs {
+            self.adjacency.entry(a).or_default().push((b, d));
+            self.adjacency.entry(b).or_default().push((a, d));
+        }
+    }
+
+    /// The θ this database was built with.
+    pub fn theta(&self) -> u32 {
+        self.theta
+    }
+
+    /// Number of homoglyph pairs (Table 1: 13,208 for the paper's font).
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct characters participating in at least one pair
+    /// (Table 1: 12,686 for the paper's font).
+    pub fn char_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Iterates all pairs as `(a, b, delta)` with `a < b`.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32, u8)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// All characters participating in pairs.
+    pub fn chars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// True when `(a, b)` is a listed homoglyph pair.
+    pub fn is_pair(&self, a: u32, b: u32) -> bool {
+        self.adjacency
+            .get(&a)
+            .is_some_and(|v| v.iter().any(|&(p, _)| p == b))
+    }
+
+    /// Homoglyphs of `cp`, sorted by Δ then code point.
+    pub fn homoglyphs_of(&self, cp: u32) -> Vec<(u32, u8)> {
+        let mut v = self.adjacency.get(&cp).cloned().unwrap_or_default();
+        v.sort_by_key(|&(p, d)| (d, p));
+        v
+    }
+
+    /// Per-letter homoglyph counts for the Basic Latin lowercase letters —
+    /// the paper's Table 3 (SimChar column).
+    pub fn latin_profile(&self) -> Vec<(char, usize)> {
+        let mut out: Vec<(char, usize)> = ('a'..='z')
+            .map(|c| (c, self.adjacency.get(&(c as u32)).map_or(0, Vec::len)))
+            .collect();
+        out.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Character counts per Unicode block — the paper's Table 4. Returns
+    /// `(block name, characters in pairs)` sorted descending.
+    pub fn block_profile(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for &cp in self.adjacency.keys() {
+            if let Some(block) = sham_unicode::block_of(sham_unicode::CodePoint(cp)) {
+                *counts.entry(block.name).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(&'static str, usize)> = counts.into_iter().collect();
+        out.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(y.0)));
+        out
+    }
+
+    /// Intersection size with another character set (Table 1's
+    /// `SimChar ∩ UC` row): characters present in both.
+    pub fn chars_in_common(&self, other: &BTreeSet<u32>) -> usize {
+        self.adjacency.keys().filter(|cp| other.contains(cp)).count()
+    }
+
+    /// Serialises to the compact text format:
+    /// `SIMCHAR v1 theta=<θ>` header then `AAAA BBBB d` lines.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("SIMCHAR v1 theta={}\n", self.theta);
+        for &(a, b, d) in &self.pairs {
+            let _ = writeln!(s, "{a:04X} {b:04X} {d}");
+        }
+        s
+    }
+
+    /// Parses the compact text format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty SimChar file")?;
+        let theta = header
+            .strip_prefix("SIMCHAR v1 theta=")
+            .ok_or_else(|| format!("bad header {header:?}"))?
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| format!("bad theta: {e}"))?;
+        let mut pairs = Vec::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            let parse_cp = |s: Option<&str>| -> Result<u32, String> {
+                u32::from_str_radix(s.ok_or(format!("line {}: short line", no + 2))?, 16)
+                    .map_err(|e| format!("line {}: {e}", no + 2))
+            };
+            let a = parse_cp(f.next())?;
+            let b = parse_cp(f.next())?;
+            let d: u8 = f
+                .next()
+                .ok_or(format!("line {}: missing delta", no + 2))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", no + 2))?;
+            pairs.push(Pair { a, b, delta: d });
+        }
+        Ok(SimCharDb::from_pairs(pairs, theta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimCharDb {
+        SimCharDb::from_pairs(
+            vec![
+                Pair { a: 'o' as u32, b: 0x043E, delta: 0 },
+                Pair { a: 'o' as u32, b: 0x0585, delta: 1 },
+                Pair { a: 'e' as u32, b: 0x0435, delta: 0 },
+                Pair { a: 0xAC01, b: 0xAC02, delta: 2 },
+                Pair { a: 0xAC01, b: 0xAC04, delta: 4 },
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let db = sample();
+        assert_eq!(db.pair_count(), 5);
+        // o, о, օ, e, е, AC01, AC02, AC04.
+        assert_eq!(db.char_count(), 8);
+        assert_eq!(db.theta(), 4);
+    }
+
+    #[test]
+    fn is_pair_symmetric() {
+        let db = sample();
+        assert!(db.is_pair('o' as u32, 0x043E));
+        assert!(db.is_pair(0x043E, 'o' as u32));
+        assert!(!db.is_pair('o' as u32, 0x0435));
+    }
+
+    #[test]
+    fn homoglyphs_sorted_by_delta() {
+        let db = sample();
+        let h = db.homoglyphs_of('o' as u32);
+        assert_eq!(h, vec![(0x043E, 0), (0x0585, 1)]);
+        assert!(db.homoglyphs_of('q' as u32).is_empty());
+    }
+
+    #[test]
+    fn latin_profile_ranks_by_count() {
+        let db = sample();
+        let profile = db.latin_profile();
+        assert_eq!(profile[0], ('o', 2));
+        assert_eq!(profile[1], ('e', 1));
+        // All 26 letters are reported.
+        assert_eq!(profile.len(), 26);
+    }
+
+    #[test]
+    fn block_profile_counts_chars() {
+        let db = sample();
+        let profile = db.block_profile();
+        let get = |name: &str| profile.iter().find(|(n, _)| *n == name).map(|&(_, c)| c);
+        assert_eq!(get("Hangul Syllables"), Some(3));
+        assert_eq!(get("Cyrillic"), Some(2));
+        assert_eq!(get("Basic Latin"), Some(2));
+        assert_eq!(get("Armenian"), Some(1));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let db = sample();
+        let text = db.to_text();
+        let parsed = SimCharDb::from_text(&text).unwrap();
+        assert_eq!(parsed.pair_count(), db.pair_count());
+        assert_eq!(parsed.theta(), db.theta());
+        assert!(parsed.is_pair('o' as u32, 0x0585));
+    }
+
+    #[test]
+    fn text_parse_rejects_garbage() {
+        assert!(SimCharDb::from_text("").is_err());
+        assert!(SimCharDb::from_text("WRONG HEADER\n").is_err());
+        assert!(SimCharDb::from_text("SIMCHAR v1 theta=4\nZZZZ\n").is_err());
+        assert!(SimCharDb::from_text("SIMCHAR v1 theta=4\n0041 0042\n").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_rebuilds_adjacency() {
+        let db = sample();
+        let json = serde_json::to_string(&db).unwrap();
+        let mut back: SimCharDb = serde_json::from_str(&json).unwrap();
+        back.rebuild_adjacency();
+        assert!(back.is_pair('o' as u32, 0x043E));
+    }
+
+    #[test]
+    fn duplicate_pairs_are_collapsed() {
+        let db = SimCharDb::from_pairs(
+            vec![
+                Pair { a: 1, b: 2, delta: 3 },
+                Pair { a: 1, b: 2, delta: 3 },
+            ],
+            4,
+        );
+        assert_eq!(db.pair_count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The unified homoglyph database: UC ∪ SimChar.
+//!
+//! ShamFinder's detector consults both databases (paper Fig. 2): a
+//! character pair is a homoglyph pair if either SimChar (pixel evidence)
+//! or UC (consortium curation) lists it. The union also records *which*
+//! source matched — the paper's Table 8/14 compare detection under
+//! UC-only, SimChar-only and the union, and the warning UI (Fig. 12)
+//! names the source.
+
+use crate::db::SimCharDb;
+use serde::{Deserialize, Serialize};
+use sham_confusables::UcDatabase;
+use std::collections::BTreeSet;
+
+/// Which database(s) attest a homoglyph pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairSource {
+    /// Only SimChar lists the pair.
+    SimChar,
+    /// Only UC lists the pair.
+    Uc,
+    /// Both databases list it.
+    Both,
+}
+
+/// Which component databases to consult — the experimental knob behind
+/// Tables 8 and 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbSelection {
+    /// UC only (the prior work's configuration, Quinkert et al.).
+    UcOnly,
+    /// SimChar only.
+    SimCharOnly,
+    /// UC ∪ SimChar (ShamFinder's configuration).
+    Union,
+}
+
+/// The combined homoglyph database.
+#[derive(Debug, Clone)]
+pub struct HomoglyphDb {
+    simchar: SimCharDb,
+    uc: UcDatabase,
+}
+
+impl HomoglyphDb {
+    /// Combines a SimChar build with a UC database.
+    pub fn new(simchar: SimCharDb, uc: UcDatabase) -> Self {
+        HomoglyphDb { simchar, uc }
+    }
+
+    /// The SimChar component.
+    pub fn simchar(&self) -> &SimCharDb {
+        &self.simchar
+    }
+
+    /// The UC component.
+    pub fn uc(&self) -> &UcDatabase {
+        &self.uc
+    }
+
+    /// Tests a character pair under the given selection.
+    pub fn is_pair_with(&self, a: u32, b: u32, selection: DbSelection) -> bool {
+        match selection {
+            DbSelection::UcOnly => self.uc.is_pair(a, b),
+            DbSelection::SimCharOnly => self.simchar.is_pair(a, b),
+            DbSelection::Union => self.simchar.is_pair(a, b) || self.uc.is_pair(a, b),
+        }
+    }
+
+    /// Tests a pair under the full union.
+    pub fn is_pair(&self, a: u32, b: u32) -> bool {
+        self.is_pair_with(a, b, DbSelection::Union)
+    }
+
+    /// Attribution for a pair, or `None` when neither database lists it.
+    pub fn source_of(&self, a: u32, b: u32) -> Option<PairSource> {
+        match (self.simchar.is_pair(a, b), self.uc.is_pair(a, b)) {
+            (true, true) => Some(PairSource::Both),
+            (true, false) => Some(PairSource::SimChar),
+            (false, true) => Some(PairSource::Uc),
+            (false, false) => None,
+        }
+    }
+
+    /// All candidate substitutions for `cp` under the union: SimChar
+    /// partners plus UC prototype relatives.
+    pub fn homoglyphs_of(&self, cp: u32) -> BTreeSet<u32> {
+        let mut out: BTreeSet<u32> = self
+            .simchar
+            .homoglyphs_of(cp)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        if let Some(proto) = self.uc.prototype(cp) {
+            if proto.len() == 1 {
+                out.insert(proto[0]);
+                out.extend(self.uc.homoglyphs_of(proto[0]));
+            }
+        }
+        out.extend(self.uc.homoglyphs_of(cp));
+        out.remove(&cp);
+        out
+    }
+
+    /// Summary counts: `(simchar pairs, uc pairs, union character count)`.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        let mut chars: BTreeSet<u32> = self.simchar.chars().collect();
+        chars.extend(self.uc.char_set());
+        (self.simchar.pair_count(), self.uc.pair_count(), chars.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::Pair;
+    use sham_confusables::parse;
+
+    fn db() -> HomoglyphDb {
+        let simchar = SimCharDb::from_pairs(
+            vec![
+                Pair { a: 'o' as u32, b: 0x0585, delta: 1 }, // SimChar-only
+                Pair { a: 'o' as u32, b: 0x043E, delta: 0 }, // both
+            ],
+            4,
+        );
+        let uc = UcDatabase::from_mappings(
+            parse("043E ; 006F ; MA\n03BF ; 006F ; MA\n").unwrap(), // UC: о→o, ο→o
+        );
+        HomoglyphDb::new(simchar, uc)
+    }
+
+    #[test]
+    fn union_covers_both_sources() {
+        let db = db();
+        assert!(db.is_pair('o' as u32, 0x0585)); // SimChar only
+        assert!(db.is_pair('o' as u32, 0x03BF)); // UC only
+        assert!(db.is_pair('o' as u32, 0x043E)); // both
+        assert!(!db.is_pair('o' as u32, 'e' as u32));
+    }
+
+    #[test]
+    fn selection_restricts_sources() {
+        let db = db();
+        assert!(!db.is_pair_with('o' as u32, 0x0585, DbSelection::UcOnly));
+        assert!(db.is_pair_with('o' as u32, 0x0585, DbSelection::SimCharOnly));
+        assert!(!db.is_pair_with('o' as u32, 0x03BF, DbSelection::SimCharOnly));
+        assert!(db.is_pair_with('o' as u32, 0x03BF, DbSelection::UcOnly));
+    }
+
+    #[test]
+    fn source_attribution() {
+        let db = db();
+        assert_eq!(db.source_of('o' as u32, 0x0585), Some(PairSource::SimChar));
+        assert_eq!(db.source_of('o' as u32, 0x03BF), Some(PairSource::Uc));
+        assert_eq!(db.source_of('o' as u32, 0x043E), Some(PairSource::Both));
+        assert_eq!(db.source_of('o' as u32, 'q' as u32), None);
+    }
+
+    #[test]
+    fn homoglyphs_union() {
+        let db = db();
+        let h = db.homoglyphs_of('o' as u32);
+        assert!(h.contains(&0x0585));
+        assert!(h.contains(&0x043E));
+        assert!(h.contains(&0x03BF));
+        assert!(!h.contains(&('o' as u32)));
+        // Reverse direction: homoglyphs of Cyrillic o include Latin o via
+        // the UC prototype and omicron via the shared prototype.
+        let h = db.homoglyphs_of(0x043E);
+        assert!(h.contains(&('o' as u32)));
+        assert!(h.contains(&0x03BF));
+    }
+
+    #[test]
+    fn stats_count_union_chars() {
+        let (sim_pairs, uc_pairs, chars) = db().stats();
+        assert_eq!(sim_pairs, 2);
+        assert_eq!(uc_pairs, 2);
+        assert_eq!(chars, 4); // o, о, ο, օ
+    }
+}

@@ -1,0 +1,323 @@
+//! Unicode block table.
+//!
+//! Block ranges are stable published values from the Unicode standard.
+//! The table below covers the Basic Multilingual Plane blocks relevant to
+//! IDN (every block the paper's Tables 4 and 7 touch) plus the
+//! Supplementary Multilingual/Ideographic Plane blocks needed to account
+//! for the IDNA2008 repertoire (CJK extensions, Warang Citi of Figure 11,
+//! mathematical alphanumerics, Emoticons, ...).
+
+use crate::CodePoint;
+use serde::{Deserialize, Serialize};
+
+/// Unicode plane a block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Plane {
+    /// Basic Multilingual Plane (U+0000..=U+FFFF).
+    Bmp,
+    /// Supplementary Multilingual Plane (U+10000..=U+1FFFF).
+    Smp,
+    /// Supplementary Ideographic Plane (U+20000..=U+2FFFF).
+    Sip,
+    /// Tertiary Ideographic Plane (U+30000..=U+3FFFF).
+    Tip,
+}
+
+/// A contiguous, named range of code points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// First code point of the block.
+    pub start: u32,
+    /// Last code point of the block (inclusive).
+    pub end: u32,
+    /// Published block name.
+    pub name: &'static str,
+}
+
+impl Block {
+    /// Number of code point slots in the block.
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Blocks are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when `cp` falls inside the block.
+    pub fn contains(&self, cp: CodePoint) -> bool {
+        (self.start..=self.end).contains(&cp.0)
+    }
+
+    /// Plane the block belongs to.
+    pub fn plane(&self) -> Plane {
+        match self.start {
+            0x0000..=0xFFFF => Plane::Bmp,
+            0x10000..=0x1FFFF => Plane::Smp,
+            0x20000..=0x2FFFF => Plane::Sip,
+            _ => Plane::Tip,
+        }
+    }
+}
+
+/// The block table, sorted by starting code point.
+pub const BLOCKS: &[Block] = &[
+    Block { start: 0x0000, end: 0x007F, name: "Basic Latin" },
+    Block { start: 0x0080, end: 0x00FF, name: "Latin-1 Supplement" },
+    Block { start: 0x0100, end: 0x017F, name: "Latin Extended-A" },
+    Block { start: 0x0180, end: 0x024F, name: "Latin Extended-B" },
+    Block { start: 0x0250, end: 0x02AF, name: "IPA Extensions" },
+    Block { start: 0x02B0, end: 0x02FF, name: "Spacing Modifier Letters" },
+    Block { start: 0x0300, end: 0x036F, name: "Combining Diacritical Marks" },
+    Block { start: 0x0370, end: 0x03FF, name: "Greek and Coptic" },
+    Block { start: 0x0400, end: 0x04FF, name: "Cyrillic" },
+    Block { start: 0x0500, end: 0x052F, name: "Cyrillic Supplement" },
+    Block { start: 0x0530, end: 0x058F, name: "Armenian" },
+    Block { start: 0x0590, end: 0x05FF, name: "Hebrew" },
+    Block { start: 0x0600, end: 0x06FF, name: "Arabic" },
+    Block { start: 0x0700, end: 0x074F, name: "Syriac" },
+    Block { start: 0x0750, end: 0x077F, name: "Arabic Supplement" },
+    Block { start: 0x0780, end: 0x07BF, name: "Thaana" },
+    Block { start: 0x07C0, end: 0x07FF, name: "NKo" },
+    Block { start: 0x0800, end: 0x083F, name: "Samaritan" },
+    Block { start: 0x0840, end: 0x085F, name: "Mandaic" },
+    Block { start: 0x08A0, end: 0x08FF, name: "Arabic Extended-A" },
+    Block { start: 0x0900, end: 0x097F, name: "Devanagari" },
+    Block { start: 0x0980, end: 0x09FF, name: "Bengali" },
+    Block { start: 0x0A00, end: 0x0A7F, name: "Gurmukhi" },
+    Block { start: 0x0A80, end: 0x0AFF, name: "Gujarati" },
+    Block { start: 0x0B00, end: 0x0B7F, name: "Oriya" },
+    Block { start: 0x0B80, end: 0x0BFF, name: "Tamil" },
+    Block { start: 0x0C00, end: 0x0C7F, name: "Telugu" },
+    Block { start: 0x0C80, end: 0x0CFF, name: "Kannada" },
+    Block { start: 0x0D00, end: 0x0D7F, name: "Malayalam" },
+    Block { start: 0x0D80, end: 0x0DFF, name: "Sinhala" },
+    Block { start: 0x0E00, end: 0x0E7F, name: "Thai" },
+    Block { start: 0x0E80, end: 0x0EFF, name: "Lao" },
+    Block { start: 0x0F00, end: 0x0FFF, name: "Tibetan" },
+    Block { start: 0x1000, end: 0x109F, name: "Myanmar" },
+    Block { start: 0x10A0, end: 0x10FF, name: "Georgian" },
+    Block { start: 0x1100, end: 0x11FF, name: "Hangul Jamo" },
+    Block { start: 0x1200, end: 0x137F, name: "Ethiopic" },
+    Block { start: 0x1380, end: 0x139F, name: "Ethiopic Supplement" },
+    Block { start: 0x13A0, end: 0x13FF, name: "Cherokee" },
+    Block { start: 0x1400, end: 0x167F, name: "Unified Canadian Aboriginal Syllabics" },
+    Block { start: 0x1680, end: 0x169F, name: "Ogham" },
+    Block { start: 0x16A0, end: 0x16FF, name: "Runic" },
+    Block { start: 0x1700, end: 0x171F, name: "Tagalog" },
+    Block { start: 0x1720, end: 0x173F, name: "Hanunoo" },
+    Block { start: 0x1740, end: 0x175F, name: "Buhid" },
+    Block { start: 0x1760, end: 0x177F, name: "Tagbanwa" },
+    Block { start: 0x1780, end: 0x17FF, name: "Khmer" },
+    Block { start: 0x1800, end: 0x18AF, name: "Mongolian" },
+    Block { start: 0x18B0, end: 0x18FF, name: "Unified Canadian Aboriginal Syllabics Extended" },
+    Block { start: 0x1900, end: 0x194F, name: "Limbu" },
+    Block { start: 0x1950, end: 0x197F, name: "Tai Le" },
+    Block { start: 0x1980, end: 0x19DF, name: "New Tai Lue" },
+    Block { start: 0x19E0, end: 0x19FF, name: "Khmer Symbols" },
+    Block { start: 0x1A00, end: 0x1A1F, name: "Buginese" },
+    Block { start: 0x1A20, end: 0x1AAF, name: "Tai Tham" },
+    Block { start: 0x1AB0, end: 0x1AFF, name: "Combining Diacritical Marks Extended" },
+    Block { start: 0x1B00, end: 0x1B7F, name: "Balinese" },
+    Block { start: 0x1B80, end: 0x1BBF, name: "Sundanese" },
+    Block { start: 0x1BC0, end: 0x1BFF, name: "Batak" },
+    Block { start: 0x1C00, end: 0x1C4F, name: "Lepcha" },
+    Block { start: 0x1C50, end: 0x1C7F, name: "Ol Chiki" },
+    Block { start: 0x1C80, end: 0x1C8F, name: "Cyrillic Extended-C" },
+    Block { start: 0x1C90, end: 0x1CBF, name: "Georgian Extended" },
+    Block { start: 0x1CD0, end: 0x1CFF, name: "Vedic Extensions" },
+    Block { start: 0x1D00, end: 0x1D7F, name: "Phonetic Extensions" },
+    Block { start: 0x1D80, end: 0x1DBF, name: "Phonetic Extensions Supplement" },
+    Block { start: 0x1DC0, end: 0x1DFF, name: "Combining Diacritical Marks Supplement" },
+    Block { start: 0x1E00, end: 0x1EFF, name: "Latin Extended Additional" },
+    Block { start: 0x1F00, end: 0x1FFF, name: "Greek Extended" },
+    Block { start: 0x2000, end: 0x206F, name: "General Punctuation" },
+    Block { start: 0x2070, end: 0x209F, name: "Superscripts and Subscripts" },
+    Block { start: 0x20A0, end: 0x20CF, name: "Currency Symbols" },
+    Block { start: 0x20D0, end: 0x20FF, name: "Combining Diacritical Marks for Symbols" },
+    Block { start: 0x2100, end: 0x214F, name: "Letterlike Symbols" },
+    Block { start: 0x2150, end: 0x218F, name: "Number Forms" },
+    Block { start: 0x2190, end: 0x21FF, name: "Arrows" },
+    Block { start: 0x2200, end: 0x22FF, name: "Mathematical Operators" },
+    Block { start: 0x2300, end: 0x23FF, name: "Miscellaneous Technical" },
+    Block { start: 0x2400, end: 0x243F, name: "Control Pictures" },
+    Block { start: 0x2440, end: 0x245F, name: "Optical Character Recognition" },
+    Block { start: 0x2460, end: 0x24FF, name: "Enclosed Alphanumerics" },
+    Block { start: 0x2500, end: 0x257F, name: "Box Drawing" },
+    Block { start: 0x2580, end: 0x259F, name: "Block Elements" },
+    Block { start: 0x25A0, end: 0x25FF, name: "Geometric Shapes" },
+    Block { start: 0x2600, end: 0x26FF, name: "Miscellaneous Symbols" },
+    Block { start: 0x2700, end: 0x27BF, name: "Dingbats" },
+    Block { start: 0x27C0, end: 0x27EF, name: "Miscellaneous Mathematical Symbols-A" },
+    Block { start: 0x2800, end: 0x28FF, name: "Braille Patterns" },
+    Block { start: 0x2C00, end: 0x2C5F, name: "Glagolitic" },
+    Block { start: 0x2C60, end: 0x2C7F, name: "Latin Extended-C" },
+    Block { start: 0x2C80, end: 0x2CFF, name: "Coptic" },
+    Block { start: 0x2D00, end: 0x2D2F, name: "Georgian Supplement" },
+    Block { start: 0x2D30, end: 0x2D7F, name: "Tifinagh" },
+    Block { start: 0x2D80, end: 0x2DDF, name: "Ethiopic Extended" },
+    Block { start: 0x2DE0, end: 0x2DFF, name: "Cyrillic Extended-A" },
+    Block { start: 0x2E00, end: 0x2E7F, name: "Supplemental Punctuation" },
+    Block { start: 0x2E80, end: 0x2EFF, name: "CJK Radicals Supplement" },
+    Block { start: 0x2F00, end: 0x2FDF, name: "Kangxi Radicals" },
+    Block { start: 0x3000, end: 0x303F, name: "CJK Symbols and Punctuation" },
+    Block { start: 0x3040, end: 0x309F, name: "Hiragana" },
+    Block { start: 0x30A0, end: 0x30FF, name: "Katakana" },
+    Block { start: 0x3100, end: 0x312F, name: "Bopomofo" },
+    Block { start: 0x3130, end: 0x318F, name: "Hangul Compatibility Jamo" },
+    Block { start: 0x31A0, end: 0x31BF, name: "Bopomofo Extended" },
+    Block { start: 0x31F0, end: 0x31FF, name: "Katakana Phonetic Extensions" },
+    Block { start: 0x3200, end: 0x32FF, name: "Enclosed CJK Letters and Months" },
+    Block { start: 0x3400, end: 0x4DBF, name: "CJK Unified Ideographs Extension A" },
+    Block { start: 0x4E00, end: 0x9FFF, name: "CJK Unified Ideographs" },
+    Block { start: 0xA000, end: 0xA48F, name: "Yi Syllables" },
+    Block { start: 0xA490, end: 0xA4CF, name: "Yi Radicals" },
+    Block { start: 0xA4D0, end: 0xA4FF, name: "Lisu" },
+    Block { start: 0xA500, end: 0xA63F, name: "Vai" },
+    Block { start: 0xA640, end: 0xA69F, name: "Cyrillic Extended-B" },
+    Block { start: 0xA6A0, end: 0xA6FF, name: "Bamum" },
+    Block { start: 0xA700, end: 0xA71F, name: "Modifier Tone Letters" },
+    Block { start: 0xA720, end: 0xA7FF, name: "Latin Extended-D" },
+    Block { start: 0xA800, end: 0xA82F, name: "Syloti Nagri" },
+    Block { start: 0xA840, end: 0xA87F, name: "Phags-pa" },
+    Block { start: 0xA880, end: 0xA8DF, name: "Saurashtra" },
+    Block { start: 0xA900, end: 0xA92F, name: "Kayah Li" },
+    Block { start: 0xA930, end: 0xA95F, name: "Rejang" },
+    Block { start: 0xA960, end: 0xA97F, name: "Hangul Jamo Extended-A" },
+    Block { start: 0xA980, end: 0xA9DF, name: "Javanese" },
+    Block { start: 0xAA00, end: 0xAA5F, name: "Cham" },
+    Block { start: 0xAA80, end: 0xAADF, name: "Tai Viet" },
+    Block { start: 0xAB00, end: 0xAB2F, name: "Ethiopic Extended-A" },
+    Block { start: 0xAB70, end: 0xABBF, name: "Cherokee Supplement" },
+    Block { start: 0xABC0, end: 0xABFF, name: "Meetei Mayek" },
+    Block { start: 0xAC00, end: 0xD7AF, name: "Hangul Syllables" },
+    Block { start: 0xD7B0, end: 0xD7FF, name: "Hangul Jamo Extended-B" },
+    Block { start: 0xF900, end: 0xFAFF, name: "CJK Compatibility Ideographs" },
+    Block { start: 0xFB00, end: 0xFB4F, name: "Alphabetic Presentation Forms" },
+    Block { start: 0xFB50, end: 0xFDFF, name: "Arabic Presentation Forms-A" },
+    Block { start: 0xFE20, end: 0xFE2F, name: "Combining Half Marks" },
+    Block { start: 0xFE70, end: 0xFEFF, name: "Arabic Presentation Forms-B" },
+    Block { start: 0xFF00, end: 0xFFEF, name: "Halfwidth and Fullwidth Forms" },
+    // --- Supplementary Multilingual Plane ---
+    Block { start: 0x10000, end: 0x1007F, name: "Linear B Syllabary" },
+    Block { start: 0x10280, end: 0x1029F, name: "Lycian" },
+    Block { start: 0x102A0, end: 0x102DF, name: "Carian" },
+    Block { start: 0x10300, end: 0x1032F, name: "Old Italic" },
+    Block { start: 0x10330, end: 0x1034F, name: "Gothic" },
+    Block { start: 0x10400, end: 0x1044F, name: "Deseret" },
+    Block { start: 0x10450, end: 0x1047F, name: "Shavian" },
+    Block { start: 0x10480, end: 0x104AF, name: "Osmanya" },
+    Block { start: 0x104B0, end: 0x104FF, name: "Osage" },
+    Block { start: 0x10800, end: 0x1083F, name: "Cypriot Syllabary" },
+    Block { start: 0x10A00, end: 0x10A5F, name: "Kharoshthi" },
+    Block { start: 0x11000, end: 0x1107F, name: "Brahmi" },
+    Block { start: 0x11080, end: 0x110CF, name: "Kaithi" },
+    Block { start: 0x11100, end: 0x1114F, name: "Chakma" },
+    Block { start: 0x11600, end: 0x1165F, name: "Modi" },
+    Block { start: 0x11800, end: 0x1184F, name: "Dogra" },
+    Block { start: 0x118A0, end: 0x118FF, name: "Warang Citi" },
+    Block { start: 0x11A00, end: 0x11A4F, name: "Zanabazar Square" },
+    Block { start: 0x12000, end: 0x123FF, name: "Cuneiform" },
+    Block { start: 0x13000, end: 0x1342F, name: "Egyptian Hieroglyphs" },
+    Block { start: 0x14400, end: 0x1467F, name: "Anatolian Hieroglyphs" },
+    Block { start: 0x16800, end: 0x16A3F, name: "Bamum Supplement" },
+    Block { start: 0x16F00, end: 0x16F9F, name: "Miao" },
+    Block { start: 0x17000, end: 0x187FF, name: "Tangut" },
+    Block { start: 0x18800, end: 0x18AFF, name: "Tangut Components" },
+    Block { start: 0x1B000, end: 0x1B0FF, name: "Kana Supplement" },
+    Block { start: 0x1D400, end: 0x1D7FF, name: "Mathematical Alphanumeric Symbols" },
+    Block { start: 0x1E800, end: 0x1E8DF, name: "Mende Kikakui" },
+    Block { start: 0x1E900, end: 0x1E95F, name: "Adlam" },
+    Block { start: 0x1F300, end: 0x1F5FF, name: "Miscellaneous Symbols and Pictographs" },
+    Block { start: 0x1F600, end: 0x1F64F, name: "Emoticons" },
+    // --- Supplementary Ideographic Plane ---
+    Block { start: 0x20000, end: 0x2A6DF, name: "CJK Unified Ideographs Extension B" },
+    Block { start: 0x2A700, end: 0x2B73F, name: "CJK Unified Ideographs Extension C" },
+    Block { start: 0x2B740, end: 0x2B81F, name: "CJK Unified Ideographs Extension D" },
+    Block { start: 0x2B820, end: 0x2CEAF, name: "CJK Unified Ideographs Extension E" },
+    Block { start: 0x2CEB0, end: 0x2EBEF, name: "CJK Unified Ideographs Extension F" },
+];
+
+/// Returns the block containing `cp`, or `None` when `cp` falls in a gap
+/// between blocks (an unassigned region of the code space).
+pub fn block_of(cp: CodePoint) -> Option<&'static Block> {
+    let idx = BLOCKS.partition_point(|b| b.end < cp.0);
+    BLOCKS.get(idx).filter(|b| b.contains(cp))
+}
+
+/// Looks a block up by its published name.
+pub fn block_by_name(name: &str) -> Option<&'static Block> {
+    BLOCKS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_disjoint() {
+        for pair in BLOCKS.windows(2) {
+            assert!(
+                pair[0].end < pair[1].start,
+                "blocks {} and {} overlap or are out of order",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_hits_expected_blocks() {
+        let cases = [
+            (0x0061, "Basic Latin"),
+            (0x00E9, "Latin-1 Supplement"),
+            (0x0430, "Cyrillic"),
+            (0x0585, "Armenian"),
+            (0x0B32, "Oriya"),
+            (0x0ED0, "Lao"),
+            (0x30A8, "Katakana"),
+            (0x5DE5, "CJK Unified Ideographs"),
+            (0xAC00, "Hangul Syllables"),
+            (0xA500, "Vai"),
+            (0x118D8, "Warang Citi"),
+            (0x1F600, "Emoticons"),
+            (0x20000, "CJK Unified Ideographs Extension B"),
+        ];
+        for (v, name) in cases {
+            let cp = CodePoint::new(v).unwrap();
+            assert_eq!(block_of(cp).map(|b| b.name), Some(name), "for {cp}");
+        }
+    }
+
+    #[test]
+    fn gaps_between_blocks_resolve_to_none() {
+        // U+08000..=U+089F sits between Mandaic and Arabic Extended-A.
+        assert!(block_of(CodePoint(0x0870)).is_none());
+        // The surrogates / private use gap before CJK Compatibility.
+        assert!(block_of(CodePoint(0xE000)).is_none());
+    }
+
+    #[test]
+    fn block_by_name_round_trips() {
+        for b in BLOCKS {
+            assert_eq!(block_by_name(b.name).unwrap().start, b.start);
+        }
+    }
+
+    #[test]
+    fn planes_are_classified() {
+        assert_eq!(block_by_name("Hangul Syllables").unwrap().plane(), Plane::Bmp);
+        assert_eq!(block_by_name("Warang Citi").unwrap().plane(), Plane::Smp);
+        assert_eq!(
+            block_by_name("CJK Unified Ideographs Extension B").unwrap().plane(),
+            Plane::Sip
+        );
+    }
+
+    #[test]
+    fn hangul_block_size_matches_standard() {
+        // 11,184 slots; 11,172 assigned syllables in the real UCD.
+        assert_eq!(block_by_name("Hangul Syllables").unwrap().len(), 0xD7AF - 0xAC00 + 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Coarse general-category model (range granular).
+//!
+//! IDNA2008 (RFC 5892) derives the `PVALID` property from general
+//! categories: lowercase/other letters, marks and decimal digits are
+//! permitted; uppercase letters (unstable under case folding), symbols and
+//! punctuation are disallowed. This module reproduces that category
+//! skeleton at block/range granularity. ASCII, Latin-1, Greek, Cyrillic,
+//! Armenian and Georgian case ranges and per-script digit ranges are exact;
+//! the bicameral Latin extension blocks use the standard's even/odd
+//! upper/lower alternation, which is correct for the large majority of
+//! those code points (documented approximation, see DESIGN.md §3).
+
+use crate::{block_of, CodePoint};
+use serde::{Deserialize, Serialize};
+
+/// Simplified Unicode general category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GeneralCategory {
+    /// `Lu` — uppercase letters.
+    UppercaseLetter,
+    /// `Ll` — lowercase letters.
+    LowercaseLetter,
+    /// `Lm` — modifier letters.
+    ModifierLetter,
+    /// `Lo` — letters without case (CJK, Kana, Hangul, most scripts).
+    OtherLetter,
+    /// `M*` — combining marks.
+    Mark,
+    /// `Nd` — decimal digits.
+    DecimalNumber,
+    /// `No`/`Nl` — other numeric forms.
+    OtherNumber,
+    /// `P*` — punctuation.
+    Punctuation,
+    /// `S*` — symbols.
+    Symbol,
+    /// `Z*` — separators.
+    Separator,
+    /// `Cc` — control codes.
+    Control,
+    /// `Cf` — format controls (ZWJ/ZWNJ live here).
+    Format,
+    /// Not assigned in this substrate's repertoire.
+    Unassigned,
+}
+
+impl GeneralCategory {
+    /// True for any letter category.
+    pub fn is_letter(self) -> bool {
+        matches!(
+            self,
+            GeneralCategory::UppercaseLetter
+                | GeneralCategory::LowercaseLetter
+                | GeneralCategory::ModifierLetter
+                | GeneralCategory::OtherLetter
+        )
+    }
+
+    /// True for combining marks.
+    pub fn is_mark(self) -> bool {
+        self == GeneralCategory::Mark
+    }
+
+    /// True for any number category.
+    pub fn is_number(self) -> bool {
+        matches!(self, GeneralCategory::DecimalNumber | GeneralCategory::OtherNumber)
+    }
+}
+
+/// Decimal-digit ranges for the scripts this substrate models (exact
+/// published values; each is a run of ten code points `0..9`).
+const DIGIT_RANGES: &[(u32, &str)] = &[
+    (0x0030, "ASCII"),
+    (0x0660, "Arabic-Indic"),
+    (0x06F0, "Extended Arabic-Indic"),
+    (0x07C0, "NKo"),
+    (0x0966, "Devanagari"),
+    (0x09E6, "Bengali"),
+    (0x0A66, "Gurmukhi"),
+    (0x0AE6, "Gujarati"),
+    (0x0B66, "Oriya"),
+    (0x0BE6, "Tamil"),
+    (0x0C66, "Telugu"),
+    (0x0CE6, "Kannada"),
+    (0x0D66, "Malayalam"),
+    (0x0E50, "Thai"),
+    (0x0ED0, "Lao"),
+    (0x0F20, "Tibetan"),
+    (0x1040, "Myanmar"),
+    (0x17E0, "Khmer"),
+    (0x1810, "Mongolian"),
+    (0xA620, "Vai"),
+    (0xFF10, "Fullwidth"),
+    (0x104A0, "Osage"),
+    (0x118E0, "Warang Citi"),
+    (0x1E950, "Adlam"),
+];
+
+/// True when `cp` is one of the decimal digits modelled above.
+fn is_decimal_digit(cp: u32) -> bool {
+    DIGIT_RANGES.iter().any(|&(start, _)| (start..start + 10).contains(&cp))
+}
+
+/// Combining-mark ranges inside otherwise-letter blocks (exact published
+/// values for the ranges the paper's Figure 7 exemplifies, plus the most
+/// common Indic/SE-Asian dependent-vowel ranges).
+const MARK_RANGES: &[(u32, u32)] = &[
+    (0x0591, 0x05BD), // Hebrew points
+    (0x0610, 0x061A), // Arabic signs
+    (0x064B, 0x065F), // Arabic harakat
+    (0x06D6, 0x06DC), // Arabic small high signs
+    (0x0816, 0x0819), // Samaritan marks
+    (0x08D3, 0x08FF), // Arabic Extended-A marks
+    (0x0900, 0x0903), // Devanagari signs
+    (0x093A, 0x094F), // Devanagari vowel signs
+    (0x0981, 0x0983), // Bengali signs
+    (0x09BC, 0x09CD), // Bengali vowel signs
+    (0x0A01, 0x0A03), // Gurmukhi signs
+    (0x0A3C, 0x0A4D),
+    (0x0A81, 0x0A83),
+    (0x0ABC, 0x0ACD),
+    (0x0B01, 0x0B03), // Oriya signs
+    (0x0B3C, 0x0B57),
+    (0x0B82, 0x0B82),
+    (0x0BBE, 0x0BCD),
+    (0x0C00, 0x0C04),
+    (0x0C3E, 0x0C56),
+    (0x0C81, 0x0C83),
+    (0x0CBC, 0x0CD6),
+    (0x0D00, 0x0D03),
+    (0x0D3B, 0x0D4D),
+    (0x0D81, 0x0D83),
+    (0x0DCA, 0x0DDF),
+    (0x0E31, 0x0E31), // Thai mai han-akat
+    (0x0E34, 0x0E3A), // Thai vowel signs
+    (0x0E47, 0x0E4E), // Thai tone marks
+    (0x0EB1, 0x0EB1),
+    (0x0EB4, 0x0EBC),
+    (0x0EC8, 0x0ECD),
+    (0x0F35, 0x0F39), // Tibetan marks
+    (0x0F71, 0x0F84),
+    (0x102B, 0x103E), // Myanmar vowel signs
+    (0x1056, 0x1059),
+    (0x17B4, 0x17D3), // Khmer vowel/signs
+    (0x1A17, 0x1A1B), // Buginese vowel signs
+    (0x1B00, 0x1B04), // Balinese signs
+    (0x1B34, 0x1B44),
+    (0x1BE6, 0x1BF3), // Batak signs (Fig. 7: U+1BE7)
+    (0x1C24, 0x1C37), // Lepcha signs
+    (0x2DE0, 0x2DFF), // Cyrillic Extended-A (combining; Fig. 7: U+2DF5)
+    (0xA802, 0xA802), // Syloti Nagri sign
+    (0xA823, 0xA827),
+    (0xA880, 0xA881), // Saurashtra signs
+    (0xA8B4, 0xA8C5),
+    (0xA926, 0xA92D), // Kayah Li vowels
+    (0xA947, 0xA953), // Rejang vowel signs (Fig. 7: U+A953)
+    (0xA980, 0xA983), // Javanese signs
+    (0xA9B3, 0xA9C0),
+    (0xAA29, 0xAA36), // Cham vowel signs
+    (0xAA43, 0xAA4D),
+    (0xABE3, 0xABEA), // Meetei Mayek vowel signs
+    (0xABEC, 0xABED), // Meetei Mayek signs (Fig. 7: U+ABEC)
+];
+
+/// True when `cp` falls in one of the modelled combining-mark ranges.
+fn is_mark_override(cp: u32) -> bool {
+    MARK_RANGES.iter().any(|&(lo, hi)| (lo..=hi).contains(&cp))
+}
+
+/// Exact category for the ASCII range.
+fn ascii_category(cp: u32) -> GeneralCategory {
+    match cp {
+        0x00..=0x1F | 0x7F => GeneralCategory::Control,
+        0x20 => GeneralCategory::Separator,
+        0x30..=0x39 => GeneralCategory::DecimalNumber,
+        0x41..=0x5A => GeneralCategory::UppercaseLetter,
+        0x61..=0x7A => GeneralCategory::LowercaseLetter,
+        0x24 | 0x2B | 0x3C..=0x3E | 0x5E | 0x60 | 0x7C | 0x7E => GeneralCategory::Symbol,
+        _ => GeneralCategory::Punctuation,
+    }
+}
+
+/// Exact category for the Latin-1 Supplement block.
+fn latin1_category(cp: u32) -> GeneralCategory {
+    match cp {
+        0x80..=0x9F => GeneralCategory::Control,
+        0xA0 => GeneralCategory::Separator,
+        0xAA | 0xBA => GeneralCategory::OtherLetter, // ª º
+        0xB5 => GeneralCategory::LowercaseLetter,    // µ
+        0xB2 | 0xB3 | 0xB9 | 0xBC..=0xBE => GeneralCategory::OtherNumber,
+        0xD7 | 0xF7 | 0xA2..=0xA9 | 0xAC | 0xAE..=0xB1 | 0xB4 | 0xB8 => GeneralCategory::Symbol,
+        0xC0..=0xD6 | 0xD8..=0xDE => GeneralCategory::UppercaseLetter,
+        0xDF..=0xF6 | 0xF8..=0xFF => GeneralCategory::LowercaseLetter,
+        _ => GeneralCategory::Punctuation,
+    }
+}
+
+/// Case assignment for the bicameral European scripts.
+fn cased_letter(cp: u32) -> Option<GeneralCategory> {
+    use GeneralCategory::{LowercaseLetter as Lower, UppercaseLetter as Upper};
+    let cat = match cp {
+        // Latin Extended-A/B and Latin Extended Additional alternate
+        // uppercase (even) / lowercase (odd) for the overwhelming majority
+        // of their code points.
+        // Latin Extended-A alternates case, but the pattern shifts by one
+        // at U+0139 (Ĺ) and resumes at U+014A (Ŋ) — exact block structure.
+        0x0139..=0x0148 => {
+            if cp % 2 == 1 { Upper } else { Lower }
+        }
+        0x0138 | 0x0149 => Lower, // ĸ, ŉ
+        0x0100..=0x0137 | 0x014A..=0x0177 | 0x01DE..=0x01EF | 0x01F4..=0x01F5
+        | 0x01FA..=0x024F | 0x1E00..=0x1EFF => {
+            if cp % 2 == 0 {
+                Upper
+            } else {
+                Lower
+            }
+        }
+        0x0178..=0x017D => {
+            // ŸŹźŻżŽ: odd=upper in this stretch (Ÿ=0178, Ź=0179, ź=017A...).
+            if cp == 0x0178 || cp % 2 == 1 { Upper } else { Lower }
+        }
+        0x017E..=0x017F => Lower, // ž ſ
+        // Latin letters without case: the click letters (Lo in the UCD).
+        0x01BB | 0x01C0..=0x01C3 => return None,
+        0x0180..=0x01DD => {
+            // Mixed region of Latin Extended-B; approximate with parity.
+            if cp % 2 == 0 { Upper } else { Lower }
+        }
+        // Greek.
+        0x0386 | 0x0388..=0x038F | 0x0391..=0x03A1 | 0x03A3..=0x03AB => Upper,
+        0x03AC..=0x03CE | 0x03D0..=0x03D7 => Lower,
+        // The 0x03F0.. region breaks the parity pattern (exact values).
+        0x03F0..=0x03F3 | 0x03F5 | 0x03F8 | 0x03FB | 0x03FC => Lower,
+        0x03F4 | 0x03F6 | 0x03F7 | 0x03F9 | 0x03FA | 0x03FD..=0x03FF => Upper,
+        0x03D8..=0x03EF => {
+            if cp % 2 == 0 { Upper } else { Lower }
+        }
+        // Cyrillic.
+        0x0400..=0x042F => Upper,
+        0x0430..=0x045F => Lower,
+        0x0460..=0x04FF | 0x0500..=0x052F => {
+            if cp % 2 == 0 { Upper } else { Lower }
+        }
+        // Armenian.
+        0x0531..=0x0556 => Upper,
+        0x0561..=0x0587 => Lower,
+        // Georgian Asomtavruli (historic uppercase) and Mkhedruli.
+        0x10A0..=0x10C5 => Upper,
+        0x10D0..=0x10FA => Lower,
+        // Greek Extended: lower halves of each 16-run are lowercase.
+        0x1F00..=0x1FFF => {
+            if (cp & 0x8) == 0 { Lower } else { Upper }
+        }
+        // Fullwidth forms.
+        0xFF21..=0xFF3A => Upper,
+        0xFF41..=0xFF5A => Lower,
+        // Deseret and Osage are bicameral in halves.
+        0x10400..=0x10427 => Upper,
+        0x10428..=0x1044F => Lower,
+        0x104B0..=0x104D3 => Upper,
+        0x104D8..=0x104FB => Lower,
+        // Adlam.
+        0x1E900..=0x1E921 => Upper,
+        0x1E922..=0x1E943 => Lower,
+        _ => return None,
+    };
+    Some(cat)
+}
+
+/// Returns the (simplified) general category of `cp`.
+pub fn category(cp: CodePoint) -> GeneralCategory {
+    let v = cp.0;
+    if v < 0x80 {
+        return ascii_category(v);
+    }
+    if v < 0x100 {
+        return latin1_category(v);
+    }
+    if is_decimal_digit(v) {
+        return GeneralCategory::DecimalNumber;
+    }
+    if is_mark_override(v) {
+        return GeneralCategory::Mark;
+    }
+    // ZWNJ / ZWJ are format controls with their own IDNA context rules.
+    if v == 0x200C || v == 0x200D {
+        return GeneralCategory::Format;
+    }
+    if let Some(cased) = cased_letter(v) {
+        return cased;
+    }
+    let Some(block) = block_of(cp) else {
+        return GeneralCategory::Unassigned;
+    };
+    match block.name {
+        "Combining Diacritical Marks"
+        | "Combining Diacritical Marks Extended"
+        | "Combining Diacritical Marks Supplement"
+        | "Combining Diacritical Marks for Symbols"
+        | "Combining Half Marks"
+        | "Vedic Extensions" => GeneralCategory::Mark,
+        "Spacing Modifier Letters" | "Modifier Tone Letters" => GeneralCategory::ModifierLetter,
+        "General Punctuation" | "Supplemental Punctuation" | "CJK Symbols and Punctuation" => {
+            GeneralCategory::Punctuation
+        }
+        "Superscripts and Subscripts" | "Number Forms" | "Enclosed Alphanumerics"
+        | "Enclosed CJK Letters and Months" => GeneralCategory::OtherNumber,
+        "Currency Symbols" | "Letterlike Symbols" | "Arrows" | "Mathematical Operators"
+        | "Miscellaneous Technical" | "Control Pictures" | "Optical Character Recognition"
+        | "Box Drawing" | "Block Elements" | "Geometric Shapes" | "Miscellaneous Symbols"
+        | "Dingbats" | "Miscellaneous Mathematical Symbols-A" | "Braille Patterns"
+        | "Miscellaneous Symbols and Pictographs" | "Emoticons" => GeneralCategory::Symbol,
+        "Kangxi Radicals" | "CJK Radicals Supplement" => GeneralCategory::Symbol,
+        // Every remaining modelled block is a letter repertoire. Bicameral
+        // cases were peeled off above, so what is left is `Lo`.
+        _ => GeneralCategory::OtherLetter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(c: char) -> GeneralCategory {
+        category(CodePoint::from(c))
+    }
+
+    #[test]
+    fn ascii_categories_are_exact() {
+        assert_eq!(cat('a'), GeneralCategory::LowercaseLetter);
+        assert_eq!(cat('A'), GeneralCategory::UppercaseLetter);
+        assert_eq!(cat('5'), GeneralCategory::DecimalNumber);
+        assert_eq!(cat('-'), GeneralCategory::Punctuation);
+        assert_eq!(cat('$'), GeneralCategory::Symbol);
+        assert_eq!(cat(' '), GeneralCategory::Separator);
+        assert_eq!(cat('\u{7}'), GeneralCategory::Control);
+    }
+
+    #[test]
+    fn latin1_case_split() {
+        assert_eq!(cat('é'), GeneralCategory::LowercaseLetter);
+        assert_eq!(cat('É'), GeneralCategory::UppercaseLetter);
+        assert_eq!(cat('ß'), GeneralCategory::LowercaseLetter);
+        assert_eq!(cat('×'), GeneralCategory::Symbol);
+        assert_eq!(cat('÷'), GeneralCategory::Symbol);
+        assert_eq!(cat('½'), GeneralCategory::OtherNumber);
+    }
+
+    #[test]
+    fn cyrillic_and_greek_case_split() {
+        assert_eq!(cat('а'), GeneralCategory::LowercaseLetter); // U+0430
+        assert_eq!(cat('А'), GeneralCategory::UppercaseLetter); // U+0410
+        assert_eq!(cat('ο'), GeneralCategory::LowercaseLetter); // U+03BF
+        assert_eq!(cat('Ω'), GeneralCategory::UppercaseLetter); // U+03A9
+        assert_eq!(cat('օ'), GeneralCategory::LowercaseLetter); // Armenian U+0585
+        assert_eq!(cat('Օ'), GeneralCategory::UppercaseLetter); // Armenian U+0555
+    }
+
+    #[test]
+    fn uncased_scripts_are_other_letters() {
+        assert_eq!(cat('工'), GeneralCategory::OtherLetter);
+        assert_eq!(cat('エ'), GeneralCategory::OtherLetter);
+        assert_eq!(cat('\u{AC00}'), GeneralCategory::OtherLetter); // 가
+        assert_eq!(cat('\u{0B32}'), GeneralCategory::OtherLetter); // Oriya la
+        assert_eq!(cat('\u{A500}'), GeneralCategory::OtherLetter); // Vai
+    }
+
+    #[test]
+    fn digits_across_scripts() {
+        assert_eq!(cat('\u{0ED0}'), GeneralCategory::DecimalNumber); // Lao zero
+        assert_eq!(cat('\u{0966}'), GeneralCategory::DecimalNumber); // Devanagari zero
+        assert_eq!(cat('\u{06F5}'), GeneralCategory::DecimalNumber);
+        assert_eq!(cat('\u{FF10}'), GeneralCategory::DecimalNumber);
+    }
+
+    #[test]
+    fn marks_and_format_controls() {
+        assert_eq!(cat('\u{0301}'), GeneralCategory::Mark);
+        assert_eq!(cat('\u{200C}'), GeneralCategory::Format); // ZWNJ
+        assert_eq!(cat('\u{200D}'), GeneralCategory::Format); // ZWJ
+        assert_eq!(cat('\u{2014}'), GeneralCategory::Punctuation); // em dash
+    }
+
+    #[test]
+    fn unassigned_gap() {
+        assert_eq!(category(CodePoint(0xE123)), GeneralCategory::Unassigned);
+    }
+
+    #[test]
+    fn figure7_sparse_characters_are_marks() {
+        // The paper's Figure 7 examples of eliminated sparse characters.
+        for v in [0x1BE7u32, 0x2DF5, 0xA953, 0xABEC] {
+            assert_eq!(category(CodePoint(v)), GeneralCategory::Mark, "U+{v:04X}");
+        }
+        // Thai and Khmer dependent vowels likewise.
+        assert_eq!(category(CodePoint(0x0E34)), GeneralCategory::Mark);
+        assert_eq!(category(CodePoint(0x17B6)), GeneralCategory::Mark);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(cat('a').is_letter());
+        assert!(cat('\u{0301}').is_mark());
+        assert!(cat('7').is_number());
+        assert!(!cat('$').is_letter());
+    }
+}

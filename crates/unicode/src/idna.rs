@@ -1,0 +1,208 @@
+//! IDNA2008 derived property (simplified RFC 5892 derivation).
+//!
+//! The paper builds SimChar from the 123,006 code points the IDNA2008
+//! draft (`draft-faltstrom-unicode12-00`) marks `PVALID`. RFC 5892 derives
+//! that property from general categories plus exception and context lists.
+//! We reproduce the derivation over this substrate's category model:
+//!
+//! 1. exceptions (a small explicit list, including U+00DF ß, U+0640 ـ, …),
+//! 2. `Lo`/`Ll`/`Lm`/`M*`/`Nd` → `PVALID`,
+//! 3. uppercase letters → `DISALLOWED` (unstable under case folding),
+//! 4. ZWNJ/ZWJ → `CONTEXTJ`; a handful of `CONTEXTO` points,
+//! 5. everything else assigned → `DISALLOWED`; gaps → `UNASSIGNED`.
+//!
+//! The hyphen `U+002D` and ASCII digits/letters are `PVALID` per the LDH
+//! rule.
+
+use crate::{category, CodePoint, GeneralCategory};
+use serde::{Deserialize, Serialize};
+
+/// RFC 5892 derived property values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DerivedProperty {
+    /// Permitted for general use in IDNs.
+    Pvalid,
+    /// Permitted only in specific join contexts (ZWNJ/ZWJ).
+    ContextJ,
+    /// Permitted only in specific other contexts (e.g. middle dot).
+    ContextO,
+    /// Never permitted.
+    Disallowed,
+    /// Not assigned in the repertoire.
+    Unassigned,
+}
+
+/// Explicit exception list (RFC 5892 §2.6, abbreviated to the entries that
+/// matter for homograph analysis).
+const EXCEPTIONS: &[(u32, DerivedProperty)] = &[
+    (0x00DF, DerivedProperty::Pvalid),     // LATIN SMALL LETTER SHARP S
+    (0x03C2, DerivedProperty::Pvalid),     // GREEK SMALL LETTER FINAL SIGMA
+    (0x06FD, DerivedProperty::Pvalid),     // ARABIC SIGN SINDHI AMPERSAND
+    (0x06FE, DerivedProperty::Pvalid),     // ARABIC SIGN SINDHI POSTPOSITION MEN
+    (0x0F0B, DerivedProperty::Pvalid),     // TIBETAN MARK INTERSYLLABIC TSHEG
+    (0x3007, DerivedProperty::Pvalid),     // IDEOGRAPHIC NUMBER ZERO
+    (0x00B7, DerivedProperty::ContextO),   // MIDDLE DOT (Catalan l·l)
+    (0x0375, DerivedProperty::ContextO),   // GREEK LOWER NUMERAL SIGN
+    (0x05F3, DerivedProperty::ContextO),   // HEBREW PUNCTUATION GERESH
+    (0x05F4, DerivedProperty::ContextO),   // HEBREW PUNCTUATION GERSHAYIM
+    (0x30FB, DerivedProperty::ContextO),   // KATAKANA MIDDLE DOT
+    (0x0640, DerivedProperty::Disallowed), // ARABIC TATWEEL
+    (0x07FA, DerivedProperty::Disallowed), // NKO LAJANYALAN
+    (0x302E, DerivedProperty::Disallowed), // HANGUL SINGLE DOT TONE MARK
+    (0x302F, DerivedProperty::Disallowed), // HANGUL DOUBLE DOT TONE MARK
+    (0x3031, DerivedProperty::Disallowed), // VERTICAL KANA REPEAT MARK
+    (0x303B, DerivedProperty::Disallowed), // VERTICAL IDEOGRAPHIC ITERATION MARK
+];
+
+/// Blocks whose letters are unstable under NFKC (compatibility
+/// decompositions) and therefore DISALLOWED by RFC 5892 rule G, whatever
+/// their general category: styled maths letters, fullwidth forms,
+/// presentation forms, enclosed forms and compatibility ideographs/jamo.
+const NFKC_UNSTABLE_BLOCKS: &[&str] = &[
+    "Halfwidth and Fullwidth Forms",
+    "Mathematical Alphanumeric Symbols",
+    "Alphabetic Presentation Forms",
+    "Arabic Presentation Forms-A",
+    "Arabic Presentation Forms-B",
+    "Enclosed Alphanumerics",
+    "Enclosed CJK Letters and Months",
+    "CJK Compatibility Ideographs",
+    "Hangul Compatibility Jamo",
+    "Number Forms",
+    "Letterlike Symbols",
+    "Superscripts and Subscripts",
+    "Kangxi Radicals",
+    "CJK Radicals Supplement",
+];
+
+/// Computes the IDNA2008 derived property of `cp`.
+pub fn derived_property(cp: CodePoint) -> DerivedProperty {
+    if let Some(&(_, prop)) = EXCEPTIONS.iter().find(|&&(v, _)| v == cp.0) {
+        return prop;
+    }
+    if let Some(block) = crate::block_of(cp) {
+        if NFKC_UNSTABLE_BLOCKS.contains(&block.name) {
+            return DerivedProperty::Disallowed;
+        }
+    }
+    // LDH: lowercase ASCII letters, digits and hyphen are PVALID; the
+    // protocol never sees uppercase ASCII (case-mapped before lookup).
+    match cp.0 {
+        0x2D | 0x30..=0x39 | 0x61..=0x7A => return DerivedProperty::Pvalid,
+        0x00..=0x2C | 0x2E | 0x2F | 0x3A..=0x60 | 0x7B..=0x7F => {
+            return DerivedProperty::Disallowed
+        }
+        0x200C | 0x200D => return DerivedProperty::ContextJ,
+        _ => {}
+    }
+    match category(cp) {
+        GeneralCategory::LowercaseLetter
+        | GeneralCategory::OtherLetter
+        | GeneralCategory::ModifierLetter
+        | GeneralCategory::Mark
+        | GeneralCategory::DecimalNumber => DerivedProperty::Pvalid,
+        GeneralCategory::Unassigned => DerivedProperty::Unassigned,
+        _ => DerivedProperty::Disallowed,
+    }
+}
+
+/// True when `cp` may appear in an IDN label (`PVALID`).
+///
+/// Context-dependent code points (`CONTEXTJ`/`CONTEXTO`) are excluded: the
+/// paper's repertoire counts only `PROTOCOL VALID` points.
+pub fn is_pvalid(cp: CodePoint) -> bool {
+    derived_property(cp) == DerivedProperty::Pvalid
+}
+
+/// True when every character of `label` is PVALID (or an LDH character),
+/// i.e. the label could be registered under an inclusion-based policy that
+/// permits all PVALID points.
+pub fn label_is_registrable(label: &str) -> bool {
+    !label.is_empty()
+        && label.chars().all(|c| is_pvalid(CodePoint::from(c)))
+        && !label.starts_with('-')
+        && !label.ends_with('-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(c: char) -> DerivedProperty {
+        derived_property(CodePoint::from(c))
+    }
+
+    #[test]
+    fn ldh_rule() {
+        assert_eq!(prop('a'), DerivedProperty::Pvalid);
+        assert_eq!(prop('z'), DerivedProperty::Pvalid);
+        assert_eq!(prop('0'), DerivedProperty::Pvalid);
+        assert_eq!(prop('-'), DerivedProperty::Pvalid);
+        assert_eq!(prop('A'), DerivedProperty::Disallowed);
+        assert_eq!(prop('.'), DerivedProperty::Disallowed);
+        assert_eq!(prop('_'), DerivedProperty::Disallowed);
+    }
+
+    #[test]
+    fn homoglyph_sources_are_pvalid() {
+        // The characters the paper's attacks are built from must be PVALID.
+        for c in ['а', 'о', 'с', 'е', 'р', 'օ', 'ο', 'é', 'è', '工', 'エ', '\u{0ED0}'] {
+            assert_eq!(prop(c), DerivedProperty::Pvalid, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn uppercase_disallowed() {
+        for c in ['A', 'É', 'Ω', 'А', 'Օ'] {
+            assert_eq!(prop(c), DerivedProperty::Disallowed, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn symbols_and_punctuation_disallowed() {
+        for c in ['$', '€', '→', '∑', '☺', '。', '·'] {
+            assert_ne!(prop(c), DerivedProperty::Pvalid, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn exceptions_apply() {
+        assert_eq!(prop('ß'), DerivedProperty::Pvalid);
+        assert_eq!(prop('ς'), DerivedProperty::Pvalid);
+        assert_eq!(prop('\u{0640}'), DerivedProperty::Disallowed); // tatweel
+        assert_eq!(prop('\u{00B7}'), DerivedProperty::ContextO);
+    }
+
+    #[test]
+    fn joiners_are_contextj() {
+        assert_eq!(prop('\u{200C}'), DerivedProperty::ContextJ);
+        assert_eq!(prop('\u{200D}'), DerivedProperty::ContextJ);
+    }
+
+    #[test]
+    fn unassigned_gap_is_unassigned() {
+        assert_eq!(derived_property(CodePoint(0xE123)), DerivedProperty::Unassigned);
+    }
+
+    #[test]
+    fn nfkc_unstable_blocks_disallowed() {
+        // Styled/compatibility letters may not be registered even though
+        // they are letters: they decompose under NFKC.
+        assert_eq!(derived_property(CodePoint(0x1D41A)), DerivedProperty::Disallowed); // 𝐚
+        assert_eq!(derived_property(CodePoint(0xFF41)), DerivedProperty::Disallowed); // ａ
+        assert_eq!(derived_property(CodePoint(0x2170)), DerivedProperty::Disallowed); // ⅰ
+        assert_eq!(derived_property(CodePoint(0x3131)), DerivedProperty::Disallowed); // compat jamo
+    }
+
+    #[test]
+    fn registrable_labels() {
+        assert!(label_is_registrable("google"));
+        assert!(label_is_registrable("gооgle")); // Cyrillic o's
+        assert!(label_is_registrable("工業大学"));
+        assert!(!label_is_registrable("Google")); // uppercase
+        assert!(!label_is_registrable("-abc"));
+        assert!(!label_is_registrable("abc-"));
+        assert!(!label_is_registrable(""));
+        assert!(!label_is_registrable("a_b"));
+    }
+}

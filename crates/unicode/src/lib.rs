@@ -1,0 +1,145 @@
+//! Unicode character database substrate for the ShamFinder reproduction.
+//!
+//! The paper consumes four pieces of the Unicode 12.0.0 character database:
+//!
+//! * the **block** table (Table 4 groups homoglyphs by block),
+//! * the **script** property (browser display policies are script based),
+//! * coarse **general categories** (IDNA2008 derives permitted code points
+//!   from categories),
+//! * the **IDNA2008 derived property** (`PVALID` et al., RFC 5892), which
+//!   defines the 123,006-character repertoire SimChar is built from.
+//!
+//! The real UCD data files are not available offline, so this crate embeds
+//! the published block/script *ranges* (these are stable, well-known values)
+//! and derives categories at range granularity. The result is a repertoire
+//! with the same structure as Unicode 12 — the absolute counts are close to,
+//! but not digit-exact with, the paper's (see `DESIGN.md` §3).
+//!
+//! # Example
+//!
+//! ```
+//! use sham_unicode::{block_of, script_of, Script, idna};
+//!
+//! let cyr_a = sham_unicode::CodePoint::from('а'); // U+0430 CYRILLIC SMALL A
+//! assert_eq!(block_of(cyr_a).unwrap().name, "Cyrillic");
+//! assert_eq!(script_of(cyr_a), Script::Cyrillic);
+//! assert!(idna::is_pvalid(cyr_a));
+//! ```
+
+pub mod blocks;
+pub mod category;
+pub mod idna;
+pub mod repertoire;
+pub mod scripts;
+
+pub use blocks::{block_by_name, block_of, Block, Plane};
+pub use category::{category, GeneralCategory};
+pub use idna::{derived_property, is_pvalid, DerivedProperty};
+pub use repertoire::{assigned_code_points, is_assigned};
+pub use scripts::{script_of, scripts_in, Script};
+
+use serde::{Deserialize, Serialize};
+
+/// A Unicode code point (scalar value or unassigned slot).
+///
+/// Unlike [`char`], a `CodePoint` may designate unassigned values; it still
+/// excludes the surrogate range. Display form is the conventional `U+XXXX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CodePoint(pub u32);
+
+impl CodePoint {
+    /// Largest valid Unicode code point.
+    pub const MAX: u32 = 0x10FFFF;
+
+    /// Creates a code point, returning `None` for surrogates or values
+    /// beyond `U+10FFFF`.
+    pub fn new(value: u32) -> Option<Self> {
+        if value > Self::MAX || (0xD800..=0xDFFF).contains(&value) {
+            None
+        } else {
+            Some(CodePoint(value))
+        }
+    }
+
+    /// Raw scalar value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Converts to a Rust `char` when the value is a valid scalar.
+    pub fn to_char(self) -> Option<char> {
+        char::from_u32(self.0)
+    }
+
+    /// True for the printable ASCII range `U+0020..=U+007E`.
+    pub fn is_ascii_printable(self) -> bool {
+        (0x20..=0x7E).contains(&self.0)
+    }
+
+    /// True for ASCII lowercase letters `a..=z`.
+    pub fn is_ascii_lowercase(self) -> bool {
+        (0x61..=0x7A).contains(&self.0)
+    }
+}
+
+impl From<char> for CodePoint {
+    fn from(c: char) -> Self {
+        CodePoint(c as u32)
+    }
+}
+
+impl std::fmt::Display for CodePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U+{:04X}", self.0)
+    }
+}
+
+/// True when `c` belongs to the LDH set (letters, digits, hyphen) that is
+/// valid in traditional ASCII domain labels.
+pub fn is_ldh(c: char) -> bool {
+    c.is_ascii_lowercase() || c.is_ascii_uppercase() || c.is_ascii_digit() || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_point_rejects_surrogates() {
+        assert!(CodePoint::new(0xD800).is_none());
+        assert!(CodePoint::new(0xDFFF).is_none());
+        assert!(CodePoint::new(0xD7FF).is_some());
+        assert!(CodePoint::new(0xE000).is_some());
+    }
+
+    #[test]
+    fn code_point_rejects_out_of_range() {
+        assert!(CodePoint::new(0x110000).is_none());
+        assert!(CodePoint::new(0x10FFFF).is_some());
+    }
+
+    #[test]
+    fn display_is_u_plus_hex() {
+        assert_eq!(CodePoint(0x61).to_string(), "U+0061");
+        assert_eq!(CodePoint(0x1F600).to_string(), "U+1F600");
+    }
+
+    #[test]
+    fn from_char_round_trips() {
+        for c in ['a', 'é', '工', 'エ', '\u{10330}'] {
+            let cp = CodePoint::from(c);
+            assert_eq!(cp.to_char(), Some(c));
+        }
+    }
+
+    #[test]
+    fn ldh_membership() {
+        assert!(is_ldh('a'));
+        assert!(is_ldh('Z'));
+        assert!(is_ldh('0'));
+        assert!(is_ldh('-'));
+        assert!(!is_ldh('.'));
+        assert!(!is_ldh('é'));
+        assert!(!is_ldh('_'));
+    }
+}

@@ -1,0 +1,96 @@
+//! Iteration over the assigned repertoire of this substrate.
+//!
+//! The repertoire is the union of all code points inside the block table
+//! (blocks model assigned ranges; the gaps between blocks model unassigned
+//! code space). Unicode 12.0.0 assigns 137,928 characters; this substrate's
+//! repertoire is the same order of magnitude — `repro table1` reports the
+//! exact figure next to the paper's.
+
+use crate::{blocks::BLOCKS, derived_property, CodePoint, DerivedProperty};
+
+/// True when `cp` is assigned in this substrate (falls inside a block).
+pub fn is_assigned(cp: CodePoint) -> bool {
+    crate::block_of(cp).is_some()
+}
+
+/// Iterates every assigned code point in ascending order.
+pub fn assigned_code_points() -> impl Iterator<Item = CodePoint> {
+    BLOCKS
+        .iter()
+        .flat_map(|b| b.start..=b.end)
+        .filter_map(CodePoint::new)
+}
+
+/// Iterates every `PVALID` (IDN-permitted) code point in ascending order.
+///
+/// This is the repertoire SimChar is built from (paper §3.2: 123,006
+/// characters in the IDNA2008 draft).
+pub fn pvalid_code_points() -> impl Iterator<Item = CodePoint> {
+    assigned_code_points().filter(|&cp| derived_property(cp) == DerivedProperty::Pvalid)
+}
+
+/// Summary counts of the repertoire, mirroring the quantities of the
+/// paper's Table 1 left column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepertoireStats {
+    /// Total assigned code points (paper: 137,928 in Unicode 12.0.0).
+    pub assigned: usize,
+    /// PVALID code points (paper: 123,006 in the IDNA2008 draft).
+    pub pvalid: usize,
+}
+
+/// Computes repertoire statistics.
+pub fn repertoire_stats() -> RepertoireStats {
+    let mut assigned = 0usize;
+    let mut pvalid = 0usize;
+    for cp in assigned_code_points() {
+        assigned += 1;
+        if derived_property(cp) == DerivedProperty::Pvalid {
+            pvalid += 1;
+        }
+    }
+    RepertoireStats { assigned, pvalid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assigned_iterator_is_sorted_and_unique() {
+        let mut prev = None;
+        for cp in assigned_code_points().take(100_000) {
+            if let Some(p) = prev {
+                assert!(cp.0 > p, "not strictly ascending at {cp}");
+            }
+            prev = Some(cp.0);
+        }
+    }
+
+    #[test]
+    fn surrogates_never_appear() {
+        assert!(assigned_code_points().all(|cp| !(0xD800..=0xDFFF).contains(&cp.0)));
+    }
+
+    #[test]
+    fn repertoire_magnitude_matches_unicode12_structure() {
+        let stats = repertoire_stats();
+        // Unicode 12: 137,928 assigned; IDNA2008: 123,006 PVALID. Our
+        // substrate is range-granular so the figures differ, but they must
+        // be the same order of magnitude and preserve pvalid < assigned.
+        assert!(stats.assigned > 100_000, "assigned = {}", stats.assigned);
+        assert!(stats.assigned < 250_000, "assigned = {}", stats.assigned);
+        assert!(stats.pvalid > 90_000, "pvalid = {}", stats.pvalid);
+        assert!(stats.pvalid < stats.assigned);
+        // The PVALID share in Unicode 12 is ~89%; accept a broad band.
+        let share = stats.pvalid as f64 / stats.assigned as f64;
+        assert!(share > 0.70 && share < 0.99, "share = {share}");
+    }
+
+    #[test]
+    fn pvalid_iterator_agrees_with_predicate() {
+        for cp in pvalid_code_points().take(5_000) {
+            assert!(crate::is_pvalid(cp));
+        }
+    }
+}

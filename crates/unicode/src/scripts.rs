@@ -1,0 +1,309 @@
+//! Script property (range-granular).
+//!
+//! Browser IDN display policies (Chrome's and Firefox's, modelled in
+//! `sham-core`) hinge on whether the characters of a label come from a
+//! single script, from scripts that are conventionally combined (e.g.
+//! Han + Hiragana + Katakana in Japanese), or from a suspicious mixture
+//! (e.g. Latin + Cyrillic). This module assigns a script to each code
+//! point by block range — the same granularity the real Script.txt uses
+//! for the vast majority of assignments.
+
+use crate::{block_of, CodePoint};
+use serde::{Deserialize, Serialize};
+
+/// Writing system of a code point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Script {
+    /// Shared characters: digits, hyphen, punctuation.
+    Common,
+    /// Combining marks inherit the script of their base character.
+    Inherited,
+    Latin,
+    Greek,
+    Cyrillic,
+    Armenian,
+    Hebrew,
+    Arabic,
+    Syriac,
+    Thaana,
+    Nko,
+    Devanagari,
+    Bengali,
+    Gurmukhi,
+    Gujarati,
+    Oriya,
+    Tamil,
+    Telugu,
+    Kannada,
+    Malayalam,
+    Sinhala,
+    Thai,
+    Lao,
+    Tibetan,
+    Myanmar,
+    Georgian,
+    Hangul,
+    Ethiopic,
+    Cherokee,
+    CanadianAboriginal,
+    Ogham,
+    Runic,
+    Khmer,
+    Mongolian,
+    Han,
+    Hiragana,
+    Katakana,
+    Bopomofo,
+    Yi,
+    Vai,
+    Lisu,
+    Bamum,
+    Adlam,
+    Osage,
+    Gothic,
+    Deseret,
+    WarangCiti,
+    /// Any script this table does not model individually.
+    Unknown,
+}
+
+impl Script {
+    /// Human-readable name (matches the Unicode property value where the
+    /// variant models a real script).
+    pub fn name(self) -> &'static str {
+        match self {
+            Script::Common => "Common",
+            Script::Inherited => "Inherited",
+            Script::Latin => "Latin",
+            Script::Greek => "Greek",
+            Script::Cyrillic => "Cyrillic",
+            Script::Armenian => "Armenian",
+            Script::Hebrew => "Hebrew",
+            Script::Arabic => "Arabic",
+            Script::Syriac => "Syriac",
+            Script::Thaana => "Thaana",
+            Script::Nko => "NKo",
+            Script::Devanagari => "Devanagari",
+            Script::Bengali => "Bengali",
+            Script::Gurmukhi => "Gurmukhi",
+            Script::Gujarati => "Gujarati",
+            Script::Oriya => "Oriya",
+            Script::Tamil => "Tamil",
+            Script::Telugu => "Telugu",
+            Script::Kannada => "Kannada",
+            Script::Malayalam => "Malayalam",
+            Script::Sinhala => "Sinhala",
+            Script::Thai => "Thai",
+            Script::Lao => "Lao",
+            Script::Tibetan => "Tibetan",
+            Script::Myanmar => "Myanmar",
+            Script::Georgian => "Georgian",
+            Script::Hangul => "Hangul",
+            Script::Ethiopic => "Ethiopic",
+            Script::Cherokee => "Cherokee",
+            Script::CanadianAboriginal => "Canadian_Aboriginal",
+            Script::Ogham => "Ogham",
+            Script::Runic => "Runic",
+            Script::Khmer => "Khmer",
+            Script::Mongolian => "Mongolian",
+            Script::Han => "Han",
+            Script::Hiragana => "Hiragana",
+            Script::Katakana => "Katakana",
+            Script::Bopomofo => "Bopomofo",
+            Script::Yi => "Yi",
+            Script::Vai => "Vai",
+            Script::Lisu => "Lisu",
+            Script::Bamum => "Bamum",
+            Script::Adlam => "Adlam",
+            Script::Osage => "Osage",
+            Script::Gothic => "Gothic",
+            Script::Deseret => "Deseret",
+            Script::WarangCiti => "Warang_Citi",
+            Script::Unknown => "Unknown",
+        }
+    }
+
+    /// Scripts that the Chromium display policy treats as "CJK" and allows
+    /// to mix with each other (and with Latin) without falling back to
+    /// Punycode.
+    pub fn is_cjk(self) -> bool {
+        matches!(
+            self,
+            Script::Han | Script::Hiragana | Script::Katakana | Script::Hangul | Script::Bopomofo
+        )
+    }
+
+    /// Scripts whose letters are routinely confusable with Latin and that
+    /// browsers single out in their mixed-script rules.
+    pub fn is_latin_lookalike_risk(self) -> bool {
+        matches!(self, Script::Cyrillic | Script::Greek | Script::Armenian)
+    }
+}
+
+/// Returns the script of `cp`.
+pub fn script_of(cp: CodePoint) -> Script {
+    // ASCII needs sub-block resolution: letters are Latin, the rest Common.
+    if cp.0 < 0x80 {
+        return if (0x41..=0x5A).contains(&cp.0) || (0x61..=0x7A).contains(&cp.0) {
+            Script::Latin
+        } else {
+            Script::Common
+        };
+    }
+    let Some(block) = block_of(cp) else { return Script::Unknown };
+    match block.name {
+        "Latin-1 Supplement" => {
+            // Letters are Latin; the U+0080..=U+00BF controls/signs and the
+            // multiplication/division signs are Common.
+            if cp.0 >= 0xC0 && cp.0 != 0xD7 && cp.0 != 0xF7 {
+                Script::Latin
+            } else {
+                Script::Common
+            }
+        }
+        "Latin Extended-A" | "Latin Extended-B" | "IPA Extensions"
+        | "Latin Extended Additional" | "Latin Extended-C" | "Latin Extended-D"
+        | "Phonetic Extensions" | "Phonetic Extensions Supplement" => Script::Latin,
+        "Spacing Modifier Letters" | "General Punctuation" | "Superscripts and Subscripts"
+        | "Currency Symbols" | "Letterlike Symbols" | "Number Forms" | "Arrows"
+        | "Mathematical Operators" | "Miscellaneous Technical" | "Control Pictures"
+        | "Optical Character Recognition" | "Enclosed Alphanumerics" | "Box Drawing"
+        | "Block Elements" | "Geometric Shapes" | "Miscellaneous Symbols" | "Dingbats"
+        | "Miscellaneous Mathematical Symbols-A" | "Braille Patterns"
+        | "Supplemental Punctuation" | "CJK Symbols and Punctuation"
+        | "Enclosed CJK Letters and Months" | "Halfwidth and Fullwidth Forms"
+        | "Mathematical Alphanumeric Symbols" | "Miscellaneous Symbols and Pictographs"
+        | "Emoticons" | "Modifier Tone Letters" => Script::Common,
+        "Combining Diacritical Marks" | "Combining Diacritical Marks Extended"
+        | "Combining Diacritical Marks Supplement"
+        | "Combining Diacritical Marks for Symbols" | "Combining Half Marks"
+        | "Vedic Extensions" => Script::Inherited,
+        "Greek and Coptic" | "Greek Extended" => Script::Greek,
+        "Cyrillic" | "Cyrillic Supplement" | "Cyrillic Extended-A" | "Cyrillic Extended-B"
+        | "Cyrillic Extended-C" => Script::Cyrillic,
+        "Armenian" => Script::Armenian,
+        "Hebrew" | "Alphabetic Presentation Forms" => Script::Hebrew,
+        "Arabic" | "Arabic Supplement" | "Arabic Extended-A" | "Arabic Presentation Forms-A"
+        | "Arabic Presentation Forms-B" => Script::Arabic,
+        "Syriac" => Script::Syriac,
+        "Thaana" => Script::Thaana,
+        "NKo" => Script::Nko,
+        "Devanagari" => Script::Devanagari,
+        "Bengali" => Script::Bengali,
+        "Gurmukhi" => Script::Gurmukhi,
+        "Gujarati" => Script::Gujarati,
+        "Oriya" => Script::Oriya,
+        "Tamil" => Script::Tamil,
+        "Telugu" => Script::Telugu,
+        "Kannada" => Script::Kannada,
+        "Malayalam" => Script::Malayalam,
+        "Sinhala" => Script::Sinhala,
+        "Thai" => Script::Thai,
+        "Lao" => Script::Lao,
+        "Tibetan" => Script::Tibetan,
+        "Myanmar" => Script::Myanmar,
+        "Georgian" | "Georgian Extended" | "Georgian Supplement" => Script::Georgian,
+        "Hangul Jamo" | "Hangul Compatibility Jamo" | "Hangul Jamo Extended-A"
+        | "Hangul Jamo Extended-B" | "Hangul Syllables" => Script::Hangul,
+        "Ethiopic" | "Ethiopic Supplement" | "Ethiopic Extended" | "Ethiopic Extended-A" => {
+            Script::Ethiopic
+        }
+        "Cherokee" | "Cherokee Supplement" => Script::Cherokee,
+        "Unified Canadian Aboriginal Syllabics"
+        | "Unified Canadian Aboriginal Syllabics Extended" => Script::CanadianAboriginal,
+        "Ogham" => Script::Ogham,
+        "Runic" => Script::Runic,
+        "Khmer" | "Khmer Symbols" => Script::Khmer,
+        "Mongolian" => Script::Mongolian,
+        "CJK Radicals Supplement" | "Kangxi Radicals" | "CJK Unified Ideographs Extension A"
+        | "CJK Unified Ideographs" | "CJK Compatibility Ideographs"
+        | "CJK Unified Ideographs Extension B" | "CJK Unified Ideographs Extension C"
+        | "CJK Unified Ideographs Extension D" | "CJK Unified Ideographs Extension E"
+        | "CJK Unified Ideographs Extension F" => Script::Han,
+        "Hiragana" => Script::Hiragana,
+        "Katakana" | "Katakana Phonetic Extensions" | "Kana Supplement" => Script::Katakana,
+        "Bopomofo" | "Bopomofo Extended" => Script::Bopomofo,
+        "Yi Syllables" | "Yi Radicals" => Script::Yi,
+        "Vai" => Script::Vai,
+        "Lisu" => Script::Lisu,
+        "Bamum" | "Bamum Supplement" => Script::Bamum,
+        "Adlam" => Script::Adlam,
+        "Osage" => Script::Osage,
+        "Gothic" => Script::Gothic,
+        "Deseret" => Script::Deseret,
+        "Warang Citi" => Script::WarangCiti,
+        _ => Script::Unknown,
+    }
+}
+
+/// Returns the set of scripts used by a string, ignoring `Common` and
+/// `Inherited` (the resolution rule display policies use).
+pub fn scripts_in(text: &str) -> Vec<Script> {
+    let mut out: Vec<Script> = Vec::new();
+    for c in text.chars() {
+        let s = script_of(CodePoint::from(c));
+        if s == Script::Common || s == Script::Inherited {
+            continue;
+        }
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(c: char) -> Script {
+        script_of(CodePoint::from(c))
+    }
+
+    #[test]
+    fn ascii_letters_are_latin_digits_common() {
+        assert_eq!(sc('a'), Script::Latin);
+        assert_eq!(sc('Z'), Script::Latin);
+        assert_eq!(sc('0'), Script::Common);
+        assert_eq!(sc('-'), Script::Common);
+        assert_eq!(sc('.'), Script::Common);
+    }
+
+    #[test]
+    fn paper_examples_resolve() {
+        assert_eq!(sc('а'), Script::Cyrillic); // U+0430
+        assert_eq!(sc('օ'), Script::Armenian); // U+0585
+        assert_eq!(sc('工'), Script::Han); // U+5DE5
+        assert_eq!(sc('エ'), Script::Katakana); // U+30A8
+        assert_eq!(sc('\u{0ED0}'), Script::Lao); // Lao digit zero
+        assert_eq!(sc('\u{118D8}'), Script::WarangCiti); // Figure 11
+    }
+
+    #[test]
+    fn accents_are_latin_marks_inherited() {
+        assert_eq!(sc('é'), Script::Latin);
+        assert_eq!(sc('\u{0301}'), Script::Inherited); // combining acute
+        assert_eq!(sc('×'), Script::Common);
+        assert_eq!(sc('÷'), Script::Common);
+    }
+
+    #[test]
+    fn scripts_in_collects_unique_sorted() {
+        let s = scripts_in("gооgle"); // Latin g,g,l,e + Cyrillic о,о
+        assert_eq!(s, vec![Script::Latin, Script::Cyrillic]);
+        assert_eq!(scripts_in("google-123"), vec![Script::Latin]);
+        assert_eq!(scripts_in("123-."), Vec::<Script>::new());
+    }
+
+    #[test]
+    fn cjk_classification() {
+        assert!(Script::Han.is_cjk());
+        assert!(Script::Katakana.is_cjk());
+        assert!(Script::Hangul.is_cjk());
+        assert!(!Script::Latin.is_cjk());
+        assert!(Script::Cyrillic.is_latin_lookalike_risk());
+        assert!(!Script::Han.is_latin_lookalike_risk());
+    }
+}

@@ -1,0 +1,144 @@
+//! Blacklist feeds (paper §6.3, Table 14).
+//!
+//! The paper checks detected homographs against three feeds: hpHosts (a
+//! large community hosts-file database), Google Safe Browsing and
+//! Symantec DeepSight (small, expert-curated). This module implements the
+//! hosts-file format hpHosts distributes and a generic named feed type;
+//! the synthetic feeds themselves are planted by `sham-workload` with the
+//! paper's relative sizes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A named blacklist of domain names.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Blacklist {
+    /// Feed name (e.g. `hpHosts`).
+    pub name: String,
+    entries: BTreeSet<String>,
+}
+
+impl Blacklist {
+    /// Empty feed.
+    pub fn new(name: &str) -> Self {
+        Blacklist { name: name.to_string(), entries: BTreeSet::new() }
+    }
+
+    /// Adds a domain (stored lowercased).
+    pub fn add(&mut self, domain: &str) {
+        self.entries.insert(domain.to_ascii_lowercase());
+    }
+
+    /// True when the exact domain is listed.
+    pub fn contains(&self, domain: &str) -> bool {
+        self.entries.contains(&domain.to_ascii_lowercase())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the feed is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(String::as_str)
+    }
+
+    /// Parses the hosts-file format hpHosts ships:
+    /// `127.0.0.1<ws>domain` lines, `#` comments. Unparseable lines are
+    /// counted, not fatal (the real feed contains junk).
+    pub fn from_hosts_file(name: &str, text: &str) -> (Blacklist, usize) {
+        let mut bl = Blacklist::new(name);
+        let mut bad = 0usize;
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match (fields.next(), fields.next()) {
+                (Some(addr), Some(domain))
+                    if (addr == "127.0.0.1" || addr == "0.0.0.0")
+                        && domain.contains('.') =>
+                {
+                    bl.add(domain);
+                }
+                _ => bad += 1,
+            }
+        }
+        (bl, bad)
+    }
+
+    /// Serialises to the hosts-file format.
+    pub fn to_hosts_file(&self) -> String {
+        let mut s = format!("# {} — {} entries\n", self.name, self.len());
+        for d in &self.entries {
+            s.push_str("127.0.0.1\t");
+            s.push_str(d);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Checks a domain against several feeds, returning the names of feeds
+/// that list it.
+pub fn check_all<'a>(feeds: &'a [Blacklist], domain: &str) -> Vec<&'a str> {
+    feeds
+        .iter()
+        .filter(|f| f.contains(domain))
+        .map(|f| f.name.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_contains_case_insensitive() {
+        let mut bl = Blacklist::new("test");
+        bl.add("Evil.COM");
+        assert!(bl.contains("evil.com"));
+        assert!(bl.contains("EVIL.com"));
+        assert!(!bl.contains("good.com"));
+    }
+
+    #[test]
+    fn hosts_file_round_trip() {
+        let text = "# header\n127.0.0.1\tbad.com\n0.0.0.0  worse.com\n\ngarbage line\n";
+        let (bl, bad) = Blacklist::from_hosts_file("hpHosts", text);
+        assert_eq!(bl.len(), 2);
+        assert_eq!(bad, 1);
+        assert!(bl.contains("bad.com"));
+        assert!(bl.contains("worse.com"));
+
+        let (again, bad2) = Blacklist::from_hosts_file("hpHosts", &bl.to_hosts_file());
+        assert_eq!(again.len(), 2);
+        assert_eq!(bad2, 0);
+    }
+
+    #[test]
+    fn check_all_reports_feed_names() {
+        let mut a = Blacklist::new("hpHosts");
+        a.add("x.com");
+        let mut b = Blacklist::new("GSB");
+        b.add("x.com");
+        let c = Blacklist::new("Symantec");
+        let feeds = vec![a, b, c];
+        assert_eq!(check_all(&feeds, "x.com"), vec!["hpHosts", "GSB"]);
+        assert!(check_all(&feeds, "y.com").is_empty());
+    }
+
+    #[test]
+    fn rejects_nonsense_addresses() {
+        let (bl, bad) = Blacklist::from_hosts_file("t", "10.0.0.1 private.com\n");
+        assert_eq!(bl.len(), 0);
+        assert_eq!(bad, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Active-site classification (paper §6.2(2), Table 12).
+//!
+//! The paper classifies every reachable homograph into six categories
+//! using NS records (domain-parking provider list), screenshots and HTTP
+//! responses. The classifier here consumes [`Observation`]s — NS evidence
+//! plus fetch outcome — and applies the same decision order: parking NS
+//! first, then redirect, then page-content heuristics.
+
+use crate::site::{FetchOutcome, Observation};
+use serde::{Deserialize, Serialize};
+
+/// Table 12 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Parked at a monetisation provider.
+    DomainParking,
+    /// Offered for sale.
+    ForSale,
+    /// Redirects to a different domain.
+    Redirect,
+    /// Displays a legitimate-looking page.
+    Normal,
+    /// Displays nothing.
+    Empty,
+    /// Screenshot/fetch failed.
+    Error,
+}
+
+impl Category {
+    /// Display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::DomainParking => "Domain parking",
+            Category::ForSale => "For sale",
+            Category::Redirect => "Redirect",
+            Category::Normal => "Normal",
+            Category::Empty => "Empty",
+            Category::Error => "Error",
+        }
+    }
+
+    /// All categories in the paper's row order.
+    pub fn all() -> [Category; 6] {
+        [
+            Category::DomainParking,
+            Category::ForSale,
+            Category::Redirect,
+            Category::Normal,
+            Category::Empty,
+            Category::Error,
+        ]
+    }
+}
+
+/// NS host suffixes of domain-parking providers. The paper compiled 17
+/// NS records from prior work (Vissers et al., DomainChroma) plus manual
+/// additions; these are the well-known providers of that era.
+pub const PARKING_NS: [&str; 17] = [
+    "parkingcrew.net",
+    "sedoparking.com",
+    "bodis.com",
+    "parklogic.com",
+    "above.com",
+    "dan.com",
+    "afternic.com",
+    "uniregistrymarket.link",
+    "parked.com",
+    "cashparking.com",
+    "domainapps.com",
+    "dsredirection.com",
+    "fastpark.net",
+    "namedrive.com",
+    "parkpage.foundationapi.com",
+    "smartname.com",
+    "voodoo.com",
+];
+
+/// True when an NS host belongs to a known parking provider.
+pub fn is_parking_ns(ns_host: &str) -> bool {
+    let h = ns_host.to_ascii_lowercase();
+    PARKING_NS
+        .iter()
+        .any(|suffix| h.ends_with(suffix) || h == suffix.trim_start_matches("ns."))
+}
+
+/// Phrases that mark a for-sale lander.
+const FOR_SALE_MARKERS: [&str; 4] =
+    ["for sale", "buy now", "make an offer", "domain auction"];
+
+/// Phrases that mark a parking lander (used when NS evidence is absent).
+const PARKING_MARKERS: [&str; 3] = ["sponsored listings", "related links", "related searches"];
+
+/// Classifies one observation.
+pub fn classify(obs: &Observation) -> Category {
+    // NS evidence dominates: the paper classifies by parking-NS first.
+    if obs.ns_hosts.iter().any(|h| is_parking_ns(h)) {
+        return Category::DomainParking;
+    }
+    match &obs.fetch {
+        FetchOutcome::Redirected { .. } => Category::Redirect,
+        FetchOutcome::EmptyBody => Category::Empty,
+        FetchOutcome::Failed => Category::Error,
+        FetchOutcome::Page { body } => {
+            let lower = body.to_ascii_lowercase();
+            if FOR_SALE_MARKERS.iter().any(|m| lower.contains(m)) {
+                Category::ForSale
+            } else if PARKING_MARKERS.iter().any(|m| lower.contains(m)) {
+                Category::DomainParking
+            } else if lower.trim().is_empty() {
+                Category::Empty
+            } else {
+                Category::Normal
+            }
+        }
+    }
+}
+
+/// Aggregates classifications into Table 12 rows, in paper order.
+pub fn table12_counts(categories: &[Category]) -> Vec<(&'static str, usize)> {
+    Category::all()
+        .into_iter()
+        .map(|c| (c.name(), categories.iter().filter(|&&x| x == c).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{observe, SiteProfile};
+
+    #[test]
+    fn parking_ns_dominates_content() {
+        let obs = Observation {
+            ns_hosts: vec!["ns1.parkingcrew.net".into()],
+            fetch: FetchOutcome::Page { body: "totally normal page".into() },
+        };
+        assert_eq!(classify(&obs), Category::DomainParking);
+    }
+
+    #[test]
+    fn classify_matches_ground_truth_profiles() {
+        for profile in [
+            SiteProfile::Parked { ns_provider: "ns2.sedoparking.com".into() },
+            SiteProfile::ForSale,
+            SiteProfile::Redirect { target: "brand.com".into() },
+            SiteProfile::Normal,
+            SiteProfile::Empty,
+            SiteProfile::Error,
+        ] {
+            let obs = observe(&profile, "ns.registrar.example");
+            assert_eq!(
+                classify(&obs),
+                profile.expected_category(),
+                "profile {profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_sale_markers_detected() {
+        let obs = Observation {
+            ns_hosts: vec!["ns.generic.com".into()],
+            fetch: FetchOutcome::Page { body: "This domain is FOR SALE today".into() },
+        };
+        assert_eq!(classify(&obs), Category::ForSale);
+    }
+
+    #[test]
+    fn parking_markers_without_parking_ns() {
+        let obs = Observation {
+            ns_hosts: vec!["ns.generic.com".into()],
+            fetch: FetchOutcome::Page { body: "Related Links and Sponsored Listings".into() },
+        };
+        assert_eq!(classify(&obs), Category::DomainParking);
+    }
+
+    #[test]
+    fn table12_counts_cover_all_rows() {
+        let cats = vec![
+            Category::DomainParking,
+            Category::DomainParking,
+            Category::Redirect,
+            Category::Error,
+        ];
+        let rows = table12_counts(&cats);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], ("Domain parking", 2));
+        assert_eq!(rows[2], ("Redirect", 1));
+        assert_eq!(rows[3], ("Normal", 0));
+    }
+
+    #[test]
+    fn parking_ns_suffix_matching() {
+        assert!(is_parking_ns("ns1.parkingcrew.net"));
+        assert!(is_parking_ns("NS2.BODIS.COM"));
+        assert!(!is_parking_ns("ns1.google.com"));
+    }
+}

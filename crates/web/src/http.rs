@@ -1,0 +1,359 @@
+//! Minimal HTTP/1.1 client and test server over `std::net`.
+//!
+//! The paper crawls every active homograph with a headless browser and
+//! classifies the responses (§6.2). The large-scale study here runs
+//! against simulated site profiles, but the crawling code path is real:
+//! this module implements a small blocking HTTP client (GET, status,
+//! headers, body, redirect following) and a threaded test server, so the
+//! integration tests exercise genuine sockets end to end.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 301, …).
+    pub status: u16,
+    /// Lower-cased header map (last value wins).
+    pub headers: HashMap<String, String>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The `Location` header, if present.
+    pub fn location(&self) -> Option<&str> {
+        self.headers.get("location").map(String::as_str)
+    }
+
+    /// True for 3xx statuses.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.status)
+    }
+}
+
+/// Client-side fetch errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Response violated the protocol framing.
+    Malformed(String),
+    /// Redirect chain exceeded the limit.
+    TooManyRedirects,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed response: {m}"),
+            HttpError::TooManyRedirects => write!(f, "too many redirects"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Blocking HTTP client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// Read/connect timeout.
+    pub timeout: Duration,
+    /// Maximum redirects [`Client::get_following`] will chase.
+    pub max_redirects: usize,
+    /// Hostname → address overrides (tests point names at loopback).
+    pub hosts_override: HashMap<String, SocketAddr>,
+}
+
+impl Default for Client {
+    fn default() -> Self {
+        Client {
+            timeout: Duration::from_millis(1000),
+            max_redirects: 5,
+            hosts_override: HashMap::new(),
+        }
+    }
+}
+
+impl Client {
+    /// Issues `GET path` to `host` (port 80 unless overridden).
+    pub fn get(&self, host: &str, path: &str) -> Result<Response, HttpError> {
+        let addr = match self.hosts_override.get(host) {
+            Some(&a) => a,
+            None => format!("{host}:80")
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("unresolvable host {host:?}")))?,
+        };
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: shamfinder-crawler/0.1\r\nConnection: close\r\n\r\n"
+        )?;
+        read_response(&mut stream)
+    }
+
+    /// Issues a GET and follows redirects (up to `max_redirects`),
+    /// returning the final response and the chain of visited
+    /// `(host, path)` hops.
+    pub fn get_following(
+        &self,
+        host: &str,
+        path: &str,
+    ) -> Result<(Response, Vec<(String, String)>), HttpError> {
+        let mut chain = vec![(host.to_string(), path.to_string())];
+        let mut current_host = host.to_string();
+        let mut current_path = path.to_string();
+        for _ in 0..=self.max_redirects {
+            let resp = self.get(&current_host, &current_path)?;
+            if !resp.is_redirect() {
+                return Ok((resp, chain));
+            }
+            let Some(loc) = resp.location() else {
+                return Ok((resp, chain));
+            };
+            let (h, p) = split_location(loc, &current_host);
+            current_host = h;
+            current_path = p;
+            chain.push((current_host.clone(), current_path.clone()));
+        }
+        Err(HttpError::TooManyRedirects)
+    }
+}
+
+/// Splits a Location header into (host, path), resolving relative paths
+/// against the current host.
+fn split_location(loc: &str, current_host: &str) -> (String, String) {
+    let stripped = loc
+        .strip_prefix("http://")
+        .or_else(|| loc.strip_prefix("https://"));
+    match stripped {
+        Some(rest) => match rest.find('/') {
+            Some(pos) => (rest[..pos].to_string(), rest[pos..].to_string()),
+            None => (rest.to_string(), "/".to_string()),
+        },
+        None => (current_host.to_string(), loc.to_string()),
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad status line {status_line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed("missing status code".to_string()))?;
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("truncated headers".to_string()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+
+    let mut body = Vec::new();
+    if let Some(len) = headers.get("content-length").and_then(|v| v.parse::<usize>().ok()) {
+        body.resize(len, 0);
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { status, headers, body })
+}
+
+/// A canned response the test server returns for a path.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Status code to return.
+    pub status: u16,
+    /// Extra headers (e.g. `Location`).
+    pub headers: Vec<(String, String)>,
+    /// Body text.
+    pub body: String,
+}
+
+impl Route {
+    /// 200 OK with a body.
+    pub fn ok(body: &str) -> Route {
+        Route { status: 200, headers: Vec::new(), body: body.to_string() }
+    }
+
+    /// 301 redirect to a URL.
+    pub fn redirect(to: &str) -> Route {
+        Route {
+            status: 301,
+            headers: vec![("Location".to_string(), to.to_string())],
+            body: String::new(),
+        }
+    }
+}
+
+/// A tiny threaded HTTP server for tests. Dropping the handle stops
+/// accepting (the listener thread exits on the next connection attempt or
+/// is left to die with the process — fine for test scope).
+pub struct TestServer {
+    addr: SocketAddr,
+}
+
+impl TestServer {
+    /// Spawns a server on an ephemeral loopback port.
+    pub fn spawn(routes: HashMap<String, Route>) -> std::io::Result<TestServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let routes = Arc::new(routes);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let routes = Arc::clone(&routes);
+                std::thread::spawn(move || handle_connection(stream, &routes));
+            }
+        });
+        Ok(TestServer { addr })
+    }
+
+    /// The server's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, routes: &HashMap<String, Route>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/").to_string();
+    // Drain headers.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim().is_empty() => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let route = routes.get(&path).cloned().unwrap_or(Route {
+        status: 404,
+        headers: Vec::new(),
+        body: "not found".to_string(),
+    });
+    let mut out = format!("HTTP/1.1 {} X\r\nContent-Length: {}\r\n", route.status, route.body.len());
+    for (k, v) in &route.headers {
+        out.push_str(&format!("{k}: {v}\r\n"));
+    }
+    out.push_str("\r\n");
+    out.push_str(&route.body);
+    let _ = stream.write_all(out.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_for(server: &TestServer, host: &str) -> Client {
+        let mut c = Client::default();
+        c.hosts_override.insert(host.to_string(), server.addr());
+        c
+    }
+
+    #[test]
+    fn get_fetches_body_and_status() {
+        let mut routes = HashMap::new();
+        routes.insert("/".to_string(), Route::ok("hello world"));
+        let server = TestServer::spawn(routes).unwrap();
+        let client = client_for(&server, "site.test");
+        let resp = client.get("site.test", "/").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello world");
+    }
+
+    #[test]
+    fn missing_route_is_404() {
+        let server = TestServer::spawn(HashMap::new()).unwrap();
+        let client = client_for(&server, "site.test");
+        let resp = client.get("site.test", "/nope").unwrap();
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn redirects_are_followed_with_chain() {
+        let mut routes = HashMap::new();
+        routes.insert("/".to_string(), Route::redirect("/step2"));
+        routes.insert("/step2".to_string(), Route::redirect("http://site.test/final"));
+        routes.insert("/final".to_string(), Route::ok("arrived"));
+        let server = TestServer::spawn(routes).unwrap();
+        let client = client_for(&server, "site.test");
+        let (resp, chain) = client.get_following("site.test", "/").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"arrived");
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[2].1, "/final");
+    }
+
+    #[test]
+    fn redirect_loop_errors_out() {
+        let mut routes = HashMap::new();
+        routes.insert("/".to_string(), Route::redirect("/"));
+        let server = TestServer::spawn(routes).unwrap();
+        let client = client_for(&server, "site.test");
+        match client.get_following("site.test", "/") {
+            Err(HttpError::TooManyRedirects) => {}
+            other => panic!("expected TooManyRedirects, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolvable_host_is_an_error() {
+        let client = Client::default();
+        assert!(client.get("no-such-host.invalid", "/").is_err());
+    }
+
+    #[test]
+    fn split_location_variants() {
+        assert_eq!(
+            split_location("http://a.com/x", "b.com"),
+            ("a.com".to_string(), "/x".to_string())
+        );
+        assert_eq!(
+            split_location("https://a.com", "b.com"),
+            ("a.com".to_string(), "/".to_string())
+        );
+        assert_eq!(
+            split_location("/relative", "b.com"),
+            ("b.com".to_string(), "/relative".to_string())
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Web substrate for the ShamFinder measurement study.
+//!
+//! The paper's §6.2 pipeline — crawl the active homographs, classify them
+//! by NS evidence and page content, break redirects down by intent, check
+//! blacklists — implemented as:
+//!
+//! * [`http`] — a real blocking HTTP/1.1 client with redirect following
+//!   plus a threaded test server (exercised over genuine sockets);
+//! * [`site`] — ground-truth site profiles and the crawl observations
+//!   they produce;
+//! * [`classify`](mod@classify) — the six-category classifier of Table 12 with the
+//!   parking-provider NS list;
+//! * [`redirect`] — the Table 13 redirect-intent classifier;
+//! * [`blacklist`] — hosts-file-format feeds (Table 14).
+
+pub mod blacklist;
+pub mod classify;
+pub mod http;
+pub mod redirect;
+pub mod site;
+
+pub use blacklist::{check_all, Blacklist};
+pub use classify::{classify, is_parking_ns, table12_counts, Category, PARKING_NS};
+pub use http::{Client, HttpError, Response, Route, TestServer};
+pub use redirect::{classify_redirect, table13_counts, RedirectKind};
+pub use site::{observe, FetchOutcome, Observation, SiteProfile};

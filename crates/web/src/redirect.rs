@@ -1,0 +1,119 @@
+//! Redirect analysis (paper §6.2, Table 13).
+//!
+//! Homographs that redirect split three ways: *brand protection* (the
+//! brand owner registered its own lookalikes and points them home),
+//! *legitimate website* (an unrelated but benign destination) and
+//! *malicious website* (a destination flagged by VirusTotal / manual
+//! inspection — here, the blacklist feeds).
+
+use crate::blacklist::Blacklist;
+use serde::{Deserialize, Serialize};
+
+/// Table 13 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RedirectKind {
+    /// Redirects to the brand the homograph imitates.
+    BrandProtection,
+    /// Redirects to an unrelated, unflagged site.
+    Legitimate,
+    /// Redirects to a blacklisted site.
+    Malicious,
+}
+
+impl RedirectKind {
+    /// Display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            RedirectKind::BrandProtection => "Brand protection",
+            RedirectKind::Legitimate => "Legitimate website",
+            RedirectKind::Malicious => "Malicious website",
+        }
+    }
+}
+
+/// Strips a leading `www.` for comparison.
+fn registrable(domain: &str) -> &str {
+    domain.strip_prefix("www.").unwrap_or(domain)
+}
+
+/// Classifies one redirect: the homograph imitates `reference_domain`
+/// (full name, e.g. `google.com`) and lands on `target_domain`.
+pub fn classify_redirect(
+    reference_domain: &str,
+    target_domain: &str,
+    feeds: &[Blacklist],
+) -> RedirectKind {
+    let target = registrable(target_domain).to_ascii_lowercase();
+    if feeds.iter().any(|f| f.contains(&target)) {
+        return RedirectKind::Malicious;
+    }
+    if target == registrable(reference_domain).to_ascii_lowercase() {
+        RedirectKind::BrandProtection
+    } else {
+        RedirectKind::Legitimate
+    }
+}
+
+/// Aggregates into Table 13 rows in paper order.
+pub fn table13_counts(kinds: &[RedirectKind]) -> Vec<(&'static str, usize)> {
+    [
+        RedirectKind::BrandProtection,
+        RedirectKind::Legitimate,
+        RedirectKind::Malicious,
+    ]
+    .into_iter()
+    .map(|k| (k.name(), kinds.iter().filter(|&&x| x == k).count()))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feeds() -> Vec<Blacklist> {
+        let mut bl = Blacklist::new("hpHosts");
+        bl.add("evil-lander.com");
+        vec![bl]
+    }
+
+    #[test]
+    fn brand_protection_detected() {
+        assert_eq!(
+            classify_redirect("google.com", "google.com", &feeds()),
+            RedirectKind::BrandProtection
+        );
+        assert_eq!(
+            classify_redirect("google.com", "www.google.com", &feeds()),
+            RedirectKind::BrandProtection
+        );
+    }
+
+    #[test]
+    fn malicious_overrides_everything() {
+        assert_eq!(
+            classify_redirect("google.com", "evil-lander.com", &feeds()),
+            RedirectKind::Malicious
+        );
+    }
+
+    #[test]
+    fn unrelated_target_is_legitimate() {
+        assert_eq!(
+            classify_redirect("google.com", "some-blog.com", &feeds()),
+            RedirectKind::Legitimate
+        );
+    }
+
+    #[test]
+    fn table13_rows_in_order() {
+        let kinds = vec![
+            RedirectKind::BrandProtection,
+            RedirectKind::BrandProtection,
+            RedirectKind::Malicious,
+        ];
+        let rows = table13_counts(&kinds);
+        assert_eq!(rows[0], ("Brand protection", 2));
+        assert_eq!(rows[1], ("Legitimate website", 0));
+        assert_eq!(rows[2], ("Malicious website", 1));
+    }
+}

@@ -1,0 +1,156 @@
+//! Ground-truth site profiles.
+//!
+//! The workload generator assigns each registered homograph a behaviour
+//! profile; the crawler/classifier then observes it through DNS and HTTP.
+//! The profile vocabulary is exactly the paper's Table 12 categories plus
+//! the redirect sub-kinds of Table 13.
+
+use serde::{Deserialize, Serialize};
+
+/// What a site actually is (ground truth).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteProfile {
+    /// Monetised parking page behind a parking provider's NS.
+    Parked {
+        /// Parking provider NS host (e.g. `ns1.parkingcrew.net`).
+        ns_provider: String,
+    },
+    /// "This domain is for sale" lander.
+    ForSale,
+    /// Redirects to another domain.
+    Redirect {
+        /// Redirect target domain.
+        target: String,
+    },
+    /// A working website with real content.
+    Normal,
+    /// Responds with an empty page.
+    Empty,
+    /// Unreachable / times out / resets.
+    Error,
+}
+
+impl SiteProfile {
+    /// The Table 12 category name the profile should classify as.
+    pub fn expected_category(&self) -> super::classify::Category {
+        use super::classify::Category;
+        match self {
+            SiteProfile::Parked { .. } => Category::DomainParking,
+            SiteProfile::ForSale => Category::ForSale,
+            SiteProfile::Redirect { .. } => Category::Redirect,
+            SiteProfile::Normal => Category::Normal,
+            SiteProfile::Empty => Category::Empty,
+            SiteProfile::Error => Category::Error,
+        }
+    }
+}
+
+/// A crawl observation of one site: what the classifier gets to see.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// NS host names from the resolver.
+    pub ns_hosts: Vec<String>,
+    /// HTTP fetch outcome.
+    pub fetch: FetchOutcome,
+}
+
+/// The HTTP layer of an observation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchOutcome {
+    /// A 2xx page with body text.
+    Page {
+        /// Response body (what a screenshot would show).
+        body: String,
+    },
+    /// A redirect chain ending at another domain.
+    Redirected {
+        /// Final domain reached.
+        final_domain: String,
+    },
+    /// 2xx with an empty body.
+    EmptyBody,
+    /// Timeout / connection failure / repeated 5xx.
+    Failed,
+}
+
+/// Renders the observation a crawler would make of a ground-truth
+/// profile. This is the simulation's "headless browser": profile in,
+/// DNS + HTTP evidence out.
+pub fn observe(profile: &SiteProfile, default_ns: &str) -> Observation {
+    match profile {
+        SiteProfile::Parked { ns_provider } => Observation {
+            ns_hosts: vec![ns_provider.clone()],
+            fetch: FetchOutcome::Page {
+                body: "Related Links | Sponsored Listings | Privacy Policy".to_string(),
+            },
+        },
+        SiteProfile::ForSale => Observation {
+            ns_hosts: vec![default_ns.to_string()],
+            fetch: FetchOutcome::Page {
+                body: "This premium domain is for sale! Buy now — make an offer.".to_string(),
+            },
+        },
+        SiteProfile::Redirect { target } => Observation {
+            ns_hosts: vec![default_ns.to_string()],
+            fetch: FetchOutcome::Redirected { final_domain: target.clone() },
+        },
+        SiteProfile::Normal => Observation {
+            ns_hosts: vec![default_ns.to_string()],
+            fetch: FetchOutcome::Page {
+                body: "Welcome to our website. Products, news and contact information."
+                    .to_string(),
+            },
+        },
+        SiteProfile::Empty => Observation {
+            ns_hosts: vec![default_ns.to_string()],
+            fetch: FetchOutcome::EmptyBody,
+        },
+        SiteProfile::Error => Observation {
+            ns_hosts: vec![default_ns.to_string()],
+            fetch: FetchOutcome::Failed,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_parked_exposes_provider_ns() {
+        let obs = observe(
+            &SiteProfile::Parked { ns_provider: "ns1.parkingcrew.net".into() },
+            "ns.registrar.com",
+        );
+        assert_eq!(obs.ns_hosts, vec!["ns1.parkingcrew.net"]);
+        assert!(matches!(obs.fetch, FetchOutcome::Page { .. }));
+    }
+
+    #[test]
+    fn observe_redirect_carries_target() {
+        let obs = observe(
+            &SiteProfile::Redirect { target: "google.com".into() },
+            "ns.registrar.com",
+        );
+        assert_eq!(
+            obs.fetch,
+            FetchOutcome::Redirected { final_domain: "google.com".into() }
+        );
+    }
+
+    #[test]
+    fn every_profile_observable() {
+        for p in [
+            SiteProfile::Parked { ns_provider: "ns1.bodis.com".into() },
+            SiteProfile::ForSale,
+            SiteProfile::Redirect { target: "x.com".into() },
+            SiteProfile::Normal,
+            SiteProfile::Empty,
+            SiteProfile::Error,
+        ] {
+            let obs = observe(&p, "ns.default.com");
+            assert!(!obs.ns_hosts.is_empty());
+            let _ = p.expected_category();
+        }
+    }
+}

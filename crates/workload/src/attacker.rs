@@ -1,0 +1,452 @@
+//! The attacker/registrant model: who registers IDN homographs, of what,
+//! and with which substitutions.
+//!
+//! Substitution classes mirror how a homograph evades or succumbs to each
+//! database (the mechanism behind the paper's Table 8, where SimChar
+//! detects ≈ 8× more homographs than UC):
+//!
+//! * [`SubClass::SimCharOnly`] — accented Latin variants. The consortium
+//!   list does not treat accents as confusables, but at bitmap resolution
+//!   they are; the paper finds these dominate real registrations.
+//! * [`SubClass::Both`] — classic cross-script lookalikes (Cyrillic
+//!   `а`/`о`/`с` …) listed by UC *and* visually identical.
+//! * [`SubClass::UcOnly`] — semantic confusables whose glyphs differ by
+//!   more than θ pixels (the paper's Fig. 11 pairs).
+//! * [`SubClass::Undetectable`] — bulky accents outside both databases
+//!   (registered in the wild, invisible to all detectors — a limitation
+//!   the paper accepts).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sham_punycode::ace;
+
+/// Detectability class of a substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubClass {
+    /// Detected by SimChar, missed by UC.
+    SimCharOnly,
+    /// Detected by both databases.
+    Both,
+    /// Detected by UC, missed by SimChar.
+    UcOnly,
+    /// Missed by both.
+    Undetectable,
+}
+
+/// Homoglyph substitutes for `letter` in the given class. Returns an
+/// empty slice when the class offers nothing for that letter.
+pub fn substitutes(letter: char, class: SubClass) -> &'static [char] {
+    match class {
+        SubClass::SimCharOnly => match letter {
+            'a' => &['á', 'à', 'ā', 'ą', 'ạ', 'ä'],
+            'c' => &['ç', 'ć', 'ċ'],
+            'd' => &['đ'],
+            'e' => &['é', 'è', 'ē', 'ė', 'ę', 'ẹ', 'ë'],
+            'g' => &['ġ', 'ģ'],
+            'h' => &['ħ'],
+            'i' => &['í', 'ì', 'ī', 'į', 'ị', 'ï'],
+            'k' => &['ķ'],
+            'l' => &['ĺ', 'ļ', 'ł'],
+            'n' => &['ń', 'ņ'],
+            'o' => &['ó', 'ò', 'ō', 'ø', 'ọ', 'ö'],
+            'r' => &['ŕ', 'ŗ'],
+            's' => &['ś', 'ş'],
+            't' => &['ţ', 'ŧ'],
+            'u' => &['ú', 'ù', 'ū', 'ų', 'ụ', 'ü'],
+            'y' => &['ý', 'ỵ', 'ÿ'],
+            'z' => &['ź', 'ż'],
+            _ => &[],
+        },
+        SubClass::Both => match letter {
+            'a' => &['а'],                      // U+0430
+            'c' => &['с', 'ϲ'],                 // U+0441, U+03F2
+            'd' => &['ԁ', 'ɗ'],                 // U+0501, U+0257
+            'e' => &['е'],                      // U+0435
+            'g' => &['ɡ'],                      // U+0261
+            'h' => &['һ', 'հ'],                 // U+04BB, U+0570
+            'i' => &['і', 'ι', 'ı'],            // U+0456, U+03B9, U+0131
+            'j' => &['ј', 'ϳ'],                 // U+0458, U+03F3
+            'k' => &['к', 'κ'],                 // U+043A, U+03BA
+            'l' => &['ӏ', 'ǀ'],                 // U+04CF, U+01C0
+            'n' => &['ո'],                      // U+0578
+            'o' => &['о', 'ο', 'օ', '๐', '໐', '०'], // Cyrillic/Greek/Armenian/Thai/Lao/Devanagari
+            'p' => &['р', 'ρ'],                 // U+0440, U+03C1
+            'q' => &['ԛ'],                      // U+051B
+            'r' => &['г'],                      // U+0433
+            's' => &['ѕ'],                      // U+0455
+            'u' => &['ս', 'υ'],                 // U+057D, U+03C5
+            'v' => &['ν', 'ѵ'],                 // U+03BD, U+0475
+            'w' => &['ԝ', 'ѡ', 'ա'],            // U+051D, U+0461, U+0561
+            'x' => &['х', 'χ'],                 // U+0445, U+03C7
+            'y' => &['у', 'ү', 'ყ'],            // U+0443, U+04AF, U+10E7
+            'z' => &['ʐ'],                      // U+0290
+            _ => &[],
+        },
+        SubClass::UcOnly => match letter {
+            'a' => &['α'],            // U+03B1 (Δ = 5 in SynthUnifont)
+            'o' => &['ס'],            // U+05E1
+            't' => &['т'],            // U+0442
+            'u' => &['\u{118D8}'],    // Warang Citi pu (paper Fig. 11)
+            'y' => &['ʏ', '\u{118DC}'], // U+028F, Warang Citi har (Fig. 11)
+            _ => &[],
+        },
+        SubClass::Undetectable => match letter {
+            'a' => &['â', 'ã', 'å'],
+            'c' => &['č'],
+            'e' => &['ê', 'ě'],
+            'i' => &['î', 'ĩ'],
+            'n' => &['ñ'],
+            'o' => &['ô', 'õ', 'ő'],
+            's' => &['š'],
+            'u' => &['û', 'ů', 'ű'],
+            'w' => &['ŵ'],
+            'y' => &['ŷ'],
+            'z' => &['ž'],
+            _ => &[],
+        },
+    }
+}
+
+/// A registered homograph with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlantedHomograph {
+    /// Unicode stem, e.g. `gооgle`.
+    pub unicode_stem: String,
+    /// Full registered name in ACE form, e.g. `xn--ggle-55da.com`.
+    pub ace: String,
+    /// The imitated reference stem.
+    pub target: String,
+    /// Class of every substitution (single class per homograph).
+    pub class: SubClass,
+    /// Number of substituted positions.
+    pub substitutions: usize,
+}
+
+impl PlantedHomograph {
+    /// Ground truth: should a UC-only detector find this?
+    pub fn uc_detectable(&self) -> bool {
+        matches!(self.class, SubClass::Both | SubClass::UcOnly)
+    }
+
+    /// Ground truth: should a SimChar-only detector find this?
+    pub fn simchar_detectable(&self) -> bool {
+        matches!(self.class, SubClass::Both | SubClass::SimCharOnly)
+    }
+
+    /// Ground truth: should the union find this?
+    pub fn union_detectable(&self) -> bool {
+        self.class != SubClass::Undetectable
+    }
+}
+
+/// Per-target registration counts: the paper's Table 9 head plus a
+/// Zipf-distributed tail over the rest of the reference list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HomographPlan {
+    /// Explicit (target, count) pairs — Table 9's top-5 by default.
+    pub hot_targets: Vec<(String, usize)>,
+    /// Homographs spread over the remaining references.
+    pub tail_total: usize,
+    /// Class mix in per-mille: (SimChar-only, Both, UC-only). Remainder
+    /// is unused; `undetectable_extra_permille` plants *additional*
+    /// undetectable registrations on top.
+    pub class_mix_permille: (u32, u32, u32),
+    /// Extra undetectable registrations, per-mille of the detectable
+    /// total.
+    pub undetectable_extra_permille: u32,
+}
+
+impl HomographPlan {
+    /// The paper-scale plan: 3,280 union-detectable homographs with
+    /// Table 9's head counts and Table 8's class arithmetic
+    /// (UC = 436, SimChar = 3,110, union = 3,280).
+    pub fn paper() -> Self {
+        HomographPlan {
+            hot_targets: vec![
+                ("myetherwallet".to_string(), 170),
+                ("google".to_string(), 114),
+                ("amazon".to_string(), 75),
+                ("facebook".to_string(), 72),
+                ("allstate".to_string(), 68),
+            ],
+            tail_total: 3_280 - 499,
+            // s = union−UC = 2,844; u = union−SimChar = 170; b = 266.
+            class_mix_permille: (867, 81, 52),
+            undetectable_extra_permille: 60,
+        }
+    }
+
+    /// A proportionally scaled plan (`permille` of the paper scale).
+    pub fn scaled(permille: u32) -> Self {
+        let p = |n: usize| (n * permille as usize).div_ceil(1000);
+        let paper = Self::paper();
+        HomographPlan {
+            hot_targets: paper
+                .hot_targets
+                .into_iter()
+                .map(|(t, n)| (t, p(n)))
+                .collect(),
+            tail_total: p(paper.tail_total),
+            class_mix_permille: paper.class_mix_permille,
+            undetectable_extra_permille: paper.undetectable_extra_permille,
+        }
+    }
+
+    /// Total detectable homographs the plan asks for.
+    pub fn detectable_total(&self) -> usize {
+        self.hot_targets.iter().map(|&(_, n)| n).sum::<usize>() + self.tail_total
+    }
+}
+
+fn draw_class(rng: &mut StdRng, mix: (u32, u32, u32)) -> SubClass {
+    let roll = rng.gen_range(0..1000u32);
+    if roll < mix.0 {
+        SubClass::SimCharOnly
+    } else if roll < mix.0 + mix.1 {
+        SubClass::Both
+    } else if roll < mix.0 + mix.1 + mix.2 {
+        SubClass::UcOnly
+    } else {
+        SubClass::SimCharOnly
+    }
+}
+
+/// Generates one homograph of `target` in `class`, or `None` when the
+/// target offers no substitutable letter for the class.
+fn make_homograph(
+    target: &str,
+    class: SubClass,
+    rng: &mut StdRng,
+) -> Option<(String, usize)> {
+    let chars: Vec<char> = target.chars().collect();
+    let candidates: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| !substitutes(c, class).is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    // 1 substitution usually, sometimes 2 (multi-char spoofs like gооgle).
+    let sub_count = if candidates.len() >= 2 && rng.gen_bool(0.25) { 2 } else { 1 };
+    let mut stem = chars.clone();
+    let mut chosen = candidates.clone();
+    for _ in 0..(candidates.len() - sub_count) {
+        chosen.remove(rng.gen_range(0..chosen.len()));
+    }
+    for &pos in &chosen {
+        let subs = substitutes(chars[pos], class);
+        stem[pos] = subs[rng.gen_range(0..subs.len())];
+    }
+    Some((stem.into_iter().collect(), sub_count))
+}
+
+/// Plants homographs per the plan. Duplicate stems are retried and, when
+/// the substitution space is exhausted, skipped — exactly like an
+/// attacker finding a name already registered.
+pub fn plant(references: &[String], plan: &HomographPlan, seed: u64) -> Vec<PlantedHomograph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+
+    let register = |target: &str, class: SubClass, rng: &mut StdRng,
+                        out: &mut Vec<PlantedHomograph>,
+                        seen: &mut std::collections::HashSet<String>| {
+        for _attempt in 0..12 {
+            let Some((stem, subs)) = make_homograph(target, class, rng) else { return false };
+            if !seen.insert(stem.clone()) {
+                continue;
+            }
+            let Ok(ace_label) = ace::to_ascii(&stem) else { continue };
+            out.push(PlantedHomograph {
+                unicode_stem: stem,
+                ace: format!("{ace_label}.com"),
+                target: target.to_string(),
+                class,
+                substitutions: subs,
+            });
+            return true;
+        }
+        false
+    };
+
+    // Head: the Table 9 hot targets.
+    for (target, count) in &plan.hot_targets {
+        let mut planted = 0usize;
+        let mut guard = 0usize;
+        while planted < *count && guard < count * 30 {
+            guard += 1;
+            let class = draw_class(&mut rng, plan.class_mix_permille);
+            if register(target, class, &mut rng, &mut out, &mut seen) {
+                planted += 1;
+            }
+        }
+    }
+
+    // Tail: popularity-weighted sampling over the other references.
+    let hot: std::collections::HashSet<&str> =
+        plan.hot_targets.iter().map(|(t, _)| t.as_str()).collect();
+    let tail_refs: Vec<(usize, &String)> = references
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !hot.contains(r.as_str()))
+        .collect();
+    // Flattened popularity: the +50 offset keeps the remaining top-rank
+    // references from out-drawing the Table 9 hot targets, matching the
+    // paper's long, thin tail of per-target counts.
+    let weights: Vec<f64> = tail_refs
+        .iter()
+        .map(|&(rank, _)| crate::domains::popularity_weight(rank + 50))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut planted = 0usize;
+    let mut guard = 0usize;
+    while planted < plan.tail_total && guard < plan.tail_total * 30 {
+        guard += 1;
+        // Weighted pick.
+        let mut roll = rng.gen_range(0.0..total_weight);
+        let mut idx = 0usize;
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                idx = i;
+                break;
+            }
+            roll -= w;
+        }
+        let target = tail_refs[idx].1;
+        let class = draw_class(&mut rng, plan.class_mix_permille);
+        if register(target, class, &mut rng, &mut out, &mut seen) {
+            planted += 1;
+        }
+    }
+
+    // Extra undetectable registrations.
+    let extra =
+        out.len() * plan.undetectable_extra_permille as usize / 1000;
+    let mut planted = 0usize;
+    let mut guard = 0usize;
+    while planted < extra && guard < extra * 30 + 10 {
+        guard += 1;
+        let idx = rng.gen_range(0..references.len().min(2000));
+        let target = references[idx].clone();
+        if register(&target, SubClass::Undetectable, &mut rng, &mut out, &mut seen) {
+            planted += 1;
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::reference_list;
+
+    #[test]
+    fn substitutes_are_registrable_idn_chars() {
+        use sham_unicode::{is_pvalid, CodePoint};
+        for c in 'a'..='z' {
+            for class in [
+                SubClass::SimCharOnly,
+                SubClass::Both,
+                SubClass::UcOnly,
+                SubClass::Undetectable,
+            ] {
+                for &s in substitutes(c, class) {
+                    assert!(is_pvalid(CodePoint::from(s)), "{s:?} ({c}, {class:?})");
+                    assert!(!s.is_ascii());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_arithmetic_matches_table8() {
+        let plan = HomographPlan::paper();
+        assert_eq!(plan.detectable_total(), 3_280);
+        let (s, b, u) = plan.class_mix_permille;
+        // UC share = b + u ≈ 436/3280 = 133‰; SimChar = s + b ≈ 948‰.
+        assert_eq!(b + u, 133);
+        assert_eq!(s + b, 948);
+    }
+
+    #[test]
+    fn planting_hits_requested_counts() {
+        let refs = reference_list(2_000);
+        let plan = HomographPlan::scaled(100); // 10% of paper scale
+        let planted = plant(&refs, &plan, 42);
+        let detectable = planted.iter().filter(|h| h.union_detectable()).count();
+        let requested = plan.detectable_total();
+        assert!(
+            detectable >= requested * 95 / 100,
+            "planted {detectable} of {requested}"
+        );
+        // Stems are unique.
+        let set: std::collections::HashSet<&String> =
+            planted.iter().map(|h| &h.unicode_stem).collect();
+        assert_eq!(set.len(), planted.len());
+    }
+
+    #[test]
+    fn hot_targets_dominate() {
+        let refs = reference_list(2_000);
+        let planted = plant(&refs, &HomographPlan::scaled(250), 7);
+        let count_for = |t: &str| planted.iter().filter(|h| h.target == t).count();
+        let mye = count_for("myetherwallet");
+        let goo = count_for("google");
+        assert!(mye > goo, "myetherwallet {mye} !> google {goo}");
+        // Every other single target attracts fewer than myetherwallet.
+        let mut by_target: std::collections::HashMap<&str, usize> = Default::default();
+        for h in &planted {
+            *by_target.entry(h.target.as_str()).or_default() += 1;
+        }
+        let max_other = by_target
+            .iter()
+            .filter(|(t, _)| **t != "myetherwallet")
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0);
+        assert!(mye >= max_other);
+    }
+
+    #[test]
+    fn class_mix_shape_matches_table8() {
+        let refs = reference_list(2_000);
+        let planted = plant(&refs, &HomographPlan::scaled(500), 11);
+        let detectable: Vec<&PlantedHomograph> =
+            planted.iter().filter(|h| h.union_detectable()).collect();
+        let n = detectable.len() as f64;
+        let uc = detectable.iter().filter(|h| h.uc_detectable()).count() as f64;
+        let sim = detectable.iter().filter(|h| h.simchar_detectable()).count() as f64;
+        // Paper: UC finds ~13%, SimChar ~95% of the union.
+        assert!((uc / n - 0.133).abs() < 0.05, "uc share {}", uc / n);
+        assert!((sim / n - 0.948).abs() < 0.04, "simchar share {}", sim / n);
+    }
+
+    #[test]
+    fn stems_differ_from_targets_and_encode() {
+        let refs = reference_list(500);
+        let planted = plant(&refs, &HomographPlan::scaled(50), 3);
+        for h in &planted {
+            assert_ne!(h.unicode_stem, h.target);
+            assert_eq!(
+                h.unicode_stem.chars().count(),
+                h.target.chars().count(),
+                "length must be preserved for Algorithm 1"
+            );
+            assert!(h.ace.starts_with("xn--"));
+            assert!(h.ace.ends_with(".com"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let refs = reference_list(300);
+        let a = plant(&refs, &HomographPlan::scaled(20), 5);
+        let b = plant(&refs, &HomographPlan::scaled(20), 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Embedded dictionaries for synthetic domain generation.
+//!
+//! Brand stems reproduce the domains the paper's tables name (Table 9:
+//! myetherwallet, google, amazon, facebook, allstate; Table 11: gmail,
+//! yahoo, youtube, döviz's target, …); the word lists generate the bulk
+//! corpus; the per-language fragments generate benign IDNs with the
+//! Table 7 language mix.
+
+/// Brand stems in popularity order. The first entries mirror the Alexa
+/// top domains the paper references; `myetherwallet` and `allstate` are
+/// deliberately placed mid-list later (paper §6.1: ranks 7,400 / 5,148).
+pub const BRANDS: &[&str] = &[
+    "google", "youtube", "facebook", "baidu", "wikipedia", "amazon", "yahoo", "reddit",
+    "gmail", "twitter", "instagram", "linkedin", "netflix", "microsoft", "apple", "ebay",
+    "paypal", "binance", "dropbox", "github", "stackoverflow", "wordpress", "pinterest",
+    "tumblr", "imgur", "spotify", "twitch", "whatsapp", "telegram", "signal", "zoom",
+    "salesforce", "adobe", "oracle", "intel", "nvidia", "samsung", "sony", "canon",
+    "walmart", "target", "costco", "ikea", "nike", "adidas", "zara", "uniqlo",
+    "chase", "citibank", "wellsfargo", "hsbc", "barclays", "santander", "fidelity",
+    "vanguard", "schwab", "robinhood", "coinbase", "kraken", "bitfinex", "doviz",
+    "expansion", "shadbase", "peru",
+];
+
+/// Mid-popularity brands the paper's Table 9 shows being attacked despite
+/// modest rank. They are inserted into the reference list at ranks past
+/// 5,000.
+pub const MID_RANK_BRANDS: &[&str] = &["allstate", "myetherwallet", "statefarm", "geico"];
+
+/// Generic English words for bulk domain synthesis.
+pub const WORDS: &[&str] = &[
+    "alpha", "apex", "aqua", "arc", "atlas", "auto", "bay", "beacon", "bell", "best",
+    "blue", "bolt", "book", "box", "bright", "bridge", "cap", "care", "cart", "cash",
+    "cedar", "chart", "chef", "city", "clear", "cloud", "club", "coast", "code", "coin",
+    "core", "craft", "creek", "crest", "crown", "cyber", "dash", "data", "dawn", "deal",
+    "delta", "den", "desk", "dial", "digital", "dock", "dome", "dot", "dream", "drive",
+    "eagle", "earth", "east", "echo", "edge", "elm", "ember", "engine", "estate", "ever",
+    "fab", "fair", "farm", "fast", "fern", "field", "fin", "fire", "first", "fish",
+    "fit", "flex", "flow", "fly", "forge", "fort", "fox", "fresh", "frontier", "fuel",
+    "fund", "fusion", "galaxy", "gate", "gem", "gear", "glen", "globe", "gold", "grand",
+    "green", "grid", "grove", "guide", "gulf", "handy", "harbor", "haven", "hawk", "head",
+    "health", "hearth", "hill", "hive", "home", "hub", "hunt", "ice", "idea", "iron",
+    "isle", "jade", "jet", "journey", "jump", "keen", "key", "kind", "king", "kit",
+    "lab", "lake", "land", "lane", "leaf", "ledge", "light", "line", "link", "lion",
+    "live", "local", "lodge", "logic", "loop", "lux", "magic", "main", "map", "mark",
+    "market", "mart", "max", "meadow", "media", "mesh", "metro", "mill", "mind", "mine",
+    "mint", "mist", "modern", "moon", "moss", "motion", "mount", "nest", "net", "next",
+    "nimbus", "node", "north", "nova", "oak", "ocean", "office", "one", "open", "orbit",
+    "orchid", "pace", "pack", "page", "palm", "park", "path", "peak", "pearl", "pine",
+    "pixel", "plan", "play", "plaza", "point", "pond", "port", "power", "prime", "pro",
+    "pulse", "pure", "quest", "quick", "rail", "rain", "range", "rapid", "raven", "ray",
+    "reach", "real", "reef", "ridge", "ring", "rise", "river", "road", "rock", "root",
+    "rose", "route", "royal", "run", "sage", "sail", "salt", "sand", "scout", "sea",
+    "seed", "serve", "shade", "share", "shield", "shop", "shore", "silver", "site", "sky",
+    "smart", "snow", "solar", "solid", "south", "spark", "sphere", "spring", "sprint",
+    "star", "station", "steel", "stone", "store", "storm", "stream", "street", "studio",
+    "summit", "sun", "surge", "swift", "tap", "team", "tech", "terra", "tide", "tiger",
+    "time", "top", "torch", "tower", "trade", "trail", "train", "tree", "trend", "tribe",
+    "true", "trust", "turbo", "unit", "up", "urban", "valley", "vault", "vector", "venture",
+    "verge", "vibe", "view", "villa", "vine", "vision", "vista", "vital", "vivid", "wave",
+    "way", "web", "well", "west", "whale", "wild", "wind", "wing", "wire", "wise",
+    "wolf", "wood", "work", "world", "yard", "zen", "zone",
+];
+
+/// German words with umlauts/ß (drive Table 7's German row — they are
+/// IDNs precisely because of the diacritics).
+pub const GERMAN_WORDS: &[&str] = &[
+    "münchen", "köln", "düsseldorf", "nürnberg", "würzburg", "bücher", "möbel", "schön",
+    "grün", "über", "für", "straße", "größe", "hörbuch", "käse", "göttingen", "lübeck",
+    "münster", "züge", "gärten", "häuser", "türen", "söhne", "flüge", "bäder",
+];
+
+/// Turkish words carrying Turkish-specific letters (ğ/ş/ı/ç) so a
+/// marker-based classifier can tell them from German umlaut words.
+pub const TURKISH_WORDS: &[&str] = &[
+    "şehir", "ığdır", "çiçek", "eğitim", "sağlık", "alışveriş", "ilaç", "öğrenci",
+    "kitapçı", "güneş", "bahçe", "çarşı", "düğün", "başkent", "yıldız", "kapı", "şarkı",
+];
+
+/// French words with accents.
+pub const FRENCH_WORDS: &[&str] = &[
+    "café", "élysée", "hôtel", "crème", "forêt", "château", "école", "théâtre", "marché",
+    "santé", "beauté", "cinéma", "musée", "légume", "pâtisserie",
+];
+
+/// Spanish words with accents.
+pub const SPANISH_WORDS: &[&str] = &[
+    "españa", "señor", "niño", "montaña", "mañana", "corazón", "música", "fútbol",
+    "camión", "jardín", "pequeño", "compañía",
+];
+
+/// Vietnamese words.
+pub const VIETNAMESE_WORDS: &[&str] =
+    &["việtnam", "hànội", "sàigòn", "càphê", "dulịch", "ẩmthực", "giáodục", "sứckhỏe"];
+
+/// Russian words (Cyrillic).
+pub const RUSSIAN_WORDS: &[&str] = &[
+    "москва", "россия", "новости", "погода", "работа", "магазин", "книги", "музыка",
+];
+
+/// Arabic words.
+pub const ARABIC_WORDS: &[&str] = &["السعودية", "مصر", "اخبار", "سوق", "تعليم", "صحة"];
+
+/// Thai words.
+pub const THAI_WORDS: &[&str] = &["ไทยแลนด์", "กรุงเทพ", "ข่าว", "ตลาด"];
+
+/// Hebrew words.
+pub const HEBREW_WORDS: &[&str] = &["ישראל", "חדשות", "שוק"];
+
+/// Common Hiragana/Katakana fragments for Japanese IDNs.
+pub const KANA_FRAGMENTS: &[&str] = &[
+    "さくら", "とうきょう", "かいしゃ", "オンライン", "ショップ", "ゲーム", "ニュース",
+    "りょこう", "ほけん", "ぐるめ",
+];
+
+/// Common Han fragments for Japanese IDNs (mixed with kana).
+pub const JA_HAN_FRAGMENTS: &[&str] = &["東京", "大阪", "会社", "旅行", "銀行", "大学"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brand_lists_contain_paper_targets() {
+        assert!(BRANDS.contains(&"google"));
+        assert!(BRANDS.contains(&"amazon"));
+        assert!(BRANDS.contains(&"facebook"));
+        assert!(BRANDS.contains(&"gmail"));
+        assert!(BRANDS.contains(&"doviz"));
+        assert!(MID_RANK_BRANDS.contains(&"myetherwallet"));
+        assert!(MID_RANK_BRANDS.contains(&"allstate"));
+    }
+
+    #[test]
+    fn words_are_ldh_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in WORDS {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(seen.insert(w), "duplicate word {w}");
+        }
+        assert!(WORDS.len() > 250);
+    }
+
+    #[test]
+    fn language_words_are_actually_idn_material() {
+        for w in GERMAN_WORDS.iter().chain(TURKISH_WORDS).chain(FRENCH_WORDS) {
+            assert!(!w.is_ascii(), "{w} would not be an IDN");
+        }
+        for w in RUSSIAN_WORDS.iter().chain(ARABIC_WORDS).chain(THAI_WORDS) {
+            assert!(!w.is_ascii());
+        }
+    }
+
+    #[test]
+    fn language_words_identify_correctly() {
+        use sham_langid::{identify, Language};
+        for w in GERMAN_WORDS {
+            assert_eq!(identify(w).language, Language::German, "{w}");
+        }
+        for w in TURKISH_WORDS {
+            assert_eq!(identify(w).language, Language::Turkish, "{w}");
+        }
+        for w in KANA_FRAGMENTS {
+            assert_eq!(identify(w).language, Language::Japanese, "{w}");
+        }
+    }
+}

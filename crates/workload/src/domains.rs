@@ -1,0 +1,241 @@
+//! Reference list and benign corpus generation.
+//!
+//! * The **reference list** plays Alexa Top Sites (paper §5.1): brand
+//!   stems at the top, generated word stems below, with the paper's
+//!   mid-rank attack targets (`allstate`, `myetherwallet`) planted past
+//!   rank 5,000.
+//! * The **benign corpus** plays the registered `.com` population: bulk
+//!   ASCII registrations plus benign IDNs whose language mix follows the
+//!   paper's Table 7.
+
+use crate::dictionary as dict;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sham_langid::Language;
+
+/// Builds the reference ranking (Alexa-like), `size` stems long.
+/// Deterministic; brands first, generated two-word stems after, and the
+/// paper's mid-rank brands inserted at ranks ≈ 5,100 and ≈ 7,400.
+pub fn reference_list(size: usize) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(size);
+    out.extend(dict::BRANDS.iter().map(|s| s.to_string()));
+    let mut i = 0usize;
+    'fill: for w1 in dict::WORDS {
+        for w2 in dict::WORDS {
+            if out.len() >= size {
+                break 'fill;
+            }
+            if w1 != w2 {
+                // Skip a deterministic fraction so the list is not a plain
+                // cartesian prefix (keeps lengths diverse).
+                i += 1;
+                if i % 7 == 0 {
+                    continue;
+                }
+                out.push(format!("{w1}{w2}"));
+            }
+        }
+    }
+    out.truncate(size);
+    // Plant the paper's mid-rank targets (§6.1: allstate ranked 5,148 and
+    // myetherwallet 7,400 among .com domains). At small scales they fall
+    // to the bottom of the list — still present, still unpopular.
+    let brand_count = dict::MID_RANK_BRANDS.len();
+    for (idx, brand) in dict::MID_RANK_BRANDS.iter().enumerate() {
+        // Clamp to distinct tail positions so that, at small scales, each
+        // insertion's pop() evicts a generated stem and never an earlier
+        // mid-rank brand.
+        let rank = (5_100 + idx * 760).min(out.len().saturating_sub(brand_count - idx));
+        out.insert(rank, brand.to_string());
+        out.pop();
+    }
+    out.dedup();
+    out
+}
+
+/// Zipf-like popularity weight for a rank (1-based).
+pub fn popularity_weight(rank: usize) -> f64 {
+    1.0 / (rank as f64).powf(0.9)
+}
+
+/// Language plan for benign IDNs: Table 7's measured shares for the top
+/// five rows (Chinese 46.5%, Korean 10.6%, Japanese 9.3%, German 5.6%,
+/// Turkish 3.6%), with the paper's 24.4% "everything else" spread over
+/// the remaining languages. Shares sum to 1.0.
+pub const LANGUAGE_MIX: &[(Language, f64)] = &[
+    (Language::Chinese, 0.465),
+    (Language::Korean, 0.106),
+    (Language::Japanese, 0.093),
+    (Language::German, 0.056),
+    (Language::Turkish, 0.036),
+    (Language::French, 0.035),
+    (Language::Spanish, 0.040),
+    (Language::Russian, 0.060),
+    (Language::Vietnamese, 0.025),
+    (Language::Arabic, 0.040),
+    (Language::Thai, 0.025),
+    (Language::Hebrew, 0.019),
+];
+
+/// Draws a language from the mix.
+fn draw_language(rng: &mut StdRng) -> Language {
+    let total: f64 = LANGUAGE_MIX.iter().map(|&(_, s)| s).sum();
+    let roll: f64 = rng.gen_range(0.0..total);
+    let mut acc = 0.0;
+    for &(lang, share) in LANGUAGE_MIX {
+        acc += share;
+        if roll < acc {
+            return lang;
+        }
+    }
+    Language::Chinese
+}
+
+/// Generates one benign IDN stem in the given language.
+pub fn benign_idn_stem(lang: Language, rng: &mut StdRng) -> String {
+    let pick = |words: &[&str], rng: &mut StdRng| -> String {
+        words[rng.gen_range(0..words.len())].to_string()
+    };
+    match lang {
+        Language::Chinese => {
+            // 2–4 common-range Han characters.
+            let len = rng.gen_range(2..=4);
+            (0..len)
+                .map(|_| char::from_u32(0x4E00 + rng.gen_range(0..0x3000)).unwrap())
+                .collect()
+        }
+        Language::Korean => {
+            let len = rng.gen_range(2..=4);
+            (0..len)
+                .map(|_| char::from_u32(0xAC00 + rng.gen_range(0..11_172)).unwrap())
+                .collect()
+        }
+        Language::Japanese => {
+            let kana = pick(dict::KANA_FRAGMENTS, rng);
+            if rng.gen_bool(0.5) {
+                format!("{}{kana}", pick(dict::JA_HAN_FRAGMENTS, rng))
+            } else {
+                kana
+            }
+        }
+        Language::German => {
+            let w = pick(dict::GERMAN_WORDS, rng);
+            if rng.gen_bool(0.4) {
+                format!("{w}-{}", pick(dict::WORDS, rng))
+            } else {
+                w
+            }
+        }
+        Language::Turkish => pick(dict::TURKISH_WORDS, rng),
+        Language::French => pick(dict::FRENCH_WORDS, rng),
+        Language::Spanish => pick(dict::SPANISH_WORDS, rng),
+        Language::Russian => pick(dict::RUSSIAN_WORDS, rng),
+        Language::Vietnamese => pick(dict::VIETNAMESE_WORDS, rng),
+        Language::Arabic => pick(dict::ARABIC_WORDS, rng),
+        Language::Thai => pick(dict::THAI_WORDS, rng),
+        Language::Hebrew => pick(dict::HEBREW_WORDS, rng),
+        _ => pick(dict::WORDS, rng),
+    }
+}
+
+/// Generates the benign corpus: `ascii_count` ASCII stems and
+/// `idn_count` benign IDN stems (Unicode form, unique via numeric
+/// disambiguation when the fragment pools run out).
+pub fn benign_corpus(ascii_count: usize, idn_count: usize, seed: u64) -> (Vec<String>, Vec<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let words = dict::WORDS;
+
+    let mut ascii = Vec::with_capacity(ascii_count);
+    let mut counter = 0usize;
+    while ascii.len() < ascii_count {
+        let w1 = words[counter % words.len()];
+        let w2 = words[(counter / words.len() + counter % 13) % words.len()];
+        let stem = match counter / (words.len() * words.len()) {
+            0 => format!("{w1}-{w2}"),
+            n => format!("{w1}-{w2}-{n}"),
+        };
+        ascii.push(stem);
+        counter += 1;
+    }
+
+    let mut idns = Vec::with_capacity(idn_count);
+    let mut seen = std::collections::HashSet::new();
+    while idns.len() < idn_count {
+        let lang = draw_language(&mut rng);
+        let mut stem = benign_idn_stem(lang, &mut rng);
+        if !seen.insert(stem.clone()) {
+            // Disambiguate collisions with a numeric suffix; the suffix
+            // keeps the label an IDN (the non-ASCII part remains).
+            stem = format!("{stem}{}", rng.gen_range(0..100_000));
+            if !seen.insert(stem.clone()) {
+                continue;
+            }
+        }
+        idns.push(stem);
+    }
+    (ascii, idns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_langid::{identify, table7_rows};
+
+    #[test]
+    fn reference_list_has_brands_on_top() {
+        let refs = reference_list(10_000);
+        assert_eq!(refs[0], "google");
+        assert!(refs.len() >= 9_990);
+        assert!(refs.contains(&"myetherwallet".to_string()));
+        assert!(refs.contains(&"allstate".to_string()));
+        // Mid-rank targets are NOT in the top-1000.
+        let top1k: Vec<&String> = refs.iter().take(1000).collect();
+        assert!(!top1k.iter().any(|s| *s == "myetherwallet"));
+    }
+
+    #[test]
+    fn reference_list_is_deterministic_and_unique() {
+        let a = reference_list(5_000);
+        let b = reference_list(5_000);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<&String> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn popularity_weight_decreases() {
+        assert!(popularity_weight(1) > popularity_weight(2));
+        assert!(popularity_weight(10) > popularity_weight(1000));
+    }
+
+    #[test]
+    fn benign_corpus_sizes_and_uniqueness() {
+        let (ascii, idns) = benign_corpus(5_000, 1_000, 7);
+        assert_eq!(ascii.len(), 5_000);
+        assert_eq!(idns.len(), 1_000);
+        let set: std::collections::HashSet<&String> = idns.iter().collect();
+        assert_eq!(set.len(), idns.len());
+        assert!(idns.iter().all(|s| !s.is_ascii()), "every IDN stem is non-ASCII");
+    }
+
+    #[test]
+    fn language_mix_reaches_table7_shape() {
+        let (_, idns) = benign_corpus(0, 4_000, 99);
+        let rows = table7_rows(idns.iter().map(|s| identify(s).language));
+        assert_eq!(rows[0].0, Language::Chinese);
+        let chinese_share = rows[0].2;
+        assert!(
+            (chinese_share - 0.465).abs() < 0.06,
+            "chinese share {chinese_share}"
+        );
+        // Korean and Japanese occupy the next two slots, in order.
+        assert_eq!(rows[1].0, Language::Korean);
+        assert_eq!(rows[2].0, Language::Japanese);
+    }
+
+    #[test]
+    fn mix_shares_sum_to_one() {
+        let total: f64 = LANGUAGE_MIX.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+}

@@ -1,0 +1,504 @@
+//! Web-layer ground truth: the activity funnel, site profiles, passive
+//! DNS volumes, blacklists, and the zone/domain-list texts.
+//!
+//! The paper's §6 funnel: 3,280 detected homographs → 2,294 with NS
+//! records → 1,909 with A records → 1,647 answering on TCP/80 or 443,
+//! which then split into Table 12's categories, Table 13's redirect
+//! kinds, and Table 14's blacklist hits. The generator reproduces those
+//! proportions at any scale.
+
+use crate::attacker::PlantedHomograph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sham_web::{Blacklist, SiteProfile, PARKING_NS};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-domain ground truth assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteAssignment {
+    /// Registered (has NS records somewhere).
+    pub has_ns: bool,
+    /// Has an A record.
+    pub has_a: bool,
+    /// Answers on TCP/80.
+    pub open_80: bool,
+    /// Answers on TCP/443.
+    pub open_443: bool,
+    /// Behaviour profile (meaningful when active).
+    pub profile: SiteProfile,
+    /// True global DNS lookup volume (passive DNS samples this).
+    pub resolutions: u64,
+    /// Has an MX record (Table 11's MX column).
+    pub has_mx: bool,
+    /// Linked from the public web (Table 11).
+    pub web_link: bool,
+    /// Linked from social networks (Table 11).
+    pub sns_link: bool,
+}
+
+/// The funnel and category proportions, in paper units (per 3,280).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunnelPlan {
+    /// Homographs with NS records (paper: 2,294 / 3,280).
+    pub ns_per_3280: u32,
+    /// With A records (paper: 1,909).
+    pub a_per_3280: u32,
+    /// Responding on 80/443 (paper: 1,647).
+    pub active_per_3280: u32,
+    /// Table 12 counts per 1,647 active:
+    /// (parking, for sale, redirect, normal, empty, error).
+    pub categories_per_1647: [u32; 6],
+    /// Table 13 redirect split per 338: (brand, legitimate, malicious).
+    pub redirects_per_338: [u32; 3],
+    /// Table 14 blacklist sizes per 3,280 (hpHosts, GSB, Symantec).
+    pub blacklisted_per_3280: [u32; 3],
+}
+
+impl Default for FunnelPlan {
+    fn default() -> Self {
+        FunnelPlan {
+            ns_per_3280: 2_294,
+            a_per_3280: 1_909,
+            active_per_3280: 1_647,
+            categories_per_1647: [348, 345, 338, 281, 222, 113],
+            redirects_per_338: [178, 125, 35],
+            blacklisted_per_3280: [242, 13, 8],
+        }
+    }
+}
+
+/// Everything the measurement study needs to know about the world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The planted homographs.
+    pub homographs: Vec<PlantedHomograph>,
+    /// Per-domain assignment, keyed by full ACE name.
+    pub assignments: HashMap<String, SiteAssignment>,
+    /// The three blacklist feeds (hpHosts-like, GSB-like, Symantec-like).
+    pub blacklists: Vec<Blacklist>,
+}
+
+fn scale(n: usize, per: u32, of: u32) -> usize {
+    (n * per as usize + of as usize / 2) / of as usize
+}
+
+/// Assigns the activity funnel, categories, resolutions and blacklists.
+pub fn assign(
+    homographs: Vec<PlantedHomograph>,
+    reference_ranks: &HashMap<String, usize>,
+    plan: &FunnelPlan,
+    seed: u64,
+) -> GroundTruth {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = homographs.len();
+    let ns_count = scale(n, plan.ns_per_3280, 3_280);
+    let a_count = scale(n, plan.a_per_3280, 3_280);
+    let active_count = scale(n, plan.active_per_3280, 3_280);
+
+    // Category targets over the active population.
+    let active_total: u32 = plan.categories_per_1647.iter().sum();
+    let mut category_quota: Vec<usize> = plan
+        .categories_per_1647
+        .iter()
+        .map(|&c| scale(active_count, c, active_total))
+        .collect();
+    let redirect_total: u32 = plan.redirects_per_338.iter().sum();
+    let mut redirect_quota: Vec<usize> = plan
+        .redirects_per_338
+        .iter()
+        .map(|&c| scale(category_quota[2], c, redirect_total))
+        .collect();
+
+    let mut assignments: HashMap<String, SiteAssignment> = HashMap::new();
+    let mut hp = Blacklist::new("hpHosts");
+    let mut gsb = Blacklist::new("GSB");
+    let mut sym = Blacklist::new("Symantec");
+
+    // Pre-shuffled index order for funnel assignment, deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    for (pos, &idx) in order.iter().enumerate() {
+        let h = &homographs[idx];
+        let has_ns = pos < ns_count;
+        let has_a = pos < a_count;
+        let active = pos < active_count;
+
+        // Pick a category for active sites from the remaining quota.
+        let profile = if active {
+            let cat = {
+                let remaining: Vec<usize> = category_quota
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &q)| q > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                if remaining.is_empty() {
+                    3 // normal
+                } else {
+                    remaining[rng.gen_range(0..remaining.len())]
+                }
+            };
+            if category_quota[cat] > 0 {
+                category_quota[cat] -= 1;
+            }
+            match cat {
+                0 => SiteProfile::Parked {
+                    ns_provider: format!(
+                        "ns1.{}",
+                        PARKING_NS[rng.gen_range(0..PARKING_NS.len())]
+                    ),
+                },
+                1 => SiteProfile::ForSale,
+                2 => {
+                    // Redirect: split into brand / legitimate / malicious.
+                    let kinds: Vec<usize> = redirect_quota
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &q)| q > 0)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let kind = if kinds.is_empty() {
+                        1
+                    } else {
+                        kinds[rng.gen_range(0..kinds.len())]
+                    };
+                    if redirect_quota.get(kind).copied().unwrap_or(0) > 0 {
+                        redirect_quota[kind] -= 1;
+                    }
+                    let target = match kind {
+                        0 => format!("{}.com", h.target), // brand protection
+                        1 => "unrelated-landing.com".to_string(),
+                        _ => {
+                            let lander = format!("lander-{}.com", rng.gen_range(0..50));
+                            hp.add(&lander);
+                            lander
+                        }
+                    };
+                    SiteProfile::Redirect { target }
+                }
+                3 => SiteProfile::Normal,
+                4 => SiteProfile::Empty,
+                _ => SiteProfile::Error,
+            }
+        } else {
+            SiteProfile::Error
+        };
+
+        // Resolution volume: Zipf in the homograph's own popularity plus a
+        // boost for homographs of highly ranked references.
+        // Capped so no organically generated homograph outranks the
+        // planted Table 11 stars (max ≈ 200 × 1,500/11 ≈ 27 K, well under
+        // the least-resolved star's 36 K).
+        let rank_boost = reference_ranks
+            .get(&h.target)
+            .map(|&r| 1_500.0 / (r as f64 + 10.0))
+            .unwrap_or(1.0);
+        let base: f64 = rng.gen_range(1.0..200.0);
+        let resolutions = (base * rank_boost) as u64 + rng.gen_range(0..50);
+
+        // MX presence: homographs of mail brands keep MX records (the
+        // paper found gmail/yahoo homographs with MX).
+        let mail_brand = matches!(h.target.as_str(), "gmail" | "yahoo" | "outlook");
+        let has_mx = mail_brand && rng.gen_bool(0.7);
+
+        // A sliver of sites serve HTTPS only (paper: 1,647 unique active
+        // vs 1,642 on port 80 — five HTTPS-only hosts).
+        let https_only = active && rng.gen_bool(0.004);
+        assignments.insert(
+            h.ace.clone(),
+            SiteAssignment {
+                has_ns,
+                has_a: has_ns && has_a,
+                open_80: active && !https_only,
+                open_443: active && (https_only || rng.gen_bool(0.42)), // ≈700/1647
+                profile,
+                resolutions,
+                has_mx,
+                web_link: rng.gen_bool(0.25),
+                sns_link: rng.gen_bool(0.12),
+            },
+        );
+        let _ = pos;
+    }
+
+    // Blacklists over the whole homograph set (Table 14 includes
+    // non-active domains), nested: Symantec ⊂ GSB-ish ⊂ hpHosts mostly.
+    // Picks are uniform over the homograph population; since ~40% of the
+    // Zipf tail targets references outside the top-1k, §6.4's reverting
+    // analysis lands near the paper's 91-of-242 share naturally.
+    let hp_count = scale(n, plan.blacklisted_per_3280[0], 3_280);
+    let gsb_count = scale(n, plan.blacklisted_per_3280[1], 3_280);
+    let sym_count = scale(n, plan.blacklisted_per_3280[2], 3_280);
+    let mut mal_order: Vec<usize> = (0..n).collect();
+    for i in (1..mal_order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        mal_order.swap(i, j);
+    }
+    for (k, &idx) in mal_order.iter().take(hp_count).enumerate() {
+        let ace = &homographs[idx].ace;
+        hp.add(ace);
+        if k < gsb_count {
+            gsb.add(ace);
+        }
+        if k < sym_count {
+            sym.add(ace);
+        }
+    }
+
+    GroundTruth {
+        homographs,
+        assignments,
+        blacklists: vec![hp, gsb, sym],
+    }
+}
+
+/// Plants the paper's Table 11 stars: named high-traffic homographs with
+/// the categories/MX flags the paper reports. Returns the planted ACE
+/// names. Call after [`assign`].
+pub fn plant_resolution_stars(truth: &mut GroundTruth) -> Vec<String> {
+    // (stem, target, resolutions, profile, has_mx)
+    let stars: Vec<(&str, &str, u64, SiteProfile, bool)> = vec![
+        // The active phishing site with the most lookups (gmaıl).
+        ("gmaıl", "gmail", 615_447, SiteProfile::Normal, true),
+        // A legitimate portal (döviz) — the paper's one non-abusive star.
+        ("döviz", "doviz", 127_417, SiteProfile::Normal, false),
+        ("ġmail", "gmail", 74_699, SiteProfile::Parked { ns_provider: "ns1.parkingcrew.net".into() }, true),
+        ("gmàil", "gmail", 63_233, SiteProfile::Parked { ns_provider: "ns1.sedoparking.com".into() }, false),
+        ("gmaiĺ", "gmail", 49_248, SiteProfile::Parked { ns_provider: "ns1.bodis.com".into() }, false),
+        ("yàhoo", "yahoo", 44_368, SiteProfile::Parked { ns_provider: "ns1.above.com".into() }, true),
+        ("shädbase", "shadbase", 38_556, SiteProfile::Parked { ns_provider: "ns1.parklogic.com".into() }, false),
+        ("youtubé", "youtube", 37_713, SiteProfile::ForSale, false),
+        ("perú", "peru", 36_405, SiteProfile::Parked { ns_provider: "ns1.cashparking.com".into() }, false),
+        ("exṕansion", "expansion", 56_918, SiteProfile::Parked { ns_provider: "ns1.dan.com".into() }, true),
+    ];
+    let mut planted = Vec::new();
+    for (stem, target, res, profile, mx) in stars {
+        let Ok(label) = sham_punycode::ace::to_ascii(stem) else { continue };
+        let ace = format!("{label}.com");
+        // The attacker model may have organically registered the same
+        // stem; keep the ground-truth list duplicate-free and just
+        // overwrite the site assignment below.
+        if !truth.homographs.iter().any(|h| h.ace == ace) {
+            // gmaıl's dotless ı is listed by both databases; the other
+            // stars use small accents only SimChar knows.
+            let class = if stem == "gmaıl" {
+                crate::attacker::SubClass::Both
+            } else {
+                crate::attacker::SubClass::SimCharOnly
+            };
+            truth.homographs.push(PlantedHomograph {
+                unicode_stem: stem.to_string(),
+                ace: ace.clone(),
+                target: target.to_string(),
+                class,
+                substitutions: 1,
+            });
+        }
+        truth.assignments.insert(
+            ace.clone(),
+            SiteAssignment {
+                has_ns: true,
+                has_a: true,
+                open_80: true,
+                open_443: true,
+                profile,
+                resolutions: res,
+                has_mx: mx,
+                web_link: true,
+                sns_link: res > 100_000,
+            },
+        );
+        planted.push(ace);
+    }
+    // The top star is an operating phishing site: blacklist it.
+    if let Some(first) = planted.first() {
+        truth.blacklists[0].add(first);
+        truth.blacklists[1].add(first);
+    }
+    planted
+}
+
+/// Renders the zone file: every domain with `has_ns` gets NS records
+/// (parking NS for parked sites), `has_a` adds an A record, `has_mx` an
+/// MX record. Benign domains all get generic hosting records.
+pub fn zone_text(
+    benign: &[String],
+    truth: &GroundTruth,
+    include_benign_fraction_permille: u32,
+    seed: u64,
+) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::with_capacity(benign.len() * 48);
+    let _ = writeln!(s, "$ORIGIN com.");
+    let _ = writeln!(s, "$TTL 172800");
+    for (i, stem) in benign.iter().enumerate() {
+        if rng.gen_range(0..1000) >= include_benign_fraction_permille {
+            continue;
+        }
+        let _ = writeln!(s, "{stem} IN NS ns{}.hosting{}.example.", (i % 2) + 1, i % 97);
+        if i % 3 != 0 {
+            let _ = writeln!(s, "{stem} IN A 198.51.{}.{}", (i / 250) % 256, i % 250 + 1);
+        }
+    }
+    for h in &truth.homographs {
+        let Some(a) = truth.assignments.get(&h.ace) else { continue };
+        if !a.has_ns {
+            continue;
+        }
+        let stem = h.ace.trim_end_matches(".com");
+        let ns = match &a.profile {
+            SiteProfile::Parked { ns_provider } => format!("{ns_provider}."),
+            _ => format!("ns1.hosting{}.example.", stem.len() % 97),
+        };
+        let _ = writeln!(s, "{stem} IN NS {ns}");
+        if a.has_a {
+            let _ = writeln!(
+                s,
+                "{stem} IN A 203.0.{}.{}",
+                stem.len() % 113,
+                (stem.as_bytes()[4] as usize) % 250 + 1
+            );
+        }
+        if a.has_mx {
+            let _ = writeln!(s, "{stem} IN MX 10 mail.{stem}.com.");
+        }
+    }
+    s
+}
+
+/// Renders the domainlists.io-style flat list. A slightly different
+/// subset of the world than the zone (Table 6's two overlapping
+/// sources): it includes expired homographs (no NS) and misses a sliver
+/// of the benign corpus.
+pub fn domain_list_text(
+    benign: &[String],
+    truth: &GroundTruth,
+    include_benign_fraction_permille: u32,
+    seed: u64,
+) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::with_capacity(benign.len() * 20);
+    s.push_str("# domainlists.io style export\n");
+    for stem in benign {
+        if rng.gen_range(0..1000) < include_benign_fraction_permille {
+            let _ = writeln!(s, "{stem}.com");
+        }
+    }
+    for h in &truth.homographs {
+        let _ = writeln!(s, "{}", h.ace);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::{plant, HomographPlan};
+    use crate::domains::reference_list;
+
+    fn small_truth() -> (GroundTruth, HashMap<String, usize>) {
+        let refs = reference_list(2_000);
+        let ranks: HashMap<String, usize> =
+            refs.iter().enumerate().map(|(i, r)| (r.clone(), i + 1)).collect();
+        let homographs = plant(&refs, &HomographPlan::scaled(100), 3);
+        let truth = assign(homographs, &ranks, &FunnelPlan::default(), 9);
+        (truth, ranks)
+    }
+
+    #[test]
+    fn funnel_proportions_hold() {
+        let (truth, _) = small_truth();
+        let n = truth.homographs.len();
+        let with_ns = truth.assignments.values().filter(|a| a.has_ns).count();
+        let with_a = truth.assignments.values().filter(|a| a.has_a).count();
+        let active = truth.assignments.values().filter(|a| a.open_80 || a.open_443).count();
+        let frac = |x: usize| x as f64 / n as f64;
+        assert!((frac(with_ns) - 2294.0 / 3280.0).abs() < 0.03, "ns {}", frac(with_ns));
+        assert!((frac(with_a) - 1909.0 / 3280.0).abs() < 0.03);
+        assert!((frac(active) - 1647.0 / 3280.0).abs() < 0.03);
+        // Funnel is monotone.
+        assert!(with_ns >= with_a);
+        assert!(with_a >= active);
+    }
+
+    #[test]
+    fn categories_cover_table12() {
+        let (truth, _) = small_truth();
+        let mut parked = 0;
+        let mut redirect = 0;
+        for a in truth.assignments.values() {
+            if a.open_80 {
+                match &a.profile {
+                    SiteProfile::Parked { .. } => parked += 1,
+                    SiteProfile::Redirect { .. } => redirect += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(parked > 0);
+        assert!(redirect > 0);
+    }
+
+    #[test]
+    fn blacklists_have_paper_ratios() {
+        let (truth, _) = small_truth();
+        let n = truth.homographs.len() as f64;
+        let hp = truth.blacklists[0].len() as f64;
+        let gsb = truth.blacklists[1].len() as f64;
+        let sym = truth.blacklists[2].len() as f64;
+        assert!((hp / n - 242.0 / 3280.0).abs() < 0.02, "hp {}", hp / n);
+        assert!(gsb < hp);
+        assert!(sym <= gsb);
+        assert!(sym >= 1.0);
+    }
+
+    #[test]
+    fn stars_plant_gmail_phish_on_top() {
+        let (mut truth, _) = small_truth();
+        let stars = plant_resolution_stars(&mut truth);
+        assert_eq!(stars.len(), 10);
+        let top = truth
+            .assignments
+            .iter()
+            .max_by_key(|(_, a)| a.resolutions)
+            .map(|(d, _)| d.clone())
+            .unwrap();
+        assert_eq!(top, stars[0]); // gmaıl
+        assert!(truth.blacklists[0].contains(&stars[0]));
+    }
+
+    #[test]
+    fn zone_and_list_texts_parse() {
+        let (truth, _) = small_truth();
+        let benign: Vec<String> = (0..500).map(|i| format!("benign-{i}")).collect();
+        let zone = zone_text(&benign, &truth, 989, 1);
+        let (parsed, errors) = sham_dns::parse_lenient(&zone, "com");
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(parsed.records.len() > 500);
+
+        let list = domain_list_text(&benign, &truth, 987, 2);
+        let (names, bad) = sham_dns::parse_domain_list(&list);
+        assert_eq!(bad, 0);
+        assert!(names.len() > 500);
+        // Every homograph appears in the list (including expired ones).
+        let set: std::collections::HashSet<String> =
+            names.iter().map(|d| d.as_ascii().to_string()).collect();
+        for h in &truth.homographs {
+            assert!(set.contains(&h.ace), "{} missing from list", h.ace);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, _) = small_truth();
+        let (b, _) = small_truth();
+        assert_eq!(a.homographs, b.homographs);
+        assert_eq!(a.blacklists[0].len(), b.blacklists[0].len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Browser display-policy comparison (paper §2.2 and §7.2): how do the
+//! pre-2017 policy, the current mixed-script Punycode fallback, and the
+//! paper's proposed warning UI each treat a set of IDNs — and which
+//! homographs slip through?
+//!
+//! ```sh
+//! cargo run --release --example browser_policy
+//! ```
+
+use shamfinder::core::{display, Display, Policy};
+use shamfinder::prelude::*;
+
+fn main() {
+    println!("building homoglyph database …");
+    let font = SynthUnifont::v12();
+    let result = build(&font, &BuildConfig::default());
+
+    let mut framework = Framework::new(
+        result.db,
+        UcDatabase::embedded(),
+        vec![
+            "google".to_string(),
+            "facebook".to_string(),
+            "工業大学".to_string(), // non-Latin reference (paper §2.2)
+        ],
+        "com",
+    );
+
+    let cases = [
+        ("gооgle.com", "Cyrillic о twice"),
+        ("facébook.com", "Latin accent only"),
+        ("фасебоок.com", "whole-script Cyrillic"),
+        ("エ業大学.com", "Katakana エ for CJK 工 (paper §2.2)"),
+        ("tokyo大学.com", "benign Latin + CJK mix"),
+        ("google.com", "the genuine article"),
+    ];
+
+    println!(
+        "\n{:<22} {:<28} {:<18} {:<18} {}",
+        "domain", "note", "legacy", "mixed-script", "ShamFinder"
+    );
+    println!("{}", "-".repeat(110));
+
+    for (name, note) in cases {
+        let domain = DomainName::parse(name).expect("valid domain");
+        let legacy = match display(&domain, Policy::Legacy) {
+            Display::Unicode(_) => "Unicode",
+            Display::Punycode(_) => "Punycode",
+        };
+        let mixed = match display(&domain, Policy::MixedScriptPunycode) {
+            Display::Unicode(_) => "Unicode",
+            Display::Punycode(_) => "Punycode ✋",
+        };
+
+        // The ShamFinder answer: show Unicode, but warn with context.
+        let report = framework.run(&[domain.clone()]);
+        let sham = match report.detections.first() {
+            Some(det) => format!(
+                "WARN: imitates {} ({} subst.)",
+                det.reference,
+                det.substitutions.len()
+            ),
+            None => "Unicode (no homograph)".to_string(),
+        };
+
+        let unicode_form = domain.to_unicode().unwrap_or_else(|_| name.to_string());
+        println!("{unicode_form:<22} {note:<28} {legacy:<18} {mixed:<18} {sham}");
+    }
+
+    println!(
+        "\nTakeaway (paper §2.2/§7.2): the mixed-script rule degrades usability for\n\
+         benign IDNs yet misses whole-script homographs and CJK-internal homographs;\n\
+         database-driven detection names the imitated domain instead."
+    );
+}

@@ -1,0 +1,258 @@
+//! `shamfinder` — command-line front end to the detection framework.
+//!
+//! ```text
+//! shamfinder build-db [--theta N] [--out FILE]     build SimChar, print stats
+//! shamfinder check <domain> [--refs a,b,c]         check one domain
+//! shamfinder scan <zone-file> [--tld com] [--refs-file FILE]
+//! shamfinder revert <idn>                          map an IDN back to LDH
+//! shamfinder homoglyphs <char-or-hex>              list a character's twins
+//! shamfinder surface <label> [--tld com|jp|de]     registrable homograph count
+//! ```
+
+use shamfinder::core::IdnTable;
+use shamfinder::prelude::*;
+use shamfinder::unicode::block_of;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  shamfinder build-db [--theta N] [--out FILE]\n  \
+         shamfinder check <domain> [--refs a,b,c]\n  \
+         shamfinder scan <zone-file> [--tld com] [--refs-file FILE]\n  \
+         shamfinder revert <idn-or-stem>\n  \
+         shamfinder homoglyphs <char-or-hex>\n  \
+         shamfinder surface <label> [--tld com|jp|de|kr]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn build_db(theta: u32) -> HomoglyphDb {
+    eprintln!("[shamfinder] building SimChar (θ = {theta}) …");
+    let font = SynthUnifont::v12();
+    let result = build(&font, &BuildConfig { theta, ..BuildConfig::default() });
+    eprintln!(
+        "[shamfinder] {} pairs over {} characters",
+        result.db.pair_count(),
+        result.db.char_count()
+    );
+    HomoglyphDb::new(result.db, UcDatabase::embedded())
+}
+
+fn default_refs() -> Vec<String> {
+    shamfinder::workload::reference_list(10_000)
+}
+
+fn cmd_build_db(args: &[String]) -> ExitCode {
+    let theta = flag_value(args, "--theta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let db = build_db(theta);
+    let sim = db.simchar();
+    println!("theta: {}", sim.theta());
+    println!("pairs: {}", sim.pair_count());
+    println!("characters: {}", sim.char_count());
+    println!("-- top letters (Table 3) --");
+    for (letter, count) in sim.latin_profile().into_iter().take(10) {
+        println!("  {letter}: {count}");
+    }
+    println!("-- top blocks (Table 4) --");
+    for (block, count) in sim.block_profile().into_iter().take(5) {
+        println!("  {block}: {count}");
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::write(&path, sim.to_text()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("exported to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(domain) = args.first() else { return usage() };
+    let domain = match DomainName::parse(domain) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: invalid domain: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let refs: Vec<String> = match flag_value(args, "--refs") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => default_refs(),
+    };
+    let db = build_db(4);
+    let tld = domain.tld().to_string();
+    let mut fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
+    let report = fw.run(&[domain.clone()]);
+    if report.detections.is_empty() {
+        println!("{}: no homograph detected", domain.as_ascii());
+        return ExitCode::SUCCESS;
+    }
+    for det in &report.detections {
+        let warning = Warning::from_detection(det, &tld);
+        print!("{}", warning.render_text());
+    }
+    ExitCode::from(1)
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let tld = flag_value(args, "--tld").unwrap_or_else(|| "com".into());
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Accept either a zone file or a flat domain list.
+    let domains: Vec<DomainName> = if text.contains("$ORIGIN") || text.contains(" IN ") {
+        let (zone, errors) = shamfinder::dns::parse_lenient(&text, &tld);
+        if !errors.is_empty() {
+            eprintln!("[shamfinder] skipped {} malformed zone lines", errors.len());
+        }
+        zone.owner_names().into_iter().cloned().collect()
+    } else {
+        let (names, bad) = shamfinder::dns::parse_domain_list(&text);
+        if bad > 0 {
+            eprintln!("[shamfinder] skipped {bad} malformed list lines");
+        }
+        names
+    };
+    let refs: Vec<String> = match flag_value(args, "--refs-file") {
+        Some(f) => match std::fs::read_to_string(&f) {
+            Ok(t) => t.lines().map(|l| l.trim().to_string()).filter(|l| !l.is_empty()).collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => default_refs(),
+    };
+    let db = build_db(4);
+    let mut fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
+    let report = fw.run(&domains);
+    println!(
+        "scanned {} domains ({} IDNs): {} homographs",
+        report.total_domains,
+        report.idn_count,
+        report.detections.len()
+    );
+    for det in &report.detections {
+        println!(
+            "  {} -> imitates {}.{} ({} substitution{})",
+            det.idn_ascii,
+            det.reference,
+            tld,
+            det.substitutions.len(),
+            if det.substitutions.len() == 1 { "" } else { "s" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_revert(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else { return usage() };
+    // Accept either a stem or a full (possibly ACE) domain.
+    let stem = match DomainName::parse(input) {
+        Ok(d) if d.label_count() > 1 => d.unicode_without_tld().unwrap_or_default(),
+        _ => shamfinder::punycode::ace::to_unicode(input)
+            .unwrap_or_else(|_| input.to_string()),
+    };
+    let db = build_db(4);
+    match revert_stem(&db, &stem) {
+        Reverted::Original(original) => {
+            println!("{stem} -> {original}");
+            ExitCode::SUCCESS
+        }
+        Reverted::Partial(partial, failed) => {
+            println!("{stem} -> {partial} (unresolved: {failed:?})");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_homoglyphs(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else { return usage() };
+    let target: char = if let Some(hex) = input.strip_prefix("U+").or_else(|| input.strip_prefix("u+")) {
+        match u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+            Some(c) => c,
+            None => {
+                eprintln!("error: bad code point {input:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match input.chars().next() {
+            Some(c) => c,
+            None => return usage(),
+        }
+    };
+    let db = build_db(4);
+    let twins = db.homoglyphs_of(target as u32);
+    println!("homoglyphs of '{target}' (U+{:04X}): {}", target as u32, twins.len());
+    for cp in twins {
+        let c = char::from_u32(cp).unwrap_or('\u{FFFD}');
+        let block = CodePoint::new(cp)
+            .and_then(block_of)
+            .map_or("?", |b| b.name);
+        let source = db
+            .source_of(target as u32, cp)
+            .map_or("", |s| match s {
+                shamfinder::simchar::PairSource::SimChar => " [SimChar]",
+                shamfinder::simchar::PairSource::Uc => " [UC]",
+                shamfinder::simchar::PairSource::Both => " [both]",
+            });
+        println!("  '{c}' U+{cp:04X}  {block}{source}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_surface(args: &[String]) -> ExitCode {
+    let Some(label) = args.first() else { return usage() };
+    let table = match flag_value(args, "--tld").as_deref() {
+        Some("jp") => IdnTable::jp(),
+        Some("de") => IdnTable::de(),
+        Some("kr") => IdnTable::kr(),
+        Some("rf") => IdnTable::rf(),
+        _ => IdnTable::com(),
+    };
+    let db = build_db(4);
+    let surface = table.homograph_surface(&db, label);
+    println!(
+        "single-substitution homograph surface of {label:?} under .{}: {surface}",
+        table.tld
+    );
+    for c in label.chars() {
+        let options = table.registrable_homoglyphs(&db, c);
+        if !options.is_empty() {
+            let shown: String = options.iter().take(12).collect();
+            println!("  '{c}': {} option(s) — {shown}", options.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    let rest = &args[1..];
+    match command.as_str() {
+        "build-db" => cmd_build_db(rest),
+        "check" => cmd_check(rest),
+        "scan" => cmd_scan(rest),
+        "revert" => cmd_revert(rest),
+        "homoglyphs" => cmd_homoglyphs(rest),
+        "surface" => cmd_surface(rest),
+        _ => usage(),
+    }
+}

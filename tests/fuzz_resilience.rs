@@ -1,0 +1,167 @@
+//! Failure-injection and fuzz-style resilience tests: every parser and
+//! decoder in the workspace must be *total* — arbitrary input yields
+//! `Ok` or a typed error, never a panic.
+
+use proptest::prelude::*;
+use shamfinder::confusables::format as uc_format;
+use shamfinder::dns::wire;
+use shamfinder::glyph::{GlyphSource, SynthUnifont};
+use shamfinder::prelude::*;
+use shamfinder::simchar::SimCharDb;
+
+proptest! {
+    /// The DNS wire decoder never panics on arbitrary bytes.
+    #[test]
+    fn dns_wire_decode_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&data);
+    }
+
+    /// Decoding a valid message with arbitrary truncation never panics.
+    #[test]
+    fn dns_wire_truncation_total(cut in 0usize..64) {
+        let q = wire::Message::query(
+            7,
+            DomainName::parse("xn--ggle-55da.com").unwrap(),
+            shamfinder::dns::RecordType::Mx,
+        );
+        let bytes = wire::encode(&q);
+        let cut = cut.min(bytes.len());
+        let _ = wire::decode(&bytes[..cut]);
+    }
+
+    /// Bit-flipped messages decode or fail cleanly.
+    #[test]
+    fn dns_wire_bitflip_total(pos in 0usize..64, bit in 0u8..8) {
+        let q = wire::Message::query(
+            3,
+            DomainName::parse("alive.com").unwrap(),
+            shamfinder::dns::RecordType::A,
+        );
+        let mut bytes = wire::encode(&q);
+        if pos < bytes.len() {
+            bytes[pos] ^= 1 << bit;
+        }
+        let _ = wire::decode(&bytes);
+    }
+
+    /// The confusables.txt parser is total over arbitrary text.
+    #[test]
+    fn confusables_parse_total(text in "[ -~\\n;#→]{0,300}") {
+        let _ = uc_format::parse(&text);
+    }
+
+    /// The zone parser (lenient mode) accepts any text without panicking
+    /// and never yields more records than input lines.
+    #[test]
+    fn zone_lenient_total(text in "[ -~\\n\\t]{0,500}") {
+        let (zone, errors) = shamfinder::dns::parse_lenient(&text, "com");
+        prop_assert!(zone.records.len() + errors.len() <= text.lines().count() + 1);
+    }
+
+    /// The SimChar text loader is total.
+    #[test]
+    fn simchar_from_text_total(text in "[ -~\\n]{0,200}") {
+        let _ = SimCharDb::from_text(&text);
+    }
+
+    /// Glyph rendering is total over the entire code space (assigned or
+    /// not, covered or not).
+    #[test]
+    fn glyph_render_total(v in 0u32..0x110000) {
+        if let Some(cp) = CodePoint::new(v) {
+            let font = SynthUnifont::v12();
+            if let Some(g) = font.glyph(cp) {
+                prop_assert!(g.popcount() <= 1024);
+            }
+        }
+    }
+
+    /// Domain parsing is total over arbitrary unicode.
+    #[test]
+    fn domain_parse_total(s in "\\PC{0,60}") {
+        let _ = DomainName::parse(&s);
+    }
+
+    /// Language identification is total and deterministic.
+    #[test]
+    fn langid_total(s in "\\PC{0,40}") {
+        let a = shamfinder::langid::identify(&s);
+        let b = shamfinder::langid::identify(&s);
+        prop_assert_eq!(a.language, b.language);
+        prop_assert!((0.0..=1.0).contains(&a.confidence));
+    }
+
+    /// Restriction levels are total.
+    #[test]
+    fn restriction_total(s in "\\PC{0,40}") {
+        let _ = shamfinder::confusables::restriction_level(&s);
+    }
+}
+
+#[test]
+fn zone_parser_survives_hostile_lines() {
+    let hostile = "\
+$ORIGIN com.
+$TTL not-a-number
+good IN A 192.0.2.1
+ IN A 192.0.2.2
+\u{0} IN NS x.
+name IN MX ten mail.x.com.
+name IN A 999.999.999.999
+xn--\u{FFFD} IN NS ns.x.
+okay IN NS ns1.x.example.
+";
+    let (zone, errors) = shamfinder::dns::parse_lenient(hostile, "com");
+    assert!(zone.records.len() >= 2, "good lines must survive");
+    assert!(!errors.is_empty(), "bad lines must be reported");
+}
+
+#[test]
+fn http_client_rejects_malformed_responses() {
+    use shamfinder::web::Client;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    // A server that speaks garbage.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut s) = stream else { break };
+            let _ = s.write_all(b"NOT-HTTP AT ALL\r\n\r\n");
+        }
+    });
+    let mut client = Client { timeout: Duration::from_millis(400), ..Default::default() };
+    client.hosts_override.insert("garbage.test".into(), addr);
+    assert!(client.get("garbage.test", "/").is_err());
+}
+
+#[test]
+fn detector_survives_garbage_idn_stems() {
+    let font = SynthUnifont::v12();
+    let simchar = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+    let mut fw = Framework::new(
+        simchar,
+        UcDatabase::embedded(),
+        vec!["google".to_string()],
+        "com",
+    );
+    // Stems with controls, empty-ish content and unassigned code points.
+    let idns = vec![
+        ("\u{0}\u{1}\u{2}".to_string(), "xn--garbage.com".to_string()),
+        ("".to_string(), "xn--empty.com".to_string()),
+        ("\u{E123}oogle".to_string(), "xn--unassigned.com".to_string()),
+        ("ооооооооооо".to_string(), "xn--long-o.com".to_string()),
+    ];
+    let hits = fw.detect_only(&idns);
+    // Nothing matches "google"; more importantly, nothing panics.
+    assert!(hits.is_empty());
+}

@@ -1,0 +1,162 @@
+//! Integration tests that exercise the *real* network code paths — the
+//! TCP port prober and the HTTP client — against in-process servers, and
+//! feed their observations through the same classifiers the simulation
+//! uses.
+
+use shamfinder::dns::{scan, PortProber, ProbeOutcome, TcpProber};
+use shamfinder::web::{
+    classify, classify_redirect, Blacklist, Category, Client, FetchOutcome, Observation,
+    RedirectKind, Route, TestServer,
+};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::time::Duration;
+
+fn client_for(server: &TestServer, host: &str) -> Client {
+    let mut c = Client::default();
+    c.hosts_override.insert(host.to_string(), server.addr());
+    c
+}
+
+#[test]
+fn tcp_prober_distinguishes_open_and_closed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for s in listener.incoming() {
+            drop(s);
+        }
+    });
+
+    let mut prober = TcpProber { timeout: Duration::from_millis(300), ..Default::default() };
+    prober.hosts_override.insert("homograph.test".into(), addr);
+
+    assert_eq!(prober.probe("homograph.test", addr.port()), ProbeOutcome::Open);
+    let closed = prober.probe("127.0.0.1", 1);
+    assert!(matches!(closed, ProbeOutcome::Closed | ProbeOutcome::Timeout));
+}
+
+#[test]
+fn threaded_scan_over_real_sockets() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for s in listener.incoming() {
+            drop(s);
+        }
+    });
+    let mut prober = TcpProber { timeout: Duration::from_millis(300), ..Default::default() };
+    for host in ["a.test", "b.test", "c.test"] {
+        prober.hosts_override.insert(host.into(), addr);
+    }
+    let hosts: Vec<String> = ["a.test", "b.test", "c.test"].iter().map(|s| s.to_string()).collect();
+    let scans = scan(&prober, &hosts, &[addr.port()], 3);
+    assert_eq!(scans.len(), 3);
+    assert!(scans.iter().all(|s| s.any_open()));
+}
+
+#[test]
+fn http_crawl_classifies_a_parking_page() {
+    let mut routes = HashMap::new();
+    routes.insert(
+        "/".to_string(),
+        Route::ok("Welcome! Related Links — Sponsored Listings — Privacy"),
+    );
+    let server = TestServer::spawn(routes).unwrap();
+    let client = client_for(&server, "xn--ggle-55da.com");
+
+    let resp = client.get("xn--ggle-55da.com", "/").unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Feed the real HTTP observation through the classifier.
+    let obs = Observation {
+        ns_hosts: vec!["ns1.generic-hosting.example".into()],
+        fetch: FetchOutcome::Page { body: String::from_utf8_lossy(&resp.body).into_owned() },
+    };
+    assert_eq!(classify(&obs), Category::DomainParking);
+}
+
+#[test]
+fn http_redirect_chain_feeds_redirect_classifier() {
+    // A homograph of google.com that redirects to the brand itself
+    // (defensive registration) — over real sockets.
+    let mut routes = HashMap::new();
+    routes.insert("/".to_string(), Route::redirect("http://www.google.com/"));
+    let server = TestServer::spawn(routes).unwrap();
+    let client = client_for(&server, "xn--ggle-55da.com");
+
+    let resp = client.get("xn--ggle-55da.com", "/").unwrap();
+    assert!(resp.is_redirect());
+    let target_host = resp
+        .location()
+        .and_then(|l| l.strip_prefix("http://"))
+        .and_then(|l| l.split('/').next())
+        .unwrap();
+
+    let feeds = vec![Blacklist::new("hpHosts")];
+    assert_eq!(
+        classify_redirect("google.com", target_host, &feeds),
+        RedirectKind::BrandProtection
+    );
+
+    // The same chain against a blacklisted lander flips to malicious.
+    let mut bl = Blacklist::new("hpHosts");
+    bl.add("evil-lander.com");
+    assert_eq!(
+        classify_redirect("google.com", "evil-lander.com", &[bl]),
+        RedirectKind::Malicious
+    );
+}
+
+#[test]
+fn http_error_paths_classify_as_error() {
+    // Nothing listens on this address: connection refused → crawl error.
+    let client = Client { timeout: Duration::from_millis(200), ..Default::default() };
+    let result = client.get("127.0.0.1", "/"); // port 80 on loopback
+    if result.is_err() {
+        let obs = Observation {
+            ns_hosts: vec!["ns1.generic.example".into()],
+            fetch: FetchOutcome::Failed,
+        };
+        assert_eq!(classify(&obs), Category::Error);
+    }
+}
+
+#[test]
+fn full_chain_detect_then_crawl() {
+    // Detect a homograph with the framework, then "visit" it over a real
+    // socket and classify the result — the paper's §6 pipeline in
+    // miniature, minus the simulation.
+    use shamfinder::prelude::*;
+
+    let font = SynthUnifont::v12();
+    let simchar = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+    let mut fw = Framework::new(
+        simchar,
+        UcDatabase::embedded(),
+        vec!["google".to_string()],
+        "com",
+    );
+    let corpus = vec![DomainName::parse("gооgle.com").unwrap()];
+    let report = fw.run(&corpus);
+    assert_eq!(report.detections.len(), 1);
+    let ace = &report.detections[0].idn_ascii;
+
+    let mut routes = HashMap::new();
+    routes.insert("/".to_string(), Route::ok("This premium domain is for sale! Buy now."));
+    let server = TestServer::spawn(routes).unwrap();
+    let client = client_for(&server, ace);
+    let resp = client.get(ace, "/").unwrap();
+    let obs = Observation {
+        ns_hosts: vec!["ns1.registrar.example".into()],
+        fetch: FetchOutcome::Page { body: String::from_utf8_lossy(&resp.body).into_owned() },
+    };
+    assert_eq!(classify(&obs), Category::ForSale);
+}

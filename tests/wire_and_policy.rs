@@ -1,0 +1,137 @@
+//! Cross-crate integration: the DNS wire path end to end (detect a
+//! homograph → query a real UDP DNS server about it), TR39 restriction
+//! levels against the detection framework, and per-TLD registry policy.
+
+use shamfinder::confusables::{restriction_level, whole_script_confusable, RestrictionLevel};
+use shamfinder::core::IdnTable;
+use shamfinder::dns::{udp_query, RecordType, SimResolver, UdpDnsServer};
+use shamfinder::prelude::*;
+use shamfinder::unicode::Script;
+use std::time::Duration;
+
+fn small_db() -> (SimCharDb, UcDatabase) {
+    let font = SynthUnifont::v12();
+    let simchar = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Cyrillic",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+    (simchar, UcDatabase::embedded())
+}
+
+#[test]
+fn detect_then_resolve_over_real_udp() {
+    // 1. Detect the homograph.
+    let (simchar, uc) = small_db();
+    let mut fw = Framework::new(simchar, uc, vec!["google".to_string()], "com");
+    let spoof = DomainName::parse("gооgle.com").unwrap();
+    let report = fw.run(&[spoof.clone()]);
+    assert_eq!(report.detections.len(), 1);
+    let ace = report.detections[0].idn_ascii.clone();
+
+    // 2. Stand up a DNS server whose zone contains the homograph's
+    //    records, exactly like the paper's §6.1 NS/A liveness checks.
+    let zone = shamfinder::dns::parse(
+        &format!(
+            "$ORIGIN com.\n{} IN NS ns1.parkingcrew.net.\n{} IN A 203.0.113.9\n",
+            ace.trim_end_matches(".com"),
+            ace.trim_end_matches(".com"),
+        ),
+        "com",
+    )
+    .unwrap();
+    let server = UdpDnsServer::spawn(SimResolver::new([zone])).unwrap();
+
+    // 3. Query over the wire.
+    let name = DomainName::parse(&ace).unwrap();
+    let ns = udp_query(server.addr(), &name, RecordType::Ns, Duration::from_millis(800)).unwrap();
+    assert_eq!(ns.answers.len(), 1);
+    let a = udp_query(server.addr(), &name, RecordType::A, Duration::from_millis(800)).unwrap();
+    assert_eq!(a.answers.len(), 1);
+
+    // 4. The NS evidence classifies the site as parked.
+    let ns_host = match &ns.answers[0].data {
+        shamfinder::dns::RecordData::Ns(h) => h.as_ascii().to_string(),
+        other => panic!("expected NS, got {other:?}"),
+    };
+    assert!(shamfinder::web::is_parking_ns(&ns_host));
+}
+
+#[test]
+fn restriction_levels_align_with_detections() {
+    let (simchar, uc) = small_db();
+    let mut fw = Framework::new(
+        simchar,
+        uc,
+        vec!["google".to_string(), "facebook".to_string()],
+        "com",
+    );
+
+    // The mixed-script homograph is Minimally Restrictive (Latin +
+    // Cyrillic) — browsers degrade it, and we detect it.
+    let mixed = DomainName::parse("gооgle.com").unwrap();
+    assert_eq!(
+        restriction_level("gооgle"),
+        RestrictionLevel::MinimallyRestrictive
+    );
+    assert_eq!(fw.run(&[mixed]).detections.len(), 1);
+
+    // The accent homograph is Single Script — browsers display it, and
+    // only the homoglyph DB catches it. This is the paper's §7.2 gap.
+    let accent = DomainName::parse("facébook.com").unwrap();
+    assert_eq!(restriction_level("facébook"), RestrictionLevel::SingleScript);
+    assert_eq!(fw.run(&[accent]).detections.len(), 1);
+}
+
+#[test]
+fn whole_script_confusables_complement_mixed_script_rules() {
+    let uc = UcDatabase::embedded();
+    // A single-script Cyrillic string built entirely from Latin
+    // lookalikes: invisible to mixed-script rules, caught by the
+    // whole-script test.
+    assert_eq!(restriction_level("сосо"), RestrictionLevel::SingleScript);
+    assert!(whole_script_confusable(&uc, "сосо", Script::Latin));
+}
+
+#[test]
+fn registry_tables_bound_the_attack_surface() {
+    let font = SynthUnifont::v12();
+    let result = build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Cyrillic",
+                "Greek and Coptic",
+            ]),
+            ..BuildConfig::default()
+        },
+    );
+    let db = HomoglyphDb::new(result.db, UcDatabase::embedded());
+
+    let com = IdnTable::com().homograph_surface(&db, "paypal");
+    let de = IdnTable::de().homograph_surface(&db, "paypal");
+    let jp = IdnTable::jp().homograph_surface(&db, "paypal");
+    assert!(com > de, "com {com} !> de {de}");
+    assert!(de > 0, "Latin accents are registrable under .de");
+    assert_eq!(jp, 0, ".jp admits no Latin homoglyph at all");
+}
+
+#[test]
+fn banner_rendering_shows_the_deception() {
+    let font = SynthUnifont::v12();
+    let real = shamfinder::glyph::render_banner(&font, "paypal.com");
+    let spoof = shamfinder::glyph::render_banner(&font, "pаypal.com"); // Cyrillic а
+    assert_eq!(real.delta(&spoof), 0, "the address bars are identical");
+
+    let honest = shamfinder::glyph::render_banner(&font, "paypal2.com");
+    assert!(real.delta(&honest) > 50);
+}
