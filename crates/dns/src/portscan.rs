@@ -9,10 +9,10 @@
 //! * [`SimProber`] — a deterministic table of open ports, fed by the
 //!   workload generator for the large-scale study.
 //!
-//! [`scan`] fans a batch of probes out over a worker pool (crossbeam
-//! scoped threads) — the probes are network-bound, so this mirrors how a
-//! real scanner would behave, per the guides' advice to keep blocking I/O
-//! on threads.
+//! [`scan`] fans a batch of probes out over a worker pool
+//! (`std::thread::scope`) — the probes are network-bound, so this
+//! mirrors how a real scanner would behave, per the guides' advice to
+//! keep blocking I/O on threads.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -136,12 +136,12 @@ pub fn scan(
 ) -> Vec<HostScan> {
     assert!(workers > 0, "at least one worker required");
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<HostScan>>> =
-        hosts.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<HostScan>>> =
+        hosts.iter().map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(hosts.len().max(1)) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= hosts.len() {
                     break;
@@ -149,16 +149,19 @@ pub fn scan(
                 let host = &hosts[idx];
                 let outcomes: Vec<(u16, ProbeOutcome)> =
                     ports.iter().map(|&p| (p, prober.probe(host, p))).collect();
-                *results[idx].lock() =
+                *results[idx].lock().expect("scan worker poisoned a slot") =
                     Some(HostScan { host: host.clone(), ports: outcomes });
             });
         }
-    })
-    .expect("scan workers must not panic");
+    });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every host scanned"))
+        .map(|m| {
+            m.into_inner()
+                .expect("scan worker poisoned a slot")
+                .expect("every host scanned")
+        })
         .collect()
 }
 

@@ -60,7 +60,7 @@ impl Rater {
     /// careless raters (the paper filters them out post hoc).
     pub fn new(id: usize, seed: u64, careless_permille: u32) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9));
-        let careless = rng.gen_range(0..1000) < careless_permille;
+        let careless = rng.gen_range(0..1000u32) < careless_permille;
         let bias = rng.gen_range(-0.4..0.4);
         Rater { id, bias, careless, rng }
     }

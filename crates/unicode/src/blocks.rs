@@ -24,7 +24,11 @@ pub enum Plane {
 }
 
 /// A contiguous, named range of code points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serializable but not deserializable: `name` borrows the static block
+/// table, so a `Block` can only be *referenced* by serialized data, not
+/// rebuilt from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct Block {
     /// First code point of the block.
     pub start: u32,

@@ -101,13 +101,13 @@ pub fn benign_idn_stem(lang: Language, rng: &mut StdRng) -> String {
             // 2–4 common-range Han characters.
             let len = rng.gen_range(2..=4);
             (0..len)
-                .map(|_| char::from_u32(0x4E00 + rng.gen_range(0..0x3000)).unwrap())
+                .map(|_| char::from_u32(0x4E00 + rng.gen_range(0..0x3000u32)).unwrap())
                 .collect()
         }
         Language::Korean => {
             let len = rng.gen_range(2..=4);
             (0..len)
-                .map(|_| char::from_u32(0xAC00 + rng.gen_range(0..11_172)).unwrap())
+                .map(|_| char::from_u32(0xAC00 + rng.gen_range(0..11_172u32)).unwrap())
                 .collect()
         }
         Language::Japanese => {

@@ -200,7 +200,7 @@ pub fn assign(
             .map(|&r| 1_500.0 / (r as f64 + 10.0))
             .unwrap_or(1.0);
         let base: f64 = rng.gen_range(1.0..200.0);
-        let resolutions = (base * rank_boost) as u64 + rng.gen_range(0..50);
+        let resolutions = (base * rank_boost) as u64 + rng.gen_range(0..50u64);
 
         // MX presence: homographs of mail brands keep MX records (the
         // paper found gmail/yahoo homographs with MX).
@@ -338,7 +338,7 @@ pub fn zone_text(
     let _ = writeln!(s, "$ORIGIN com.");
     let _ = writeln!(s, "$TTL 172800");
     for (i, stem) in benign.iter().enumerate() {
-        if rng.gen_range(0..1000) >= include_benign_fraction_permille {
+        if rng.gen_range(0..1000u32) >= include_benign_fraction_permille {
             continue;
         }
         let _ = writeln!(s, "{stem} IN NS ns{}.hosting{}.example.", (i % 2) + 1, i % 97);
@@ -386,7 +386,7 @@ pub fn domain_list_text(
     let mut s = String::with_capacity(benign.len() * 20);
     s.push_str("# domainlists.io style export\n");
     for stem in benign {
-        if rng.gen_range(0..1000) < include_benign_fraction_permille {
+        if rng.gen_range(0..1000u32) < include_benign_fraction_permille {
             let _ = writeln!(s, "{stem}.com");
         }
     }

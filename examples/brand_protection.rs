@@ -6,6 +6,18 @@
 //! ```sh
 //! cargo run --release --example brand_protection -- mybrand
 //! ```
+//!
+//! Expected output (abridged): the registrable single-substitution
+//! homograph space of the brand, cross-checked against the synthetic
+//! registry, ending with a defensive-registration shortlist:
+//!
+//! ```text
+//! 69 single-substitution homographs of "mybrand" are registrable:
+//!
+//!   ɱybrand  (pos 0: 'ɱ' U+0271)  xn--ybrand-o3c.com  — available
+//!   ṃybrand  (pos 0: 'ṃ' U+1E43)  xn--ybrand-2s7b.com  — ALREADY REGISTERED ⚠
+//!   …
+//! ```
 
 use shamfinder::prelude::*;
 use std::collections::BTreeSet;

@@ -6,6 +6,18 @@
 //! ```sh
 //! cargo run --release --example browser_policy
 //! ```
+//!
+//! Expected output (abridged): a table of six IDNs showing each policy's
+//! verdict, e.g.
+//!
+//! ```text
+//! domain        note                   legacy    mixed-script  ShamFinder
+//! gооgle.com    Cyrillic о twice       Unicode   Punycode ✋    WARN: imitates google (2 subst.)
+//! фасебоок.com  whole-script Cyrillic  Unicode   Unicode       Unicode (no homograph)
+//! ```
+//!
+//! followed by the §2.2/§7.2 takeaway that the mixed-script rule both
+//! hurts benign IDNs and misses whole-script homographs.
 
 use shamfinder::core::{display, Display, Policy};
 use shamfinder::prelude::*;

@@ -6,6 +6,23 @@
 //! ```sh
 //! cargo run --release --example phishing_hunt
 //! ```
+//!
+//! Expected output (abridged): the paper's Tables 6–13 computed over the
+//! synthetic world (~100 K domains, a few seconds in release mode):
+//!
+//! ```text
+//! == Table 8: detected IDN homographs per homoglyph DB (paper: UC 436, SimChar 3,110, union 3,280) ==
+//! Homoglyph DB  Number
+//! --------------------
+//! SimChar        1,037
+//! UC               146
+//! UC ∪ SimChar   1,093
+//!
+//! == Table 9: top targeted domains … ==
+//! 1     myetherwallet.com            57
+//! 2            google.com            38
+//! …
+//! ```
 
 use shamfinder::measure::{CharDbContext, Study};
 use shamfinder::workload::{Workload, WorkloadConfig};

@@ -5,6 +5,18 @@
 //! ```sh
 //! cargo run --release --example plagiarism_scan
 //! ```
+//!
+//! Expected output (abridged):
+//!
+//! ```text
+//! scan: 9 of 14 words carry homoglyph substitutions (64%)
+//!   mеmory         -> memory         [pos 1: 'е' (U+0435) for 'e']
+//!   …
+//! word-set similarity before normalisation: 0.22
+//! word-set similarity after  normalisation: 1.00
+//! ```
+//!
+//! The before/after similarity gap is the obfuscation signature.
 
 use shamfinder::core::{scan_text, similarity_gap};
 use shamfinder::prelude::*;

@@ -4,6 +4,21 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Expected output (abridged; the full run takes ~1 s in release mode):
+//!
+//! ```text
+//! building SimChar …
+//! SimChar: 10955 homoglyph pairs over 10416 characters
+//!
+//! scanned 7 domains, 5 IDNs, 4 homographs detected:
+//!
+//! WARNING — use of homoglyph detected.
+//! You are accessing gօօgle.com.
+//! Did you mean google.com?
+//!   position 1: 'օ' U+0585 (Armenian) imitates 'o' U+006F (Basic Latin)
+//!   …
+//! ```
 
 use shamfinder::prelude::*;
 

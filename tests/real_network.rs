@@ -19,6 +19,7 @@ fn client_for(server: &TestServer, host: &str) -> Client {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn tcp_prober_distinguishes_open_and_closed() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
@@ -37,6 +38,7 @@ fn tcp_prober_distinguishes_open_and_closed() {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn threaded_scan_over_real_sockets() {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
@@ -56,6 +58,7 @@ fn threaded_scan_over_real_sockets() {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn http_crawl_classifies_a_parking_page() {
     let mut routes = HashMap::new();
     routes.insert(
@@ -77,6 +80,7 @@ fn http_crawl_classifies_a_parking_page() {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn http_redirect_chain_feeds_redirect_classifier() {
     // A homograph of google.com that redirects to the brand itself
     // (defensive registration) — over real sockets.
@@ -109,6 +113,7 @@ fn http_redirect_chain_feeds_redirect_classifier() {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn http_error_paths_classify_as_error() {
     // Nothing listens on this address: connection refused → crawl error.
     let client = Client { timeout: Duration::from_millis(200), ..Default::default() };
@@ -123,6 +128,7 @@ fn http_error_paths_classify_as_error() {
 }
 
 #[test]
+#[cfg_attr(not(feature = "real-network"), ignore = "opens loopback sockets; run with --features real-network or -- --include-ignored")]
 fn full_chain_detect_then_crawl() {
     // Detect a homograph with the framework, then "visit" it over a real
     // socket and classify the result — the paper's §6 pipeline in

@@ -1,0 +1,580 @@
+//! Vendored stand-in for `proptest` (no crates.io access in the build
+//! environment). Implements the subset the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! * strategies: regex-class string patterns (`"[a-z]{3,12}"`,
+//!   `"\\PC{0,40}"`), integer ranges, `any::<T>()`, tuples,
+//!   [`strategy::Strategy::prop_map`], and [`collection::vec()`];
+//! * a deterministic [`test_runner::TestRunner`] seeded per test name,
+//!   so failures reproduce across runs.
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports
+//! the case number and the assertion message. The generator is
+//! deliberately seeded from the test name so reruns explore the same
+//! cases — determinism over coverage, the right trade for CI.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Produces values of type `Value` from a random stream.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u128) - (start as u128) + 1;
+                    start + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// String strategies are written as regex-like patterns:
+    /// a sequence of `[class]` / `\PC` units, each with an optional
+    /// `{m,n}` repetition. This covers every pattern in the workspace.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let units = crate::pattern::parse(self)
+                .unwrap_or_else(|e| panic!("bad string strategy {self:?}: {e}"));
+            let mut out = String::new();
+            for unit in &units {
+                unit.generate_into(rng, &mut out);
+            }
+            out
+        }
+    }
+
+    /// The strategy for [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any!(u8, u16, u32, u64, usize);
+}
+
+/// `any::<T>()`: the canonical "anything of type T" strategy.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Returns the full-domain strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy,
+    {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Regex-class pattern parsing for string strategies.
+mod pattern {
+    use crate::test_runner::TestRng;
+
+    /// One pattern unit plus its repetition bounds.
+    pub struct Unit {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Unit {
+        pub fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+            let count = if self.min == self.max {
+                self.min
+            } else {
+                self.min + (rng.next_u64() as usize) % (self.max - self.min + 1)
+            };
+            for _ in 0..count {
+                let idx = (rng.next_u64() as usize) % self.chars.len();
+                out.push(self.chars[idx]);
+            }
+        }
+    }
+
+    /// A cross-script pool of assigned, non-control characters standing
+    /// in for proptest's `\PC` (any char outside Unicode category C).
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = Vec::new();
+        let ranges: &[(u32, u32)] = &[
+            (0x0020, 0x007E), // ASCII printable
+            (0x00A1, 0x00FF), // Latin-1 punctuation and letters
+            (0x0100, 0x0130), // Latin Extended-A
+            (0x0391, 0x03A9), // Greek capitals
+            (0x03B1, 0x03C9), // Greek smalls
+            (0x0410, 0x044F), // Cyrillic
+            (0x0531, 0x0556), // Armenian capitals
+            (0x0561, 0x0586), // Armenian smalls
+            (0x05D0, 0x05EA), // Hebrew
+            (0x0621, 0x063A), // Arabic
+            (0x4E00, 0x4E3F), // CJK ideographs (sample)
+            (0xAC00, 0xAC3F), // Hangul syllables (sample)
+            (0x1F600, 0x1F60F), // emoji (astral plane coverage)
+        ];
+        for &(lo, hi) in ranges {
+            for v in lo..=hi {
+                if let Some(c) = char::from_u32(v) {
+                    pool.push(c);
+                }
+            }
+        }
+        pool.push('→');
+        pool.push('Δ');
+        pool
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Unit>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = match chars[i] {
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    i += 3;
+                    printable_pool()
+                }
+                '[' => {
+                    i += 1;
+                    let mut class = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            match chars.get(i) {
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                Some('r') => '\r',
+                                Some(&c) => c,
+                                None => return Err("dangling escape".into()),
+                            }
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        // Range like `a-z` (but `-` before `]` is literal).
+                        if chars.get(i) == Some(&'-')
+                            && chars.get(i + 1).is_some_and(|&n| n != ']')
+                        {
+                            i += 1;
+                            let hi = if chars[i] == '\\' {
+                                i += 1;
+                                match chars.get(i) {
+                                    Some('n') => '\n',
+                                    Some('t') => '\t',
+                                    Some(&c) => c,
+                                    None => return Err("dangling escape".into()),
+                                }
+                            } else {
+                                chars[i]
+                            };
+                            i += 1;
+                            for v in (c as u32)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(v) {
+                                    class.push(ch);
+                                }
+                            }
+                        } else {
+                            class.push(c);
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated class".into());
+                    }
+                    i += 1; // past ']'
+                    class
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            if class.is_empty() {
+                return Err("empty character class".into());
+            }
+            // Optional {m,n} / {n} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or("unterminated quantifier")?
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().map_err(|e| format!("{e}"))?,
+                        n.trim().parse().map_err(|e| format!("{e}"))?,
+                    ),
+                    None => {
+                        let n = body.trim().parse().map_err(|e| format!("{e}"))?;
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(format!("bad quantifier {{{min},{max}}}"));
+            }
+            units.push(Unit { chars: class, min, max });
+        }
+        Ok(units)
+    }
+}
+
+/// Runner, config, and case-level error plumbing.
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` matters here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs out; try another case.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic random stream (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream seeded directly; used by this crate's own tests.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Drives one property over many generated cases.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// A runner whose stream is a pure function of the test name, so
+        /// every run explores the same cases.
+        pub fn new(config: Config, name: &'static str) -> TestRunner {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner { config, rng: TestRng { state: seed }, name }
+        }
+
+        /// Runs the property until `config.cases` cases pass, a case
+        /// fails (panic), or too many cases are rejected (panic).
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            let max_rejects = self.config.cases.saturating_mul(20).max(1000);
+            while accepted < self.config.cases {
+                match case(&mut self.rng) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            panic!(
+                                "property {}: too many rejected cases ({rejected}) — \
+                                 prop_assume! condition is too strict",
+                                self.name
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed at case {} (after {rejected} rejects): {msg}",
+                            self.name,
+                            accepted + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs with one `use`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+///
+/// The argument list is captured as a single token tree and re-parsed by
+/// [`__prop_bindings!`] — `macro_rules` follow-set rules forbid an
+/// `$strat:expr` fragment directly before the closing parenthesis, so
+/// the parenthesized list must cross a macro boundary to be destructured.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config $cfg:tt] $($rest:tt)*) => {
+        $crate::proptest!(@with_config $cfg $($rest)*);
+    };
+    (@with_config $cfg:tt $(
+        $(#[$meta:meta])*
+        fn $name:ident $args:tt $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            runner.run(|rng| {
+                $crate::__prop_bindings!(rng, $args);
+                #[allow(unused_mut)]
+                let mut body = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                body()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Expands `(a in strat_a, b in strat_b)` into `let` bindings drawing
+/// from each strategy. Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bindings {
+    ($rng:ident, ($($inner:tt)*)) => {
+        $crate::__prop_bindings!(@unwrapped $rng, $($inner)*);
+    };
+    (@unwrapped $rng:ident, $($arg:ident in $strat:expr),+ $(,)?) => {
+        $(let $arg = $crate::strategy::Strategy::generate(&($strat), $rng);)+
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0x5EED)
+    }
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{3,12}".generate(&mut r);
+            assert!((3..=12).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "[ -~\\n;#→]{0,30}".generate(&mut r);
+            assert!(t.chars().count() <= 30);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == ';' || c == '#' || c == '→'));
+
+            let u = "\\PC{0,40}".generate(&mut r);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn tuple_map_and_vec_strategies_compose() {
+        let mut r = rng();
+        let strat = (any::<u64>(), 3usize..7).prop_map(|(seed, n)| (seed % 10, n));
+        for _ in 0..100 {
+            let (s, n) = strat.generate(&mut r);
+            assert!(s < 10 && (3..7).contains(&n));
+        }
+        let v = crate::collection::vec(1u32..5, 2..4).generate(&mut r);
+        assert!((2..4).contains(&v.len()));
+        assert!(v.iter().all(|&x| (1..5).contains(&x)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: generation, assume, and assertions.
+        #[test]
+        fn macro_pipeline_works(x in 1u32..100, s in "[ab]{1,4}") {
+            prop_assume!(x != 55);
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}

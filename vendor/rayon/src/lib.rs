@@ -1,0 +1,66 @@
+//! Vendored stand-in for `rayon` (no crates.io access in the build
+//! environment). `par_iter`/`into_par_iter` return ordinary sequential
+//! std iterators, and rayon-specific adapters the workspace uses
+//! (`flat_map_iter`) are provided as no-op aliases of their std
+//! equivalents.
+//!
+//! Results are bit-identical to a real rayon run — the workspace only
+//! uses order-insensitive collects (followed by sorts) — just not
+//! parallel. The single-threaded container image makes that the right
+//! trade; swapping the real rayon back in later requires only a
+//! manifest change, since the API subset is call-compatible.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges; sequential.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+
+    /// `par_iter()` for slices (and anything that derefs to one);
+    /// sequential.
+    pub trait ParallelSlice<T> {
+        /// Returns the (sequential) iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// Rayon's extra adapters, aliased onto std. `flat_map_iter` is
+    /// rayon's "serial inner iterator" variant of `flat_map`, which is
+    /// exactly what `flat_map` already is on a std iterator.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Sequential `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<usize> = (0..3usize).into_par_iter().flat_map_iter(|i| 0..i).collect();
+        assert_eq!(flat, vec![0, 0, 1]);
+    }
+}

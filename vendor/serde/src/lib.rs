@@ -1,0 +1,484 @@
+//! Vendored stand-in for `serde`, used because the build environment has
+//! no access to crates.io.
+//!
+//! Instead of real serde's visitor-based zero-copy architecture, this
+//! crate uses a tiny owned data model: [`Serialize`] lowers a value into
+//! a [`Value`] tree and [`Deserialize`] rebuilds it. The `serde_json`
+//! vendored crate renders [`Value`] to/from JSON text. The API surface
+//! matches what the workspace actually uses: `#[derive(Serialize,
+//! Deserialize)]` (including `#[serde(skip)]`), `serde_json::to_string`,
+//! and `serde_json::from_str`. Maps with non-string keys are serialized
+//! as sequences of `[key, value]` pairs, which keeps the JSON encoder
+//! total; the format round-trips with itself, which is all the test
+//! suite requires.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The serialized form of any value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string (also used for `char` and unit enum variants).
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion-ordered, keys are field or variant names.
+    Map(Vec<(String, Value)>),
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An "expected X" error.
+    pub fn expected(what: &str) -> Error {
+        Error(format!("expected {what}"))
+    }
+
+    /// Adds the enclosing type name to the error path.
+    pub fn within(self, ty: &str) -> Error {
+        Error(format!("{ty}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Field access helper handed to derived `Deserialize` impls.
+pub struct StructMap<'a>(&'a [(String, Value)]);
+
+impl<'a> StructMap<'a> {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Result<&'a Value, Error> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error(format!("missing field `{name}`")))
+    }
+}
+
+impl Value {
+    /// Interprets the value as a struct body (a map keyed by field name).
+    pub fn as_struct_map(&self) -> Result<StructMap<'_>, Error> {
+        match self {
+            Value::Map(m) => Ok(StructMap(m)),
+            other => Err(Error(format!("expected map, got {other:?}"))),
+        }
+    }
+
+    /// Interprets the value as a sequence, optionally of an exact length.
+    pub fn as_seq_of(&self, len: Option<usize>) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => {
+                if let Some(n) = len {
+                    if s.len() != n {
+                        return Err(Error(format!("expected {n}-element seq, got {}", s.len())));
+                    }
+                }
+                Ok(s)
+            }
+            other => Err(Error(format!("expected seq, got {other:?}"))),
+        }
+    }
+
+    /// Interprets the value as an externally tagged enum payload:
+    /// a single-entry map `{"Variant": payload}`.
+    pub fn as_enum_tag(&self) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), &m[0].1)),
+            other => Err(Error(format!("expected single-entry map, got {other:?}"))),
+        }
+    }
+}
+
+/// Lowers `self` into a [`Value`].
+pub trait Serialize {
+    /// Produces the serialized form.
+    fn serialize(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the serialized form.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitives ------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error(format!("expected unsigned int, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error(format!("{n} out of range for i64")))?,
+                    other => return Err(Error(format!("expected int, got {other:?}"))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq_of(None)?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = value
+            .as_seq_of(Some(N))?
+            .iter()
+            .map(T::deserialize)
+            .collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected {N}-element array")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                let s = value.as_seq_of(Some(N))?;
+                Ok(($($t::deserialize(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+fn serialize_pairs<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    pairs: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Seq(
+        pairs
+            .map(|(k, v)| Value::Seq(vec![k.serialize(), v.serialize()]))
+            .collect(),
+    )
+}
+
+fn deserialize_pairs<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    value
+        .as_seq_of(None)?
+        .iter()
+        .map(|entry| {
+            let kv = entry.as_seq_of(Some(2))?;
+            Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        serialize_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(deserialize_pairs(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq_of(None)?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq_of(None)?.iter().map(T::deserialize).collect()
+    }
+}
+
+// --- common std types ------------------------------------------------------
+
+impl Serialize for Ipv4Addr {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        String::deserialize(value)?
+            .parse()
+            .map_err(|e| Error(format!("bad IPv4 address: {e}")))
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv6Addr {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        String::deserialize(value)?
+            .parse()
+            .map_err(|e| Error(format!("bad IPv6 address: {e}")))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            Value::U64(self.as_secs()),
+            Value::U64(u64::from(self.subsec_nanos())),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value.as_seq_of(Some(2))?;
+        Ok(std::time::Duration::new(
+            u64::deserialize(&s[0])?,
+            u32::deserialize(&s[1])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u32, 1, u32::MAX] {
+            assert_eq!(u32::deserialize(&v.serialize()).unwrap(), v);
+        }
+        assert_eq!(i32::deserialize(&(-5i32).serialize()).unwrap(), -5);
+        assert_eq!(char::deserialize(&'Δ'.serialize()).unwrap(), 'Δ');
+        assert_eq!(
+            Option::<String>::deserialize(&None::<String>.serialize()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let m: BTreeMap<u32, Vec<u32>> = [(1, vec![2, 3]), (4, vec![])].into_iter().collect();
+        assert_eq!(BTreeMap::<u32, Vec<u32>>::deserialize(&m.serialize()).unwrap(), m);
+        let arr = [7u32; 5];
+        assert_eq!(<[u32; 5]>::deserialize(&arr.serialize()).unwrap(), arr);
+        let t = (1u32, 2u32, 3u8);
+        assert_eq!(<(u32, u32, u8)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+}

@@ -1,0 +1,382 @@
+//! Vendored stand-in for `serde_derive`, written against only the
+//! built-in `proc_macro` API (no `syn`/`quote`, which are unavailable in
+//! the offline build environment).
+//!
+//! The derives target the simplified data model of the vendored `serde`
+//! crate: `Serialize::serialize(&self) -> serde::Value` and
+//! `Deserialize::deserialize(&serde::Value) -> Result<Self, serde::Error>`.
+//! Supported shapes cover everything the workspace derives:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which
+//!   are omitted on serialize and filled from `Default` on deserialize);
+//! * tuple structs;
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   like real serde: `"Variant"`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Generics are intentionally unsupported — no derived type in the
+//! workspace is generic — and hitting one produces a compile error
+//! rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (None for tuple fields) and whether it is
+/// marked `#[serde(skip)]`.
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, U);`
+    TupleStruct(Vec<Field>),
+    /// `enum E { A, B(T), C { x: T } }`
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Splits a brace/paren group body into top-level comma-separated chunks.
+/// Commas inside generic angle brackets (`BTreeMap<u32, Vec<u32>>`) are
+/// not separators; angle brackets are plain `Punct`s, so depth must be
+/// tracked by hand (a `>` preceded by `-` is a return arrow, not a
+/// closer).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                let is_arrow = matches!(
+                    cur.last(),
+                    Some(TokenTree::Punct(prev)) if prev.as_char() == '-'
+                );
+                if !is_arrow {
+                    angle_depth -= 1;
+                }
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading `#[...]` attributes from a token chunk, reporting
+/// whether any of them is `#[serde(skip)]`.
+fn strip_attrs(tokens: &mut Vec<TokenTree>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.remove(0);
+                if let Some(TokenTree::Group(g)) = tokens.first() {
+                    let body = g.stream().to_string().replace(' ', "");
+                    if body.starts_with("serde(") && body.contains("skip") {
+                        skip = true;
+                    }
+                    tokens.remove(0);
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn strip_vis(tokens: &mut Vec<TokenTree>) {
+    if matches!(tokens.first(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.remove(0);
+        if matches!(tokens.first(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.remove(0);
+        }
+    }
+}
+
+fn parse_named_fields(group_body: TokenStream) -> Vec<Field> {
+    split_commas(group_body.into_iter().collect())
+        .into_iter()
+        .filter_map(|mut chunk| {
+            let skip = strip_attrs(&mut chunk);
+            strip_vis(&mut chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(name)) => Some(Field { name: Some(name.to_string()), skip }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group_body: TokenStream) -> Vec<Field> {
+    split_commas(group_body.into_iter().collect())
+        .into_iter()
+        .map(|mut chunk| {
+            let skip = strip_attrs(&mut chunk);
+            Field { name: None, skip }
+        })
+        .collect()
+}
+
+/// Parses the derive input down to (type name, shape).
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    strip_attrs(&mut tokens);
+    strip_vis(&mut tokens);
+
+    let kind = match tokens.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    tokens.remove(0);
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    tokens.remove(0);
+
+    if matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive on generic type `{name}` is not supported by the vendored serde_derive"));
+    }
+
+    match (kind.as_str(), tokens.first()) {
+        ("struct", None) => Ok((name, Shape::UnitStruct)),
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Shape::NamedStruct(parse_named_fields(g.stream()))))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, Shape::TupleStruct(parse_tuple_fields(g.stream()))))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = split_commas(g.stream().into_iter().collect())
+                .into_iter()
+                .filter_map(|mut chunk| {
+                    strip_attrs(&mut chunk);
+                    let vname = match chunk.first() {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        _ => return None,
+                    };
+                    chunk.remove(0);
+                    let shape = match chunk.first() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantShape::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            VariantShape::Tuple(parse_tuple_fields(g.stream()).len())
+                        }
+                        _ => VariantShape::Unit,
+                    };
+                    Some((vname, shape))
+                })
+                .collect();
+            Ok((name, Shape::Enum(variants)))
+        }
+        _ => Err(format!("unsupported item shape for `{name}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut m = ::std::vec::Vec::new();\n");
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = f.name.as_ref().unwrap();
+                s.push_str(&format!(
+                    "m.push(({fname:?}.to_string(), ::serde::Serialize::serialize(&self.{fname})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Map(m) }");
+            s
+        }
+        Shape::TupleStruct(fields) => {
+            let mut s = String::from("{ let mut v = ::std::vec::Vec::new();\n");
+            for (i, f) in fields.iter().enumerate() {
+                if !f.skip {
+                    s.push_str(&format!("v.push(::serde::Serialize::serialize(&self.{i}));\n"));
+                }
+            }
+            s.push_str("::serde::Value::Seq(v) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pushes: String = binds
+                            .iter()
+                            .map(|b| format!("v.push(::serde::Serialize::serialize({b}));\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({bl}) => {{ let mut v = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Seq(v))]) }}\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let names: Vec<&String> =
+                            fields.iter().filter_map(|f| f.name.as_ref()).collect();
+                        let pushes: String = names
+                            .iter()
+                            .map(|n| {
+                                format!(
+                                    "m.push(({n:?}.to_string(), ::serde::Serialize::serialize({n})));\n"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bl} }} => {{ let mut m = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Map(m))]) }}\n",
+                            bl = names.iter().map(|n| n.as_str()).collect::<Vec<_>>().join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(v) => v,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{fname}: ::serde::Deserialize::deserialize(m.field({fname:?})?)?,\n"
+                    ));
+                }
+            }
+            format!(
+                "let m = value.as_struct_map().map_err(|e| e.within({:?}))?;\n\
+                 Ok({name} {{ {inits} }})",
+                name
+            )
+        }
+        Shape::TupleStruct(fields) => {
+            let n = fields.len();
+            let mut inits = String::new();
+            for i in 0..n {
+                inits.push_str(&format!("::serde::Deserialize::deserialize(&s[{i}])?,\n"));
+            }
+            format!(
+                "let s = value.as_seq_of(Some({n})).map_err(|e| e.within({name:?}))?;\n\
+                 Ok({name}({inits}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let mut inits = String::new();
+                        for i in 0..*n {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::deserialize(&s[{i}])?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{ let s = payload.as_seq_of(Some({n}))?; \
+                             return Ok({name}::{vname}({inits})); }}\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = f.name.as_ref().unwrap();
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::std::default::Default::default(),\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: ::serde::Deserialize::deserialize(m.field({fname:?})?)?,\n"
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{ let m = payload.as_struct_map()?; \
+                             return Ok({name}::{vname} {{ {inits} }}); }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{\n\
+                     match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let Ok((tag, payload)) = value.as_enum_tag() {{\n\
+                     match tag {{ {tagged_arms} _ => {{}} }}\n\
+                 }}\n\
+                 Err(::serde::Error::expected(concat!(\"a valid \", {name:?}, \" variant\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
