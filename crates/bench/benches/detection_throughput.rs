@@ -4,17 +4,25 @@
 //! 0.07 s per reference domain. This bench measures the same matching
 //! loop (length-bucketed Algorithm 1) per batch of IDNs against the full
 //! 10k reference list, at several corpus sizes.
+//!
+//! Besides the criterion timings it writes the `detection_throughput`
+//! section of `BENCH_detection.json` at the workspace root: IDNs/sec on
+//! the 10k-reference corpus for `LengthBucket` and `CanonicalHash` at 1
+//! worker thread vs all available threads, so the perf trajectory of
+//! the parallel executor is tracked from PR to PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sham_bench::detection_corpus;
+use sham_bench::{
+    detection_corpus, measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep,
+};
 use sham_confusables::UcDatabase;
 use sham_core::{Detector, Indexing};
 use sham_glyph::SynthUnifont;
 use sham_simchar::{build, BuildConfig, DbSelection, HomoglyphDb, Repertoire};
 
-fn bench_detection(c: &mut Criterion) {
+fn simchar_db() -> sham_simchar::SimCharDb {
     let font = SynthUnifont::v12();
-    let simchar = build(
+    build(
         &font,
         &BuildConfig {
             repertoire: Repertoire::Blocks(vec![
@@ -27,7 +35,11 @@ fn bench_detection(c: &mut Criterion) {
             ..BuildConfig::default()
         },
     )
-    .db;
+    .db
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let simchar = simchar_db();
 
     let mut group = c.benchmark_group("detection_throughput");
     group.sample_size(10);
@@ -35,7 +47,7 @@ fn bench_detection(c: &mut Criterion) {
     for idn_count in [1_000usize, 5_000, 20_000] {
         let (references, idns) = detection_corpus(idn_count);
         let db = HomoglyphDb::new(simchar.clone(), UcDatabase::embedded());
-        let mut detector = Detector::new(db, references);
+        let detector = Detector::new(db, references);
         group.throughput(Throughput::Elements(idn_count as u64));
         group.bench_with_input(
             BenchmarkId::new("alexa10k_refs", idn_count),
@@ -52,6 +64,33 @@ fn bench_detection(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    write_snapshot(&simchar);
+}
+
+/// Measures IDNs/sec on the 10k-reference corpus for the two indexed
+/// strategies and merges the numbers into `BENCH_detection.json`.
+fn write_snapshot(simchar: &sham_simchar::SimCharDb) {
+    let idn_count = 10_000usize;
+    let (references, idns) = detection_corpus(idn_count);
+    let db = HomoglyphDb::new(simchar.clone(), UcDatabase::embedded());
+    let detector = Detector::new(db, references);
+
+    snapshot_thread_sweep(
+        "detection_throughput",
+        &["length_bucket", "canonical_hash"],
+        |name| {
+            let indexing = match name {
+                "length_bucket" => Indexing::LengthBucket,
+                _ => Indexing::CanonicalHash,
+            };
+            measure_ops_per_sec(idn_count, snapshot_samples(), || {
+                std::hint::black_box(
+                    detector.detect(&idns, DbSelection::Union, indexing).len(),
+                );
+            })
+        },
+    );
 }
 
 criterion_group!(benches, bench_detection);

@@ -28,7 +28,7 @@ fn bench_variants(c: &mut Criterion) {
     .db;
     let (references, idns) = detection_corpus(2_000);
     let db = HomoglyphDb::new(simchar, UcDatabase::embedded());
-    let mut detector = Detector::new(db, references);
+    let detector = Detector::new(db, references);
 
     let mut group = c.benchmark_group("detection_variants");
     group.sample_size(10);

@@ -7,7 +7,10 @@
 //! unit tests); only the cost differs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sham_bench::{glyphs_for, medium_glyph_corpus};
+use sham_bench::{
+    glyphs_for, measure_ops_per_sec, medium_glyph_corpus, snapshot_samples,
+    snapshot_thread_sweep,
+};
 use sham_simchar::{find_pairs, Strategy};
 
 fn bench_strategies(c: &mut Criterion) {
@@ -45,6 +48,28 @@ fn bench_strategies(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    write_snapshot(&medium);
+}
+
+/// Measures glyphs/sec of each strategy over the medium corpus and
+/// merges the numbers into the `pairwise_strategies` section of
+/// `BENCH_detection.json`.
+fn write_snapshot(medium: &[(u32, sham_glyph::Bitmap)]) {
+    snapshot_thread_sweep(
+        "pairwise_strategies",
+        &["brute_force", "pixel_count_prune", "banded_index"],
+        |name| {
+            let strategy = match name {
+                "brute_force" => Strategy::BruteForce,
+                "pixel_count_prune" => Strategy::PixelCountPrune,
+                _ => Strategy::BandedIndex,
+            };
+            measure_ops_per_sec(medium.len(), snapshot_samples(), || {
+                std::hint::black_box(find_pairs(medium, 4, strategy).len());
+            })
+        },
+    );
 }
 
 criterion_group!(benches, bench_strategies);

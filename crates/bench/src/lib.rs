@@ -8,6 +8,7 @@
 use sham_glyph::{Bitmap, GlyphSource, SynthUnifont};
 use sham_simchar::{builder::repertoire_code_points, Repertoire};
 use sham_unicode::CodePoint;
+use std::time::Instant;
 
 /// Renders the PVALID glyphs of the given blocks.
 pub fn glyphs_for(blocks: Vec<&'static str>) -> Vec<(u32, Bitmap)> {
@@ -79,6 +80,110 @@ pub fn detection_corpus(count: usize) -> (Vec<String>, Vec<(String, String)>) {
         idns.push((stem, ace));
     }
     (references, idns)
+}
+
+/// Path of the perf-trajectory snapshot at the workspace root.
+pub fn snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detection.json")
+}
+
+/// Samples per snapshot measurement: 1 in dry-run mode, 5 otherwise.
+/// Dry-run detection is criterion's, so the sample gating and the
+/// snapshot gating can never disagree about what a dry run is.
+pub fn snapshot_samples() -> usize {
+    if criterion::dry_run_mode() { 1 } else { 5 }
+}
+
+/// Shared scaffolding for the perf-snapshot benches: measures each
+/// named config at 1 worker thread and (when the hardware has more) at
+/// all available threads — `measure(name)` runs with the thread
+/// override already set — then merges the ops/sec entries into
+/// `section` of `BENCH_detection.json`. In `--test` dry-run mode the
+/// sweep still executes (smoking the measured code path) but the
+/// snapshot file is left untouched, so single-sample noise never
+/// replaces committed trajectory numbers.
+pub fn snapshot_thread_sweep(
+    section: &str,
+    configs: &[&str],
+    mut measure: impl FnMut(&str) -> f64,
+) {
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_list: Vec<usize> = if hardware > 1 { vec![1, hardware] } else { vec![1] };
+    let mut entries = vec![("hardware_threads".to_string(), hardware as f64)];
+    for &name in configs {
+        for &threads in &threads_list {
+            rayon::set_thread_override(Some(threads));
+            let ops = measure(name);
+            entries.push((format!("{name}/threads_{threads}_ops_per_sec"), ops));
+        }
+    }
+    rayon::set_thread_override(None);
+    if criterion::dry_run_mode() {
+        println!(
+            "snapshot: dry run — leaving {} untouched",
+            snapshot_path().display()
+        );
+    } else {
+        record_snapshot(section, &entries);
+        println!(
+            "snapshot: wrote {section} section of {}",
+            snapshot_path().display()
+        );
+    }
+}
+
+/// Times `f` (after one warm-up call) and returns ops/sec for a unit of
+/// `elements` items, using the median of `samples` runs.
+pub fn measure_ops_per_sec(elements: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2].max(1e-12);
+    elements as f64 / median
+}
+
+/// Merges one bench's section into `BENCH_detection.json` at the
+/// workspace root, preserving the sections other benches wrote — the
+/// file accumulates the perf trajectory (ops/sec at 1 thread vs N
+/// threads) across bench runs and PRs.
+pub fn record_snapshot(section: &str, entries: &[(String, f64)]) {
+    use serde::Value;
+    let path = snapshot_path();
+    let mut root: Vec<(String, Value)> = match std::fs::read_to_string(&path) {
+        Err(_) => Vec::new(), // first run: no snapshot yet
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Map(entries)) => entries,
+            _ => {
+                eprintln!(
+                    "warning: {} is not a JSON object — rewriting it with only \
+                     the {section} section (other sections are lost)",
+                    path.display()
+                );
+                Vec::new()
+            }
+        },
+    };
+    let section_value = Value::Map(
+        entries
+            .iter()
+            .map(|(k, ops)| (k.clone(), Value::F64((ops * 10.0).round() / 10.0)))
+            .collect(),
+    );
+    match root.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = section_value,
+        None => root.push((section.to_string(), section_value)),
+    }
+    root.sort_by(|a, b| a.0.cmp(&b.0));
+    let text = serde_json::to_string(&Value::Map(root)).unwrap_or_default();
+    if let Err(e) = std::fs::write(&path, text + "\n") {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 #[cfg(test)]

@@ -95,9 +95,14 @@ impl UcDatabase {
         if a == b {
             return false;
         }
-        let proto_a = self.map.get(&a).cloned().unwrap_or_else(|| vec![a]);
-        let proto_b = self.map.get(&b).cloned().unwrap_or_else(|| vec![b]);
-        proto_a == proto_b || proto_a.as_slice() == [b] || proto_b.as_slice() == [a]
+        // Borrowed slice comparisons only — this sits in the detector's
+        // per-candidate rejecting path, which must not allocate.
+        match (self.map.get(&a), self.map.get(&b)) {
+            (Some(pa), Some(pb)) => pa == pb || pa.as_slice() == [b] || pb.as_slice() == [a],
+            (Some(pa), None) => pa.as_slice() == [b],
+            (None, Some(pb)) => pb.as_slice() == [a],
+            (None, None) => false,
+        }
     }
 
     /// Restricts the database to sources (and single-char targets) that

@@ -18,11 +18,24 @@
 //!   that form transitive classes, which both UC prototypes and the
 //!   visual-class geometry of SynthUnifont produce; candidates are always
 //!   re-verified with the pairwise test, so no false positives).
+//!
+//! # Execution
+//!
+//! All index structures (length buckets, canonical map, canonical-hash
+//! index) are built eagerly at construction, so [`Detector::detect`]
+//! takes `&self` and shards the IDN corpus across the worker pool (the
+//! vendored `rayon` executor). Each shard reuses two scratch buffers —
+//! the interned `u32` stem and the substitution list — so the rejecting
+//! path of the inner test performs no per-candidate heap allocation;
+//! `String`s are only materialised for actual detections. Shards are
+//! merged in corpus order, so results are identical to a sequential run
+//! at every thread count.
 
 use crate::detection::{CharSubstitution, Detection};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sham_simchar::{DbSelection, HomoglyphDb};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Candidate-generation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,14 +48,20 @@ pub enum Indexing {
     CanonicalHash,
 }
 
-/// The homograph detector: a homoglyph database plus a reference list.
+/// The homograph detector: a homoglyph database plus a reference list,
+/// with every index built eagerly so detection itself is read-only.
 pub struct Detector {
     db: HomoglyphDb,
-    references: Vec<Vec<char>>,
+    /// Reference stems interned to code points once at construction.
+    references: Vec<Vec<u32>>,
     reference_names: Vec<String>,
-    /// canonical representative per code point (lazy, for CanonicalHash).
+    /// Canonical representative for every code point in the database
+    /// universe (identity for everything else).
     canon: HashMap<u32, u32>,
+    /// Canonical-hash → reference indices (for `CanonicalHash`).
     canon_index: HashMap<u64, Vec<usize>>,
+    /// Stem length → reference indices (for `LengthBucket`).
+    by_len: HashMap<usize, Vec<usize>>,
 }
 
 impl Detector {
@@ -50,16 +69,21 @@ impl Detector {
     /// e.g. `"google"`).
     pub fn new(db: HomoglyphDb, references: impl IntoIterator<Item = String>) -> Self {
         let reference_names: Vec<String> = references.into_iter().collect();
-        let references = reference_names.iter().map(|r| r.chars().collect()).collect();
-        let mut d = Detector {
-            db,
-            references,
-            reference_names,
-            canon: HashMap::new(),
-            canon_index: HashMap::new(),
-        };
-        d.build_canonical_index();
-        d
+        let references: Vec<Vec<u32>> = reference_names
+            .iter()
+            .map(|r| r.chars().map(|c| c as u32).collect())
+            .collect();
+        let canon = build_canonical_map(&db);
+        let mut canon_index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (idx, r) in references.iter().enumerate() {
+            canon_index
+                .entry(canonical_hash(&canon, r))
+                .or_default()
+                .push(idx);
+            by_len.entry(r.len()).or_default().push(idx);
+        }
+        Detector { db, references, reference_names, canon, canon_index, by_len }
     }
 
     /// The underlying homoglyph database.
@@ -72,159 +96,201 @@ impl Detector {
         &self.reference_names
     }
 
-    /// Canonical representative of a code point: the smallest member of
-    /// its homoglyph neighbourhood (code point itself included). ASCII
-    /// letters are the smallest members of their classes by construction,
-    /// so canonicalisation maps homoglyphs onto their ASCII targets.
-    fn canonical(&mut self, cp: u32) -> u32 {
-        if let Some(&c) = self.canon.get(&cp) {
-            return c;
+    /// The inner character-by-character test of Algorithm 1, in its
+    /// allocation-conscious form: fills `subs` (cleared first) and
+    /// returns whether `idn` is a homograph of `reference`. The
+    /// rejecting path touches only the reused buffer.
+    fn matches_into(
+        &self,
+        reference: &[u32],
+        idn: &[u32],
+        selection: DbSelection,
+        subs: &mut Vec<CharSubstitution>,
+    ) -> bool {
+        subs.clear();
+        if reference.len() != idn.len() {
+            return false;
         }
-        let mut min = cp;
-        for h in self.db.homoglyphs_of(cp) {
-            min = min.min(h);
+        for (pos, (&rc, &xc)) in reference.iter().zip(idn.iter()).enumerate() {
+            if rc == xc {
+                continue;
+            }
+            // One combined probe: membership under `selection` plus the
+            // full-union attribution the Detection record carries.
+            let Some(source) = self.db.pair_source_with(rc, xc, selection) else {
+                return false;
+            };
+            subs.push(CharSubstitution {
+                position: pos,
+                original: char::from_u32(rc).unwrap_or('\u{FFFD}'),
+                homoglyph: char::from_u32(xc).unwrap_or('\u{FFFD}'),
+                source: Some(source),
+            });
         }
-        self.canon.insert(cp, min);
-        min
+        // An IDN equal to the reference (no substitutions) is the
+        // reference itself, not a homograph.
+        !subs.is_empty()
     }
 
-    fn canonical_hash(&mut self, chars: &[char]) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &c in chars {
-            let canon = self.canonical(c as u32);
-            h ^= u64::from(canon);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        h
-    }
-
-    fn build_canonical_index(&mut self) {
-        let refs = self.references.clone();
-        for (idx, r) in refs.iter().enumerate() {
-            let h = self.canonical_hash(r);
-            self.canon_index.entry(h).or_default().push(idx);
-        }
-    }
-
-    /// The inner character-by-character test of Algorithm 1. Returns the
-    /// substitutions when `idn` is a homograph of `reference`.
+    /// The inner test of Algorithm 1. Returns the substitutions when
+    /// `idn` is a homograph of `reference`. Convenience wrapper around
+    /// the buffer-reusing form the detection loop uses.
     pub fn matches(
         &self,
         reference: &[char],
         idn: &[char],
         selection: DbSelection,
     ) -> Option<Vec<CharSubstitution>> {
-        if reference.len() != idn.len() {
-            return None;
-        }
+        let r: Vec<u32> = reference.iter().map(|&c| c as u32).collect();
+        let x: Vec<u32> = idn.iter().map(|&c| c as u32).collect();
         let mut subs = Vec::new();
-        for (pos, (&rc, &xc)) in reference.iter().zip(idn.iter()).enumerate() {
-            if rc == xc {
-                continue;
-            }
-            if self.db.is_pair_with(rc as u32, xc as u32, selection) {
-                subs.push(CharSubstitution {
-                    position: pos,
-                    original: rc,
-                    homoglyph: xc,
-                    source: self.db.source_of(rc as u32, xc as u32),
-                });
-            } else {
-                return None;
-            }
-        }
-        // An IDN equal to the reference (no substitutions) is the
-        // reference itself, not a homograph.
-        if subs.is_empty() {
-            None
-        } else {
-            Some(subs)
-        }
+        self.matches_into(&r, &x, selection, &mut subs).then_some(subs)
     }
 
     /// Runs detection over `idns` (Unicode stems, TLD removed) with the
-    /// given database selection and indexing strategy.
+    /// given database selection and indexing strategy. The corpus is
+    /// sharded across the worker pool; output order and content are
+    /// identical to a sequential run.
     pub fn detect(
-        &mut self,
+        &self,
         idns: &[(String, String)], // (unicode stem, full ACE name)
         selection: DbSelection,
         indexing: Indexing,
     ) -> Vec<Detection> {
-        match indexing {
-            Indexing::Naive => self.detect_naive(idns, selection),
-            Indexing::LengthBucket => self.detect_bucketed(idns, selection),
-            Indexing::CanonicalHash => self.detect_canonical(idns, selection),
+        if idns.is_empty() {
+            return Vec::new();
         }
+        let threads = rayon::current_num_threads().max(1);
+        // Shards of ≥ 64 IDNs amortise the per-shard scratch buffers;
+        // ~4 shards per worker keeps the pool load-balanced.
+        let shard_len = idns.len().div_ceil(threads * 4).max(64);
+        let shards: Vec<&[(String, String)]> = idns.chunks(shard_len).collect();
+        let outs: Vec<Vec<Detection>> = shards
+            .par_iter()
+            .map(|shard| self.detect_shard(shard, selection, indexing))
+            .collect();
+        let mut out = Vec::with_capacity(outs.iter().map(Vec::len).sum());
+        for v in outs {
+            out.extend(v);
+        }
+        out
     }
 
+    /// Sequential detection over one shard, with shard-local scratch.
+    fn detect_shard(
+        &self,
+        idns: &[(String, String)],
+        selection: DbSelection,
+        indexing: Indexing,
+    ) -> Vec<Detection> {
+        let mut out = Vec::new();
+        let mut stem = Vec::new();
+        let mut subs = Vec::new();
+        for (unicode, ace) in idns {
+            stem.clear();
+            stem.extend(unicode.chars().map(|c| c as u32));
+            match indexing {
+                Indexing::Naive => {
+                    for (ref_idx, r) in self.references.iter().enumerate() {
+                        if self.matches_into(r, &stem, selection, &mut subs) {
+                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
+                        }
+                    }
+                }
+                Indexing::LengthBucket => {
+                    let Some(bucket) = self.by_len.get(&stem.len()) else { continue };
+                    for &ref_idx in bucket {
+                        let r = &self.references[ref_idx];
+                        if self.matches_into(r, &stem, selection, &mut subs) {
+                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
+                        }
+                    }
+                }
+                Indexing::CanonicalHash => {
+                    let h = canonical_hash(&self.canon, &stem);
+                    let Some(candidates) = self.canon_index.get(&h) else { continue };
+                    for &ref_idx in candidates {
+                        let r = &self.references[ref_idx];
+                        if self.matches_into(r, &stem, selection, &mut subs) {
+                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialises a [`Detection`] — the only place the hot loop clones
+    /// `String`s, reached exclusively after a confirmed match.
     fn emit(
         &self,
         ref_idx: usize,
         stem: &str,
         ace: &str,
-        subs: Vec<CharSubstitution>,
+        subs: &[CharSubstitution],
         out: &mut Vec<Detection>,
     ) {
         out.push(Detection {
             idn_unicode: stem.to_string(),
             idn_ascii: ace.to_string(),
             reference: self.reference_names[ref_idx].clone(),
-            substitutions: subs,
+            substitutions: subs.to_vec(),
         });
     }
+}
 
-    fn detect_naive(&self, idns: &[(String, String)], selection: DbSelection) -> Vec<Detection> {
-        let mut out = Vec::new();
-        for (stem, ace) in idns {
-            let chars: Vec<char> = stem.chars().collect();
-            for (ref_idx, r) in self.references.iter().enumerate() {
-                if let Some(subs) = self.matches(r, &chars, selection) {
-                    self.emit(ref_idx, stem, ace, subs, &mut out);
-                }
+/// Canonical representative per code point: the smallest member of its
+/// homoglyph neighbourhood (the code point itself included). ASCII
+/// letters are the smallest members of their classes by construction, so
+/// canonicalisation maps homoglyphs onto their ASCII targets. Computed
+/// eagerly over the database's character universe — any code point
+/// outside it has no homoglyphs, so its representative is itself.
+///
+/// Mirrors [`HomoglyphDb::homoglyphs_of`]'s neighbourhood (SimChar
+/// partners ∪ UC prototype + prototype-mates ∪ UC sources mapping to
+/// this code point) but runs off a reverse prototype→sources index
+/// built in one pass, so construction is linear in the database size
+/// rather than one full UC-map scan per code point.
+fn build_canonical_map(db: &HomoglyphDb) -> HashMap<u32, u32> {
+    let uc = db.uc();
+    let mut sources_of: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (src, proto) in uc.entries() {
+        if let &[p] = proto {
+            sources_of.entry(p).or_default().push(src);
+        }
+    }
+    let mut universe: BTreeSet<u32> = db.simchar().chars().collect();
+    universe.extend(uc.char_set());
+    let mut canon = HashMap::with_capacity(universe.len());
+    for cp in universe {
+        let mut min = cp;
+        for (partner, _) in db.simchar().homoglyphs_of(cp) {
+            min = min.min(partner);
+        }
+        if let Some(&[p]) = uc.prototype(cp) {
+            min = min.min(p);
+            if let Some(mates) = sources_of.get(&p) {
+                min = mates.iter().fold(min, |m, &s| m.min(s));
             }
         }
-        out
+        if let Some(sources) = sources_of.get(&cp) {
+            min = sources.iter().fold(min, |m, &s| m.min(s));
+        }
+        canon.insert(cp, min);
     }
+    canon
+}
 
-    fn detect_bucketed(&self, idns: &[(String, String)], selection: DbSelection) -> Vec<Detection> {
-        // Bucket references by length once; compare each IDN only against
-        // same-length references (the paper's Algorithm 1 loop shape).
-        let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (idx, r) in self.references.iter().enumerate() {
-            by_len.entry(r.len()).or_default().push(idx);
-        }
-        let mut out = Vec::new();
-        for (stem, ace) in idns {
-            let chars: Vec<char> = stem.chars().collect();
-            let Some(bucket) = by_len.get(&chars.len()) else { continue };
-            for &ref_idx in bucket {
-                if let Some(subs) = self.matches(&self.references[ref_idx], &chars, selection) {
-                    self.emit(ref_idx, stem, ace, subs, &mut out);
-                }
-            }
-        }
-        out
+/// FNV-1a over the canonical representatives of a stem.
+fn canonical_hash(canon: &HashMap<u32, u32>, stem: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &cp in stem {
+        let c = *canon.get(&cp).unwrap_or(&cp);
+        h ^= u64::from(c);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
-
-    fn detect_canonical(
-        &mut self,
-        idns: &[(String, String)],
-        selection: DbSelection,
-    ) -> Vec<Detection> {
-        let mut out = Vec::new();
-        for (stem, ace) in idns {
-            let chars: Vec<char> = stem.chars().collect();
-            let h = self.canonical_hash(&chars);
-            let Some(candidates) = self.canon_index.get(&h).cloned() else { continue };
-            for ref_idx in candidates {
-                let r = self.references[ref_idx].clone();
-                if let Some(subs) = self.matches(&r, &chars, selection) {
-                    self.emit(ref_idx, stem, ace, subs, &mut out);
-                }
-            }
-        }
-        out
-    }
+    h
 }
 
 #[cfg(test)]
@@ -261,7 +327,7 @@ mod tests {
     #[test]
     fn paper_figure2_example() {
         // gоогle with Armenian օ (U+0585): the paper's Fig. 2 left side.
-        let mut d = detector(&["google", "facebook"]);
+        let d = detector(&["google", "facebook"]);
         let idns = vec![idn("gօօgle")];
         let hits = d.detect(&idns, DbSelection::Union, Indexing::LengthBucket);
         assert_eq!(hits.len(), 1);
@@ -274,21 +340,21 @@ mod tests {
     #[test]
     fn figure2_negative_example() {
         // "gocaié" (right side of Fig. 2) is not a homograph of google.
-        let mut d = detector(&["google"]);
+        let d = detector(&["google"]);
         let hits = d.detect(&[idn("gocaié")], DbSelection::Union, Indexing::LengthBucket);
         assert!(hits.is_empty());
     }
 
     #[test]
     fn length_mismatch_is_skipped() {
-        let mut d = detector(&["google"]);
+        let d = detector(&["google"]);
         let hits = d.detect(&[idn("gооgl")], DbSelection::Union, Indexing::LengthBucket);
         assert!(hits.is_empty());
     }
 
     #[test]
     fn identical_string_is_not_a_homograph() {
-        let mut d = detector(&["google"]);
+        let d = detector(&["google"]);
         let hits = d.detect(
             &[("google".to_string(), "google.com".to_string())],
             DbSelection::Union,
@@ -299,7 +365,7 @@ mod tests {
 
     #[test]
     fn all_indexing_strategies_agree() {
-        let mut d = detector(&["google", "amazon", "facebook", "apple"]);
+        let d = detector(&["google", "amazon", "facebook", "apple"]);
         let idns = vec![
             idn("gооgle"),  // Cyrillic o's
             idn("аmazon"),  // Cyrillic a
@@ -327,7 +393,7 @@ mod tests {
     #[test]
     fn db_selection_changes_detections() {
         // é is a SimChar-only homoglyph of e (UC does not list accents).
-        let mut d = detector(&["facebook"]);
+        let d = detector(&["facebook"]);
         let idns = vec![idn("facébook")];
         assert_eq!(d.detect(&idns, DbSelection::Union, Indexing::LengthBucket).len(), 1);
         assert_eq!(d.detect(&idns, DbSelection::SimCharOnly, Indexing::LengthBucket).len(), 1);
@@ -335,8 +401,25 @@ mod tests {
     }
 
     #[test]
+    fn selection_gates_membership_but_source_keeps_union_attribution() {
+        // Cyrillic о/o is attested by both databases: selecting only one
+        // component must still record the pair as `Both` (Fig. 12's
+        // warning UI names every attesting source).
+        use sham_simchar::PairSource;
+        let d = detector(&["google"]);
+        for selection in [DbSelection::UcOnly, DbSelection::SimCharOnly] {
+            let hits = d.detect(&[idn("gооgle")], selection, Indexing::LengthBucket);
+            assert_eq!(hits.len(), 1);
+            assert!(hits[0]
+                .substitutions
+                .iter()
+                .all(|s| s.source == Some(PairSource::Both)));
+        }
+    }
+
+    #[test]
     fn multiple_references_can_match_one_idn() {
-        let mut d = detector(&["ab", "ab"]);
+        let d = detector(&["ab", "ab"]);
         // Both (identical) references match; detection reports both.
         let idns = vec![idn("аb")]; // Cyrillic а
         let hits = d.detect(&idns, DbSelection::Union, Indexing::Naive);
@@ -345,11 +428,23 @@ mod tests {
 
     #[test]
     fn substitution_positions_are_recorded() {
-        let mut d = detector(&["paypal"]);
+        let d = detector(&["paypal"]);
         let hits = d.detect(&[idn("pаypаl")], DbSelection::Union, Indexing::LengthBucket);
         assert_eq!(hits.len(), 1);
         let positions: Vec<usize> =
             hits[0].substitutions.iter().map(|s| s.position).collect();
         assert_eq!(positions, vec![1, 4]);
+    }
+
+    #[test]
+    fn matches_wrapper_agrees_with_detect() {
+        let d = detector(&["google"]);
+        let reference: Vec<char> = "google".chars().collect();
+        let lookalike: Vec<char> = "gооgle".chars().collect();
+        let subs = d
+            .matches(&reference, &lookalike, DbSelection::Union)
+            .expect("lookalike must match");
+        assert_eq!(subs.len(), 2);
+        assert!(d.matches(&reference, &reference, DbSelection::Union).is_none());
     }
 }

@@ -94,9 +94,10 @@ impl Framework {
             .collect()
     }
 
-    /// Runs Steps 1–3 over a domain corpus.
+    /// Runs Steps 1–3 over a domain corpus. Detection shards across the
+    /// worker pool; the framework itself is read-only while running.
     pub fn run<'a>(
-        &mut self,
+        &self,
         domains: impl IntoIterator<Item = &'a DomainName>,
     ) -> FrameworkReport {
         let all: Vec<&DomainName> = domains.into_iter().collect();
@@ -109,14 +110,14 @@ impl Framework {
 
     /// Runs Step 3 only, on pre-extracted IDNs (used by the timing
     /// benchmark of §4.2 to isolate matching cost).
-    pub fn detect_only(&mut self, idns: &[(String, String)]) -> Vec<Detection> {
+    pub fn detect_only(&self, idns: &[(String, String)]) -> Vec<Detection> {
         self.detector.detect(idns, self.selection, self.indexing)
     }
 
     /// Runs Step 3 with an explicit database selection, leaving the
     /// configured default untouched (Tables 8/14 sweep selections).
     pub fn detect_only_with(
-        &mut self,
+        &self,
         idns: &[(String, String)],
         selection: DbSelection,
     ) -> Vec<Detection> {
@@ -167,7 +168,7 @@ mod tests {
 
     #[test]
     fn full_pipeline_counts_and_detects() {
-        let mut fw = framework(&["google", "facebook"]);
+        let fw = framework(&["google", "facebook"]);
         let corpus = corpus();
         let report = fw.run(&corpus);
         assert_eq!(report.total_domains, 6);
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn uc_only_selection_misses_accent_homograph() {
         let corpus = corpus();
-        let mut uc_only =
+        let uc_only =
             framework(&["google", "facebook"]).with_selection(DbSelection::UcOnly);
         let report = uc_only.run(&corpus);
         // UC lists Cyrillic о→o but not é→e: only the google homograph.
@@ -202,7 +203,7 @@ mod tests {
 
     #[test]
     fn empty_corpus_yields_empty_report() {
-        let mut fw = framework(&["google"]);
+        let fw = framework(&["google"]);
         let report = fw.run(&[]);
         assert_eq!(report.total_domains, 0);
         assert_eq!(report.idn_count, 0);

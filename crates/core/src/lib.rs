@@ -30,7 +30,7 @@
 //!     repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
 //!     ..BuildConfig::default()
 //! }).db;
-//! let mut fw = Framework::new(
+//! let fw = Framework::new(
 //!     simchar,
 //!     UcDatabase::embedded(),
 //!     vec!["google".to_string()],

@@ -65,6 +65,10 @@ pub struct Study {
     pub detected_by: BTreeMap<&'static str, usize>,
     /// Wall-clock seconds of the union detection run (§4.2).
     pub detection_seconds: f64,
+    /// Configured worker-pool size during the detection run. The
+    /// executor may engage fewer workers when the corpus produces
+    /// fewer shards than this.
+    pub detection_threads: usize,
 }
 
 impl Study {
@@ -103,7 +107,7 @@ impl Study {
         let resolver = SimResolver::new([zone]);
 
         // Steps 2–3: extract IDNs, detect under each selection.
-        let mut fw = Framework::new(
+        let fw = Framework::new(
             simchar,
             uc,
             workload.references.iter().cloned(),
@@ -124,6 +128,7 @@ impl Study {
         let t0 = Instant::now();
         let detections = fw.detect_only_with(&idns, DbSelection::Union);
         let detection_seconds = t0.elapsed().as_secs_f64();
+        let detection_threads = rayon::current_num_threads();
         let unique_union: HashSet<&String> = detections.iter().map(|d| &d.idn_ascii).collect();
         detected_by.insert("UC ∪ SimChar", unique_union.len());
 
@@ -136,6 +141,7 @@ impl Study {
             detections,
             detected_by,
             detection_seconds,
+            detection_threads,
         }
     }
 
@@ -519,6 +525,7 @@ impl Study {
         );
         t.row(&["IDNs matched".into(), thousands(self.idns.len() as u64)]);
         t.row(&["References".into(), thousands(refs as u64)]);
+        t.row(&["Worker pool (configured)".into(), self.detection_threads.to_string()]);
         t.row(&["Wall time (s)".into(), format!("{:.3}", self.detection_seconds)]);
         t.row(&["Per reference (s)".into(), format!("{per_ref:.6}")]);
         // Scale-free comparison: cost per (reference × IDN) pair.

@@ -122,8 +122,11 @@ pub fn build(font: &(impl GlyphSource + Sync), config: &BuildConfig) -> BuildRes
     // Step I: render.
     let t0 = Instant::now();
     let code_points = repertoire_code_points(font, &config.repertoire);
+    // Rendering one glyph is cheap; keep chunks coarse so the pool's
+    // bookkeeping stays negligible next to the raster work.
     let glyphs: Vec<(u32, Bitmap)> = code_points
         .par_iter()
+        .with_min_len(64)
         .filter_map(|&v| font.glyph(CodePoint(v)).map(|g| (v, g)))
         .collect();
     let render = t0.elapsed();
@@ -184,6 +187,7 @@ pub fn update_build(
     // Render the union (cheap) and mark which glyphs are new.
     let glyphs: Vec<(u32, Bitmap)> = union_cps
         .par_iter()
+        .with_min_len(64)
         .filter_map(|&v| font.glyph(CodePoint(v)).map(|g| (v, g)))
         .collect();
     let render = t0.elapsed();

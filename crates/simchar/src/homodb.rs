@@ -72,6 +72,44 @@ impl HomoglyphDb {
         self.is_pair_with(a, b, DbSelection::Union)
     }
 
+    /// Combined membership test and attribution in a single probe of
+    /// each component database. Returns the **full union** attribution
+    /// (matching [`HomoglyphDb::source_of`]) when the pair is attested
+    /// by a component that `selection` admits, `None` otherwise — so
+    /// `pair_source_with(a, b, s).is_some() == is_pair_with(a, b, s)`,
+    /// with at most two component lookups instead of up to four. This
+    /// is the detector's inner-loop query.
+    pub fn pair_source_with(
+        &self,
+        a: u32,
+        b: u32,
+        selection: DbSelection,
+    ) -> Option<PairSource> {
+        match selection {
+            DbSelection::Union => self.source_of(a, b),
+            DbSelection::UcOnly => {
+                if !self.uc.is_pair(a, b) {
+                    return None;
+                }
+                Some(if self.simchar.is_pair(a, b) {
+                    PairSource::Both
+                } else {
+                    PairSource::Uc
+                })
+            }
+            DbSelection::SimCharOnly => {
+                if !self.simchar.is_pair(a, b) {
+                    return None;
+                }
+                Some(if self.uc.is_pair(a, b) {
+                    PairSource::Both
+                } else {
+                    PairSource::SimChar
+                })
+            }
+        }
+    }
+
     /// Attribution for a pair, or `None` when neither database lists it.
     pub fn source_of(&self, a: u32, b: u32) -> Option<PairSource> {
         match (self.simchar.is_pair(a, b), self.uc.is_pair(a, b)) {
@@ -146,6 +184,37 @@ mod tests {
         assert!(db.is_pair_with('o' as u32, 0x0585, DbSelection::SimCharOnly));
         assert!(!db.is_pair_with('o' as u32, 0x03BF, DbSelection::SimCharOnly));
         assert!(db.is_pair_with('o' as u32, 0x03BF, DbSelection::UcOnly));
+    }
+
+    #[test]
+    fn pair_source_with_agrees_with_split_probes() {
+        // The combined probe must behave exactly like is_pair_with
+        // followed by source_of, for every selection and pair kind.
+        let db = db();
+        let cases = [
+            ('o' as u32, 0x0585), // SimChar only
+            ('o' as u32, 0x03BF), // UC only
+            ('o' as u32, 0x043E), // both
+            ('o' as u32, 'q' as u32), // neither
+            ('o' as u32, 'o' as u32), // identical
+        ];
+        for selection in [DbSelection::UcOnly, DbSelection::SimCharOnly, DbSelection::Union] {
+            for &(a, b) in &cases {
+                let combined = db.pair_source_with(a, b, selection);
+                assert_eq!(
+                    combined.is_some(),
+                    db.is_pair_with(a, b, selection),
+                    "membership mismatch for {a:#X},{b:#X} under {selection:?}"
+                );
+                if combined.is_some() {
+                    assert_eq!(
+                        combined,
+                        db.source_of(a, b),
+                        "attribution mismatch for {a:#X},{b:#X} under {selection:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -199,6 +199,35 @@ mod tests {
     }
 
     #[test]
+    fn strategies_are_thread_count_invariant() {
+        // The executor merges per-chunk buffers in base order, so every
+        // strategy must return byte-identical pair lists at any worker
+        // count — this is the contract the determinism section of
+        // docs/ARCHITECTURE.md documents.
+        let glyphs = corpus();
+        let baseline: Vec<Vec<Pair>> = {
+            let _one = rayon::ThreadOverride::new(1);
+            [Strategy::BruteForce, Strategy::PixelCountPrune, Strategy::BandedIndex]
+                .iter()
+                .map(|&s| find_pairs(&glyphs, 4, s))
+                .collect()
+        };
+        for threads in [2usize, 5] {
+            let _forced = rayon::ThreadOverride::new(threads);
+            for (i, &s) in [Strategy::BruteForce, Strategy::PixelCountPrune, Strategy::BandedIndex]
+                .iter()
+                .enumerate()
+            {
+                assert_eq!(
+                    find_pairs(&glyphs, 4, s),
+                    baseline[i],
+                    "{s:?} diverges at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn planted_pairs_are_found() {
         let glyphs = corpus();
         let pairs = find_pairs(&glyphs, 4, Strategy::BandedIndex);

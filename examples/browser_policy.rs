@@ -27,7 +27,7 @@ fn main() {
     let font = SynthUnifont::v12();
     let result = build(&font, &BuildConfig::default());
 
-    let mut framework = Framework::new(
+    let framework = Framework::new(
         result.db,
         UcDatabase::embedded(),
         vec![

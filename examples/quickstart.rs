@@ -39,7 +39,7 @@ fn main() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut framework = Framework::new(
+    let framework = Framework::new(
         result.db.clone(),
         UcDatabase::embedded(),
         references,

@@ -91,7 +91,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
     let db = build_db(4);
     let tld = domain.tld().to_string();
-    let mut fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
+    let fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
     let report = fw.run(&[domain.clone()]);
     if report.detections.is_empty() {
         println!("{}: no homograph detected", domain.as_ascii());
@@ -139,7 +139,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
         None => default_refs(),
     };
     let db = build_db(4);
-    let mut fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
+    let fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
     let report = fw.run(&domains);
     println!(
         "scanned {} domains ({} IDNs): {} homographs",

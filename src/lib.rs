@@ -46,7 +46,7 @@
 //!     ..BuildConfig::default()
 //! }).db;
 //!
-//! let mut framework = Framework::new(
+//! let framework = Framework::new(
 //!     simchar,
 //!     UcDatabase::embedded(),
 //!     vec!["google".to_string()],

@@ -148,7 +148,7 @@ fn detector_survives_garbage_idn_stems() {
         },
     )
     .db;
-    let mut fw = Framework::new(
+    let fw = Framework::new(
         simchar,
         UcDatabase::embedded(),
         vec!["google".to_string()],

@@ -184,7 +184,7 @@ proptest! {
         prop_assume!(!flipped.is_empty());
         let spoof: String = spoof.into_iter().collect();
 
-        let mut fw = small_framework(vec![stem.clone()]);
+        let fw = small_framework(vec![stem.clone()]);
         let ace = shamfinder::punycode::ace::to_ascii(&spoof).unwrap();
         let corpus = vec![DomainName::parse(&format!("{ace}.com")).unwrap()];
         let report = fw.run(&corpus);
@@ -209,7 +209,7 @@ proptest! {
                 _ => 'о',
             })
             .collect();
-        let mut fw = small_framework(vec![stem.clone()]);
+        let fw = small_framework(vec![stem.clone()]);
         let ace = shamfinder::punycode::ace::to_ascii(&spoof).unwrap();
         let corpus = vec![DomainName::parse(&format!("{ace}.com")).unwrap()];
         let report = fw.run(&corpus);
@@ -226,10 +226,54 @@ proptest! {
     /// Random ASCII names are never reported as homographs of themselves.
     #[test]
     fn no_self_detection(stem in "[a-z]{3,12}") {
-        let mut fw = small_framework(vec![stem.clone()]);
+        let fw = small_framework(vec![stem.clone()]);
         let corpus = vec![DomainName::parse(&format!("{stem}.com")).unwrap()];
         let report = fw.run(&corpus);
         prop_assert!(report.detections.is_empty());
+    }
+
+    /// The canonical-hash index is exact on lookalike corpora: every
+    /// detection the naive all-pairs sweep finds, `CanonicalHash` finds
+    /// too, and vice versa — whatever mix of clean stems, partial
+    /// spoofs and full spoofs is thrown at it.
+    #[test]
+    fn canonical_hash_agrees_with_naive(
+        stems in proptest::collection::vec("[acepoxys]{3,10}", 2..6),
+        masks in proptest::collection::vec(any::<u16>(), 2..6),
+    ) {
+        let subs: std::collections::HashMap<char, char> = [
+            ('a', 'а'), ('c', 'с'), ('e', 'е'), ('p', 'р'),
+            ('o', 'о'), ('x', 'х'), ('y', 'у'), ('s', 'ѕ'),
+        ]
+        .into_iter()
+        .collect();
+
+        // References: the clean stems. Corpus: one spoof per stem with
+        // substitutions at mask positions (possibly none → identical).
+        let mut idns = Vec::new();
+        for (stem, mask) in stems.iter().zip(&masks) {
+            let spoof: String = stem
+                .chars()
+                .enumerate()
+                .map(|(i, c)| if mask & (1 << (i % 16)) != 0 { subs[&c] } else { c })
+                .collect();
+            let ace = shamfinder::punycode::ace::to_ascii(&spoof).unwrap();
+            idns.push((spoof, format!("{ace}.com")));
+        }
+
+        let fw = small_framework(stems.clone());
+        let d = fw.detector();
+        let key = |v: Vec<Detection>| {
+            let mut k: Vec<(String, String)> = v
+                .into_iter()
+                .map(|h| (h.idn_ascii, h.reference))
+                .collect();
+            k.sort();
+            k
+        };
+        let naive = key(d.detect(&idns, DbSelection::Union, Indexing::Naive));
+        let canon = key(d.detect(&idns, DbSelection::Union, Indexing::CanonicalHash));
+        prop_assert_eq!(naive, canon);
     }
 }
 

@@ -144,7 +144,7 @@ fn full_chain_detect_then_crawl() {
         },
     )
     .db;
-    let mut fw = Framework::new(
+    let fw = Framework::new(
         simchar,
         UcDatabase::embedded(),
         vec!["google".to_string()],

@@ -30,7 +30,7 @@ fn small_db() -> (SimCharDb, UcDatabase) {
 fn detect_then_resolve_over_real_udp() {
     // 1. Detect the homograph.
     let (simchar, uc) = small_db();
-    let mut fw = Framework::new(simchar, uc, vec!["google".to_string()], "com");
+    let fw = Framework::new(simchar, uc, vec!["google".to_string()], "com");
     let spoof = DomainName::parse("gооgle.com").unwrap();
     let report = fw.run(&[spoof.clone()]);
     assert_eq!(report.detections.len(), 1);
@@ -67,7 +67,7 @@ fn detect_then_resolve_over_real_udp() {
 #[test]
 fn restriction_levels_align_with_detections() {
     let (simchar, uc) = small_db();
-    let mut fw = Framework::new(
+    let fw = Framework::new(
         simchar,
         uc,
         vec!["google".to_string(), "facebook".to_string()],

@@ -151,12 +151,21 @@ impl Bencher {
     }
 }
 
+/// True when the binary was invoked as `cargo bench -- --test` (cargo's
+/// "run each benchmark once to check it works" convention): each bench
+/// then takes a single sample, so CI can smoke-test the bench suite
+/// without paying for full measurement runs.
+pub fn dry_run_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    let sample_size = if dry_run_mode() { 1 } else { sample_size };
     let mut b = Bencher { samples: Vec::new(), sample_size };
     f(&mut b);
     if b.samples.is_empty() {

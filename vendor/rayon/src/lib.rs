@@ -1,66 +1,647 @@
 //! Vendored stand-in for `rayon` (no crates.io access in the build
-//! environment). `par_iter`/`into_par_iter` return ordinary sequential
-//! std iterators, and rayon-specific adapters the workspace uses
-//! (`flat_map_iter`) are provided as no-op aliases of their std
-//! equivalents.
+//! environment) — a real data-parallel executor since PR 2, replacing
+//! the earlier sequential-alias shim.
 //!
-//! Results are bit-identical to a real rayon run — the workspace only
-//! uses order-insensitive collects (followed by sorts) — just not
-//! parallel. The single-threaded container image makes that the right
-//! trade; swapping the real rayon back in later requires only a
-//! manifest change, since the API subset is call-compatible.
+//! # Execution model
+//!
+//! Every parallel pipeline bottoms out in an *indexed base* (a slice, a
+//! collected `Vec`, or a range). [`ParallelIterator::collect`] splits the
+//! base index space `[0, n)` into contiguous chunks (about four per
+//! worker, never smaller than [`ParallelIterator::min_len`], tunable via
+//! [`IndexedParallelIterator::with_min_len`]), then drives the chunks
+//! from a [`std::thread::scope`] worker pool. Workers claim chunks from a
+//! shared atomic counter (cheap work splitting — no stealing, which is
+//! enough because chunks outnumber workers), run the composed adapter
+//! pipeline over their chunk, and buffer the produced items in a
+//! per-chunk `Vec`. After the scope joins, the chunk buffers are
+//! concatenated in chunk order.
+//!
+//! # Determinism
+//!
+//! Because chunks partition the base in order and are merged in order,
+//! the collected output is **bit-identical to a sequential run at every
+//! thread count** — ordered collects (`Vec`) and unordered ones
+//! (`HashSet`) alike. The only nondeterminism is which OS thread runs
+//! which chunk, which is unobservable in the result.
+//!
+//! The worker count comes from, in precedence order:
+//! [`set_thread_override`] (used by benches and tests), the
+//! `SHAM_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. A count of 1 runs the whole
+//! pipeline inline on the calling thread — no spawns, fully
+//! deterministic scheduling — which is what single-core CI gets by
+//! default.
+//!
+//! # Limits
+//!
+//! Chunks are fixed at claim time, so a pathologically skewed workload
+//! (one chunk far more expensive than the rest) parallelises no better
+//! than its largest chunk; oversplitting (4 chunks/worker) bounds that
+//! loss. Adapter closures must be `Fn + Sync` (shared by reference
+//! across workers) rather than rayon's equivalent bounds, and only the
+//! API subset the workspace uses is provided: `par_iter` on slices,
+//! `into_par_iter` on any `IntoIterator` (ranges, `Vec`, sets),
+//! `map`/`filter`/`filter_map`/`flat_map_iter`/`copied`/`enumerate`/
+//! `with_min_len`/`collect`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker count for subsequent parallel calls (`None` returns
+/// to the default resolution). Benches use this to measure 1-thread vs
+/// N-thread runs; tests use it to exercise multi-thread execution on
+/// single-core machines.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// RAII worker-count override: sets the count on construction and
+/// restores the previous value on drop, so a panicking test or bench
+/// cannot leak a forced thread count into the rest of the process.
+pub struct ThreadOverride {
+    prev: usize,
+}
+
+impl ThreadOverride {
+    /// Forces `threads` workers until the guard drops.
+    pub fn new(threads: usize) -> ThreadOverride {
+        ThreadOverride { prev: THREAD_OVERRIDE.swap(threads, Ordering::SeqCst) }
+    }
+}
+
+impl Drop for ThreadOverride {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// The worker count parallel calls will use right now: the
+/// [`set_thread_override`] value if set, else `SHAM_THREADS` from the
+/// environment, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced != 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SHAM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `[0, n)` into chunks and runs `pipeline` over them on the
+/// worker pool, returning the per-chunk outputs concatenated in order.
+fn execute<P: ParallelIterator + Sync>(pipeline: P) -> Vec<P::Item> {
+    let n = pipeline.base_len();
+    let threads = current_num_threads().max(1);
+    let min_len = pipeline.min_len().max(1);
+    // ~4 chunks per worker so a slow chunk doesn't serialise the rest.
+    let chunk = min_len.max(n.div_ceil(threads.saturating_mul(4).max(1)));
+    let chunk_count = n.div_ceil(chunk.max(1));
+    let workers = threads.min(chunk_count);
+
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        pipeline.run_chunk(0, n, &mut |x| out.push(x));
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let filled: Mutex<Vec<(usize, Vec<P::Item>)>> =
+        Mutex::new(Vec::with_capacity(chunk_count));
+    let pipeline = &pipeline;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunk_count {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                let mut buf = Vec::new();
+                pipeline.run_chunk(lo, hi, &mut |x| buf.push(x));
+                filled.lock().unwrap().push((c, buf));
+            });
+        }
+    });
+    let mut chunks = filled.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(chunks.iter().map(|(_, v)| v.len()).sum());
+    for (_, mut v) in chunks {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// A chunk-drivable parallel pipeline stage.
+///
+/// `run_chunk(lo, hi, each)` feeds every item the pipeline produces for
+/// base indices `[lo, hi)` into `each`, in base order. Adapters compose
+/// by wrapping the callback, so no stage materialises intermediate
+/// buffers — only the final per-chunk output `Vec` allocates.
+pub trait ParallelIterator: Sized {
+    /// The produced item type. `Send` because chunk outputs cross back
+    /// from worker threads.
+    type Item: Send;
+
+    /// Length of the underlying indexed base.
+    fn base_len(&self) -> usize;
+
+    /// Minimum chunk granularity (see
+    /// [`IndexedParallelIterator::with_min_len`]).
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    /// Produces this stage's items for base indices `[lo, hi)`.
+    fn run_chunk<E: FnMut(Self::Item)>(&self, lo: usize, hi: usize, each: &mut E);
+
+    /// Parallel `map`.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel `filter`.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Parallel `filter_map`.
+    fn filter_map<O, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> Option<O> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Rayon's "serial inner iterator" flat map: `f` returns an ordinary
+    /// sequential iterator consumed inside the worker.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Parallel `copied` (for `&T` items).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: Copy + Send + Sync + 'a,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Runs the pipeline on the worker pool and collects the result.
+    /// Output order is identical to a sequential run at any thread count.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        execute(self).into_iter().collect()
+    }
+}
+
+/// Pipelines whose items correspond 1:1, in order, with base indices —
+/// the ones where positional adapters are meaningful.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs every item with its base index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Sets the minimum number of base items per chunk — raise it when
+    /// per-item work is tiny so chunk bookkeeping doesn't dominate.
+    fn with_min_len(self, min: usize) -> WithMinLen<Self> {
+        WithMinLen { base: self, min }
+    }
+}
+
+/// Owned-base pipeline: the result of `into_par_iter()`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn base_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn run_chunk<E: FnMut(T)>(&self, lo: usize, hi: usize, each: &mut E) {
+        for x in &self.items[lo..hi] {
+            each(x.clone());
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> IndexedParallelIterator for IntoParIter<T> {}
+
+/// Borrowed-slice pipeline: the result of `par_iter()`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn run_chunk<E: FnMut(&'a T)>(&self, lo: usize, hi: usize, each: &mut E) {
+        for x in &self.slice[lo..hi] {
+            each(x);
+        }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> O + Sync,
+{
+    type Item = O;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut(O)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, &mut |x| each((self.f)(x)));
+    }
+}
+
+impl<P, O, F> IndexedParallelIterator for Map<P, F>
+where
+    P: IndexedParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> O + Sync,
+{
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync,
+{
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut(P::Item)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, &mut |x| {
+            if (self.f)(&x) {
+                each(x);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    O: Send,
+    F: Fn(P::Item) -> Option<O> + Sync,
+{
+    type Item = O;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut(O)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, &mut |x| {
+            if let Some(y) = (self.f)(x) {
+                each(y);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut(U::Item)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, &mut |x| {
+            for y in (self.f)(x) {
+                each(y);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: Copy + Send + Sync + 'a,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut(T)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, &mut |x| each(*x));
+    }
+}
+
+impl<'a, T, P> IndexedParallelIterator for Copied<P>
+where
+    T: Copy + Send + Sync + 'a,
+    P: IndexedParallelIterator<Item = &'a T>,
+{
+}
+
+/// See [`IndexedParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: IndexedParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn run_chunk<E: FnMut((usize, P::Item))>(&self, lo: usize, hi: usize, each: &mut E) {
+        // The indexed contract guarantees exactly one item per base
+        // index, in order, so the running counter is the base index.
+        let mut idx = lo;
+        self.base.run_chunk(lo, hi, &mut |x| {
+            each((idx, x));
+            idx += 1;
+        });
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {}
+
+/// See [`IndexedParallelIterator::with_min_len`].
+pub struct WithMinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for WithMinLen<P> {
+    type Item = P::Item;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.min.max(self.base.min_len())
+    }
+
+    fn run_chunk<E: FnMut(P::Item)>(&self, lo: usize, hi: usize, each: &mut E) {
+        self.base.run_chunk(lo, hi, each);
+    }
+}
+
+impl<P: IndexedParallelIterator> IndexedParallelIterator for WithMinLen<P> {}
 
 pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges; sequential.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns the (sequential) iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    //! Everything a call site needs with one `use`.
+    pub use super::{IndexedParallelIterator, ParallelIterator};
+
+    /// `into_par_iter()` for owned collections and ranges. The source is
+    /// materialised into a `Vec` base once, then chunked across workers.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Clone + Send + Sync,
+    {
+        /// Returns the parallel pipeline over this collection.
+        fn into_par_iter(self) -> super::IntoParIter<Self::Item> {
+            super::IntoParIter { items: self.into_iter().collect() }
         }
     }
 
-    impl<T: IntoIterator> IntoParallelIterator for T {}
+    impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Clone + Send + Sync {}
 
-    /// `par_iter()` for slices (and anything that derefs to one);
-    /// sequential.
-    pub trait ParallelSlice<T> {
-        /// Returns the (sequential) iterator.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// `par_iter()` for slices (and anything that derefs to one).
+    pub trait ParallelSlice<T: Sync> {
+        /// Returns the parallel pipeline borrowing this slice.
+        fn par_iter(&self) -> super::ParIter<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> super::ParIter<'_, T> {
+            super::ParIter { slice: self }
         }
     }
-
-    /// Rayon's extra adapters, aliased onto std. `flat_map_iter` is
-    /// rayon's "serial inner iterator" variant of `flat_map`, which is
-    /// exactly what `flat_map` already is on a std iterator.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Sequential `flat_map`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for I {}
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Serialises tests that touch the global thread override (poison-
+    /// tolerant: a failed neighbour must not cascade).
+    fn override_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn par_iter_matches_iter() {
         let v = vec![1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let flat: Vec<usize> = (0..3usize).into_par_iter().flat_map_iter(|i| 0..i).collect();
+        let flat: Vec<usize> =
+            (0..3usize).into_par_iter().flat_map_iter(|i| 0..i).collect();
         assert_eq!(flat, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn executes_on_multiple_os_threads() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(4);
+        // Per-item work is deliberately heavy so the chunk queue is still
+        // draining while the later workers spawn — otherwise the first
+        // worker can finish everything alone and the test would be
+        // vacuous even on multi-core hardware.
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                let mut acc = i as u64;
+                for k in 0..400_000u64 {
+                    acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(k));
+                }
+                std::hint::black_box(acc);
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: HashSet<_> = ids.iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected ≥ 2 worker threads, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn single_thread_mode_runs_inline() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(1);
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = (0..1_000usize)
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let _guard = override_guard();
+        let run = || -> (Vec<u64>, Vec<usize>, HashSet<u64>) {
+            let mapped: Vec<u64> = (0..10_000u64)
+                .into_par_iter()
+                .filter(|&x| x % 3 != 0)
+                .map(|x| x.wrapping_mul(0x9E37_79B9))
+                .collect();
+            let flat: Vec<usize> = (0..200usize)
+                .into_par_iter()
+                .flat_map_iter(|i| (0..i % 7).map(move |j| i * 10 + j))
+                .collect();
+            let set: HashSet<u64> =
+                (0..5_000u64).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x)).collect();
+            (mapped, flat, set)
+        };
+        let sequential = {
+            let _one = super::ThreadOverride::new(1);
+            run()
+        };
+        for threads in [2, 3, 8] {
+            let _forced = super::ThreadOverride::new(threads);
+            assert_eq!(run(), sequential, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn enumerate_gives_base_indices() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(4);
+        let v: Vec<u32> = (0..1_000).collect();
+        let pairs: Vec<(usize, u32)> =
+            v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        for (i, (idx, x)) in pairs.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert_eq!(*x, i as u32);
+        }
+    }
+
+    #[test]
+    fn with_min_len_bounds_chunk_granularity() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(8);
+        // min_len larger than the input: everything lands in one chunk,
+        // which must still produce the complete, ordered result.
+        let out: Vec<usize> =
+            (0..100usize).into_par_iter().with_min_len(1_000).map(|x| x + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].par_iter().copied().collect();
+        assert_eq!(one, vec![7]);
     }
 }

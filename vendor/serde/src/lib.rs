@@ -254,6 +254,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, so callers can (de)serialize
+// dynamically-shaped documents (e.g. merge-on-write JSON snapshots).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 // --- containers ------------------------------------------------------------
 
 impl<T: Serialize> Serialize for Option<T> {
