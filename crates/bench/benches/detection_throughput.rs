@@ -7,9 +7,10 @@
 //!
 //! Besides the criterion timings it writes the `detection_throughput`
 //! section of `BENCH_detection.json` at the workspace root: IDNs/sec on
-//! the 10k-reference corpus for `LengthBucket` and `CanonicalHash` at 1
-//! worker thread vs all available threads, so the perf trajectory of
-//! the parallel executor is tracked from PR to PR.
+//! the 10k-reference corpus for `LengthBucket` (ablation baseline) and
+//! `CanonicalClosure` (the default path) at 1 worker thread vs all
+//! available threads, so the perf trajectory of the parallel executor
+//! is tracked from PR to PR.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sham_bench::{
@@ -78,11 +79,11 @@ fn write_snapshot(simchar: &sham_simchar::SimCharDb) {
 
     snapshot_thread_sweep(
         "detection_throughput",
-        &["length_bucket", "canonical_hash"],
+        &["length_bucket", "canonical_closure"],
         |name| {
             let indexing = match name {
                 "length_bucket" => Indexing::LengthBucket,
-                _ => Indexing::CanonicalHash,
+                _ => Indexing::CanonicalClosure,
             };
             measure_ops_per_sec(idn_count, snapshot_samples(), || {
                 std::hint::black_box(

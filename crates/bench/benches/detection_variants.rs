@@ -1,9 +1,10 @@
 //! Ablation — Algorithm 1 candidate-generation strategies.
 //!
 //! Naive all-pairs matching (the paper notes the |N|·|M|·|L| complexity),
-//! the paper's length bucketing, and the canonical-hash index this
-//! reproduction adds. All three produce identical detections (asserted in
-//! unit tests).
+//! the paper's length bucketing, and the canonical-closure index this
+//! reproduction adds (union-find component hashing — exact even for
+//! non-transitive pair sets, and the framework default). All three
+//! produce identical detections (asserted in unit and property tests).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sham_bench::detection_corpus;
@@ -35,7 +36,7 @@ fn bench_variants(c: &mut Criterion) {
     for (name, indexing) in [
         ("naive", Indexing::Naive),
         ("length_bucket", Indexing::LengthBucket),
-        ("canonical_hash", Indexing::CanonicalHash),
+        ("canonical_closure", Indexing::CanonicalClosure),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &indexing, |b, &ix| {
             b.iter(|| {

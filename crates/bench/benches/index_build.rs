@@ -1,0 +1,93 @@
+//! Detector-construction cost — the price of the fast default path.
+//!
+//! `CanonicalClosure` detection is fast because everything expensive
+//! happens once at construction: interning the pair universe into the
+//! two-level page table, union-finding the component closure, laying
+//! the CSR adjacency out, and closure-hashing the reference list. This
+//! bench times those builds so a regression in index construction is as
+//! visible in `BENCH_detection.json` as a regression in query
+//! throughput:
+//!
+//! * `flat_index` — `FlatPairIndex::build` alone (interner + union-find
+//!   + CSR over SimChar ∪ UC).
+//! * `detector` — the full `HomoglyphDb::new` + `Detector::new` path,
+//!   including the closure-hash index over the 10k-reference list.
+//!
+//! Snapshot entries are builds/sec (per worker-thread count, matching
+//! the other sections' layout; construction itself is single-threaded).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sham_bench::{
+    detection_corpus, measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep,
+};
+use sham_confusables::UcDatabase;
+use sham_core::Detector;
+use sham_glyph::SynthUnifont;
+use sham_simchar::{build, BuildConfig, FlatPairIndex, HomoglyphDb, Repertoire};
+
+fn simchar_db() -> sham_simchar::SimCharDb {
+    let font = SynthUnifont::v12();
+    build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Latin Extended-A",
+                "Cyrillic",
+                "Greek and Coptic",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let simchar = simchar_db();
+    let uc = UcDatabase::embedded();
+    let (references, _) = detection_corpus(0);
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+
+    group.bench_function("flat_index", |b| {
+        b.iter(|| std::hint::black_box(FlatPairIndex::build(&simchar, &uc).char_count()))
+    });
+    group.bench_function("detector_10k_refs", |b| {
+        b.iter(|| {
+            let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+            std::hint::black_box(
+                Detector::new(db, references.iter().cloned()).references().len(),
+            )
+        })
+    });
+    group.finish();
+
+    write_snapshot(&simchar, &uc, &references);
+}
+
+/// Merges builds/sec into the `index_build` section of
+/// `BENCH_detection.json`.
+fn write_snapshot(
+    simchar: &sham_simchar::SimCharDb,
+    uc: &UcDatabase,
+    references: &[String],
+) {
+    snapshot_thread_sweep("index_build", &["flat_index", "detector_10k_refs"], |name| {
+        measure_ops_per_sec(1, snapshot_samples(), || match name {
+            "flat_index" => {
+                std::hint::black_box(FlatPairIndex::build(simchar, uc).char_count());
+            }
+            _ => {
+                let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+                std::hint::black_box(
+                    Detector::new(db, references.iter().cloned()).references().len(),
+                );
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

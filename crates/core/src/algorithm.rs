@@ -6,36 +6,57 @@
 //! characters pass only if the homoglyph database lists them as a pair;
 //! anything else rejects `x` for this reference (paper §3.1, Fig. 2).
 //!
-//! Three execution strategies are provided for the `detection_variants`
-//! ablation bench:
+//! Three execution strategies are provided; `CanonicalClosure` is the
+//! default, the other two remain as ablation baselines for the
+//! `detection_variants` bench:
 //!
 //! * [`Indexing::Naive`] — compare every (reference, IDN) combination.
 //! * [`Indexing::LengthBucket`] — the paper's optimisation: only compare
 //!   strings of equal length.
-//! * [`Indexing::CanonicalHash`] — additionally canonicalise every
-//!   character to a representative of its homoglyph equivalence class and
-//!   look references up by canonical string hash (exact for pair sets
-//!   that form transitive classes, which both UC prototypes and the
-//!   visual-class geometry of SynthUnifont produce; candidates are always
-//!   re-verified with the pairwise test, so no false positives).
+//! * [`Indexing::CanonicalClosure`] — map every character to the
+//!   representative of its **connected component** in the homoglyph
+//!   pair graph (union-find over SimChar ∪ UC, precomputed in
+//!   [`HomoglyphDb`]'s flat index) and look references up by the hash
+//!   of the representative string.
+//!
+//! # Why the closure index is exact
+//!
+//! Under Algorithm 1, an IDN `x` matches a reference `r` only if at
+//! every position the characters are equal or a listed homoglyph pair.
+//! Either way the two characters lie in the same connected component of
+//! the pair graph, so `rep(x[i]) == rep(r[i])` at every position and
+//! the representative strings — hence their hashes — are equal. Probing
+//! the hash index with `rep(x)` therefore returns a candidate set that
+//! contains **every** true match (no false negatives), for *arbitrary*
+//! pair sets: transitivity is never assumed, which matters because real
+//! confusable data is famously non-transitive (a–b and b–c listed
+//! without a–c). Hash collisions or component over-approximation can
+//! only add candidates, and every candidate is re-verified with the
+//! exact pairwise test — so no false positives either. A
+//! neighbourhood-based canonical map (the previous `CanonicalHash`
+//! strategy) lacks the first property: on a non-transitive chain the
+//! two ends of a listed pair can pick different representatives and a
+//! true match is skipped before verification.
 //!
 //! # Execution
 //!
-//! All index structures (length buckets, canonical map, canonical-hash
-//! index) are built eagerly at construction, so [`Detector::detect`]
-//! takes `&self` and shards the IDN corpus across the worker pool (the
-//! vendored `rayon` executor). Each shard reuses two scratch buffers —
-//! the interned `u32` stem and the substitution list — so the rejecting
-//! path of the inner test performs no per-candidate heap allocation;
-//! `String`s are only materialised for actual detections. Shards are
-//! merged in corpus order, so results are identical to a sequential run
-//! at every thread count.
+//! All index structures (length buckets, closure-hash index) are built
+//! eagerly at construction, so [`Detector::detect`] takes `&self` and
+//! shards the IDN corpus across the worker pool (the vendored `rayon`
+//! executor). Each shard reuses two scratch buffers — the interned
+//! `u32` stem and the substitution list — so the rejecting path of the
+//! inner test performs no per-candidate heap allocation; `String`s are
+//! only materialised for actual detections. Shards are merged in corpus
+//! order, so results are identical to a sequential run at every thread
+//! count. Per-character work is hash-free: component representatives
+//! come from the flat interner (two array reads), and the pairwise
+//! re-verification probes the CSR adjacency (one binary search).
 
 use crate::detection::{CharSubstitution, Detection};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sham_simchar::{DbSelection, HomoglyphDb};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 /// Candidate-generation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,8 +65,9 @@ pub enum Indexing {
     Naive,
     /// Bucket by string length (the paper's approach).
     LengthBucket,
-    /// Length bucket + canonical-representative hashing.
-    CanonicalHash,
+    /// Hash by union-find component representatives — exact for
+    /// arbitrary (including non-transitive) pair sets, and the default.
+    CanonicalClosure,
 }
 
 /// The homograph detector: a homoglyph database plus a reference list,
@@ -55,11 +77,8 @@ pub struct Detector {
     /// Reference stems interned to code points once at construction.
     references: Vec<Vec<u32>>,
     reference_names: Vec<String>,
-    /// Canonical representative for every code point in the database
-    /// universe (identity for everything else).
-    canon: HashMap<u32, u32>,
-    /// Canonical-hash → reference indices (for `CanonicalHash`).
-    canon_index: HashMap<u64, Vec<usize>>,
+    /// Closure-hash → reference indices (for `CanonicalClosure`).
+    closure_index: HashMap<u64, Vec<usize>>,
     /// Stem length → reference indices (for `LengthBucket`).
     by_len: HashMap<usize, Vec<usize>>,
 }
@@ -73,17 +92,16 @@ impl Detector {
             .iter()
             .map(|r| r.chars().map(|c| c as u32).collect())
             .collect();
-        let canon = build_canonical_map(&db);
-        let mut canon_index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut closure_index: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
         for (idx, r) in references.iter().enumerate() {
-            canon_index
-                .entry(canonical_hash(&canon, r))
+            closure_index
+                .entry(closure_hash(&db, r))
                 .or_default()
                 .push(idx);
             by_len.entry(r.len()).or_default().push(idx);
         }
-        Detector { db, references, reference_names, canon, canon_index, by_len }
+        Detector { db, references, reference_names, closure_index, by_len }
     }
 
     /// The underlying homoglyph database.
@@ -206,9 +224,9 @@ impl Detector {
                         }
                     }
                 }
-                Indexing::CanonicalHash => {
-                    let h = canonical_hash(&self.canon, &stem);
-                    let Some(candidates) = self.canon_index.get(&h) else { continue };
+                Indexing::CanonicalClosure => {
+                    let h = closure_hash(&self.db, &stem);
+                    let Some(candidates) = self.closure_index.get(&h) else { continue };
                     for &ref_idx in candidates {
                         let r = &self.references[ref_idx];
                         if self.matches_into(r, &stem, selection, &mut subs) {
@@ -240,54 +258,15 @@ impl Detector {
     }
 }
 
-/// Canonical representative per code point: the smallest member of its
-/// homoglyph neighbourhood (the code point itself included). ASCII
-/// letters are the smallest members of their classes by construction, so
-/// canonicalisation maps homoglyphs onto their ASCII targets. Computed
-/// eagerly over the database's character universe — any code point
-/// outside it has no homoglyphs, so its representative is itself.
-///
-/// Mirrors [`HomoglyphDb::homoglyphs_of`]'s neighbourhood (SimChar
-/// partners ∪ UC prototype + prototype-mates ∪ UC sources mapping to
-/// this code point) but runs off a reverse prototype→sources index
-/// built in one pass, so construction is linear in the database size
-/// rather than one full UC-map scan per code point.
-fn build_canonical_map(db: &HomoglyphDb) -> HashMap<u32, u32> {
-    let uc = db.uc();
-    let mut sources_of: HashMap<u32, Vec<u32>> = HashMap::new();
-    for (src, proto) in uc.entries() {
-        if let &[p] = proto {
-            sources_of.entry(p).or_default().push(src);
-        }
-    }
-    let mut universe: BTreeSet<u32> = db.simchar().chars().collect();
-    universe.extend(uc.char_set());
-    let mut canon = HashMap::with_capacity(universe.len());
-    for cp in universe {
-        let mut min = cp;
-        for (partner, _) in db.simchar().homoglyphs_of(cp) {
-            min = min.min(partner);
-        }
-        if let Some(&[p]) = uc.prototype(cp) {
-            min = min.min(p);
-            if let Some(mates) = sources_of.get(&p) {
-                min = mates.iter().fold(min, |m, &s| m.min(s));
-            }
-        }
-        if let Some(sources) = sources_of.get(&cp) {
-            min = sources.iter().fold(min, |m, &s| m.min(s));
-        }
-        canon.insert(cp, min);
-    }
-    canon
-}
-
-/// FNV-1a over the canonical representatives of a stem.
-fn canonical_hash(canon: &HashMap<u32, u32>, stem: &[u32]) -> u64 {
+/// FNV-1a over the union-find component representatives of a stem. Two
+/// stems that match under Algorithm 1 have pairwise same-component
+/// characters, so they hash identically — see the module docs for the
+/// soundness argument. Each representative is two array reads in the
+/// flat interner; no per-character hashing.
+fn closure_hash(db: &HomoglyphDb, stem: &[u32]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &cp in stem {
-        let c = *canon.get(&cp).unwrap_or(&cp);
-        h ^= u64::from(c);
+        h ^= u64::from(db.rep_of(cp));
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
@@ -376,7 +355,7 @@ mod tests {
         ];
         let naive = d.detect(&idns, DbSelection::Union, Indexing::Naive);
         let bucket = d.detect(&idns, DbSelection::Union, Indexing::LengthBucket);
-        let canon = d.detect(&idns, DbSelection::Union, Indexing::CanonicalHash);
+        let canon = d.detect(&idns, DbSelection::Union, Indexing::CanonicalClosure);
         let key = |v: &[Detection]| {
             let mut k: Vec<(String, String)> = v
                 .iter()

@@ -56,7 +56,7 @@ impl Framework {
             detector: Detector::new(HomoglyphDb::new(simchar, uc), references),
             tld: tld.to_string(),
             selection: DbSelection::Union,
-            indexing: Indexing::LengthBucket,
+            indexing: Indexing::CanonicalClosure,
         }
     }
 
@@ -67,10 +67,18 @@ impl Framework {
         self
     }
 
-    /// Switches the candidate-generation strategy.
+    /// Switches the candidate-generation strategy. The default is
+    /// [`Indexing::CanonicalClosure`] — exact for arbitrary pair sets
+    /// and orders of magnitude faster than length bucketing; `Naive`
+    /// and `LengthBucket` remain as ablation baselines.
     pub fn with_indexing(mut self, indexing: Indexing) -> Self {
         self.indexing = indexing;
         self
+    }
+
+    /// The configured candidate-generation strategy.
+    pub fn indexing(&self) -> Indexing {
+        self.indexing
     }
 
     /// Access to the inner detector (for revert/highlight helpers).

@@ -7,7 +7,8 @@
 //! and models the browser display policies the paper critiques.
 //!
 //! * [`algorithm`] — Algorithm 1 with three candidate-generation
-//!   strategies (naive / length-bucketed / canonical-hash).
+//!   strategies (naive / length-bucketed / canonical-closure, the
+//!   last being the exact union-find component index and the default).
 //! * [`framework`] — the Steps 1–3 pipeline of Fig. 1.
 //! * [`revert`] — §6.4's homograph-to-original reverting.
 //! * [`highlight`] — the Fig. 12 warning-UI data.

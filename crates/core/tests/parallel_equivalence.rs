@@ -79,7 +79,7 @@ fn detect_is_thread_count_invariant_for_all_indexings() {
     let d = detector(references.clone());
     let idns = corpus(&references);
 
-    for indexing in [Indexing::Naive, Indexing::LengthBucket, Indexing::CanonicalHash] {
+    for indexing in [Indexing::Naive, Indexing::LengthBucket, Indexing::CanonicalClosure] {
         let sequential = {
             let _one = rayon::ThreadOverride::new(1);
             d.detect(&idns, DbSelection::Union, indexing)
@@ -117,7 +117,7 @@ fn indexing_strategies_agree_on_the_shared_corpus() {
     };
     let naive = key(&d.detect(&idns, DbSelection::Union, Indexing::Naive));
     let bucket = key(&d.detect(&idns, DbSelection::Union, Indexing::LengthBucket));
-    let canon = key(&d.detect(&idns, DbSelection::Union, Indexing::CanonicalHash));
+    let canon = key(&d.detect(&idns, DbSelection::Union, Indexing::CanonicalClosure));
     assert_eq!(naive, bucket);
     assert_eq!(naive, canon);
 }

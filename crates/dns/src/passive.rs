@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn sampling_undercounts_truth() {
-        let truth = vec![("popular.com", 100_000u64), ("rare.com", 10)];
+        let truth = [("popular.com", 100_000u64), ("rare.com", 10)];
         let db = PassiveDns::from_ground_truth(
             truth.iter().map(|&(n, c)| (n, c)),
             4,

@@ -359,8 +359,7 @@ impl UdpDnsServer {
         let addr = socket.local_addr()?;
         std::thread::spawn(move || {
             let mut buf = [0u8; 1500];
-            loop {
-                let Ok((len, peer)) = socket.recv_from(&mut buf) else { break };
+            while let Ok((len, peer)) = socket.recv_from(&mut buf) {
                 let reply = match decode(&buf[..len]) {
                     Ok(query) => answer(&resolver, &query),
                     Err(_) => continue,

@@ -91,7 +91,7 @@ pub fn render(font: &impl GlyphSource, text: &str) -> Banner {
     for c in text.chars() {
         if c == ' ' {
             for row in rows.iter_mut() {
-                row.extend(std::iter::repeat(false).take(SIZE / 2));
+                row.extend(std::iter::repeat_n(false, SIZE / 2));
             }
             continue;
         }
@@ -102,7 +102,7 @@ pub fn render(font: &impl GlyphSource, text: &str) -> Banner {
                     for x in min..=max {
                         row.push(g.get(x, y));
                     }
-                    row.extend(std::iter::repeat(false).take(gap));
+                    row.extend(std::iter::repeat_n(false, gap));
                 }
             }
             None => {
@@ -112,7 +112,7 @@ pub fn render(font: &impl GlyphSource, text: &str) -> Banner {
                         let edge = y == 8 || y == 24 || x == 0 || x == 9;
                         row.push(edge && (8..=24).contains(&y));
                     }
-                    row.extend(std::iter::repeat(false).take(gap));
+                    row.extend(std::iter::repeat_n(false, gap));
                 }
             }
         }
@@ -153,7 +153,7 @@ mod tests {
         let real = render(&font, "facebook");
         let spoof = render(&font, "facébook");
         let d = real.delta(&spoof);
-        assert!(d >= 1 && d <= 4, "banner delta = {d}");
+        assert!((1..=4).contains(&d), "banner delta = {d}");
     }
 
     #[test]

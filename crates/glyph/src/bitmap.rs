@@ -85,6 +85,23 @@ impl Bitmap {
             .sum()
     }
 
+    /// Δ with a cap: `Some(delta)` when `delta(self, other) <= cap`,
+    /// `None` otherwise — bailing out of the row scan as soon as the
+    /// running XOR popcount exceeds `cap`. In a Step II sweep almost
+    /// every compared pair blows far past θ within the first few rows,
+    /// so the capped form touches a fraction of the 32 rows the full
+    /// metric always walks.
+    pub fn delta_capped(&self, other: &Bitmap, cap: u32) -> Option<u32> {
+        let mut d = 0u32;
+        for (a, b) in self.rows.iter().zip(other.rows.iter()) {
+            d += (a ^ b).count_ones();
+            if d > cap {
+                return None;
+            }
+        }
+        Some(d)
+    }
+
     /// Merges another bitmap into this one (ink union).
     pub fn union_with(&mut self, other: &Bitmap) {
         for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
@@ -134,7 +151,7 @@ impl Bitmap {
     /// equal hash — the exact-candidate property the banded pair index in
     /// `sham-simchar` relies on.
     pub fn band_signatures(&self, n: usize) -> Vec<u64> {
-        assert!(n >= 1 && n <= SIZE);
+        assert!((1..=SIZE).contains(&n));
         let mut out = Vec::with_capacity(n);
         let base = SIZE / n;
         let extra = SIZE % n;
@@ -244,6 +261,34 @@ mod tests {
             a.set(i % 32, (i * 7) % 32, true);
         }
         assert_eq!(a.delta(&Bitmap::empty()), a.popcount());
+    }
+
+    #[test]
+    fn delta_capped_agrees_with_delta_under_the_cap() {
+        let mut a = Bitmap::empty();
+        let mut b = Bitmap::empty();
+        for i in 0..12 {
+            a.set(i, (i * 5) % 32, true);
+            if i % 2 == 0 {
+                b.set(i, (i * 5) % 32, true);
+            }
+        }
+        let full = a.delta(&b);
+        assert_eq!(a.delta_capped(&b, full), Some(full));
+        assert_eq!(a.delta_capped(&b, full + 3), Some(full));
+        assert_eq!(a.delta_capped(&b, full - 1), None);
+        assert_eq!(a.delta_capped(&a, 0), Some(0));
+    }
+
+    #[test]
+    fn delta_capped_exits_early_on_distant_pairs() {
+        // All differences in row 0: the cap must trip on the first row.
+        let mut a = Bitmap::empty();
+        for x in 0..20 {
+            a.set(x, 0, true);
+        }
+        assert_eq!(a.delta_capped(&Bitmap::empty(), 4), None);
+        assert_eq!(a.delta_capped(&Bitmap::empty(), 20), Some(20));
     }
 
     #[test]

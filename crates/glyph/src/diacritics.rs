@@ -273,7 +273,7 @@ pub fn decompose(cp: u32) -> Option<Decomposition> {
         let accent = EXT_ADDITIONAL_ACCENTS[(cp % EXT_ADDITIONAL_ACCENTS.len() as u32) as usize];
         // Even code points in this block are uppercase, odd lowercase —
         // true for 0x1E00..0x1E95 and for the Vietnamese range.
-        let base = if cp % 2 == 0 { lower_base.to_ascii_uppercase() } else { lower_base };
+        let base = if cp.is_multiple_of(2) { lower_base.to_ascii_uppercase() } else { lower_base };
         return Some(Decomposition { code_point: cp, base, accent });
     }
     None

@@ -293,13 +293,13 @@ mod tests {
     fn small_dist_members_are_within_threshold() {
         // Paper Fig. 2: Armenian o (U+0585) ↔ Latin o.
         let d = g('o').delta(&g('օ'));
-        assert!(d >= 1 && d <= 4, "delta = {d}");
+        assert!((1..=4).contains(&d), "delta = {d}");
         // Paper Fig. 12: Lao digit zero ↔ Latin o.
         let d = g('o').delta(&g('\u{0ED0}'));
-        assert!(d >= 1 && d <= 4, "delta = {d}");
+        assert!((1..=4).contains(&d), "delta = {d}");
         // Paper §2.2: 工 ↔ エ.
         let d = g('工').delta(&g('エ'));
-        assert!(d >= 1 && d <= 4, "delta = {d}");
+        assert!((1..=4).contains(&d), "delta = {d}");
     }
 
     #[test]

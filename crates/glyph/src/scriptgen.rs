@@ -397,7 +397,7 @@ mod tests {
         let anchor = twin_row_glyph(0x4E00, 9, high, true);
         let twin = twin_row_glyph(0x4E01, 9, high, true);
         let d = anchor.delta(&twin);
-        assert!(d >= 1 && d <= 2, "delta = {d}");
+        assert!((1..=2).contains(&d), "delta = {d}");
 
         let off = TwinParams::NONE;
         let a = twin_row_glyph(0x4E00, 9, off, true);

@@ -158,7 +158,7 @@ impl CharDbContext {
             }
         }
         let mut uc_sorted: Vec<(&str, usize)> = uc_blocks.into_iter().collect();
-        uc_sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        uc_sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
 
         let sim_sorted = self.build.db.block_profile();
         let mut t = TextTable::new(

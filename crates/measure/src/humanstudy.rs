@@ -47,7 +47,7 @@ pub fn experiment2(ctx: &CharDbContext, config: &ExperimentConfig) -> Experiment
     let mut simchar_deltas: Vec<u32> = Vec::new();
     for (delta, bucket) in per_delta.iter().enumerate() {
         let available = bucket.len().min(20);
-        simchar_deltas.extend(std::iter::repeat(delta as u32).take(available.max(
+        simchar_deltas.extend(std::iter::repeat_n(delta as u32, available.max(
             // Sparse buckets still contribute the paper's 20 samples: a
             // rater judges the same pair more than once, as on MTurk.
             if bucket.is_empty() { 0 } else { 20 },

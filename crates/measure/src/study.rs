@@ -69,6 +69,9 @@ pub struct Study {
     /// executor may engage fewer workers when the corpus produces
     /// fewer shards than this.
     pub detection_threads: usize,
+    /// Candidate-generation strategy of the detection run (the
+    /// framework default, `CanonicalClosure`).
+    pub detection_indexing: String,
 }
 
 impl Study {
@@ -129,6 +132,7 @@ impl Study {
         let detections = fw.detect_only_with(&idns, DbSelection::Union);
         let detection_seconds = t0.elapsed().as_secs_f64();
         let detection_threads = rayon::current_num_threads();
+        let detection_indexing = format!("{:?}", fw.indexing());
         let unique_union: HashSet<&String> = detections.iter().map(|d| &d.idn_ascii).collect();
         detected_by.insert("UC ∪ SimChar", unique_union.len());
 
@@ -142,6 +146,7 @@ impl Study {
             detected_by,
             detection_seconds,
             detection_threads,
+            detection_indexing,
         }
     }
 
@@ -526,6 +531,7 @@ impl Study {
         t.row(&["IDNs matched".into(), thousands(self.idns.len() as u64)]);
         t.row(&["References".into(), thousands(refs as u64)]);
         t.row(&["Worker pool (configured)".into(), self.detection_threads.to_string()]);
+        t.row(&["Candidate index".into(), self.detection_indexing.clone()]);
         t.row(&["Wall time (s)".into(), format!("{:.3}", self.detection_seconds)]);
         t.row(&["Per reference (s)".into(), format!("{per_ref:.6}")]);
         // Scale-free comparison: cost per (reference × IDN) pair.

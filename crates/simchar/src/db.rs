@@ -2,14 +2,7 @@
 
 use crate::pairs::Pair;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
-
-/// Packs a canonicalised pair into one hash key: `(min << 32) | max`.
-#[inline]
-fn pair_key(a: u32, b: u32) -> u64 {
-    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-    (u64::from(lo) << 32) | u64::from(hi)
-}
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The SimChar homoglyph database (paper §3.3–3.4): the set of
 /// IDNA-permitted character pairs whose glyphs differ by at most θ pixels,
@@ -19,13 +12,11 @@ pub struct SimCharDb {
     theta: u32,
     /// Canonicalised pairs (a < b) with their Δ.
     pairs: Vec<(u32, u32, u8)>,
-    /// Adjacency: code point → (partner, Δ).
+    /// Adjacency: code point → (partner, Δ), partner-sorted so
+    /// membership is a binary search. Detection-rate queries go through
+    /// the flat CSR index of [`crate::HomoglyphDb`] instead.
     #[serde(skip)]
     adjacency: BTreeMap<u32, Vec<(u32, u8)>>,
-    /// O(1) membership index over packed pair keys — the detector's
-    /// inner loop probes this once per unequal character position.
-    #[serde(skip)]
-    pair_keys: HashSet<u64>,
 }
 
 impl SimCharDb {
@@ -35,7 +26,6 @@ impl SimCharDb {
             theta,
             pairs: pairs.iter().map(|p| (p.a, p.b, p.delta)).collect(),
             adjacency: BTreeMap::new(),
-            pair_keys: HashSet::new(),
         };
         db.pairs.sort_unstable();
         db.pairs.dedup();
@@ -45,12 +35,12 @@ impl SimCharDb {
 
     fn rebuild_adjacency(&mut self) {
         self.adjacency.clear();
-        self.pair_keys.clear();
-        self.pair_keys.reserve(self.pairs.len());
         for &(a, b, d) in &self.pairs {
             self.adjacency.entry(a).or_default().push((b, d));
             self.adjacency.entry(b).or_default().push((a, d));
-            self.pair_keys.insert(pair_key(a, b));
+        }
+        for partners in self.adjacency.values_mut() {
+            partners.sort_unstable();
         }
     }
 
@@ -80,10 +70,12 @@ impl SimCharDb {
         self.adjacency.keys().copied()
     }
 
-    /// True when `(a, b)` is a listed homoglyph pair. One hash probe —
-    /// no tree walk, no adjacency-list scan, no allocation.
+    /// True when `(a, b)` is a listed homoglyph pair: a binary search
+    /// of `a`'s partner-sorted adjacency row.
     pub fn is_pair(&self, a: u32, b: u32) -> bool {
-        self.pair_keys.contains(&pair_key(a, b))
+        self.adjacency
+            .get(&a)
+            .is_some_and(|row| row.binary_search_by_key(&b, |&(p, _)| p).is_ok())
     }
 
     /// Homoglyphs of `cp`, sorted by Δ then code point.

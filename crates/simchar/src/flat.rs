@@ -1,0 +1,409 @@
+//! Flat interned pair index — the detection hot path's data layout.
+//!
+//! [`HomoglyphDb`](crate::HomoglyphDb) answers two queries inside
+//! Algorithm 1's inner loop: *is `(a, b)` a homoglyph pair (and which
+//! database attests it)?* and *which equivalence component does a code
+//! point belong to?* Both used to go through per-character hash probes;
+//! this module replaces them with three flat arrays built once at
+//! construction:
+//!
+//! * [`CharInterner`] — a two-level page table over the code-point
+//!   space. Looking a code point up is two array reads (page, then
+//!   slot) and no hashing; code points outside the pair universe
+//!   resolve to `None` on the first or second read.
+//! * a **union-find component closure** over the full pair universe
+//!   (SimChar ∪ UC). Every listed pair `(a, b)` — from either source —
+//!   unions the two endpoints, so two code points end in the same
+//!   component exactly when a chain of listed pairs connects them.
+//!   Unlike a "canonical map" that picks one neighbour per character,
+//!   the closure is sound for **arbitrary, non-transitive** pair sets:
+//!   if an IDN matches a reference under Algorithm 1, every unequal
+//!   character position is a listed pair, hence in one component, hence
+//!   the two stems hash identically by component representative. The
+//!   per-symbol representative (the smallest code point of the
+//!   component) is precomputed into a dense `Vec<u32>`.
+//! * a **CSR adjacency** (offset array + neighbour array + attribution
+//!   array) holding every pair edge of the union with its
+//!   [`PairSource`]. A pair probe interns both endpoints and binary
+//!   searches one sorted neighbour row — no `u64` key packing, no hash
+//!   set.
+//!
+//! The closure spans the *union* universe on purpose: a pair admitted
+//! under any [`DbSelection`](crate::DbSelection) is an edge of the
+//! union graph, so component-representative hashing remains a sound
+//! candidate filter for every selection (candidates are always
+//! re-verified pairwise, so over-approximation never produces false
+//! positives).
+
+use crate::db::SimCharDb;
+use crate::homodb::PairSource;
+use sham_confusables::UcDatabase;
+use std::collections::HashMap;
+
+/// Code points per interner page (one second-level array chunk).
+const PAGE_SIZE: u32 = 256;
+/// Number of first-level pages covering the whole code-point space.
+const PAGE_COUNT: usize = (0x11_0000 / PAGE_SIZE) as usize;
+/// First-level sentinel: page holds no interned code points.
+const NO_PAGE: u32 = u32::MAX;
+
+/// Dense code-point → symbol interner: a two-level page table over the
+/// code-point space. `symbol` is two array indexations; pages are only
+/// materialised where the universe actually has characters, so the
+/// structure stays a few tens of kilobytes even though it addresses all
+/// of Unicode.
+#[derive(Debug, Clone)]
+pub struct CharInterner {
+    /// First level: page → base offset into `slots`, or [`NO_PAGE`].
+    page_table: Vec<u32>,
+    /// Second level: `PAGE_SIZE`-entry chunks; `0` = absent, else
+    /// symbol + 1.
+    slots: Vec<u32>,
+    /// Symbol → code point (the inverse mapping).
+    cps: Vec<u32>,
+}
+
+impl Default for CharInterner {
+    fn default() -> Self {
+        CharInterner { page_table: vec![NO_PAGE; PAGE_COUNT], slots: Vec::new(), cps: Vec::new() }
+    }
+}
+
+impl CharInterner {
+    /// Interns `cp`, returning its (new or existing) symbol.
+    pub fn intern(&mut self, cp: u32) -> u32 {
+        let page = (cp / PAGE_SIZE) as usize;
+        assert!(page < PAGE_COUNT, "code point {cp:#X} outside Unicode");
+        if self.page_table[page] == NO_PAGE {
+            self.page_table[page] = self.slots.len() as u32;
+            self.slots.resize(self.slots.len() + PAGE_SIZE as usize, 0);
+        }
+        let slot = self.page_table[page] as usize + (cp % PAGE_SIZE) as usize;
+        if self.slots[slot] == 0 {
+            self.cps.push(cp);
+            self.slots[slot] = self.cps.len() as u32; // symbol + 1
+        }
+        self.slots[slot] - 1
+    }
+
+    /// Symbol of `cp`, if interned. Two array reads, no hashing.
+    #[inline]
+    pub fn symbol(&self, cp: u32) -> Option<u32> {
+        let base = *self.page_table.get((cp / PAGE_SIZE) as usize)?;
+        if base == NO_PAGE {
+            return None;
+        }
+        let s = self.slots[base as usize + (cp % PAGE_SIZE) as usize];
+        s.checked_sub(1)
+    }
+
+    /// Code point of a symbol.
+    #[inline]
+    pub fn code_point(&self, symbol: u32) -> u32 {
+        self.cps[symbol as usize]
+    }
+
+    /// Number of interned code points.
+    pub fn len(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.cps.is_empty()
+    }
+}
+
+/// Union-find over symbols, with path halving. Only used during
+/// construction; the result is flattened into the dense `rep` table.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Edge tag bits during construction.
+const TAG_SIMCHAR: u8 = 1;
+const TAG_UC: u8 = 2;
+
+/// The flat pair index over SimChar ∪ UC: interner, component
+/// representatives, and CSR adjacency with per-edge attribution.
+#[derive(Debug, Clone, Default)]
+pub struct FlatPairIndex {
+    interner: CharInterner,
+    /// Symbol → representative code point (smallest of its component).
+    rep: Vec<u32>,
+    /// CSR offsets: symbol `s`'s neighbours live at
+    /// `neighbours[offsets[s] .. offsets[s + 1]]`, sorted.
+    offsets: Vec<u32>,
+    /// Neighbour symbols, grouped per source symbol.
+    neighbours: Vec<u32>,
+    /// Attribution parallel to `neighbours`.
+    sources: Vec<PairSource>,
+}
+
+impl FlatPairIndex {
+    /// Builds the index from the two component databases.
+    ///
+    /// The pair universe is exactly the union of the databases' pair
+    /// relations: every SimChar `(a, b, Δ)` entry, and every UC pair —
+    /// two code points whose prototype sequences are equal, or where
+    /// one is listed with the other as its single-character prototype.
+    pub fn build(simchar: &SimCharDb, uc: &UcDatabase) -> FlatPairIndex {
+        // 1. Collect tagged edges `(lo, hi, tags)` over code points.
+        let mut edges: Vec<(u32, u32, u8)> = Vec::new();
+        let mut push = |a: u32, b: u32, tag: u8| {
+            if a != b {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                edges.push((lo, hi, tag));
+            }
+        };
+        for (a, b, _) in simchar.pairs() {
+            push(a, b, TAG_SIMCHAR);
+        }
+        // UC: group sources by prototype sequence. Members of one group
+        // are pairwise confusable; a single-character prototype is
+        // additionally confusable with each of its sources.
+        let mut groups: HashMap<&[u32], Vec<u32>> = HashMap::new();
+        for (src, proto) in uc.entries() {
+            groups.entry(proto).or_default().push(src);
+        }
+        for (proto, members) in &groups {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    push(a, b, TAG_UC);
+                }
+            }
+            if let &&[p] = proto {
+                for &m in members {
+                    push(m, p, TAG_UC);
+                }
+            }
+        }
+        // 2. Canonicalise: sort and OR the tags of duplicate edges.
+        edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        let mut merged: Vec<(u32, u32, u8)> = Vec::with_capacity(edges.len());
+        for (a, b, tag) in edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == a && last.1 == b => last.2 |= tag,
+                _ => merged.push((a, b, tag)),
+            }
+        }
+
+        // 3. Intern every endpoint (sorted edge order ⇒ deterministic
+        //    symbol numbering) and union the components.
+        let mut interner = CharInterner::default();
+        for &(a, b, _) in &merged {
+            interner.intern(a);
+            interner.intern(b);
+        }
+        let n = interner.len();
+        let mut dsu = Dsu::new(n);
+        for &(a, b, _) in &merged {
+            let (sa, sb) = (interner.symbol(a).unwrap(), interner.symbol(b).unwrap());
+            dsu.union(sa, sb);
+        }
+        // Representative = smallest code point of the component.
+        let mut root_min = vec![u32::MAX; n];
+        for s in 0..n as u32 {
+            let root = dsu.find(s) as usize;
+            root_min[root] = root_min[root].min(interner.code_point(s));
+        }
+        let rep: Vec<u32> = (0..n as u32).map(|s| root_min[dsu.find(s) as usize]).collect();
+
+        // 4. CSR adjacency: double each edge, sort by (from, to), scan
+        //    into offset / neighbour / source arrays.
+        let mut directed: Vec<(u32, u32, PairSource)> = Vec::with_capacity(merged.len() * 2);
+        for &(a, b, tag) in &merged {
+            let (sa, sb) = (interner.symbol(a).unwrap(), interner.symbol(b).unwrap());
+            let source = match tag {
+                TAG_SIMCHAR => PairSource::SimChar,
+                TAG_UC => PairSource::Uc,
+                _ => PairSource::Both,
+            };
+            directed.push((sa, sb, source));
+            directed.push((sb, sa, source));
+        }
+        directed.sort_unstable_by_key(|&(from, to, _)| (from, to));
+        let mut offsets = vec![0u32; n + 1];
+        for &(from, _, _) in &directed {
+            offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbours: Vec<u32> = directed.iter().map(|&(_, to, _)| to).collect();
+        let sources: Vec<PairSource> = directed.iter().map(|&(_, _, s)| s).collect();
+
+        FlatPairIndex { interner, rep, offsets, neighbours, sources }
+    }
+
+    /// The interner over the pair universe.
+    pub fn interner(&self) -> &CharInterner {
+        &self.interner
+    }
+
+    /// Component representative of `cp`: the smallest code point
+    /// reachable from it through listed pairs, or `cp` itself when it
+    /// participates in no pair. Two array reads plus one table read.
+    #[inline]
+    pub fn rep_of(&self, cp: u32) -> u32 {
+        match self.interner.symbol(cp) {
+            Some(s) => self.rep[s as usize],
+            None => cp,
+        }
+    }
+
+    /// Full-union attribution of the pair `(a, b)`, or `None` when
+    /// neither database lists it. One binary search over a CSR row.
+    #[inline]
+    pub fn pair_source(&self, a: u32, b: u32) -> Option<PairSource> {
+        if a == b {
+            return None;
+        }
+        let sa = self.interner.symbol(a)?;
+        let sb = self.interner.symbol(b)?;
+        let (lo, hi) = (self.offsets[sa as usize] as usize, self.offsets[sa as usize + 1] as usize);
+        let row = &self.neighbours[lo..hi];
+        row.binary_search(&sb).ok().map(|i| self.sources[lo + i])
+    }
+
+    /// Number of code points in the pair universe.
+    pub fn char_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Number of undirected pair edges.
+    pub fn pair_count(&self) -> usize {
+        self.neighbours.len() / 2
+    }
+
+    /// Number of connected components of the pair graph.
+    pub fn component_count(&self) -> usize {
+        let mut reps: Vec<u32> = self.rep.clone();
+        reps.sort_unstable();
+        reps.dedup();
+        reps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::Pair;
+    use sham_confusables::parse;
+
+    fn simchar(pairs: &[(u32, u32)]) -> SimCharDb {
+        SimCharDb::from_pairs(
+            pairs.iter().map(|&(a, b)| Pair { a, b, delta: 1 }).collect(),
+            4,
+        )
+    }
+
+    #[test]
+    fn interner_round_trips_and_rejects_absent() {
+        let mut i = CharInterner::default();
+        let s1 = i.intern('a' as u32);
+        let s2 = i.intern(0x1F600); // supplementary plane
+        assert_ne!(s1, s2);
+        assert_eq!(i.intern('a' as u32), s1); // idempotent
+        assert_eq!(i.symbol('a' as u32), Some(s1));
+        assert_eq!(i.symbol(0x1F600), Some(s2));
+        assert_eq!(i.code_point(s2), 0x1F600);
+        assert_eq!(i.symbol('b' as u32), None); // same page, not interned
+        assert_eq!(i.symbol(0x4E00), None); // page never materialised
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn closure_joins_non_transitive_chains() {
+        // a–b and b–c listed, a–c NOT listed: the component closure
+        // still puts all three in one class…
+        let idx = FlatPairIndex::build(
+            &simchar(&[('a' as u32, 'b' as u32), ('b' as u32, 'c' as u32)]),
+            &UcDatabase::default(),
+        );
+        assert_eq!(idx.rep_of('a' as u32), 'a' as u32);
+        assert_eq!(idx.rep_of('b' as u32), 'a' as u32);
+        assert_eq!(idx.rep_of('c' as u32), 'a' as u32);
+        assert_eq!(idx.component_count(), 1);
+        // …while the pair relation itself stays non-transitive.
+        assert!(idx.pair_source('a' as u32, 'c' as u32).is_none());
+        assert!(idx.pair_source('a' as u32, 'b' as u32).is_some());
+        assert!(idx.pair_source('c' as u32, 'b' as u32).is_some());
+    }
+
+    #[test]
+    fn rep_is_identity_outside_the_universe() {
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2)]), &UcDatabase::default());
+        assert_eq!(idx.rep_of(0x4E00), 0x4E00);
+        assert_eq!(idx.rep_of(7), 7);
+    }
+
+    #[test]
+    fn attribution_matches_edge_origin() {
+        // o–օ from SimChar only, o–ο from UC only, o–о from both.
+        let sim = simchar(&[('o' as u32, 0x0585), ('o' as u32, 0x043E)]);
+        let uc = UcDatabase::from_mappings(
+            parse("043E ; 006F ; MA\n03BF ; 006F ; MA\n").unwrap(),
+        );
+        let idx = FlatPairIndex::build(&sim, &uc);
+        assert_eq!(idx.pair_source('o' as u32, 0x0585), Some(PairSource::SimChar));
+        assert_eq!(idx.pair_source('o' as u32, 0x03BF), Some(PairSource::Uc));
+        assert_eq!(idx.pair_source('o' as u32, 0x043E), Some(PairSource::Both));
+        // Symmetric, irreflexive, absent pairs rejected.
+        assert_eq!(idx.pair_source(0x0585, 'o' as u32), Some(PairSource::SimChar));
+        assert_eq!(idx.pair_source('o' as u32, 'o' as u32), None);
+        assert_eq!(idx.pair_source('o' as u32, 'q' as u32), None);
+        // Shared-prototype UC mates are a pair; all of it is one class.
+        assert_eq!(idx.pair_source(0x043E, 0x03BF), Some(PairSource::Uc));
+        assert_eq!(idx.component_count(), 1);
+        assert_eq!(idx.rep_of(0x03BF), 'o' as u32);
+    }
+
+    #[test]
+    fn multi_char_prototypes_pair_their_sources_only() {
+        // Two sources sharing the multi-char prototype "fi" are a pair
+        // with each other but with neither 'f' nor 'i'.
+        let uc = UcDatabase::from_mappings(
+            parse("FB01 ; 0066 0069 ; MA\nA101 ; 0066 0069 ; MA\n").unwrap(),
+        );
+        let idx = FlatPairIndex::build(&simchar(&[]), &uc);
+        assert_eq!(idx.pair_source(0xFB01, 0xA101), Some(PairSource::Uc));
+        assert_eq!(idx.pair_source(0xFB01, 'f' as u32), None);
+        assert_eq!(idx.rep_of('f' as u32), 'f' as u32);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let idx = FlatPairIndex::build(
+            &simchar(&[(10, 20), (20, 30), (40, 50)]),
+            &UcDatabase::default(),
+        );
+        assert_eq!(idx.char_count(), 5);
+        assert_eq!(idx.pair_count(), 3);
+        assert_eq!(idx.component_count(), 2);
+        assert_eq!(idx.rep_of(30), 10);
+        assert_eq!(idx.rep_of(50), 40);
+    }
+}

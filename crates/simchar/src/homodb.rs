@@ -6,8 +6,15 @@
 //! source matched — the paper's Table 8/14 compare detection under
 //! UC-only, SimChar-only and the union, and the warning UI (Fig. 12)
 //! names the source.
+//!
+//! All pair queries are answered by the [`FlatPairIndex`] built once at
+//! construction: interning both code points (two array reads each) and
+//! binary-searching one CSR neighbour row. The component databases are
+//! kept only for their own richer APIs (profiles, skeletons, per-pair
+//! Δ) — the hot path never touches them.
 
 use crate::db::SimCharDb;
+use crate::flat::FlatPairIndex;
 use serde::{Deserialize, Serialize};
 use sham_confusables::UcDatabase;
 use std::collections::BTreeSet;
@@ -40,12 +47,17 @@ pub enum DbSelection {
 pub struct HomoglyphDb {
     simchar: SimCharDb,
     uc: UcDatabase,
+    /// Flat interned view of the union pair relation: interner,
+    /// component representatives, CSR adjacency with attribution.
+    flat: FlatPairIndex,
 }
 
 impl HomoglyphDb {
-    /// Combines a SimChar build with a UC database.
+    /// Combines a SimChar build with a UC database, building the flat
+    /// pair index (interner + union-find closure + CSR) eagerly.
     pub fn new(simchar: SimCharDb, uc: UcDatabase) -> Self {
-        HomoglyphDb { simchar, uc }
+        let flat = FlatPairIndex::build(&simchar, &uc);
+        HomoglyphDb { simchar, uc, flat }
     }
 
     /// The SimChar component.
@@ -58,66 +70,57 @@ impl HomoglyphDb {
         &self.uc
     }
 
+    /// The flat pair index over the union universe.
+    pub fn flat(&self) -> &FlatPairIndex {
+        &self.flat
+    }
+
+    /// Component representative of `cp` under the union-find closure of
+    /// the pair graph (identity for code points in no pair). The basis
+    /// of the `CanonicalClosure` candidate index in `sham_core`.
+    #[inline]
+    pub fn rep_of(&self, cp: u32) -> u32 {
+        self.flat.rep_of(cp)
+    }
+
     /// Tests a character pair under the given selection.
     pub fn is_pair_with(&self, a: u32, b: u32, selection: DbSelection) -> bool {
-        match selection {
-            DbSelection::UcOnly => self.uc.is_pair(a, b),
-            DbSelection::SimCharOnly => self.simchar.is_pair(a, b),
-            DbSelection::Union => self.simchar.is_pair(a, b) || self.uc.is_pair(a, b),
-        }
+        self.pair_source_with(a, b, selection).is_some()
     }
 
     /// Tests a pair under the full union.
     pub fn is_pair(&self, a: u32, b: u32) -> bool {
-        self.is_pair_with(a, b, DbSelection::Union)
+        self.flat.pair_source(a, b).is_some()
     }
 
-    /// Combined membership test and attribution in a single probe of
-    /// each component database. Returns the **full union** attribution
-    /// (matching [`HomoglyphDb::source_of`]) when the pair is attested
-    /// by a component that `selection` admits, `None` otherwise — so
-    /// `pair_source_with(a, b, s).is_some() == is_pair_with(a, b, s)`,
-    /// with at most two component lookups instead of up to four. This
-    /// is the detector's inner-loop query.
+    /// Combined membership test and attribution in a single probe.
+    /// Returns the **full union** attribution (matching
+    /// [`HomoglyphDb::source_of`]) when the pair is attested by a
+    /// component that `selection` admits, `None` otherwise — so
+    /// `pair_source_with(a, b, s).is_some() == is_pair_with(a, b, s)`.
+    /// This is the detector's inner-loop query: one CSR row probe,
+    /// then a selection gate on the stored attribution.
+    #[inline]
     pub fn pair_source_with(
         &self,
         a: u32,
         b: u32,
         selection: DbSelection,
     ) -> Option<PairSource> {
-        match selection {
-            DbSelection::Union => self.source_of(a, b),
-            DbSelection::UcOnly => {
-                if !self.uc.is_pair(a, b) {
-                    return None;
-                }
-                Some(if self.simchar.is_pair(a, b) {
-                    PairSource::Both
-                } else {
-                    PairSource::Uc
-                })
-            }
+        let source = self.flat.pair_source(a, b)?;
+        let admitted = match selection {
+            DbSelection::Union => true,
+            DbSelection::UcOnly => matches!(source, PairSource::Uc | PairSource::Both),
             DbSelection::SimCharOnly => {
-                if !self.simchar.is_pair(a, b) {
-                    return None;
-                }
-                Some(if self.uc.is_pair(a, b) {
-                    PairSource::Both
-                } else {
-                    PairSource::SimChar
-                })
+                matches!(source, PairSource::SimChar | PairSource::Both)
             }
-        }
+        };
+        admitted.then_some(source)
     }
 
     /// Attribution for a pair, or `None` when neither database lists it.
     pub fn source_of(&self, a: u32, b: u32) -> Option<PairSource> {
-        match (self.simchar.is_pair(a, b), self.uc.is_pair(a, b)) {
-            (true, true) => Some(PairSource::Both),
-            (true, false) => Some(PairSource::SimChar),
-            (false, true) => Some(PairSource::Uc),
-            (false, false) => None,
-        }
+        self.flat.pair_source(a, b)
     }
 
     /// All candidate substitutions for `cp` under the union: SimChar

@@ -32,6 +32,7 @@
 
 pub mod builder;
 pub mod db;
+pub mod flat;
 pub mod homodb;
 pub mod pairs;
 
@@ -40,5 +41,6 @@ pub use builder::{
     DEFAULT_THETA, SPARSE_MIN_PIXELS,
 };
 pub use db::SimCharDb;
+pub use flat::{CharInterner, FlatPairIndex};
 pub use homodb::{DbSelection, HomoglyphDb, PairSource};
 pub use pairs::{find_pairs, find_pairs_ssim, Pair, Strategy};

@@ -13,10 +13,15 @@
 //! * [`Strategy::BandedIndex`] — split each bitmap into θ+1 horizontal
 //!   bands; by pigeonhole, `Δ ≤ θ` forces at least one *identical* band,
 //!   so hashing bands yields a candidate set with no false negatives.
+//!
+//! Every strategy compares bitmaps with [`Bitmap::delta_capped`], which
+//! abandons the row scan the moment the running difference exceeds θ —
+//! almost every candidate pair blows past θ within the first few of the
+//! 32 rows, so the capped metric does a fraction of the XOR/popcount
+//! work of the full Δ.
 
 use rayon::prelude::*;
 use sham_glyph::Bitmap;
-use std::collections::{HashMap, HashSet};
 
 /// A detected homoglyph pair: the two code points (ordered `a < b`) and
 /// their pixel difference.
@@ -51,11 +56,10 @@ pub fn find_pairs_ssim(glyphs: &[(u32, Bitmap)], min_ssim: f64) -> Vec<Pair> {
         .into_par_iter()
         .flat_map_iter(|i| {
             let (cp_i, ref g_i) = glyphs[i];
-            glyphs[i + 1..].iter().filter_map(move |&(cp_j, ref g_j)| {
-                (sham_glyph::metrics::ssim(g_i, g_j) >= min_ssim).then(|| {
-                    make_pair(cp_i, cp_j, g_i.delta(g_j).min(255))
-                })
-            })
+            glyphs[i + 1..]
+                .iter()
+                .filter(move |(_, g_j)| sham_glyph::metrics::ssim(g_i, g_j) >= min_ssim)
+                .map(move |&(cp_j, ref g_j)| make_pair(cp_i, cp_j, g_i.delta(g_j).min(255)))
         })
         .collect();
     pairs.sort();
@@ -89,8 +93,7 @@ fn brute_force(glyphs: &[(u32, Bitmap)], theta: u32) -> Vec<Pair> {
         .flat_map_iter(|i| {
             let (cp_i, ref g_i) = glyphs[i];
             glyphs[i + 1..].iter().filter_map(move |&(cp_j, ref g_j)| {
-                let d = g_i.delta(g_j);
-                (d <= theta).then(|| make_pair(cp_i, cp_j, d))
+                g_i.delta_capped(g_j, theta).map(|d| make_pair(cp_i, cp_j, d))
             })
         })
         .collect()
@@ -114,8 +117,7 @@ fn pixel_count_prune(glyphs: &[(u32, Bitmap)], theta: u32) -> Vec<Pair> {
                 .take_while(move |&&j| counts_ref[j] <= ci + theta)
                 .filter_map(move |&j| {
                     let (cp_j, ref g_j) = glyphs[j];
-                    let d = g_i.delta(g_j);
-                    (d <= theta).then(|| make_pair(cp_i, cp_j, d))
+                    g_i.delta_capped(g_j, theta).map(|d| make_pair(cp_i, cp_j, d))
                 })
         })
         .collect()
@@ -123,43 +125,72 @@ fn pixel_count_prune(glyphs: &[(u32, Bitmap)], theta: u32) -> Vec<Pair> {
 
 fn banded_index(glyphs: &[(u32, Bitmap)], theta: u32) -> Vec<Pair> {
     let bands = (theta as usize) + 1;
-    // Bucket glyph indices by (band position, band content hash).
-    let mut buckets: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
-    for (idx, (_, g)) in glyphs.iter().enumerate() {
-        for (band, sig) in g.band_signatures(bands).into_iter().enumerate() {
-            buckets.entry((band, sig)).or_default().push(idx);
-        }
-    }
     let counts: Vec<u32> = glyphs.iter().map(|(_, g)| g.popcount()).collect();
 
-    let groups: Vec<Vec<usize>> =
-        buckets.into_values().filter(|members| members.len() >= 2).collect();
-
-    let counts_ref = &counts;
-    let candidate_pairs: HashSet<(usize, usize)> = groups
-        .par_iter()
-        .flat_map_iter(move |members| {
-            members.iter().enumerate().flat_map(move |(k, &i)| {
-                members[k + 1..].iter().filter_map(move |&j| {
-                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                    // Cheap ink-count prefilter inside large groups.
-                    if counts_ref[lo].abs_diff(counts_ref[hi]) > theta {
-                        None
-                    } else {
-                        Some((lo, hi))
-                    }
-                })
-            })
-        })
+    // All band signatures, flat (`glyph × band`), kept for the
+    // first-shared-band dedup below.
+    let sigs: Vec<u64> = glyphs
+        .iter()
+        .flat_map(|(_, g)| g.band_signatures(bands))
         .collect();
 
-    candidate_pairs
-        .into_par_iter()
-        .filter_map(|(i, j)| {
-            let (cp_i, ref g_i) = glyphs[i];
-            let (cp_j, ref g_j) = glyphs[j];
-            let d = g_i.delta(g_j);
-            (d <= theta).then(|| make_pair(cp_i, cp_j, d))
+    // Group glyph indices by (band position, band content): sort keyed
+    // tuples and cut equal runs. No hash map — grouping is one sort,
+    // and group order is deterministic by construction.
+    let mut keyed: Vec<(u32, u64, u32)> = Vec::with_capacity(glyphs.len() * bands);
+    for (idx, _) in glyphs.iter().enumerate() {
+        for band in 0..bands {
+            keyed.push((band as u32, sigs[idx * bands + band], idx as u32));
+        }
+    }
+    keyed.sort_unstable();
+    let mut groups: Vec<(u32, Vec<u32>)> = Vec::new(); // (band, members)
+    let mut start = 0usize;
+    while start < keyed.len() {
+        let (band, sig, _) = keyed[start];
+        let mut end = start + 1;
+        while end < keyed.len() && (keyed[end].0, keyed[end].1) == (band, sig) {
+            end += 1;
+        }
+        if end - start >= 2 {
+            let mut members: Vec<u32> =
+                keyed[start..end].iter().map(|&(_, _, i)| i).collect();
+            // Pre-sort by ink count: the in-group prefilter becomes a
+            // `take_while` over a sorted run (`counts[j] > counts[i] + θ`
+            // ends the scan) instead of a per-pair `abs_diff` test.
+            members.sort_unstable_by_key(|&i| (counts[i as usize], i));
+            groups.push((band, members));
+        }
+        start = end;
+    }
+
+    // Each group yields its candidate list in order; a pair sharing k
+    // identical bands would appear in k groups, so it is claimed by the
+    // *first* shared band only (a ≤ θ-word signature comparison) and
+    // every candidate is verified exactly once — no global candidate
+    // barrier at all. `find_pairs` sorts the merged result.
+    let counts_ref = &counts;
+    let sigs_ref = &sigs;
+    groups
+        .par_iter()
+        .flat_map_iter(move |&(band, ref members)| {
+            members.iter().enumerate().flat_map(move |(k, &i)| {
+                let ci = counts_ref[i as usize];
+                members[k + 1..]
+                    .iter()
+                    .take_while(move |&&j| counts_ref[j as usize] <= ci + theta)
+                    .filter_map(move |&j| {
+                        let (i, j) = (i as usize, j as usize);
+                        let first_shared = (0..band as usize)
+                            .all(|b| sigs_ref[i * bands + b] != sigs_ref[j * bands + b]);
+                        if !first_shared {
+                            return None; // an earlier band owns this pair
+                        }
+                        let (cp_i, ref g_i) = glyphs[i];
+                        let (cp_j, ref g_j) = glyphs[j];
+                        g_i.delta_capped(g_j, theta).map(|d| make_pair(cp_i, cp_j, d))
+                    })
+            })
         })
         .collect()
 }
@@ -168,6 +199,7 @@ fn banded_index(glyphs: &[(u32, Bitmap)], theta: u32) -> Vec<Pair> {
 mod tests {
     use super::*;
     use sham_glyph::scriptgen::{perturb, stroke_glyph, Region};
+    use std::collections::HashSet;
 
     /// A deterministic corpus with planted near-pairs.
     fn corpus() -> Vec<(u32, Bitmap)> {

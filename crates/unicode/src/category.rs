@@ -210,7 +210,7 @@ fn cased_letter(cp: u32) -> Option<GeneralCategory> {
         0x0138 | 0x0149 => Lower, // ĸ, ŉ
         0x0100..=0x0137 | 0x014A..=0x0177 | 0x01DE..=0x01EF | 0x01F4..=0x01F5
         | 0x01FA..=0x024F | 0x1E00..=0x1EFF => {
-            if cp % 2 == 0 {
+            if cp.is_multiple_of(2) {
                 Upper
             } else {
                 Lower
@@ -225,7 +225,7 @@ fn cased_letter(cp: u32) -> Option<GeneralCategory> {
         0x01BB | 0x01C0..=0x01C3 => return None,
         0x0180..=0x01DD => {
             // Mixed region of Latin Extended-B; approximate with parity.
-            if cp % 2 == 0 { Upper } else { Lower }
+            if cp.is_multiple_of(2) { Upper } else { Lower }
         }
         // Greek.
         0x0386 | 0x0388..=0x038F | 0x0391..=0x03A1 | 0x03A3..=0x03AB => Upper,
@@ -234,13 +234,13 @@ fn cased_letter(cp: u32) -> Option<GeneralCategory> {
         0x03F0..=0x03F3 | 0x03F5 | 0x03F8 | 0x03FB | 0x03FC => Lower,
         0x03F4 | 0x03F6 | 0x03F7 | 0x03F9 | 0x03FA | 0x03FD..=0x03FF => Upper,
         0x03D8..=0x03EF => {
-            if cp % 2 == 0 { Upper } else { Lower }
+            if cp.is_multiple_of(2) { Upper } else { Lower }
         }
         // Cyrillic.
         0x0400..=0x042F => Upper,
         0x0430..=0x045F => Lower,
-        0x0460..=0x04FF | 0x0500..=0x052F => {
-            if cp % 2 == 0 { Upper } else { Lower }
+        0x0460..=0x052F => {
+            if cp.is_multiple_of(2) { Upper } else { Lower }
         }
         // Armenian.
         0x0531..=0x0556 => Upper,

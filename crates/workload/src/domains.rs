@@ -29,7 +29,7 @@ pub fn reference_list(size: usize) -> Vec<String> {
                 // Skip a deterministic fraction so the list is not a plain
                 // cartesian prefix (keeps lengths diverse).
                 i += 1;
-                if i % 7 == 0 {
+                if i.is_multiple_of(7) {
                     continue;
                 }
                 out.push(format!("{w1}{w2}"));

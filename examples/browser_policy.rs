@@ -48,8 +48,8 @@ fn main() {
     ];
 
     println!(
-        "\n{:<22} {:<28} {:<18} {:<18} {}",
-        "domain", "note", "legacy", "mixed-script", "ShamFinder"
+        "\n{:<22} {:<28} {:<18} {:<18} ShamFinder",
+        "domain", "note", "legacy", "mixed-script"
     );
     println!("{}", "-".repeat(110));
 
@@ -65,7 +65,7 @@ fn main() {
         };
 
         // The ShamFinder answer: show Unicode, but warn with context.
-        let report = framework.run(&[domain.clone()]);
+        let report = framework.run(std::slice::from_ref(&domain));
         let sham = match report.detections.first() {
             Some(det) => format!(
                 "WARN: imitates {} ({} subst.)",

@@ -92,7 +92,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let db = build_db(4);
     let tld = domain.tld().to_string();
     let fw = Framework::new(db.simchar().clone(), UcDatabase::embedded(), refs, &tld);
-    let report = fw.run(&[domain.clone()]);
+    let report = fw.run(std::slice::from_ref(&domain));
     if report.detections.is_empty() {
         println!("{}: no homograph detected", domain.as_ascii());
         return ExitCode::SUCCESS;

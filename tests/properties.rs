@@ -232,12 +232,14 @@ proptest! {
         prop_assert!(report.detections.is_empty());
     }
 
-    /// The canonical-hash index is exact on lookalike corpora: every
-    /// detection the naive all-pairs sweep finds, `CanonicalHash` finds
-    /// too, and vice versa — whatever mix of clean stems, partial
-    /// spoofs and full spoofs is thrown at it.
+    /// The canonical-closure index is exact on lookalike corpora: every
+    /// detection the naive all-pairs sweep finds, `CanonicalClosure`
+    /// finds too, and vice versa — whatever mix of clean stems, partial
+    /// spoofs and full spoofs is thrown at it. (The adversarial
+    /// non-transitive case lives in
+    /// `crates/core/tests/closure_equivalence.rs`.)
     #[test]
-    fn canonical_hash_agrees_with_naive(
+    fn canonical_closure_agrees_with_naive(
         stems in proptest::collection::vec("[acepoxys]{3,10}", 2..6),
         masks in proptest::collection::vec(any::<u16>(), 2..6),
     ) {
@@ -272,7 +274,7 @@ proptest! {
             k
         };
         let naive = key(d.detect(&idns, DbSelection::Union, Indexing::Naive));
-        let canon = key(d.detect(&idns, DbSelection::Union, Indexing::CanonicalHash));
+        let canon = key(d.detect(&idns, DbSelection::Union, Indexing::CanonicalClosure));
         prop_assert_eq!(naive, canon);
     }
 }

@@ -32,7 +32,7 @@ fn detect_then_resolve_over_real_udp() {
     let (simchar, uc) = small_db();
     let fw = Framework::new(simchar, uc, vec!["google".to_string()], "com");
     let spoof = DomainName::parse("gооgle.com").unwrap();
-    let report = fw.run(&[spoof.clone()]);
+    let report = fw.run(std::slice::from_ref(&spoof));
     assert_eq!(report.detections.len(), 1);
     let ace = report.detections[0].idn_ascii.clone();
 

@@ -573,7 +573,7 @@ mod tests {
         #[test]
         fn macro_pipeline_works(x in 1u32..100, s in "[ab]{1,4}") {
             prop_assume!(x != 55);
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert_eq!(s.len(), s.chars().count());
         }
     }

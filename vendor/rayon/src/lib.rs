@@ -538,7 +538,7 @@ mod tests {
 
     #[test]
     fn par_iter_matches_iter() {
-        let v = vec![1, 2, 3, 4];
+        let v = [1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
         let flat: Vec<usize> =
@@ -641,7 +641,7 @@ mod tests {
     fn empty_and_singleton_inputs() {
         let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().collect();
         assert!(empty.is_empty());
-        let one: Vec<u32> = vec![7u32].par_iter().copied().collect();
+        let one: Vec<u32> = [7u32].par_iter().copied().collect();
         assert_eq!(one, vec![7]);
     }
 }
