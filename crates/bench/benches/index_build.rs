@@ -10,6 +10,9 @@
 //!
 //! * `flat_index` — `FlatPairIndex::build` alone (interner + union-find
 //!   + CSR over SimChar ∪ UC).
+//! * `flat_index_load` — `FlatPairIndex::read_from` on a serialized
+//!   snapshot (the serve-path alternative to building: checksum +
+//!   linear array copy, no union-find).
 //! * `detector` — the full `HomoglyphDb::new` + `Detector::new` path,
 //!   including the closure-hash index over the 10k-reference list.
 //!
@@ -54,6 +57,16 @@ fn bench_index_build(c: &mut Criterion) {
     group.bench_function("flat_index", |b| {
         b.iter(|| std::hint::black_box(FlatPairIndex::build(&simchar, &uc).char_count()))
     });
+    let snapshot = serialized_index(&simchar, &uc);
+    group.bench_function("flat_index_load", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                FlatPairIndex::read_from(&mut snapshot.as_slice())
+                    .expect("snapshot loads")
+                    .char_count(),
+            )
+        })
+    });
     group.bench_function("detector_10k_refs", |b| {
         b.iter(|| {
             let db = HomoglyphDb::new(simchar.clone(), uc.clone());
@@ -74,19 +87,41 @@ fn write_snapshot(
     uc: &UcDatabase,
     references: &[String],
 ) {
-    snapshot_thread_sweep("index_build", &["flat_index", "detector_10k_refs"], |name| {
-        measure_ops_per_sec(1, snapshot_samples(), || match name {
-            "flat_index" => {
-                std::hint::black_box(FlatPairIndex::build(simchar, uc).char_count());
-            }
-            _ => {
-                let db = HomoglyphDb::new(simchar.clone(), uc.clone());
-                std::hint::black_box(
-                    Detector::new(db, references.iter().cloned()).references().len(),
-                );
-            }
-        })
-    });
+    let serialized = serialized_index(simchar, uc);
+    snapshot_thread_sweep(
+        "index_build",
+        &["flat_index", "flat_index_load", "detector_10k_refs"],
+        |name| {
+            measure_ops_per_sec(1, snapshot_samples(), || match name {
+                "flat_index" => {
+                    std::hint::black_box(FlatPairIndex::build(simchar, uc).char_count());
+                }
+                "flat_index_load" => {
+                    std::hint::black_box(
+                        FlatPairIndex::read_from(&mut serialized.as_slice())
+                            .expect("snapshot loads")
+                            .char_count(),
+                    );
+                }
+                _ => {
+                    let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+                    std::hint::black_box(
+                        Detector::new(db, references.iter().cloned()).references().len(),
+                    );
+                }
+            })
+        },
+    );
+}
+
+/// One serialized snapshot of the built index, reused by every load
+/// measurement.
+fn serialized_index(simchar: &sham_simchar::SimCharDb, uc: &UcDatabase) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    FlatPairIndex::build(simchar, uc)
+        .write_to(&mut bytes)
+        .expect("serialize index");
+    bytes
 }
 
 criterion_group!(benches, bench_index_build);

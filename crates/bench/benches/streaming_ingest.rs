@@ -1,0 +1,112 @@
+//! Streaming ingest overhead — the price of batch-at-a-time detection.
+//!
+//! Production ingest feeds the detector zone-diff batches (64–1024
+//! names at a time) through a `DetectorSession` instead of one corpus
+//! slice through `Detector::detect`. Both run the same executor, so
+//! the only possible regression is per-batch overhead: scratch reuse,
+//! the inline single-shard path, report accumulation. This bench
+//! measures IDNs/sec over the shared 20k-IDN × 10k-reference corpus:
+//!
+//! * `push_64` — a session fed 64-IDN batches (the acceptance-criterion
+//!   granularity; 313 batches per pass).
+//! * `push_1024` — a session fed 1024-IDN batches (zone-diff sized).
+//! * `one_shot` — the batch `CanonicalClosure` path on the same
+//!   detector, as the baseline the streaming numbers are judged
+//!   against (within 10%).
+//!
+//! The snapshot section `streaming_ingest` lands in
+//! `BENCH_detection.json` next to `detection_throughput`'s
+//! `canonical_closure`, so batch-vs-streaming overhead is tracked
+//! per-PR.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sham_bench::{
+    detection_corpus, measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep,
+};
+use sham_confusables::UcDatabase;
+use sham_core::{Detector, DetectorSession, Indexing};
+use sham_glyph::SynthUnifont;
+use sham_simchar::{build, BuildConfig, DbSelection, HomoglyphDb, Repertoire};
+use std::sync::Arc;
+
+fn simchar_db() -> sham_simchar::SimCharDb {
+    let font = SynthUnifont::v12();
+    build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Latin Extended-A",
+                "Cyrillic",
+                "Greek and Coptic",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db
+}
+
+/// One full streamed pass over the corpus in `batch`-sized pushes.
+fn stream_pass(
+    detector: &Detector,
+    idns: &[(String, String)],
+    batch: usize,
+) -> usize {
+    let mut session = DetectorSession::new(Arc::clone(detector.index()), "com");
+    for chunk in idns.chunks(batch) {
+        session.push_idns(chunk);
+    }
+    session.into_report().detections.len()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let idn_count = 20_000usize;
+    let (references, idns) = detection_corpus(idn_count);
+    let db = HomoglyphDb::new(simchar_db(), UcDatabase::embedded());
+    let detector = Detector::new(db, references);
+
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(idn_count as u64));
+    for batch in [64usize, 1_024] {
+        group.bench_function(format!("push_{batch}"), |b| {
+            b.iter(|| std::hint::black_box(stream_pass(&detector, &idns, batch)))
+        });
+    }
+    group.bench_function("one_shot", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                detector
+                    .detect(&idns, DbSelection::Union, Indexing::CanonicalClosure)
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    snapshot_thread_sweep(
+        "streaming_ingest",
+        &["push_64", "push_1024", "one_shot"],
+        |name| {
+            measure_ops_per_sec(idn_count, snapshot_samples(), || match name {
+                "push_64" => {
+                    std::hint::black_box(stream_pass(&detector, &idns, 64));
+                }
+                "push_1024" => {
+                    std::hint::black_box(stream_pass(&detector, &idns, 1_024));
+                }
+                _ => {
+                    std::hint::black_box(
+                        detector
+                            .detect(&idns, DbSelection::Union, Indexing::CanonicalClosure)
+                            .len(),
+                    );
+                }
+            })
+        },
+    );
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

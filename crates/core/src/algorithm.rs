@@ -40,23 +40,31 @@
 //!
 //! # Execution
 //!
-//! All index structures (length buckets, closure-hash index) are built
-//! eagerly at construction, so [`Detector::detect`] takes `&self` and
-//! shards the IDN corpus across the worker pool (the vendored `rayon`
-//! executor). Each shard reuses two scratch buffers — the interned
-//! `u32` stem and the substitution list — so the rejecting path of the
-//! inner test performs no per-candidate heap allocation; `String`s are
-//! only materialised for actual detections. Shards are merged in corpus
-//! order, so results are identical to a sequential run at every thread
-//! count. Per-character work is hash-free: component representatives
-//! come from the flat interner (two array reads), and the pairwise
+//! All index structures live in the shared immutable
+//! [`DetectionIndex`] (see [`crate::index`]), so [`Detector`] is a
+//! cheap handle: `detect` takes `&self` and shards the IDN corpus
+//! across the worker pool (the vendored `rayon` executor). Each shard
+//! reuses two scratch buffers — the interned `u32` stem and the
+//! substitution list — so the rejecting path of the inner test performs
+//! no per-candidate heap allocation; `String`s are only materialised
+//! for actual detections, and even then the reference name is an `Arc`
+//! handle copy, not a clone. Shards are merged in corpus order, so
+//! results are identical to a sequential run at every thread count.
+//! Batches at or below one shard run inline on the calling thread with
+//! caller-provided scratch — the path [`DetectorSession`] takes for
+//! every streamed batch, so streaming pays no spawn/merge overhead.
+//! Per-character work is hash-free: component representatives come from
+//! the flat interner (two array reads), and the pairwise
 //! re-verification probes the CSR adjacency (one binary search).
+//!
+//! [`DetectorSession`]: crate::DetectorSession
 
 use crate::detection::{CharSubstitution, Detection};
+use crate::index::{closure_hash, DetectionIndex, ReferenceSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sham_simchar::{DbSelection, HomoglyphDb};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Candidate-generation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,84 +78,41 @@ pub enum Indexing {
     CanonicalClosure,
 }
 
-/// The homograph detector: a homoglyph database plus a reference list,
-/// with every index built eagerly so detection itself is read-only.
+/// The homograph detector: a handle on a shared [`DetectionIndex`]
+/// (homoglyph database + fully-indexed reference list). Detection is
+/// read-only, so one index serves any number of detectors, frameworks
+/// and sessions concurrently.
+#[derive(Clone)]
 pub struct Detector {
-    db: HomoglyphDb,
-    /// Reference stems interned to code points once at construction.
-    references: Vec<Vec<u32>>,
-    reference_names: Vec<String>,
-    /// Closure-hash → reference indices (for `CanonicalClosure`).
-    closure_index: HashMap<u64, Vec<usize>>,
-    /// Stem length → reference indices (for `LengthBucket`).
-    by_len: HashMap<usize, Vec<usize>>,
+    index: Arc<DetectionIndex>,
 }
 
 impl Detector {
     /// Builds a detector for `references` (TLD-stripped ASCII stems,
-    /// e.g. `"google"`).
+    /// e.g. `"google"`), constructing a private [`DetectionIndex`].
     pub fn new(db: HomoglyphDb, references: impl IntoIterator<Item = String>) -> Self {
-        let reference_names: Vec<String> = references.into_iter().collect();
-        let references: Vec<Vec<u32>> = reference_names
-            .iter()
-            .map(|r| r.chars().map(|c| c as u32).collect())
-            .collect();
-        let mut closure_index: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (idx, r) in references.iter().enumerate() {
-            closure_index
-                .entry(closure_hash(&db, r))
-                .or_default()
-                .push(idx);
-            by_len.entry(r.len()).or_default().push(idx);
-        }
-        Detector { db, references, reference_names, closure_index, by_len }
+        Detector { index: DetectionIndex::shared(db, references) }
+    }
+
+    /// Wraps an existing shared index — the multi-pipeline form: build
+    /// the index once, hand clones of the `Arc` to every detector.
+    pub fn from_index(index: Arc<DetectionIndex>) -> Self {
+        Detector { index }
+    }
+
+    /// The shared index this detector reads.
+    pub fn index(&self) -> &Arc<DetectionIndex> {
+        &self.index
     }
 
     /// The underlying homoglyph database.
     pub fn db(&self) -> &HomoglyphDb {
-        &self.db
+        self.index.db()
     }
 
     /// Reference stems.
-    pub fn references(&self) -> &[String] {
-        &self.reference_names
-    }
-
-    /// The inner character-by-character test of Algorithm 1, in its
-    /// allocation-conscious form: fills `subs` (cleared first) and
-    /// returns whether `idn` is a homograph of `reference`. The
-    /// rejecting path touches only the reused buffer.
-    fn matches_into(
-        &self,
-        reference: &[u32],
-        idn: &[u32],
-        selection: DbSelection,
-        subs: &mut Vec<CharSubstitution>,
-    ) -> bool {
-        subs.clear();
-        if reference.len() != idn.len() {
-            return false;
-        }
-        for (pos, (&rc, &xc)) in reference.iter().zip(idn.iter()).enumerate() {
-            if rc == xc {
-                continue;
-            }
-            // One combined probe: membership under `selection` plus the
-            // full-union attribution the Detection record carries.
-            let Some(source) = self.db.pair_source_with(rc, xc, selection) else {
-                return false;
-            };
-            subs.push(CharSubstitution {
-                position: pos,
-                original: char::from_u32(rc).unwrap_or('\u{FFFD}'),
-                homoglyph: char::from_u32(xc).unwrap_or('\u{FFFD}'),
-                source: Some(source),
-            });
-        }
-        // An IDN equal to the reference (no substitutions) is the
-        // reference itself, not a homograph.
-        !subs.is_empty()
+    pub fn references(&self) -> &[Arc<str>] {
+        self.index.references()
     }
 
     /// The inner test of Algorithm 1. Returns the substitutions when
@@ -162,7 +127,7 @@ impl Detector {
         let r: Vec<u32> = reference.iter().map(|&c| c as u32).collect();
         let x: Vec<u32> = idn.iter().map(|&c| c as u32).collect();
         let mut subs = Vec::new();
-        self.matches_into(&r, &x, selection, &mut subs).then_some(subs)
+        matches_into(self.db(), &r, &x, selection, &mut subs).then_some(subs)
     }
 
     /// Runs detection over `idns` (Unicode stems, TLD removed) with the
@@ -175,101 +140,158 @@ impl Detector {
         selection: DbSelection,
         indexing: Indexing,
     ) -> Vec<Detection> {
-        if idns.is_empty() {
-            return Vec::new();
-        }
-        let threads = rayon::current_num_threads().max(1);
-        // Shards of ≥ 64 IDNs amortise the per-shard scratch buffers;
-        // ~4 shards per worker keeps the pool load-balanced.
-        let shard_len = idns.len().div_ceil(threads * 4).max(64);
-        let shards: Vec<&[(String, String)]> = idns.chunks(shard_len).collect();
-        let outs: Vec<Vec<Detection>> = shards
-            .par_iter()
-            .map(|shard| self.detect_shard(shard, selection, indexing))
-            .collect();
-        let mut out = Vec::with_capacity(outs.iter().map(Vec::len).sum());
-        for v in outs {
-            out.extend(v);
-        }
-        out
-    }
-
-    /// Sequential detection over one shard, with shard-local scratch.
-    fn detect_shard(
-        &self,
-        idns: &[(String, String)],
-        selection: DbSelection,
-        indexing: Indexing,
-    ) -> Vec<Detection> {
         let mut out = Vec::new();
-        let mut stem = Vec::new();
-        let mut subs = Vec::new();
-        for (unicode, ace) in idns {
-            stem.clear();
-            stem.extend(unicode.chars().map(|c| c as u32));
-            match indexing {
-                Indexing::Naive => {
-                    for (ref_idx, r) in self.references.iter().enumerate() {
-                        if self.matches_into(r, &stem, selection, &mut subs) {
-                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
-                        }
-                    }
-                }
-                Indexing::LengthBucket => {
-                    let Some(bucket) = self.by_len.get(&stem.len()) else { continue };
-                    for &ref_idx in bucket {
-                        let r = &self.references[ref_idx];
-                        if self.matches_into(r, &stem, selection, &mut subs) {
-                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
-                        }
-                    }
-                }
-                Indexing::CanonicalClosure => {
-                    let h = closure_hash(&self.db, &stem);
-                    let Some(candidates) = self.closure_index.get(&h) else { continue };
-                    for &ref_idx in candidates {
-                        let r = &self.references[ref_idx];
-                        if self.matches_into(r, &stem, selection, &mut subs) {
-                            self.emit(ref_idx, unicode, ace, &subs, &mut out);
-                        }
-                    }
-                }
-            }
-        }
+        let mut scratch = DetectScratch::default();
+        detect_append(
+            self.db(),
+            self.index.refs(),
+            idns,
+            selection,
+            indexing,
+            &mut scratch,
+            &mut out,
+        );
         out
-    }
-
-    /// Materialises a [`Detection`] — the only place the hot loop clones
-    /// `String`s, reached exclusively after a confirmed match.
-    fn emit(
-        &self,
-        ref_idx: usize,
-        stem: &str,
-        ace: &str,
-        subs: &[CharSubstitution],
-        out: &mut Vec<Detection>,
-    ) {
-        out.push(Detection {
-            idn_unicode: stem.to_string(),
-            idn_ascii: ace.to_string(),
-            reference: self.reference_names[ref_idx].clone(),
-            substitutions: subs.to_vec(),
-        });
     }
 }
 
-/// FNV-1a over the union-find component representatives of a stem. Two
-/// stems that match under Algorithm 1 have pairwise same-component
-/// characters, so they hash identically — see the module docs for the
-/// soundness argument. Each representative is two array reads in the
-/// flat interner; no per-character hashing.
-fn closure_hash(db: &HomoglyphDb, stem: &[u32]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &cp in stem {
-        h ^= u64::from(db.rep_of(cp));
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// Reused per-shard working memory: the interned `u32` stem of the IDN
+/// under test and the substitution list of the inner loop. Sessions
+/// hold one across their whole lifetime, so steady-state streaming
+/// allocates nothing on the rejecting path.
+#[derive(Debug, Default)]
+pub(crate) struct DetectScratch {
+    stem: Vec<u32>,
+    subs: Vec<CharSubstitution>,
+}
+
+/// The inner character-by-character test of Algorithm 1, in its
+/// allocation-conscious form: fills `subs` (cleared first) and returns
+/// whether `idn` is a homograph of `reference`. The rejecting path
+/// touches only the reused buffer.
+fn matches_into(
+    db: &HomoglyphDb,
+    reference: &[u32],
+    idn: &[u32],
+    selection: DbSelection,
+    subs: &mut Vec<CharSubstitution>,
+) -> bool {
+    subs.clear();
+    if reference.len() != idn.len() {
+        return false;
     }
-    h
+    for (pos, (&rc, &xc)) in reference.iter().zip(idn.iter()).enumerate() {
+        if rc == xc {
+            continue;
+        }
+        // One combined probe: membership under `selection` plus the
+        // full-union attribution the Detection record carries.
+        let Some(source) = db.pair_source_with(rc, xc, selection) else {
+            return false;
+        };
+        subs.push(CharSubstitution {
+            position: pos,
+            original: char::from_u32(rc).unwrap_or('\u{FFFD}'),
+            homoglyph: char::from_u32(xc).unwrap_or('\u{FFFD}'),
+            source: Some(source),
+        });
+    }
+    // An IDN equal to the reference (no substitutions) is the
+    // reference itself, not a homograph.
+    !subs.is_empty()
+}
+
+/// The shared detection executor: scores `idns` against `refs` and
+/// appends detections (in corpus order) to `out`. Batch `detect`,
+/// `Framework::run` and the streaming session all funnel through here,
+/// so the two ingestion modes cannot diverge. A corpus larger than one
+/// shard fans out across the worker pool; smaller batches run inline
+/// with the caller's scratch.
+pub(crate) fn detect_append(
+    db: &HomoglyphDb,
+    refs: &ReferenceSet,
+    idns: &[(String, String)],
+    selection: DbSelection,
+    indexing: Indexing,
+    scratch: &mut DetectScratch,
+    out: &mut Vec<Detection>,
+) {
+    if idns.is_empty() {
+        return;
+    }
+    let threads = rayon::current_num_threads().max(1);
+    // Shards of ≥ 64 IDNs amortise the per-shard scratch buffers;
+    // ~4 shards per worker keeps the pool load-balanced.
+    let shard_len = idns.len().div_ceil(threads * 4).max(64);
+    if idns.len() <= shard_len {
+        detect_shard(db, refs, idns, selection, indexing, scratch, out);
+        return;
+    }
+    let shards: Vec<&[(String, String)]> = idns.chunks(shard_len).collect();
+    let outs: Vec<Vec<Detection>> = shards
+        .par_iter()
+        .map(|shard| {
+            let mut scratch = DetectScratch::default();
+            let mut hits = Vec::new();
+            detect_shard(db, refs, shard, selection, indexing, &mut scratch, &mut hits);
+            hits
+        })
+        .collect();
+    out.reserve(outs.iter().map(Vec::len).sum());
+    for v in outs {
+        out.extend(v);
+    }
+}
+
+/// Sequential detection over one shard with caller-provided scratch.
+fn detect_shard(
+    db: &HomoglyphDb,
+    refs: &ReferenceSet,
+    idns: &[(String, String)],
+    selection: DbSelection,
+    indexing: Indexing,
+    scratch: &mut DetectScratch,
+    out: &mut Vec<Detection>,
+) {
+    let DetectScratch { stem, subs } = scratch;
+    let try_candidate = |ref_idx: u32,
+                             stem: &[u32],
+                             subs: &mut Vec<CharSubstitution>,
+                             unicode: &str,
+                             ace: &str,
+                             out: &mut Vec<Detection>| {
+        let r = &refs.stems[ref_idx as usize];
+        if matches_into(db, r, stem, selection, subs) {
+            out.push(Detection {
+                idn_unicode: unicode.to_string(),
+                idn_ascii: ace.to_string(),
+                reference: Arc::clone(&refs.names[ref_idx as usize]),
+                substitutions: subs.clone(),
+            });
+        }
+    };
+    for (unicode, ace) in idns {
+        stem.clear();
+        stem.extend(unicode.chars().map(|c| c as u32));
+        match indexing {
+            Indexing::Naive => {
+                for ref_idx in refs.all_indices() {
+                    try_candidate(ref_idx, stem, subs, unicode, ace, out);
+                }
+            }
+            Indexing::LengthBucket => {
+                for &ref_idx in refs.len_bucket(stem.len()) {
+                    try_candidate(ref_idx, stem, subs, unicode, ace, out);
+                }
+            }
+            Indexing::CanonicalClosure => {
+                let h = closure_hash(db, stem);
+                for &ref_idx in refs.closure_bucket(h) {
+                    try_candidate(ref_idx, stem, subs, unicode, ace, out);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,7 +332,7 @@ mod tests {
         let idns = vec![idn("gօօgle")];
         let hits = d.detect(&idns, DbSelection::Union, Indexing::LengthBucket);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].reference, "google");
+        assert_eq!(&*hits[0].reference, "google");
         assert_eq!(hits[0].substitutions.len(), 2);
         assert_eq!(hits[0].substitutions[0].original, 'o');
         assert_eq!(hits[0].substitutions[0].homoglyph, 'օ');
@@ -359,7 +381,7 @@ mod tests {
         let key = |v: &[Detection]| {
             let mut k: Vec<(String, String)> = v
                 .iter()
-                .map(|h| (h.idn_unicode.clone(), h.reference.clone()))
+                .map(|h| (h.idn_unicode.clone(), h.reference.to_string()))
                 .collect();
             k.sort();
             k
@@ -425,5 +447,17 @@ mod tests {
             .expect("lookalike must match");
         assert_eq!(subs.len(), 2);
         assert!(d.matches(&reference, &reference, DbSelection::Union).is_none());
+    }
+
+    #[test]
+    fn detectors_share_one_index() {
+        let d = detector(&["google"]);
+        let d2 = Detector::from_index(Arc::clone(d.index()));
+        assert!(Arc::ptr_eq(d.index(), d2.index()));
+        let hits = d2.detect(&[idn("gооgle")], DbSelection::Union, Indexing::CanonicalClosure);
+        assert_eq!(hits.len(), 1);
+        // The detection's reference name is a handle on the shared
+        // index's Arc, not a fresh String.
+        assert!(Arc::ptr_eq(&hits[0].reference, &d.references()[0]));
     }
 }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use sham_simchar::PairSource;
+use std::sync::Arc;
 
 /// One substituted character inside a detected homograph.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,8 +24,10 @@ pub struct Detection {
     pub idn_unicode: String,
     /// Full registered name in ACE form, e.g. `xn--ggle-0nda8c.com`.
     pub idn_ascii: String,
-    /// The targeted reference stem, e.g. `google`.
-    pub reference: String,
+    /// The targeted reference stem, e.g. `google` — an `Arc` handle on
+    /// the shared [`DetectionIndex`](crate::DetectionIndex) name, so
+    /// materialising a detection never clones the reference string.
+    pub reference: Arc<str>,
     /// The differential characters — the pinpointing capability the paper
     /// highlights as ShamFinder's advantage over image-based detectors.
     pub substitutions: Vec<CharSubstitution>,

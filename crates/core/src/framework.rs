@@ -5,16 +5,27 @@
 //! * **Step 2** — extract IDNs: names with an `xn--` label.
 //! * **Step 3** — match the IDNs against a reference list of popular
 //!   domains using the homoglyph database (Algorithm 1).
+//!
+//! [`Framework::run`] is a thin one-shot wrapper over the streaming
+//! [`DetectorSession`]: it opens a session, pushes the whole corpus as
+//! one batch, and folds the report — so batch and streaming ingestion
+//! share a single code path and cannot diverge. Several per-TLD
+//! frameworks can share one immutable [`DetectionIndex`] via
+//! [`Framework::with_shared_index`] instead of each rebuilding (or
+//! cloning) the homoglyph database.
 
 use crate::algorithm::{Detector, Indexing};
 use crate::detection::Detection;
+use crate::index::DetectionIndex;
+use crate::session::DetectorSession;
 use serde::{Deserialize, Serialize};
 use sham_confusables::UcDatabase;
 use sham_punycode::DomainName;
 use sham_simchar::{DbSelection, HomoglyphDb, SimCharDb};
+use std::sync::Arc;
 
 /// Pipeline outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrameworkReport {
     /// Step 1: domains inspected.
     pub total_domains: usize,
@@ -52,12 +63,36 @@ impl Framework {
         references: impl IntoIterator<Item = String>,
         tld: &str,
     ) -> Self {
+        Framework::with_shared_index(
+            DetectionIndex::shared(HomoglyphDb::new(simchar, uc), references),
+            tld,
+        )
+    }
+
+    /// Assembles a framework over an existing shared index — the
+    /// multi-TLD form: build the index once, hand `Arc` clones to one
+    /// framework per TLD pipeline.
+    pub fn with_shared_index(index: Arc<DetectionIndex>, tld: &str) -> Self {
         Framework {
-            detector: Detector::new(HomoglyphDb::new(simchar, uc), references),
+            detector: Detector::from_index(index),
             tld: tld.to_string(),
             selection: DbSelection::Union,
             indexing: Indexing::CanonicalClosure,
         }
+    }
+
+    /// An `Arc` handle on this framework's index, for sharing with
+    /// further frameworks and sessions.
+    pub fn shared_index(&self) -> Arc<DetectionIndex> {
+        Arc::clone(self.detector.index())
+    }
+
+    /// Opens a streaming [`DetectorSession`] with this framework's TLD,
+    /// selection and indexing, over the same shared index.
+    pub fn session(&self) -> DetectorSession {
+        DetectorSession::new(self.shared_index(), &self.tld)
+            .with_selection(self.selection)
+            .with_indexing(self.indexing)
     }
 
     /// Switches the database selection (Tables 8 and 14 compare UC-only,
@@ -102,18 +137,18 @@ impl Framework {
             .collect()
     }
 
-    /// Runs Steps 1–3 over a domain corpus. Detection shards across the
-    /// worker pool; the framework itself is read-only while running.
+    /// Runs Steps 1–3 over a domain corpus: one streaming session fed
+    /// the whole corpus as a single batch. Counting and IDN extraction
+    /// happen in one pass over the iterator (the corpus is never
+    /// re-materialised), and detection shards across the worker pool;
+    /// the framework itself is read-only while running.
     pub fn run<'a>(
         &self,
         domains: impl IntoIterator<Item = &'a DomainName>,
     ) -> FrameworkReport {
-        let all: Vec<&DomainName> = domains.into_iter().collect();
-        let total_domains = all.len();
-        let idns = self.extract_idns(all);
-        let idn_count = idns.len();
-        let detections = self.detector.detect(&idns, self.selection, self.indexing);
-        FrameworkReport { total_domains, idn_count, detections }
+        let mut session = self.session();
+        session.push_domains(domains);
+        session.into_report()
     }
 
     /// Runs Step 3 only, on pre-extracted IDNs (used by the timing
@@ -183,7 +218,7 @@ mod tests {
         assert_eq!(report.idn_count, 3); // the three .com IDNs
         assert_eq!(report.detections.len(), 2);
         let refs: Vec<&str> =
-            report.detections.iter().map(|d| d.reference.as_str()).collect();
+            report.detections.iter().map(|d| &*d.reference).collect();
         assert!(refs.contains(&"google"));
         assert!(refs.contains(&"facebook"));
         assert!((report.idn_fraction() - 0.5).abs() < 1e-9);
@@ -206,7 +241,27 @@ mod tests {
         let report = uc_only.run(&corpus);
         // UC lists Cyrillic о→o but not é→e: only the google homograph.
         assert_eq!(report.detections.len(), 1);
-        assert_eq!(report.detections[0].reference, "google");
+        assert_eq!(&*report.detections[0].reference, "google");
+    }
+
+    #[test]
+    fn shared_index_frameworks_and_sessions_agree_with_run() {
+        let fw = framework(&["google", "facebook"]);
+        let corpus = corpus();
+        let batch = fw.run(&corpus);
+
+        // A second framework over the same Arc (e.g. another TLD
+        // pipeline) reuses the build; no HomoglyphDb clone happens.
+        let fw2 = Framework::with_shared_index(fw.shared_index(), "com");
+        assert_eq!(fw2.run(&corpus), batch);
+
+        // A streaming session fed one domain at a time folds into the
+        // identical report.
+        let mut session = fw.session();
+        for d in &corpus {
+            session.push_domains(std::iter::once(d));
+        }
+        assert_eq!(session.into_report(), batch);
     }
 
     #[test]

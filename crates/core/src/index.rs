@@ -1,0 +1,259 @@
+//! The shared immutable index layer.
+//!
+//! [`DetectionIndex`] bundles everything Algorithm 1 needs that is
+//! *corpus-independent*: the homoglyph database with its flat pair
+//! index (interner + rep table + CSR, built in `sham_simchar`) and the
+//! reference-list side — interned stems, `Arc<str>` names, the
+//! closure-hash candidate index and the length buckets. It is built
+//! once and never mutated, so any number of per-TLD [`Framework`]s and
+//! streaming [`DetectorSession`]s share one build behind an `Arc`
+//! instead of each cloning `HomoglyphDb` (PR 3 made per-IDN detection
+//! so cheap that those clones had become a dominant cost).
+//!
+//! Sessions that need reference-list churn take a copy-on-write clone
+//! of the reference-set half only — the flat character index, by far
+//! the larger structure, is never duplicated.
+//!
+//! [`Framework`]: crate::Framework
+//! [`DetectorSession`]: crate::DetectorSession
+
+use sham_simchar::HomoglyphDb;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a over the union-find component representatives of a stem. Two
+/// stems that match under Algorithm 1 have pairwise same-component
+/// characters, so they hash identically — see the soundness argument
+/// in [`crate::algorithm`]. Each representative is two array reads in
+/// the flat interner; no per-character hashing.
+pub(crate) fn closure_hash(db: &HomoglyphDb, stem: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &cp in stem {
+        h ^= u64::from(db.rep_of(cp));
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The reference-list half of the detection index: interned stems,
+/// shared names, and the two candidate indexes (closure hash and
+/// length buckets). Inside a [`DetectionIndex`] every entry is alive;
+/// a [`DetectorSession`](crate::DetectorSession) applying reference
+/// diffs edits its own clone incrementally — added references append,
+/// removed references tombstone and leave the candidate buckets, with
+/// no rebuild of the surviving entries.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReferenceSet {
+    /// Reference names; detections hold cheap `Arc` clones of these.
+    pub(crate) names: Vec<Arc<str>>,
+    /// The same stems interned to code points.
+    pub(crate) stems: Vec<Vec<u32>>,
+    /// Closure hash of each stem, kept so removal needs no re-hash.
+    hashes: Vec<u64>,
+    /// False for references removed by a session diff.
+    alive: Vec<bool>,
+    /// Number of alive references.
+    live: usize,
+    /// Closure-hash → reference indices (for `CanonicalClosure`).
+    closure_index: HashMap<u64, Vec<u32>>,
+    /// Stem length → reference indices (for `LengthBucket`).
+    by_len: HashMap<usize, Vec<u32>>,
+}
+
+impl ReferenceSet {
+    /// Builds the set by adding every reference in order.
+    pub(crate) fn build(
+        db: &HomoglyphDb,
+        references: impl IntoIterator<Item = String>,
+    ) -> ReferenceSet {
+        let mut set = ReferenceSet::default();
+        for name in references {
+            set.add(db, &name);
+        }
+        set
+    }
+
+    /// Appends one reference, indexing it under its closure hash,
+    /// length bucket and name. O(1) amortised — existing entries are
+    /// untouched.
+    pub(crate) fn add(&mut self, db: &HomoglyphDb, name: &str) {
+        let idx = self.names.len() as u32;
+        let name: Arc<str> = Arc::from(name);
+        let stem: Vec<u32> = name.chars().map(|c| c as u32).collect();
+        let hash = closure_hash(db, &stem);
+        self.closure_index.entry(hash).or_default().push(idx);
+        self.by_len.entry(stem.len()).or_default().push(idx);
+        self.names.push(name);
+        self.stems.push(stem);
+        self.hashes.push(hash);
+        self.alive.push(true);
+        self.live += 1;
+    }
+
+    /// Removes every reference named `name` (duplicates included) from
+    /// the candidate indexes and tombstones it, returning how many were
+    /// removed. Name lookup is a linear scan — churn events are rare
+    /// next to registrations, and skipping a name→index map keeps
+    /// construction (the per-reference hot path) lean; the candidate
+    /// edits themselves touch only the affected buckets.
+    pub(crate) fn remove(&mut self, name: &str) -> usize {
+        let mut removed = 0;
+        for i in 0..self.names.len() {
+            if !self.alive[i] || &*self.names[i] != name {
+                continue;
+            }
+            let idx = i as u32;
+            self.alive[i] = false;
+            removed += 1;
+            self.live -= 1;
+            if let Some(bucket) = self.closure_index.get_mut(&self.hashes[i]) {
+                bucket.retain(|&r| r != idx);
+                if bucket.is_empty() {
+                    self.closure_index.remove(&self.hashes[i]);
+                }
+            }
+            let len = self.stems[i].len();
+            if let Some(bucket) = self.by_len.get_mut(&len) {
+                bucket.retain(|&r| r != idx);
+                if bucket.is_empty() {
+                    self.by_len.remove(&len);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of alive references.
+    pub(crate) fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Whether reference `idx` is alive (not removed by a diff).
+    #[inline]
+    pub(crate) fn is_alive(&self, idx: u32) -> bool {
+        self.alive[idx as usize]
+    }
+
+    /// All reference indices (alive filter applied by the caller — the
+    /// `Naive` strategy's candidate set).
+    pub(crate) fn all_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.names.len() as u32).filter(|&i| self.is_alive(i))
+    }
+
+    /// Candidate indices whose stems share closure hash `h`.
+    #[inline]
+    pub(crate) fn closure_bucket(&self, h: u64) -> &[u32] {
+        self.closure_index.get(&h).map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate indices whose stems have length `len`.
+    #[inline]
+    pub(crate) fn len_bucket(&self, len: usize) -> &[u32] {
+        self.by_len.get(&len).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The immutable index layer: one homoglyph database (with its flat
+/// pair index) plus one fully-indexed reference list. Build it once
+/// with [`DetectionIndex::shared`] and hand the `Arc` to every
+/// [`Framework`](crate::Framework), [`Detector`](crate::Detector) and
+/// [`DetectorSession`](crate::DetectorSession) that scores against the
+/// same references — nothing here is ever mutated after construction.
+pub struct DetectionIndex {
+    db: HomoglyphDb,
+    refs: ReferenceSet,
+}
+
+impl DetectionIndex {
+    /// Builds the index for `references` (TLD-stripped ASCII stems,
+    /// e.g. `"google"`).
+    pub fn new(db: HomoglyphDb, references: impl IntoIterator<Item = String>) -> Self {
+        let refs = ReferenceSet::build(&db, references);
+        DetectionIndex { db, refs }
+    }
+
+    /// [`DetectionIndex::new`] wrapped for sharing: the form every
+    /// multi-pipeline deployment wants.
+    pub fn shared(
+        db: HomoglyphDb,
+        references: impl IntoIterator<Item = String>,
+    ) -> Arc<Self> {
+        Arc::new(DetectionIndex::new(db, references))
+    }
+
+    /// The underlying homoglyph database.
+    pub fn db(&self) -> &HomoglyphDb {
+        &self.db
+    }
+
+    /// Reference stems, in insertion order.
+    pub fn references(&self) -> &[Arc<str>] {
+        &self.refs.names
+    }
+
+    /// The indexed reference set.
+    pub(crate) fn refs(&self) -> &ReferenceSet {
+        &self.refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_simchar::SimCharDb;
+
+    fn db() -> HomoglyphDb {
+        use sham_simchar::Pair;
+        HomoglyphDb::new(
+            SimCharDb::from_pairs(
+                vec![Pair { a: 'o' as u32, b: 0x043E, delta: 1 }],
+                4,
+            ),
+            UcDatabase::default(),
+        )
+    }
+
+    #[test]
+    fn add_then_remove_round_trips_the_buckets() {
+        let db = db();
+        let mut set =
+            ReferenceSet::build(&db, ["goo".to_string(), "foo".to_string(), "goo".to_string()]);
+        assert_eq!(set.live_count(), 3);
+        assert_eq!(set.len_bucket(3).len(), 3);
+
+        // Removing a duplicated name tombstones every occurrence.
+        assert_eq!(set.remove("goo"), 2);
+        assert_eq!(set.live_count(), 1);
+        assert_eq!(set.len_bucket(3), &[1]);
+        assert!(!set.is_alive(0) && set.is_alive(1) && !set.is_alive(2));
+        assert_eq!(set.remove("goo"), 0); // already gone
+        assert_eq!(set.remove("absent"), 0);
+
+        // Re-adding after removal indexes the new entry normally.
+        set.add(&db, "goo");
+        assert_eq!(set.live_count(), 2);
+        assert_eq!(set.len_bucket(3), &[1, 3]);
+        assert_eq!(set.all_indices().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn closure_buckets_group_same_component_stems() {
+        let db = db();
+        let set = ReferenceSet::build(&db, ["oo".to_string(), "xx".to_string()]);
+        // Cyrillic оо shares o's component, so it hashes into oo's bucket.
+        let spoof: Vec<u32> = "оо".chars().map(|c| c as u32).collect();
+        let h = closure_hash(&db, &spoof);
+        assert_eq!(set.closure_bucket(h), &[0]);
+        assert!(set.closure_bucket(0xDEAD_BEEF).is_empty());
+    }
+
+    #[test]
+    fn detection_index_is_shareable() {
+        let index = DetectionIndex::shared(db(), ["google".to_string()]);
+        let clone = Arc::clone(&index);
+        assert_eq!(clone.references().len(), 1);
+        assert_eq!(&*clone.references()[0], "google");
+        assert!(Arc::ptr_eq(&index, &clone));
+    }
+}

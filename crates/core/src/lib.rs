@@ -9,7 +9,14 @@
 //! * [`algorithm`] — Algorithm 1 with three candidate-generation
 //!   strategies (naive / length-bucketed / canonical-closure, the
 //!   last being the exact union-find component index and the default).
-//! * [`framework`] — the Steps 1–3 pipeline of Fig. 1.
+//! * [`index`] — the shared immutable index layer: [`DetectionIndex`]
+//!   (flat pair index + fully-indexed reference list) built once and
+//!   shared behind an `Arc` by every framework, detector and session.
+//! * [`session`] — the incremental streaming layer:
+//!   [`DetectorSession`] ingests zone-diff batches and reference-list
+//!   churn, folding into the same report as a batch run.
+//! * [`framework`] — the Steps 1–3 pipeline of Fig. 1 (a one-shot
+//!   wrapper over a session).
 //! * [`revert`] — §6.4's homograph-to-original reverting.
 //! * [`highlight`] — the Fig. 12 warning-UI data.
 //! * [`policy`] — Chrome/Firefox-style display policy simulation.
@@ -39,21 +46,25 @@
 //! );
 //! let corpus = vec![DomainName::parse("xn--ggle-55da.com").unwrap()];
 //! let report = fw.run(&corpus);
-//! assert_eq!(report.detections[0].reference, "google");
+//! assert_eq!(&*report.detections[0].reference, "google");
 //! ```
 
 pub mod algorithm;
 pub mod detection;
 pub mod framework;
 pub mod highlight;
+pub mod index;
 pub mod plagiarism;
 pub mod policy;
 pub mod registry;
 pub mod revert;
+pub mod session;
 
 pub use algorithm::{Detector, Indexing};
 pub use detection::{CharSubstitution, Detection};
 pub use framework::{Framework, FrameworkReport};
+pub use index::DetectionIndex;
+pub use session::DetectorSession;
 pub use highlight::{HighlightedSubstitution, Warning};
 pub use policy::{bypasses_policy, display, Display, Policy};
 pub use plagiarism::{scan_text, similarity_gap, PlagiarismScan};

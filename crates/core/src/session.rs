@@ -1,0 +1,316 @@
+//! The incremental streaming session layer.
+//!
+//! A [`DetectorSession`] is the production ingest surface: it holds a
+//! clone of the shared immutable [`DetectionIndex`] and accepts work as
+//! it arrives — zone-file diffs and newly-registered names in batches
+//! of any size (including empty), plus reference-list churn as
+//! incremental diffs — folding everything into the same
+//! [`FrameworkReport`] a one-shot [`Framework::run`] produces. Batch
+//! and streaming share one detection executor (`detect_append` in
+//! `crate::algorithm`), so feeding a corpus in any partition of
+//! batches yields detections identical to feeding it whole;
+//! `Framework::run` is itself a thin wrapper over a session.
+//!
+//! Memory stays bounded by the largest single batch (one reused
+//! extraction buffer, one reused match scratch) plus the accumulated
+//! detections — the session never materialises the corpus.
+//!
+//! Reference diffs are copy-on-write: the first
+//! [`DetectorSession::apply_reference_diff`] clones the index's
+//! reference-set half (names, stems and candidate buckets — *not*
+//! the flat character index, which stays shared) and subsequent diffs
+//! edit that overlay incrementally — additions append and index one
+//! entry, removals tombstone and leave the touched buckets. No rebuild
+//! of the surviving references ever happens.
+//!
+//! [`Framework::run`]: crate::Framework::run
+
+use crate::algorithm::{detect_append, DetectScratch, Indexing};
+use crate::detection::Detection;
+use crate::framework::FrameworkReport;
+use crate::index::{DetectionIndex, ReferenceSet};
+use sham_punycode::DomainName;
+use sham_simchar::DbSelection;
+use std::sync::Arc;
+
+/// A streaming detection session over a shared [`DetectionIndex`].
+///
+/// ```
+/// use sham_core::{DetectionIndex, DetectorSession};
+/// use sham_confusables::UcDatabase;
+/// use sham_glyph::SynthUnifont;
+/// use sham_punycode::DomainName;
+/// use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+///
+/// let font = SynthUnifont::v12();
+/// let simchar = build(&font, &BuildConfig {
+///     repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+///     ..BuildConfig::default()
+/// }).db;
+/// let index = DetectionIndex::shared(
+///     HomoglyphDb::new(simchar, UcDatabase::embedded()),
+///     vec!["google".to_string()],
+/// );
+/// let mut session = DetectorSession::new(index, "com");
+/// // Feed zone-diff batches as they arrive…
+/// session.push_domains(&[DomainName::parse("xn--ggle-55da.com").unwrap()]);
+/// session.push_domains(&[]); // quiet poll intervals are fine
+/// let report = session.into_report();
+/// assert_eq!(&*report.detections[0].reference, "google");
+/// ```
+pub struct DetectorSession {
+    index: Arc<DetectionIndex>,
+    /// Copy-on-write reference overlay; `None` until the first diff.
+    overlay: Option<ReferenceSet>,
+    tld: String,
+    selection: DbSelection,
+    indexing: Indexing,
+    total_domains: usize,
+    idn_count: usize,
+    detections: Vec<Detection>,
+    /// Reused extraction buffer — bounds `push_domains` memory by the
+    /// batch size.
+    batch: Vec<(String, String)>,
+    /// Reused match scratch — steady-state streaming allocates nothing
+    /// on the rejecting path.
+    scratch: DetectScratch,
+}
+
+impl DetectorSession {
+    /// Opens a session for `tld` over a shared index, with the
+    /// framework defaults (union database, closure indexing).
+    pub fn new(index: Arc<DetectionIndex>, tld: &str) -> Self {
+        DetectorSession {
+            index,
+            overlay: None,
+            tld: tld.to_string(),
+            selection: DbSelection::Union,
+            indexing: Indexing::CanonicalClosure,
+            total_domains: 0,
+            idn_count: 0,
+            detections: Vec::new(),
+            batch: Vec::new(),
+            scratch: DetectScratch::default(),
+        }
+    }
+
+    /// Switches the database selection for all subsequent pushes.
+    pub fn with_selection(mut self, selection: DbSelection) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Switches the candidate-generation strategy.
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self
+    }
+
+    /// The shared index this session reads.
+    pub fn index(&self) -> &Arc<DetectionIndex> {
+        &self.index
+    }
+
+    /// Number of references currently in force (base index minus
+    /// removals plus additions).
+    pub fn reference_count(&self) -> usize {
+        match &self.overlay {
+            Some(overlay) => overlay.live_count(),
+            None => self.index.references().len(),
+        }
+    }
+
+    /// Feeds one batch of registered domain names (a zone-file diff):
+    /// every name counts toward the corpus total, names of this
+    /// session's TLD with an `xn--` label are decoded and matched
+    /// immediately. Steps 1–3 of the pipeline, incrementally.
+    pub fn push_domains<'a>(
+        &mut self,
+        domains: impl IntoIterator<Item = &'a DomainName>,
+    ) {
+        // Count and extract in one pass — the corpus itself is never
+        // collected.
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        for d in domains {
+            self.total_domains += 1;
+            if d.tld() == self.tld && d.is_idn() {
+                if let Some(stem) = d.unicode_without_tld() {
+                    batch.push((stem, d.as_ascii().to_string()));
+                }
+            }
+        }
+        self.idn_count += batch.len();
+        self.detect_batch(&batch);
+        self.batch = batch;
+    }
+
+    /// Feeds one batch of pre-extracted IDNs `(unicode stem, full ACE
+    /// name)` — a registration stream that is already IDN-only. Each
+    /// entry counts as one domain and one IDN.
+    pub fn push_idns(&mut self, idns: &[(String, String)]) {
+        self.total_domains += idns.len();
+        self.idn_count += idns.len();
+        self.detect_batch(idns);
+    }
+
+    /// Scores one batch against the session's current reference view.
+    fn detect_batch(&mut self, idns: &[(String, String)]) {
+        let refs = match &self.overlay {
+            Some(overlay) => overlay,
+            None => self.index.refs(),
+        };
+        detect_append(
+            self.index.db(),
+            refs,
+            idns,
+            self.selection,
+            self.indexing,
+            &mut self.scratch,
+            &mut self.detections,
+        );
+    }
+
+    /// Applies reference-list churn: `removed` names leave the
+    /// candidate indexes (every occurrence; unknown names are ignored),
+    /// then `added` stems join. Later pushes see the edited list;
+    /// detections already accumulated are untouched. The first diff
+    /// clones the reference half of the shared index (copy-on-write);
+    /// each diff after that is an incremental edit — no rebuild.
+    pub fn apply_reference_diff(&mut self, added: &[String], removed: &[String]) {
+        let overlay = self
+            .overlay
+            .get_or_insert_with(|| self.index.refs().clone());
+        for name in removed {
+            overlay.remove(name);
+        }
+        for name in added {
+            overlay.add(self.index.db(), name);
+        }
+    }
+
+    /// Detections accumulated so far, in push order.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Folds the session state into a [`FrameworkReport`] snapshot
+    /// without ending the session.
+    pub fn report(&self) -> FrameworkReport {
+        FrameworkReport {
+            total_domains: self.total_domains,
+            idn_count: self.idn_count,
+            detections: self.detections.clone(),
+        }
+    }
+
+    /// Ends the session, yielding its report without cloning the
+    /// accumulated detections.
+    pub fn into_report(self) -> FrameworkReport {
+        FrameworkReport {
+            total_domains: self.total_domains,
+            idn_count: self.idn_count,
+            detections: self.detections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+
+    fn shared_index(refs: &[&str]) -> Arc<DetectionIndex> {
+        let font = SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        DetectionIndex::shared(
+            HomoglyphDb::new(result.db, UcDatabase::embedded()),
+            refs.iter().map(|s| s.to_string()),
+        )
+    }
+
+    fn idn(stem: &str) -> (String, String) {
+        let ace = sham_punycode::ace::to_ascii(stem).unwrap();
+        (stem.to_string(), format!("{ace}.com"))
+    }
+
+    #[test]
+    fn batched_pushes_accumulate_in_order() {
+        let index = shared_index(&["google", "paypal"]);
+        let mut session = DetectorSession::new(Arc::clone(&index), "com");
+        session.push_idns(&[idn("gооgle"), idn("benign")]);
+        session.push_idns(&[]); // empty batches are fine
+        session.push_idns(&[idn("pаypаl")]);
+        let report = session.into_report();
+        assert_eq!(report.total_domains, 3);
+        assert_eq!(report.idn_count, 3);
+        let refs: Vec<&str> =
+            report.detections.iter().map(|d| &*d.reference).collect();
+        assert_eq!(refs, ["google", "paypal"]);
+    }
+
+    #[test]
+    fn reference_diff_changes_only_later_batches() {
+        let index = shared_index(&["google", "paypal"]);
+        let mut session = DetectorSession::new(Arc::clone(&index), "com");
+        session.push_idns(&[idn("gооgle")]);
+        assert_eq!(session.reference_count(), 2);
+
+        // Remove google, add amazon: the already-recorded detection
+        // stays; later batches see the edited list.
+        session.apply_reference_diff(&["amazon".to_string()], &["google".to_string()]);
+        assert_eq!(session.reference_count(), 2);
+        session.push_idns(&[idn("gооgle"), idn("аmazon")]);
+
+        let report = session.report();
+        let refs: Vec<&str> =
+            report.detections.iter().map(|d| &*d.reference).collect();
+        assert_eq!(refs, ["google", "amazon"]);
+        // The shared index itself is untouched by the session overlay.
+        assert_eq!(index.references().len(), 2);
+        assert_eq!(&*index.references()[0], "google");
+    }
+
+    #[test]
+    fn diff_before_any_push_acts_like_a_different_index() {
+        let index = shared_index(&["google"]);
+        let mut session = DetectorSession::new(index, "com")
+            .with_indexing(Indexing::LengthBucket);
+        session.apply_reference_diff(&[], &["google".to_string()]);
+        session.push_idns(&[idn("gооgle")]);
+        assert!(session.detections().is_empty());
+        assert_eq!(session.reference_count(), 0);
+    }
+
+    #[test]
+    fn push_domains_counts_and_filters_like_the_framework() {
+        let index = shared_index(&["google"]);
+        let mut session = DetectorSession::new(index, "com");
+        let corpus: Vec<DomainName> = [
+            "google.com",
+            "xn--ggle-55da.com", // gооgle
+            "ordinary.com",
+            "xn--ggle-55da.net", // wrong TLD
+        ]
+        .iter()
+        .map(|s| DomainName::parse(s).unwrap())
+        .collect();
+        session.push_domains(&corpus);
+        let report = session.into_report();
+        assert_eq!(report.total_domains, 4);
+        assert_eq!(report.idn_count, 1);
+        assert_eq!(report.detections.len(), 1);
+    }
+}

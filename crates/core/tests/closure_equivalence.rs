@@ -47,7 +47,7 @@ fn non_transitive_chain_detection_is_not_missed() {
 
     let naive = d.detect(&idns, DbSelection::Union, Indexing::Naive);
     assert_eq!(naive.len(), 1, "b–c is a listed pair, so bb ≈ cc must match");
-    assert_eq!(naive[0].reference, "cc");
+    assert_eq!(&*naive[0].reference, "cc");
 
     let closure = d.detect(&idns, DbSelection::Union, Indexing::CanonicalClosure);
     assert_eq!(closure, naive, "closure index must find the chain match");

@@ -110,7 +110,7 @@ fn indexing_strategies_agree_on_the_shared_corpus() {
     let key = |v: &[Detection]| {
         let mut k: Vec<(String, String)> = v
             .iter()
-            .map(|h| (h.idn_ascii.clone(), h.reference.clone()))
+            .map(|h| (h.idn_ascii.clone(), h.reference.to_string()))
             .collect();
         k.sort();
         k

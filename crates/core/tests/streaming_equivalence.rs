@@ -1,0 +1,227 @@
+//! Streaming ≡ batch: feeding a corpus to a [`DetectorSession`] in
+//! *any* partition of batches — including empty batches, single-domain
+//! batches and net-no-op reference diffs interleaved between them —
+//! must fold into a [`FrameworkReport`] identical to one
+//! `Framework::run` over the whole corpus, at every thread count.
+//! Batch and streaming share one executor, and this suite pins that
+//! they cannot drift apart.
+
+use proptest::prelude::*;
+use sham_confusables::UcDatabase;
+use sham_core::{Framework, FrameworkReport};
+use sham_punycode::DomainName;
+use sham_simchar::{build, BuildConfig, Repertoire};
+use std::sync::OnceLock;
+
+const REFERENCES: &[&str] = &[
+    "google", "amazon", "facebook", "apple", "paypal", "netflix", "coinbase",
+    "alphabet", "microsoft", "cloudflare",
+];
+
+/// One shared framework for every case — the SimChar build is the
+/// expensive part and the framework is read-only.
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| {
+        let font = sham_glyph::SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                    "Greek and Coptic",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        Framework::new(
+            result.db,
+            UcDatabase::embedded(),
+            REFERENCES.iter().map(|s| s.to_string()),
+            "com",
+        )
+    })
+}
+
+/// A deterministic mixed corpus of `n` domains: lookalikes of the
+/// references (Cyrillic substitutions at rotating positions), identical
+/// copies, benign IDNs, plain ASCII names and wrong-TLD names.
+fn corpus(n: usize) -> &'static [DomainName] {
+    static CORPUS: OnceLock<Vec<DomainName>> = OnceLock::new();
+    let all = CORPUS.get_or_init(|| {
+        (0..20_000usize)
+            .map(|i| {
+                let name = match i % 5 {
+                    0 | 3 => {
+                        let target = REFERENCES[i % REFERENCES.len()];
+                        let len = target.chars().count().max(1);
+                        let stem: String = target
+                            .chars()
+                            .enumerate()
+                            .map(|(pos, c)| {
+                                if pos == i % len {
+                                    match c {
+                                        'a' => 'а',
+                                        'e' => 'е',
+                                        'o' => 'о',
+                                        'c' => 'с',
+                                        'p' => 'р',
+                                        other => other,
+                                    }
+                                } else {
+                                    c
+                                }
+                            })
+                            .collect();
+                        let ace = sham_punycode::ace::to_ascii(&stem).unwrap();
+                        format!("{ace}.com")
+                    }
+                    1 => format!("{}.com", REFERENCES[i % REFERENCES.len()]),
+                    2 => {
+                        let ace = sham_punycode::ace::to_ascii(&format!("münchen-{i}")).unwrap();
+                        format!("{ace}.com")
+                    }
+                    _ => format!("plain-ascii-{i}.{}", if i % 8 == 4 { "net" } else { "com" }),
+                };
+                DomainName::parse(&name).unwrap()
+            })
+            .collect()
+    });
+    &all[..n]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any batch partition of the corpus — empty batches included —
+    /// yields the report of one `Framework::run`.
+    #[test]
+    fn any_batch_partition_matches_one_shot_run(
+        n in 0usize..1_500,
+        cuts in proptest::collection::vec(0usize..120, 0..12),
+    ) {
+        let fw = framework();
+        let corpus = corpus(n);
+        let expected = fw.run(corpus);
+
+        let mut session = fw.session();
+        let mut rest = corpus;
+        for &cut in &cuts {
+            let take = cut.min(rest.len());
+            let (batch, tail) = rest.split_at(take);
+            session.push_domains(batch); // `cut == 0` ⇒ an empty batch
+            rest = tail;
+        }
+        session.push_domains(rest);
+        prop_assert_eq!(session.into_report(), expected);
+    }
+
+    /// Interleaving reference diffs that net out to nothing — a
+    /// trending stem rotates in after one batch and back out after a
+    /// later one — leaves the final report equal to the batch run,
+    /// while exercising the copy-on-write overlay mid-stream.
+    #[test]
+    fn net_noop_interleaved_diffs_preserve_equivalence(
+        n in 1usize..1_200,
+        cuts in proptest::collection::vec(1usize..120, 1..8),
+    ) {
+        let fw = framework();
+        let corpus = corpus(n);
+        let expected = fw.run(corpus);
+
+        let trending = vec!["zzztrending".to_string()]; // matches nothing in the corpus
+        let mut session = fw.session();
+        let mut rest = corpus;
+        for (i, &cut) in cuts.iter().enumerate() {
+            let take = cut.min(rest.len());
+            let (batch, tail) = rest.split_at(take);
+            session.push_domains(batch);
+            rest = tail;
+            // Alternate add / remove so every diff is replayed (undone)
+            // by the end: the session finishes on the base list.
+            if i % 2 == 0 {
+                session.apply_reference_diff(&trending, &[]);
+            } else {
+                session.apply_reference_diff(&[], &trending);
+            }
+        }
+        if cuts.len() % 2 == 1 {
+            session.apply_reference_diff(&[], &trending);
+        }
+        session.push_domains(rest);
+        prop_assert_eq!(session.reference_count(), REFERENCES.len());
+        prop_assert_eq!(session.into_report(), expected);
+    }
+}
+
+/// The acceptance-criterion configuration, pinned exactly: the 20k
+/// corpus in 64-domain batches equals `Framework::run`, at 1 and N
+/// worker threads.
+#[test]
+fn twenty_k_corpus_in_64_domain_batches_at_every_thread_count() {
+    let fw = framework();
+    let corpus = corpus(20_000);
+
+    let reference_report: FrameworkReport = {
+        let _one = rayon::ThreadOverride::new(1);
+        fw.run(corpus)
+    };
+    assert!(
+        reference_report.detections.len() > 1_000,
+        "corpus must be detection-rich ({} found)",
+        reference_report.detections.len()
+    );
+
+    let hardware = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    for threads in [1usize, hardware] {
+        let _forced = rayon::ThreadOverride::new(threads);
+        assert_eq!(fw.run(corpus), reference_report, "batch diverges at {threads} threads");
+        let mut session = fw.session();
+        for batch in corpus.chunks(64) {
+            session.push_domains(batch);
+        }
+        assert_eq!(
+            session.into_report(),
+            reference_report,
+            "streaming diverges at {threads} threads"
+        );
+    }
+}
+
+/// Real (non-no-op) diffs take effect exactly at their position in the
+/// stream: earlier detections are kept, later batches see the edited
+/// list — equivalent to running each segment against its then-current
+/// reference list.
+#[test]
+fn real_diffs_apply_between_batches() {
+    let fw = framework();
+    let corpus = corpus(900);
+    let (first, second) = corpus.split_at(450);
+
+    let mut session = fw.session();
+    session.push_domains(first);
+    session.apply_reference_diff(&[], &["google".to_string()]);
+    session.push_domains(second);
+    let streamed = session.into_report();
+
+    // Segment-wise expectation from two one-shot runs: the full list
+    // for the first half, google removed for the second.
+    let expected_first = fw.run(first);
+    let shrunk = Framework::with_shared_index(fw.shared_index(), "com");
+    let mut shrunk_session = shrunk.session();
+    shrunk_session.apply_reference_diff(&[], &["google".to_string()]);
+    shrunk_session.push_domains(second);
+    let expected_second = shrunk_session.into_report();
+
+    assert_eq!(
+        streamed.total_domains,
+        expected_first.total_domains + expected_second.total_domains
+    );
+    assert!(expected_second.detections.iter().all(|d| &*d.reference != "google"));
+    let mut expected: Vec<_> = expected_first.detections;
+    expected.extend(expected_second.detections);
+    assert_eq!(streamed.detections, expected);
+    assert!(streamed.detections.iter().any(|d| &*d.reference == "google"));
+}

@@ -12,7 +12,6 @@
 
 use sham_measure::{humanstudy, CharDbContext, Study};
 use sham_perception::ExperimentConfig;
-use sham_simchar::HomoglyphDb;
 use sham_workload::{Workload, WorkloadConfig};
 use std::io::Write as _;
 
@@ -34,7 +33,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale test|repro] [--out DIR] <experiment>...\n\
-                     experiments: table1..table14 fig5 fig6 fig7 fig9 fig10 fig11 timing revert policy context fonts all"
+                     experiments: table1..table14 fig5 fig6 fig7 fig9 fig10 fig11 timing revert policy context fonts components all"
                 );
                 std::process::exit(0);
             }
@@ -55,7 +54,7 @@ const STUDY_EXPERIMENTS: &[&str] = &[
 ];
 
 /// Extension experiments beyond the paper's tables.
-const EXTENSION_EXPERIMENTS: &[&str] = &["context", "fonts"];
+const EXTENSION_EXPERIMENTS: &[&str] = &["context", "fonts", "components"];
 
 fn main() {
     let args = parse_args();
@@ -135,6 +134,9 @@ fn main() {
         if wants("fonts") {
             emit(ctx.font_sensitivity().render());
         }
+        if wants("components") {
+            emit(ctx.component_diagnostics().render());
+        }
     }
 
     if needs_study {
@@ -188,8 +190,9 @@ fn main() {
             emit(study.table14().render());
         }
         if wants("revert") {
-            let db = HomoglyphDb::new(ctx.build.db.clone(), ctx.uc.clone());
-            emit(study.revert_analysis(&db).render());
+            // The study's shared index already holds the HomoglyphDb
+            // the detections came from — no rebuild, no clone.
+            emit(study.revert_analysis(study.shared_db()).render());
         }
         if wants("policy") {
             emit(study.policy_analysis().render());

@@ -231,6 +231,48 @@ impl CharDbContext {
         t
     }
 
+    /// Extension — closure-component diagnostics over SimChar ∪ UC.
+    /// The union-find closure behind the default `CanonicalClosure`
+    /// candidate index can glue long confusable chains into one
+    /// component; that is sound (candidates are re-verified pairwise)
+    /// but a pathologically glued database turns the candidate filter
+    /// into a broad net and shifts cost into verification. This table
+    /// makes the component-size distribution visible: count, max,
+    /// mean, and a size histogram.
+    pub fn component_diagnostics(&self) -> TextTable {
+        use sham_simchar::FlatPairIndex;
+        let flat = FlatPairIndex::build(&self.build.db, &self.uc);
+        let sizes = flat.component_sizes();
+        let chars = flat.char_count();
+        let max = sizes.first().copied().unwrap_or(0);
+        let mean = chars as f64 / sizes.len().max(1) as f64;
+
+        let mut t = TextTable::new(
+            "Extension: canonical-closure component-size distribution (SimChar ∪ UC)",
+            &["Metric", "Value"],
+        );
+        t.row(&["Characters in pairs".into(), thousands(chars as u64)]);
+        t.row(&["Pair edges".into(), thousands(flat.pair_count() as u64)]);
+        t.row(&["Components".into(), thousands(sizes.len() as u64)]);
+        t.row(&["Largest component".into(), thousands(u64::from(max))]);
+        t.row(&["Mean component size".into(), format!("{mean:.2}")]);
+        // Histogram over power-of-two-ish buckets; every component has
+        // ≥ 2 members (a component is born from at least one edge).
+        let buckets: &[(u32, u32, &str)] = &[
+            (2, 2, "size 2"),
+            (3, 4, "size 3–4"),
+            (5, 8, "size 5–8"),
+            (9, 16, "size 9–16"),
+            (17, 32, "size 17–32"),
+            (33, u32::MAX, "size 33+"),
+        ];
+        for &(lo, hi, label) in buckets {
+            let n = sizes.iter().filter(|&&s| (lo..=hi).contains(&s)).count();
+            t.row(&[format!("— {label}"), thousands(n as u64)]);
+        }
+        t
+    }
+
     /// Figure 5: example glyph pairs as ASCII art.
     pub fn figure5(&self) -> String {
         let pairs: &[(u32, u32, &str)] = &[

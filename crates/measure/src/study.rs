@@ -72,6 +72,10 @@ pub struct Study {
     /// Candidate-generation strategy of the detection run (the
     /// framework default, `CanonicalClosure`).
     pub detection_indexing: String,
+    /// The shared detection index the study ran on — kept so follow-up
+    /// analyses (reverting, ad-hoc queries) reuse the same build
+    /// instead of re-deriving a `HomoglyphDb`.
+    pub shared_index: std::sync::Arc<sham_core::DetectionIndex>,
 }
 
 impl Study {
@@ -147,7 +151,14 @@ impl Study {
             detection_seconds,
             detection_threads,
             detection_indexing,
+            shared_index: fw.shared_index(),
         }
+    }
+
+    /// The homoglyph database of the shared detection index — the
+    /// exact build the detections came from, at zero rebuild cost.
+    pub fn shared_db(&self) -> &sham_simchar::HomoglyphDb {
+        self.shared_index.db()
     }
 
     /// Unique detected homograph domains (ACE form).
@@ -214,7 +225,7 @@ impl Study {
         let mut per_target: HashMap<&str, HashSet<&str>> = HashMap::new();
         for d in &self.detections {
             per_target
-                .entry(d.reference.as_str())
+                .entry(&*d.reference)
                 .or_default()
                 .insert(d.idn_ascii.as_str());
         }

@@ -39,6 +39,7 @@ use crate::db::SimCharDb;
 use crate::homodb::PairSource;
 use sham_confusables::UcDatabase;
 use std::collections::HashMap;
+use std::io::{self, Read, Write};
 
 /// Code points per interner page (one second-level array chunk).
 const PAGE_SIZE: u32 = 256;
@@ -52,7 +53,7 @@ const NO_PAGE: u32 = u32::MAX;
 /// materialised where the universe actually has characters, so the
 /// structure stays a few tens of kilobytes even though it addresses all
 /// of Unicode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CharInterner {
     /// First level: page → base offset into `slots`, or [`NO_PAGE`].
     page_table: Vec<u32>,
@@ -148,7 +149,7 @@ const TAG_UC: u8 = 2;
 
 /// The flat pair index over SimChar ∪ UC: interner, component
 /// representatives, and CSR adjacency with per-edge attribution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlatPairIndex {
     interner: CharInterner,
     /// Symbol → representative code point (smallest of its component).
@@ -300,11 +301,207 @@ impl FlatPairIndex {
 
     /// Number of connected components of the pair graph.
     pub fn component_count(&self) -> usize {
-        let mut reps: Vec<u32> = self.rep.clone();
-        reps.sort_unstable();
-        reps.dedup();
-        reps.len()
+        self.component_sizes().len()
     }
+
+    /// Sizes of the connected components of the pair graph (number of
+    /// code points per component), sorted descending. The union-find
+    /// closure can glue long confusable chains into one component —
+    /// sound (candidates are re-verified) but each giant component
+    /// costs verification work, so pathological databases should be
+    /// visible in the `repro` diagnostics rather than silent.
+    pub fn component_sizes(&self) -> Vec<u32> {
+        let mut by_rep: HashMap<u32, u32> = HashMap::new();
+        for &rep in &self.rep {
+            *by_rep.entry(rep).or_insert(0) += 1;
+        }
+        let mut sizes: Vec<u32> = by_rep.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Writes the index as a versioned, checksummed binary snapshot —
+    /// see the format table in `docs/ARCHITECTURE.md`. Layout: an
+    /// 8-byte magic, a little-endian `u32` format version, the payload
+    /// length (`u64`) and an FNV-1a checksum (`u64`) over the payload,
+    /// followed by the six `u32` array sections and the attribution
+    /// byte section, each length-prefixed. Everything is flat arrays
+    /// already, so serialization is a linear copy.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(
+            4 * (self.interner.page_table.len()
+                + self.interner.slots.len()
+                + self.interner.cps.len()
+                + self.rep.len()
+                + self.offsets.len()
+                + self.neighbours.len())
+                + self.sources.len()
+                + 7 * 4,
+        );
+        for section in [
+            &self.interner.page_table,
+            &self.interner.slots,
+            &self.interner.cps,
+            &self.rep,
+            &self.offsets,
+            &self.neighbours,
+        ] {
+            payload.extend_from_slice(&(section.len() as u32).to_le_bytes());
+            for &v in section {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        payload.extend_from_slice(&(self.sources.len() as u32).to_le_bytes());
+        payload.extend(self.sources.iter().map(|s| match s {
+            PairSource::SimChar => 0u8,
+            PairSource::Uc => 1,
+            PairSource::Both => 2,
+        }));
+
+        writer.write_all(SNAPSHOT_MAGIC)?;
+        writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+        writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+        writer.write_all(&payload)
+    }
+
+    /// Reads a snapshot written by [`FlatPairIndex::write_to`],
+    /// rejecting wrong magic, unsupported versions, truncated payloads
+    /// and checksum mismatches with [`io::ErrorKind::InvalidData`].
+    /// A successful load is structurally revalidated (section lengths
+    /// must be mutually consistent), so a corrupted-but-checksummed
+    /// file cannot produce out-of-bounds panics later.
+    pub fn read_from(reader: &mut impl Read) -> io::Result<FlatPairIndex> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(bad("not a FlatPairIndex snapshot (bad magic)"));
+        }
+        let mut word = [0u8; 4];
+        reader.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != SNAPSHOT_VERSION {
+            return Err(bad(&format!(
+                "unsupported FlatPairIndex snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let mut long = [0u8; 8];
+        reader.read_exact(&mut long)?;
+        let payload_len = u64::from_le_bytes(long);
+        reader.read_exact(&mut long)?;
+        let checksum = u64::from_le_bytes(long);
+        // The length field itself is outside the checksum, so it must
+        // not size any allocation: read through `take`, which grows the
+        // buffer only as bytes actually arrive — a corrupt huge length
+        // on a short file becomes a truncation error, not an OOM.
+        let mut payload = Vec::new();
+        reader.take(payload_len).read_to_end(&mut payload)?;
+        if payload.len() as u64 != payload_len {
+            return Err(bad("truncated FlatPairIndex snapshot payload"));
+        }
+        if fnv1a(&payload) != checksum {
+            return Err(bad("FlatPairIndex snapshot checksum mismatch"));
+        }
+
+        let mut cursor = 0usize;
+        let mut read_u32s = |payload: &[u8]| -> io::Result<Vec<u32>> {
+            let count = read_len(payload, &mut cursor)?;
+            // Bound the allocation by bytes actually present — the
+            // checksum is forgeable, so a section count must never
+            // size a buffer beyond the payload it claims to describe.
+            let end = count
+                .checked_mul(4)
+                .and_then(|bytes| cursor.checked_add(bytes))
+                .filter(|&end| end <= payload.len())
+                .ok_or_else(|| bad("truncated array section"))?;
+            let out = payload[cursor..end]
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            cursor = end;
+            Ok(out)
+        };
+        let page_table = read_u32s(&payload)?;
+        let slots = read_u32s(&payload)?;
+        let cps = read_u32s(&payload)?;
+        let rep = read_u32s(&payload)?;
+        let offsets = read_u32s(&payload)?;
+        let neighbours = read_u32s(&payload)?;
+        let source_count = read_len(&payload, &mut cursor)?;
+        let source_bytes = payload
+            .get(cursor..cursor + source_count)
+            .ok_or_else(|| bad("truncated attribution section"))?;
+        let sources: Vec<PairSource> = source_bytes
+            .iter()
+            .map(|&b| match b {
+                0 => Ok(PairSource::SimChar),
+                1 => Ok(PairSource::Uc),
+                2 => Ok(PairSource::Both),
+                other => Err(bad(&format!("invalid PairSource tag {other}"))),
+            })
+            .collect::<io::Result<_>>()?;
+        cursor += source_count;
+        if cursor != payload.len() {
+            return Err(bad("trailing bytes after the last section"));
+        }
+
+        // Structural consistency: the arrays must describe one coherent
+        // interner + rep table + CSR.
+        let n = cps.len();
+        if page_table.len() != PAGE_COUNT
+            || slots.len() % PAGE_SIZE as usize != 0
+            || rep.len() != n
+            // A `Default` index has no offsets row at all; a built one
+            // always has n + 1 entries.
+            || !(offsets.len() == n + 1 || (n == 0 && offsets.is_empty()))
+            || offsets.first().is_some_and(|&f| f != 0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().is_some_and(|&l| l as usize != neighbours.len())
+            || sources.len() != neighbours.len()
+            || page_table
+                .iter()
+                .any(|&base| base != NO_PAGE && base as usize + PAGE_SIZE as usize > slots.len())
+            || slots.iter().any(|&s| s as usize > n)
+            || neighbours.iter().any(|&s| s as usize >= n.max(1))
+        {
+            return Err(bad("inconsistent FlatPairIndex snapshot sections"));
+        }
+
+        Ok(FlatPairIndex {
+            interner: CharInterner { page_table, slots, cps },
+            rep,
+            offsets,
+            neighbours,
+            sources,
+        })
+    }
+}
+
+/// Snapshot magic: identifies a serialized [`FlatPairIndex`].
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAMFIDX";
+/// Snapshot format version; bumped on any layout change.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice — the snapshot payload checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Reads one little-endian `u32` length prefix at `*cursor`.
+fn read_len(payload: &[u8], cursor: &mut usize) -> io::Result<usize> {
+    let end = *cursor + 4;
+    let bytes = payload.get(*cursor..end).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "truncated length prefix".to_string())
+    })?;
+    *cursor = end;
+    Ok(u32::from_le_bytes(bytes.try_into().unwrap()) as usize)
 }
 
 #[cfg(test)]
@@ -392,6 +589,93 @@ mod tests {
         assert_eq!(idx.pair_source(0xFB01, 0xA101), Some(PairSource::Uc));
         assert_eq!(idx.pair_source(0xFB01, 'f' as u32), None);
         assert_eq!(idx.rep_of('f' as u32), 'f' as u32);
+    }
+
+    #[test]
+    fn component_sizes_match_structure() {
+        // Components {10,20,30} and {40,50}: sizes [3, 2], descending.
+        let idx = FlatPairIndex::build(
+            &simchar(&[(10, 20), (20, 30), (40, 50)]),
+            &UcDatabase::default(),
+        );
+        assert_eq!(idx.component_sizes(), vec![3, 2]);
+        assert_eq!(idx.component_count(), 2);
+        assert!(FlatPairIndex::default().component_sizes().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let idx = FlatPairIndex::build(
+            &simchar(&[('o' as u32, 0x0585), ('o' as u32, 0x043E), (10, 20)]),
+            &UcDatabase::from_mappings(
+                parse("043E ; 006F ; MA\n03BF ; 006F ; MA\n").unwrap(),
+            ),
+        );
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        let back = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, idx);
+        // Serializing the loaded index reproduces the exact bytes.
+        let mut again = Vec::new();
+        back.write_to(&mut again).unwrap();
+        assert_eq!(again, bytes);
+        // The empty index round-trips too.
+        let mut empty = Vec::new();
+        FlatPairIndex::default().write_to(&mut empty).unwrap();
+        assert_eq!(
+            FlatPairIndex::read_from(&mut empty.as_slice()).unwrap(),
+            FlatPairIndex::default()
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2), (2, 3)]), &UcDatabase::default());
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+
+        // Flipped payload byte → checksum mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncation → read error before any parsing.
+        let mut truncated = &bytes[..bytes.len() / 2];
+        assert!(FlatPairIndex::read_from(&mut truncated).is_err());
+
+        // The payload-length field (LE u64 at offset 12..20) is outside
+        // the checksum: a flipped high byte claims an enormous payload.
+        // It must surface as a clean truncation error — never a huge
+        // up-front allocation or a panic.
+        let mut bad = bytes.clone();
+        bad[19] ^= 0x80;
+        let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // Likewise a forged section count (checksum recomputed so
+        // parsing reaches it) must be bounds-checked against the bytes
+        // actually present before it sizes any buffer. The payload
+        // starts at offset 28; its first u32 is the page_table count.
+        let mut forged = bytes.clone();
+        forged[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        let digest = fnv1a(&forged[28..]);
+        forged[20..28].copy_from_slice(&digest.to_le_bytes());
+        let err = FlatPairIndex::read_from(&mut forged.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated array section"), "{err}");
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl HomoglyphDb {
         HomoglyphDb { simchar, uc, flat }
     }
 
+    /// Assembles the database around a prebuilt flat index — typically
+    /// one loaded with [`FlatPairIndex::read_from`] from a snapshot
+    /// produced earlier by [`FlatPairIndex::write_to`] — skipping the
+    /// interner/union-find/CSR construction entirely. The caller
+    /// asserts that `flat` was built from these exact component
+    /// databases; a mismatched snapshot makes pair queries answer for
+    /// the snapshot's universe, not `simchar`/`uc`'s.
+    pub fn from_prebuilt(simchar: SimCharDb, uc: UcDatabase, flat: FlatPairIndex) -> Self {
+        HomoglyphDb { simchar, uc, flat }
+    }
+
     /// The SimChar component.
     pub fn simchar(&self) -> &SimCharDb {
         &self.simchar

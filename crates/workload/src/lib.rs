@@ -13,15 +13,20 @@
 //! * the §6 activity funnel, Table 12/13 categories, Table 14 blacklists
 //!   and Table 11 high-traffic stars ([`webgen`]),
 //! * two overlapping corpus exports — a zone file and a flat domain list
-//!   (Table 6) — in their real file formats.
+//!   (Table 6) — in their real file formats,
+//! * a zone-diff event stream over the corpus — registrations
+//!   interleaved with reference-list churn — for driving the
+//!   incremental `DetectorSession` ingest path ([`stream`]).
 
 pub mod attacker;
 pub mod dictionary;
 pub mod domains;
+pub mod stream;
 pub mod webgen;
 
 pub use attacker::{plant, substitutes, HomographPlan, PlantedHomograph, SubClass};
 pub use domains::{benign_corpus, popularity_weight, reference_list, LANGUAGE_MIX};
+pub use stream::{event_stream, union_corpus, StreamConfig, ZoneEvent};
 pub use webgen::{
     assign, domain_list_text, plant_resolution_stars, zone_text, FunnelPlan, GroundTruth,
     SiteAssignment,

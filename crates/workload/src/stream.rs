@@ -1,0 +1,183 @@
+//! Zone-diff event streams — the driver-layer input for incremental
+//! detection.
+//!
+//! Production homograph monitoring is not a corpus pass: a TLD
+//! publishes zone-file diffs (newly-registered names trickling in),
+//! and the popularity reference list itself churns as brands trend in
+//! and out. This module turns a generated [`Workload`] into exactly
+//! that feed: a deterministic, time-ordered sequence of [`ZoneEvent`]s
+//! — registration events over the full corpus (both Table 6 exports,
+//! unioned) interleaved with reference-churn events — to be replayed
+//! into a `sham_core` `DetectorSession`.
+//!
+//! The registration *order* is a seeded shuffle of the sorted union
+//! corpus: zone diffs arrive in registration order, not alphabetical
+//! order, and a shuffled replay exercises exactly that while staying
+//! reproducible run to run.
+
+use crate::{reference_list, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sham_punycode::DomainName;
+
+/// One event of a production ingest feed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoneEvent {
+    /// A name appeared in the zone diff: a new registration.
+    Registered(DomainName),
+    /// The reference list churned: `added` stems are trending in,
+    /// `removed` stems fell out of the popularity window.
+    ReferenceChurn {
+        /// Stems entering the reference list.
+        added: Vec<String>,
+        /// Stems leaving it.
+        removed: Vec<String>,
+    },
+}
+
+/// Shape of the generated feed.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Registrations between two churn events; `0` disables churn.
+    pub churn_every: usize,
+    /// Trending stems rotating in per churn event (the same number
+    /// rotates out one event later).
+    pub churn_size: usize,
+    /// Seed for the registration-order shuffle.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { churn_every: 4_096, churn_size: 2, seed: 0x0005_7EA4 }
+    }
+}
+
+/// The union corpus of the workload's two exports (zone file + flat
+/// list), deduplicated and sorted — the same Step 1 ingestion the
+/// batch study performs, so a streamed replay and a batch run see the
+/// identical domain set.
+pub fn union_corpus(workload: &Workload) -> Vec<DomainName> {
+    let (zone, errors) = sham_dns::parse_lenient(&workload.zone_text, "com");
+    debug_assert!(errors.is_empty(), "workload zones are well-formed");
+    let (list_names, _bad) = sham_dns::parse_domain_list(&workload.domain_list_text);
+    let mut union: Vec<DomainName> = zone.owner_names().into_iter().cloned().collect();
+    union.extend(list_names);
+    union.sort();
+    union.dedup();
+    union
+}
+
+/// Generates the event feed: every union-corpus name exactly once as a
+/// [`ZoneEvent::Registered`] (in seeded-shuffle order), with a
+/// [`ZoneEvent::ReferenceChurn`] every `churn_every` registrations.
+/// Churn event `k` rotates in `churn_size` fresh trending stems (drawn
+/// from beyond the workload's reference window, so they are brand-new
+/// to the detector) and rotates out the stems event `k − 1` added —
+/// a sliding trending window over an otherwise stable list.
+pub fn event_stream(workload: &Workload, config: &StreamConfig) -> Vec<ZoneEvent> {
+    let mut corpus = union_corpus(workload);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Fisher–Yates: registration order, not alphabetical order.
+    for i in (1..corpus.len()).rev() {
+        corpus.swap(i, rng.gen_range(0..=i));
+    }
+
+    let churn_events = corpus.len().checked_div(config.churn_every).unwrap_or(0);
+    // Trending stems come from past the reference window: stems the
+    // base list does not contain. `reference_list` is not prefix-stable
+    // (mid-rank brands move with the list size), so membership is
+    // filtered explicitly rather than assumed from position.
+    let need = churn_events * config.churn_size;
+    let base: std::collections::HashSet<&String> = workload.references.iter().collect();
+    let pool: Vec<String> = reference_list(workload.references.len() + 2 * need + 8)
+        .into_iter()
+        .filter(|stem| !base.contains(stem))
+        .take(need)
+        .collect();
+    assert!(pool.len() >= need, "trending pool exhausted");
+
+    let mut events = Vec::with_capacity(corpus.len() + churn_events);
+    let mut previous: &[String] = &[];
+    for (i, name) in corpus.into_iter().enumerate() {
+        if config.churn_every > 0 && i > 0 && i % config.churn_every == 0 {
+            let k = i / config.churn_every - 1;
+            let added = &pool[k * config.churn_size..(k + 1) * config.churn_size];
+            events.push(ZoneEvent::ReferenceChurn {
+                added: added.to_vec(),
+                removed: previous.to_vec(),
+            });
+            previous = added;
+        }
+        events.push(ZoneEvent::Registered(name));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadConfig;
+
+    fn workload() -> Workload {
+        Workload::generate(WorkloadConfig::test())
+    }
+
+    #[test]
+    fn stream_replays_the_union_corpus_exactly_once() {
+        let w = workload();
+        let corpus = union_corpus(&w);
+        let events = event_stream(&w, &StreamConfig::default());
+        let mut replayed: Vec<DomainName> = events
+            .iter()
+            .filter_map(|e| match e {
+                ZoneEvent::Registered(d) => Some(d.clone()),
+                ZoneEvent::ReferenceChurn { .. } => None,
+            })
+            .collect();
+        replayed.sort();
+        assert_eq!(replayed, corpus);
+        // Determinism: same seed, same feed.
+        assert_eq!(events, event_stream(&w, &StreamConfig::default()));
+        // A different seed reorders registrations but keeps the set.
+        let other = event_stream(
+            &w,
+            &StreamConfig { seed: 1, ..StreamConfig::default() },
+        );
+        assert_ne!(events, other);
+    }
+
+    #[test]
+    fn churn_rotates_a_sliding_window() {
+        let w = workload();
+        let config = StreamConfig { churn_every: 500, churn_size: 2, seed: 9 };
+        let events = event_stream(&w, &config);
+        let churns: Vec<(&[String], &[String])> = events
+            .iter()
+            .filter_map(|e| match e {
+                ZoneEvent::ReferenceChurn { added, removed } => {
+                    Some((added.as_slice(), removed.as_slice()))
+                }
+                ZoneEvent::Registered(_) => None,
+            })
+            .collect();
+        assert!(churns.len() >= 2, "test corpus must produce churn");
+        // First churn removes nothing; each later one removes exactly
+        // what its predecessor added.
+        assert!(churns[0].1.is_empty());
+        for pair in churns.windows(2) {
+            assert_eq!(pair[0].0, pair[1].1);
+        }
+        // Trending stems are new: none is in the base reference list.
+        for (added, _) in &churns {
+            for stem in *added {
+                assert!(!w.references.contains(stem), "{stem} already referenced");
+            }
+        }
+        // Churn off ⇒ registrations only.
+        let quiet = event_stream(&w, &StreamConfig { churn_every: 0, churn_size: 0, seed: 9 });
+        assert!(quiet
+            .iter()
+            .all(|e| matches!(e, ZoneEvent::Registered(_))));
+    }
+}

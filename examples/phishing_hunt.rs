@@ -1,31 +1,60 @@
-//! Phishing hunt: the full measurement pipeline of the paper's §5–6 on a
-//! synthetic `.com` world — ingest zone + domain list, detect homographs,
-//! resolve and port-scan them, classify the live ones, and check
-//! blacklists.
+//! Phishing hunt, production-style: drive the three-layer detection
+//! stack end to end over a zone-diff event stream.
+//!
+//! The paper's §5–6 measurement is a batch pass over a zone snapshot;
+//! a production monitor instead ingests *diffs* — newly-registered
+//! names trickling in, with the popularity reference list itself
+//! churning underneath. This example wires the layers together:
+//!
+//! 1. **Index layer** — one immutable `DetectionIndex` (homoglyph
+//!    database + indexed reference list), built once and shared via
+//!    `Arc` by every pipeline below; nothing is cloned.
+//! 2. **Session layer** — a `DetectorSession` drains the feed in
+//!    bounded batches and applies reference churn incrementally.
+//! 3. **Driver layer** — `sham_workload::stream` turns the synthetic
+//!    `.com` world into the event feed (registrations + churn).
 //!
 //! ```sh
 //! cargo run --release --example phishing_hunt
 //! ```
 //!
-//! Expected output (abridged): the paper's Tables 6–13 computed over the
-//! synthetic world (~100 K domains, a few seconds in release mode):
+//! Expected output (abridged; ~100 K domains, a few seconds in
+//! release mode):
 //!
 //! ```text
-//! == Table 8: detected IDN homographs per homoglyph DB (paper: UC 436, SimChar 3,110, union 3,280) ==
-//! Homoglyph DB  Number
-//! --------------------
-//! SimChar        1,037
-//! UC               146
-//! UC ∪ SimChar   1,093
+//! ingesting 103,0xx zone-diff events (batch 1,024, churn every 4,096) …
+//!   … 50,000 events: 5xx homographs so far
+//! == streaming ingest ==
+//! events                  103,0xx
+//! reference churn events  2x (2 stems in / 2 out each)
+//! detections              1,0xx
+//! throughput              x.xM events/s
 //!
-//! == Table 9: top targeted domains … ==
-//! 1     myetherwallet.com            57
-//! 2            google.com            38
+//! == top targeted domains (streaming session) ==
+//! 1  myetherwallet.com   5x
+//! 2  google.com          3x
 //! …
+//! streaming ≡ batch cross-check: ok (identical reports)
 //! ```
+//!
+//! The cross-check at the end replays the same corpus without churn
+//! and asserts the session's report is identical to one-shot
+//! `Framework::run` — the equivalence the streaming refactor pins.
 
-use shamfinder::measure::{CharDbContext, Study};
-use shamfinder::workload::{Workload, WorkloadConfig};
+use shamfinder::core::{DetectionIndex, DetectorSession, Framework};
+use shamfinder::measure::{thousands, CharDbContext, TextTable};
+use shamfinder::punycode::DomainName;
+use shamfinder::simchar::HomoglyphDb;
+use shamfinder::workload::{
+    event_stream, union_corpus, StreamConfig, Workload, WorkloadConfig, ZoneEvent,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Registrations per session batch — the ingest granularity a zone
+/// provider's diff API would deliver.
+const BATCH: usize = 1_024;
 
 fn main() {
     // A mid-sized world: ~100k domains, ~1/3 of the paper's homograph
@@ -44,23 +73,112 @@ fn main() {
     println!("generating the synthetic .com world …");
     let workload = Workload::generate(config);
 
-    println!("running the study …\n");
-    let study = Study::run(workload, ctx.build.db.clone(), ctx.uc.clone());
+    // Layer 1: one immutable index for the whole process. Every
+    // framework and session below holds the same Arc — no HomoglyphDb
+    // clone, no re-indexed reference list.
+    let index = DetectionIndex::shared(
+        HomoglyphDb::new(ctx.build.db.clone(), ctx.uc.clone()),
+        workload.references.iter().cloned(),
+    );
+    let fw = Framework::with_shared_index(Arc::clone(&index), "com");
 
-    println!("{}", study.table6().render());
-    println!("{}", study.table8().render());
-    println!("{}", study.table9(5).render());
+    // Layer 3: the zone-diff feed.
+    let stream_config = StreamConfig::default();
+    let events = event_stream(&workload, &stream_config);
+    println!(
+        "ingesting {} zone-diff events (batch {}, churn every {}) …",
+        thousands(events.len() as u64),
+        thousands(BATCH as u64),
+        thousands(stream_config.churn_every as u64),
+    );
 
-    let analysis = study.active_analysis();
-    println!("{}", study.table10(&analysis).render());
-    let (t12, t13) = study.table12_13(&analysis);
-    println!("{}", t12.render());
-    println!("{}", t13.render());
-    println!("{}", study.table14().render());
+    // Layer 2: a streaming session drains the feed.
+    let t0 = Instant::now();
+    let mut session = fw.session();
+    let mut batch: Vec<DomainName> = Vec::with_capacity(BATCH);
+    let mut churn_events = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            ZoneEvent::Registered(name) => {
+                batch.push(name.clone());
+                if batch.len() == BATCH {
+                    session.push_domains(&batch);
+                    batch.clear();
+                }
+            }
+            ZoneEvent::ReferenceChurn { added, removed } => {
+                // Flush pending registrations first: they were observed
+                // under the pre-churn reference list.
+                session.push_domains(&batch);
+                batch.clear();
+                session.apply_reference_diff(added, removed);
+                churn_events += 1;
+            }
+        }
+        if (i + 1) % 50_000 == 0 {
+            println!(
+                "  … {} events: {} homographs so far",
+                thousands((i + 1) as u64),
+                thousands(session.detections().len() as u64)
+            );
+        }
+    }
+    session.push_domains(&batch);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let streamed = session.into_report();
 
-    // Who is being phished hardest? Rank by passive DNS.
-    println!("{}", study.table11(&analysis, 5).render());
+    let mut summary = TextTable::new("streaming ingest", &["Metric", "Value"]);
+    summary.row(&["events".into(), thousands(events.len() as u64)]);
+    summary.row(&[
+        "reference churn events".into(),
+        format!(
+            "{churn_events} ({} stems in / {} out each)",
+            stream_config.churn_size, stream_config.churn_size
+        ),
+    ]);
+    summary.row(&["domains seen".into(), thousands(streamed.total_domains as u64)]);
+    summary.row(&["IDNs matched".into(), thousands(streamed.idn_count as u64)]);
+    summary.row(&["detections".into(), thousands(streamed.detections.len() as u64)]);
+    summary.row(&[
+        "throughput".into(),
+        format!("{:.2}M events/s", events.len() as f64 / elapsed / 1e6),
+    ]);
+    println!("{}", summary.render());
 
-    // And the timing story of §4.2.
-    println!("{}", study.timing().render());
+    // Table 9's question, answered from the live session: who is being
+    // imitated hardest right now?
+    let mut per_target: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for d in &streamed.detections {
+        per_target
+            .entry(&d.reference)
+            .or_default()
+            .insert(d.idn_ascii.as_str());
+    }
+    let mut rows: Vec<(&str, usize)> =
+        per_target.into_iter().map(|(t, set)| (t, set.len())).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut top = TextTable::new(
+        "top targeted domains (streaming session)",
+        &["Rank", "Domain", "# homographs"],
+    );
+    for (i, (target, n)) in rows.into_iter().take(5).enumerate() {
+        top.row(&[(i + 1).to_string(), format!("{target}.com"), n.to_string()]);
+    }
+    println!("{}", top.render());
+
+    // Cross-check: the same corpus, streamed without churn, must fold
+    // into a report identical to one-shot batch detection — batch and
+    // streaming share one code path.
+    let corpus = union_corpus(&workload);
+    let batch_report = fw.run(&corpus);
+    let mut quiet = DetectorSession::new(Arc::clone(&index), "com");
+    for chunk in corpus.chunks(BATCH) {
+        quiet.push_domains(chunk);
+    }
+    let quiet_report = quiet.into_report();
+    assert_eq!(quiet_report, batch_report, "streaming and batch reports diverged");
+    println!(
+        "streaming ≡ batch cross-check: ok (identical reports, {} detections)",
+        thousands(batch_report.detections.len() as u64)
+    );
 }

@@ -55,7 +55,7 @@
 //!
 //! let corpus = vec![DomainName::parse("gօօgle.com").unwrap()]; // Armenian օ
 //! let report = framework.run(&corpus);
-//! assert_eq!(report.detections[0].reference, "google");
+//! assert_eq!(&*report.detections[0].reference, "google");
 //! ```
 
 pub use sham_confusables as confusables;

@@ -145,7 +145,7 @@ fn blacklisted_detected_homographs_revert_to_targets() {
     let mut checked = 0;
     for d in &w.study.detections {
         let Some(expected) = targets.get(&d.idn_ascii) else { continue };
-        if &&d.reference != expected {
+        if &*d.reference != expected.as_str() {
             continue; // multi-reference match; reverting may pick either
         }
         let reverted = shamfinder::core::revert_stem(&db, &d.idn_unicode);

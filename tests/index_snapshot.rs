@@ -1,0 +1,124 @@
+//! Serialized prebuilt index: building the flat pair index from
+//! source, snapshotting it to disk, and loading it back must be
+//! invisible to detection — bit-identical reports — and every corrupted
+//! or mismatched snapshot must be rejected before it can reach the
+//! detector. This is the CI "index snapshot roundtrip" smoke: it
+//! exercises the exact serve-path sequence (build → serialize → load →
+//! detect).
+
+use shamfinder::confusables::UcDatabase;
+use shamfinder::core::Framework;
+use shamfinder::glyph::SynthUnifont;
+use shamfinder::punycode::DomainName;
+use shamfinder::simchar::{build, BuildConfig, FlatPairIndex, HomoglyphDb, Repertoire};
+
+fn simchar() -> shamfinder::simchar::SimCharDb {
+    let font = SynthUnifont::v12();
+    build(
+        &font,
+        &BuildConfig {
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Cyrillic",
+                "Greek and Coptic",
+                "Armenian",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db
+}
+
+fn corpus() -> Vec<DomainName> {
+    [
+        "xn--ggle-55da.com",   // gооgle (Cyrillic о)
+        "xn--ggle-vifa.com",   // gօօgle (Armenian օ)
+        "xn--facbook-dya.com", // facébook
+        "xn--pypal-4ve.com",   // pаypal
+        "ordinary.com",
+        "xn--fiq228c.com", // 中文 — IDN, not a homograph
+    ]
+    .iter()
+    .map(|s| DomainName::parse(s).unwrap())
+    .collect()
+}
+
+const REFS: &[&str] = &["google", "facebook", "paypal", "amazon"];
+
+#[test]
+fn snapshot_load_detects_bit_identically_to_source_build() {
+    let simchar = simchar();
+    let uc = UcDatabase::embedded();
+
+    // Serve path: build once, snapshot to disk…
+    let built = HomoglyphDb::new(simchar.clone(), uc.clone());
+    let path = std::env::temp_dir().join(format!(
+        "shamfinder-index-{}.bin",
+        std::process::id()
+    ));
+    {
+        let mut file = std::fs::File::create(&path).expect("create snapshot");
+        built.flat().write_to(&mut file).expect("serialize index");
+    }
+
+    // …then load the prebuilt index, skipping construction entirely.
+    let loaded_flat = {
+        let mut file = std::fs::File::open(&path).expect("open snapshot");
+        FlatPairIndex::read_from(&mut file).expect("deserialize index")
+    };
+    std::fs::remove_file(&path).ok();
+    assert_eq!(&loaded_flat, built.flat(), "loaded index differs from built");
+    let loaded = HomoglyphDb::from_prebuilt(simchar.clone(), uc.clone(), loaded_flat);
+
+    // Identical detections — the whole report, order included.
+    let refs = || REFS.iter().map(|s| s.to_string());
+    let from_build = Framework::new(simchar.clone(), uc.clone(), refs(), "com");
+    let mut from_snapshot = Framework::with_shared_index(
+        shamfinder::core::DetectionIndex::shared(loaded, refs()),
+        "com",
+    )
+    .session();
+
+    let corpus = corpus();
+    let batch_report = from_build.run(&corpus);
+    assert_eq!(batch_report.detections.len(), 4);
+    from_snapshot.push_domains(&corpus);
+    assert_eq!(from_snapshot.into_report(), batch_report);
+}
+
+#[test]
+fn corrupted_and_mismatched_snapshots_are_rejected() {
+    let built = HomoglyphDb::new(simchar(), UcDatabase::embedded());
+    let mut bytes = Vec::new();
+    built.flat().write_to(&mut bytes).expect("serialize index");
+
+    // Wrong magic: a file that is not a snapshot at all.
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..8].copy_from_slice(b"NOTANIDX");
+    let err = FlatPairIndex::read_from(&mut wrong_magic.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("magic"), "{err}");
+
+    // Wrong version: a snapshot from a future format.
+    let mut wrong_version = bytes.clone();
+    wrong_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    let err = FlatPairIndex::read_from(&mut wrong_version.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("version 7"), "{err}");
+
+    // A single flipped payload bit anywhere fails the checksum.
+    for at in [28usize, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 0x10;
+        let err = FlatPairIndex::read_from(&mut corrupted.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "offset {at}");
+    }
+
+    // Truncation anywhere is an error, never a partial index.
+    for cut in [0usize, 7, 11, 27, bytes.len() - 1] {
+        assert!(
+            FlatPairIndex::read_from(&mut &bytes[..cut]).is_err(),
+            "truncated at {cut}"
+        );
+    }
+}

@@ -191,7 +191,7 @@ proptest! {
 
         prop_assert_eq!(report.detections.len(), 1, "spoof {} missed", spoof);
         let det = &report.detections[0];
-        prop_assert_eq!(&det.reference, &stem);
+        prop_assert_eq!(&*det.reference, stem.as_str());
         let positions: Vec<usize> =
             det.substitutions.iter().map(|s| s.position).collect();
         prop_assert_eq!(positions, flipped);
@@ -268,7 +268,7 @@ proptest! {
         let key = |v: Vec<Detection>| {
             let mut k: Vec<(String, String)> = v
                 .into_iter()
-                .map(|h| (h.idn_ascii, h.reference))
+                .map(|h| (h.idn_ascii, h.reference.to_string()))
                 .collect();
             k.sort();
             k

@@ -81,19 +81,30 @@ impl Drop for ThreadOverride {
 /// The worker count parallel calls will use right now: the
 /// [`set_thread_override`] value if set, else `SHAM_THREADS` from the
 /// environment, else the machine's available parallelism.
+///
+/// The environment half is resolved once and cached: `SHAM_THREADS`
+/// is process configuration, and an `env::var` plus
+/// `available_parallelism` per query is measurable overhead for
+/// callers that dispatch many small batches (the streaming detection
+/// session queries this per batch). The override fast path stays a
+/// single atomic load, so tests and benches can still flip the count
+/// at any time.
 pub fn current_num_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if forced != 0 {
         return forced;
     }
-    if let Ok(v) = std::env::var("SHAM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static ENV_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("SHAM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
 }
 
 /// Splits `[0, n)` into chunks and runs `pipeline` over them on the

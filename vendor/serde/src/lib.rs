@@ -254,6 +254,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
 // `Value` round-trips through itself, so callers can (de)serialize
 // dynamically-shaped documents (e.g. merge-on-write JSON snapshots).
 impl Serialize for Value {
