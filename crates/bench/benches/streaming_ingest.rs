@@ -1,18 +1,34 @@
-//! Streaming ingest overhead — the price of batch-at-a-time detection.
+//! Streaming ingest overhead — the price of batch-at-a-time detection,
+//! with and without the persistent worker pool.
 //!
 //! Production ingest feeds the detector zone-diff batches (64–1024
-//! names at a time) through a `DetectorSession` instead of one corpus
-//! slice through `Detector::detect`. Both run the same executor, so
-//! the only possible regression is per-batch overhead: scratch reuse,
-//! the inline single-shard path, report accumulation. This bench
-//! measures IDNs/sec over the shared 20k-IDN × 10k-reference corpus:
+//! names at a time) through a `DetectorSession` — or, for an
+//! interleaved multi-TLD feed, a `SessionRouter` fanning out to one
+//! session per TLD — instead of one corpus slice through
+//! `Detector::detect`. All paths run the same executor, so the
+//! possible regressions are per-batch overhead (scratch reuse, the
+//! inline single-shard path, report accumulation), per-domain routing
+//! overhead, and — at 2+ threads — the per-batch cost of dispatching
+//! shards to the pool, which the persistent pool amortises to a
+//! channel send instead of a thread spawn. This bench measures
+//! IDNs/sec over the shared 20k-IDN × 10k-reference corpus:
 //!
 //! * `push_64` — a session fed 64-IDN batches (the acceptance-criterion
-//!   granularity; 313 batches per pass).
+//!   granularity; 313 batches per pass; single-shard, so it stays on
+//!   the inline path at any thread count).
 //! * `push_1024` — a session fed 1024-IDN batches (zone-diff sized).
 //! * `one_shot` — the batch `CanonicalClosure` path on the same
 //!   detector, as the baseline the streaming numbers are judged
 //!   against (within 10%).
+//! * `push_1024_pool2` / `one_shot_pool2` — the same two shapes forced
+//!   to 2 worker threads, so every batch fans its shards out through
+//!   the persistent pool (~8 pool dispatches per 1024-IDN batch); the
+//!   pooled small-batch entries the PR-5 executor refactor is judged
+//!   by.
+//! * `router_3tld` — the 20k corpus as an interleaved 3-TLD
+//!   `DomainName` feed routed through a `SessionRouter` (1024-per-lane
+//!   batches): per-domain demux + TLD filtering + per-lane sessions on
+//!   top of detection.
 //!
 //! The snapshot section `streaming_ingest` lands in
 //! `BENCH_detection.json` next to `detection_throughput`'s
@@ -24,8 +40,9 @@ use sham_bench::{
     detection_corpus, measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep,
 };
 use sham_confusables::UcDatabase;
-use sham_core::{Detector, DetectorSession, Indexing};
+use sham_core::{Detector, DetectorSession, Indexing, SessionRouter};
 use sham_glyph::SynthUnifont;
+use sham_punycode::DomainName;
 use sham_simchar::{build, BuildConfig, DbSelection, HomoglyphDb, Repertoire};
 use std::sync::Arc;
 
@@ -60,11 +77,34 @@ fn stream_pass(
     session.into_report().detections.len()
 }
 
+/// The same corpus spread over `.com`/`.net`/`.org` as a parsed
+/// `DomainName` feed — the router's input shape.
+fn multi_tld_corpus(idns: &[(String, String)]) -> Vec<DomainName> {
+    const TLDS: &[&str] = &["com", "net", "org"];
+    idns.iter()
+        .enumerate()
+        .map(|(i, (_, ace))| {
+            let stem = ace.strip_suffix(".com").expect("bench corpus is .com");
+            DomainName::parse(&format!("{stem}.{}", TLDS[i % TLDS.len()]))
+                .expect("re-homed bench name parses")
+        })
+        .collect()
+}
+
+/// One routed pass: the interleaved feed demuxed into per-TLD lanes.
+fn router_pass(detector: &Detector, feed: &[DomainName]) -> usize {
+    let mut router =
+        SessionRouter::new(Arc::clone(detector.index())).with_batch_capacity(1_024);
+    router.push_domains(feed);
+    router.into_report().detection_count()
+}
+
 fn bench_streaming(c: &mut Criterion) {
     let idn_count = 20_000usize;
     let (references, idns) = detection_corpus(idn_count);
     let db = HomoglyphDb::new(simchar_db(), UcDatabase::embedded());
     let detector = Detector::new(db, references);
+    let feed = multi_tld_corpus(&idns);
 
     let mut group = c.benchmark_group("streaming_ingest");
     group.sample_size(10);
@@ -74,6 +114,20 @@ fn bench_streaming(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(stream_pass(&detector, &idns, batch)))
         });
     }
+    group.bench_function("push_1024_pool2", |b| {
+        let _pool = rayon::ThreadOverride::new(2);
+        b.iter(|| std::hint::black_box(stream_pass(&detector, &idns, 1_024)))
+    });
+    group.bench_function("one_shot_pool2", |b| {
+        let _pool = rayon::ThreadOverride::new(2);
+        b.iter(|| {
+            std::hint::black_box(
+                detector
+                    .detect(&idns, DbSelection::Union, Indexing::CanonicalClosure)
+                    .len(),
+            )
+        })
+    });
     group.bench_function("one_shot", |b| {
         b.iter(|| {
             std::hint::black_box(
@@ -83,18 +137,37 @@ fn bench_streaming(c: &mut Criterion) {
             )
         })
     });
+    group.bench_function("router_3tld", |b| {
+        b.iter(|| std::hint::black_box(router_pass(&detector, &feed)))
+    });
     group.finish();
 
     snapshot_thread_sweep(
         "streaming_ingest",
-        &["push_64", "push_1024", "one_shot"],
+        &[
+            "push_64",
+            "push_1024",
+            "one_shot",
+            "push_1024_pool2",
+            "one_shot_pool2",
+            "router_3tld",
+        ],
         |name| {
+            // The pool2 configs force 2 workers for the *whole*
+            // measurement (warm-up included), whatever the sweep's
+            // thread override is: the pool spawns once and every
+            // sampled pass reuses it — the amortisation being measured.
+            let _pool = matches!(name, "push_1024_pool2" | "one_shot_pool2")
+                .then(|| rayon::ThreadOverride::new(2));
             measure_ops_per_sec(idn_count, snapshot_samples(), || match name {
                 "push_64" => {
                     std::hint::black_box(stream_pass(&detector, &idns, 64));
                 }
-                "push_1024" => {
+                "push_1024" | "push_1024_pool2" => {
                     std::hint::black_box(stream_pass(&detector, &idns, 1_024));
+                }
+                "router_3tld" => {
+                    std::hint::black_box(router_pass(&detector, &feed));
                 }
                 _ => {
                     std::hint::black_box(

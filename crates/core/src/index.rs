@@ -128,6 +128,46 @@ impl ReferenceSet {
         self.live
     }
 
+    /// Number of tombstoned entries still occupying table slots.
+    pub(crate) fn dead_count(&self) -> usize {
+        self.names.len() - self.live
+    }
+
+    /// Rebuilds the set with tombstoned entries dropped: names, stems,
+    /// hashes and both candidate indexes are re-laid-out over the
+    /// surviving references only, in their original relative order.
+    /// The surviving `Arc<str>` names are *moved* (handle clones), so
+    /// detections already emitted — which hold their own `Arc` clones —
+    /// stay valid and still share storage with the compacted set. A
+    /// long-lived session with heavy reference churn calls this when
+    /// the dead fraction passes its threshold, bounding the otherwise
+    /// ever-growing names/stems vectors.
+    pub(crate) fn compact(&mut self) {
+        if self.dead_count() == 0 {
+            return;
+        }
+        let mut compacted = ReferenceSet::default();
+        compacted.names.reserve(self.live);
+        compacted.stems.reserve(self.live);
+        compacted.hashes.reserve(self.live);
+        for i in 0..self.names.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let idx = compacted.names.len() as u32;
+            // Survivors keep their closure hash — no re-hash — and the
+            // candidate buckets are rebuilt with the new dense indices.
+            compacted.closure_index.entry(self.hashes[i]).or_default().push(idx);
+            compacted.by_len.entry(self.stems[i].len()).or_default().push(idx);
+            compacted.names.push(Arc::clone(&self.names[i]));
+            compacted.stems.push(std::mem::take(&mut self.stems[i]));
+            compacted.hashes.push(self.hashes[i]);
+            compacted.alive.push(true);
+            compacted.live += 1;
+        }
+        *self = compacted;
+    }
+
     /// Whether reference `idx` is alive (not removed by a diff).
     #[inline]
     pub(crate) fn is_alive(&self, idx: u32) -> bool {
@@ -235,6 +275,40 @@ mod tests {
         assert_eq!(set.live_count(), 2);
         assert_eq!(set.len_bucket(3), &[1, 3]);
         assert_eq!(set.all_indices().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_preserves_name_handles() {
+        let db = db();
+        let mut set = ReferenceSet::build(
+            &db,
+            ["goo".to_string(), "foo".to_string(), "bar".to_string(), "goo".to_string()],
+        );
+        let foo_handle = Arc::clone(&set.names[1]);
+        set.remove("goo");
+        set.remove("bar");
+        assert_eq!(set.dead_count(), 3);
+
+        set.compact();
+        assert_eq!(set.dead_count(), 0);
+        assert_eq!(set.live_count(), 1);
+        assert_eq!(set.names.len(), 1);
+        assert_eq!(set.stems.len(), 1);
+        // The surviving name is the same allocation, not a copy.
+        assert!(Arc::ptr_eq(&set.names[0], &foo_handle));
+        // Buckets were re-indexed over the dense layout.
+        assert_eq!(set.len_bucket(3), &[0]);
+        assert_eq!(set.all_indices().collect::<Vec<_>>(), vec![0]);
+        let stem: Vec<u32> = "foo".chars().map(|c| c as u32).collect();
+        assert_eq!(set.closure_bucket(closure_hash(&db, &stem)), &[0]);
+
+        // Add-after-compact keeps working (fresh dense indices).
+        set.add(&db, "goo");
+        assert_eq!(set.live_count(), 2);
+        assert_eq!(set.len_bucket(3), &[0, 1]);
+        // Compacting a fully-alive set is a no-op.
+        set.compact();
+        assert_eq!(set.live_count(), 2);
     }
 
     #[test]

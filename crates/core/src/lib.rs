@@ -15,6 +15,9 @@
 //! * [`session`] — the incremental streaming layer:
 //!   [`DetectorSession`] ingests zone-diff batches and reference-list
 //!   churn, folding into the same report as a batch run.
+//! * [`router`] — the multi-TLD fan-out: [`SessionRouter`]
+//!   demultiplexes one interleaved feed into per-TLD sessions sharing
+//!   one index and merges their reports deterministically.
 //! * [`framework`] — the Steps 1–3 pipeline of Fig. 1 (a one-shot
 //!   wrapper over a session).
 //! * [`revert`] — §6.4's homograph-to-original reverting.
@@ -58,13 +61,15 @@ pub mod plagiarism;
 pub mod policy;
 pub mod registry;
 pub mod revert;
+pub mod router;
 pub mod session;
 
 pub use algorithm::{Detector, Indexing};
 pub use detection::{CharSubstitution, Detection};
 pub use framework::{Framework, FrameworkReport};
 pub use index::DetectionIndex;
-pub use session::DetectorSession;
+pub use router::{RouterReport, SessionRouter, TldReport};
+pub use session::{DetectorSession, DEFAULT_COMPACTION_THRESHOLD};
 pub use highlight::{HighlightedSubstitution, Warning};
 pub use policy::{bypasses_policy, display, Display, Policy};
 pub use plagiarism::{scan_text, similarity_gap, PlagiarismScan};

@@ -1,0 +1,464 @@
+//! Multi-TLD session routing — one interleaved zone feed, many
+//! per-TLD detection sessions.
+//!
+//! A production zone-diff feed rarely carries a single TLD: registrars
+//! and zone providers publish interleaved streams where `.com`, `.net`
+//! and country-code registrations arrive mixed together (the paper's
+//! §5 corpora are per-TLD, but its monitoring story spans them). A
+//! [`SessionRouter`] demultiplexes such a stream into one
+//! [`DetectorSession`] per TLD, all `Arc`-sharing a single
+//! [`DetectionIndex`] — the homoglyph database and indexed reference
+//! list are built once for the whole fleet, never per TLD.
+//!
+//! Routing buffers registrations per TLD and flushes each buffer as a
+//! batch once it fills (or when a reference diff / report boundary
+//! forces it), so even a feed trickling in single events drives
+//! multi-shard batches through the shared worker pool instead of
+//! per-domain detection calls. Because streaming detection is
+//! partition-invariant (see `crate::session`), buffering is
+//! unobservable in the results: the router's per-TLD reports are
+//! *identical* to running each TLD's events through its own one-shot
+//! [`Framework::run`](crate::Framework::run).
+//!
+//! Reference churn is global — popularity lists are not per-TLD — so
+//! [`SessionRouter::apply_reference_diff`] flushes every lane (pending
+//! registrations were observed under the pre-diff list) and then
+//! applies the diff to every session.
+//!
+//! Reports merge deterministically: lanes are kept sorted by TLD, and
+//! [`RouterReport`] lists per-TLD reports in that order with each
+//! lane's detections in its own event order.
+
+use crate::algorithm::Indexing;
+use crate::detection::Detection;
+use crate::framework::FrameworkReport;
+use crate::index::DetectionIndex;
+use crate::session::DetectorSession;
+use serde::{Deserialize, Serialize};
+use sham_punycode::DomainName;
+use sham_simchar::DbSelection;
+use std::sync::Arc;
+
+/// Registrations buffered per lane before a batch flush. Batches of
+/// this size shard across the worker pool; the value matches the
+/// zone-diff granularity the `phishing_hunt` example ingests.
+pub const DEFAULT_ROUTER_BATCH: usize = 1_024;
+
+/// One TLD's slice of the router: its session plus the pending
+/// registration buffer awaiting the next batch flush.
+struct RouterLane {
+    tld: String,
+    session: DetectorSession,
+    pending: Vec<DomainName>,
+}
+
+/// One TLD's slice of a [`RouterReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TldReport {
+    /// The lane's TLD (`"com"`, `"net"`, …).
+    pub tld: String,
+    /// The same report a one-shot `Framework::run` over this TLD's
+    /// events would produce.
+    pub report: FrameworkReport,
+}
+
+/// Aggregate outcome of a routed multi-TLD feed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterReport {
+    /// Per-TLD reports, sorted by TLD name.
+    pub per_tld: Vec<TldReport>,
+    /// Domains dropped because their TLD is outside the configured
+    /// lane set (always 0 for an auto-opening router).
+    pub unrouted_domains: usize,
+    /// Reference diffs applied across the fleet.
+    pub reference_diffs: usize,
+}
+
+impl RouterReport {
+    /// Total domains seen, unrouted ones included.
+    pub fn total_domains(&self) -> usize {
+        self.unrouted_domains
+            + self.per_tld.iter().map(|t| t.report.total_domains).sum::<usize>()
+    }
+
+    /// Total IDNs matched across all lanes.
+    pub fn idn_count(&self) -> usize {
+        self.per_tld.iter().map(|t| t.report.idn_count).sum()
+    }
+
+    /// Total detections across all lanes.
+    pub fn detection_count(&self) -> usize {
+        self.per_tld.iter().map(|t| t.report.detections.len()).sum()
+    }
+
+    /// All detections in deterministic order: lanes sorted by TLD, each
+    /// lane's detections in its own event order.
+    pub fn detections(&self) -> impl Iterator<Item = &Detection> {
+        self.per_tld.iter().flat_map(|t| t.report.detections.iter())
+    }
+}
+
+/// Demultiplexes one interleaved registration stream into per-TLD
+/// [`DetectorSession`]s over a shared [`DetectionIndex`].
+///
+/// ```
+/// use sham_core::{DetectionIndex, SessionRouter};
+/// use sham_confusables::UcDatabase;
+/// use sham_glyph::SynthUnifont;
+/// use sham_punycode::DomainName;
+/// use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+///
+/// let font = SynthUnifont::v12();
+/// let simchar = build(&font, &BuildConfig {
+///     repertoire: Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+///     ..BuildConfig::default()
+/// }).db;
+/// let index = DetectionIndex::shared(
+///     HomoglyphDb::new(simchar, UcDatabase::embedded()),
+///     vec!["google".to_string()],
+/// );
+/// // One index, any number of TLD lanes — opened on first sight.
+/// let mut router = SessionRouter::new(index);
+/// let feed: Vec<DomainName> = [
+///     "xn--ggle-55da.com", // gооgle under .com
+///     "ordinary.net",
+///     "xn--ggle-55da.net", // …and under .net
+/// ].iter().map(|s| DomainName::parse(s).unwrap()).collect();
+/// router.push_domains(&feed);
+/// let report = router.into_report();
+/// assert_eq!(report.per_tld.len(), 2);
+/// assert_eq!(report.detection_count(), 2);
+/// assert_eq!(report.per_tld[0].tld, "com");
+/// ```
+pub struct SessionRouter {
+    index: Arc<DetectionIndex>,
+    selection: DbSelection,
+    indexing: Indexing,
+    compact_min_dead: Option<usize>,
+    /// Lanes sorted by TLD (binary-searched on every routed domain).
+    lanes: Vec<RouterLane>,
+    /// When false, a domain whose TLD has no lane is counted as
+    /// unrouted instead of opening one.
+    auto_open: bool,
+    batch_capacity: usize,
+    unrouted: usize,
+    reference_diffs: usize,
+}
+
+impl SessionRouter {
+    /// Opens a router that creates a lane for every TLD it encounters,
+    /// with the framework defaults (union database, closure indexing).
+    pub fn new(index: Arc<DetectionIndex>) -> Self {
+        SessionRouter {
+            index,
+            selection: DbSelection::Union,
+            indexing: Indexing::CanonicalClosure,
+            compact_min_dead: None,
+            lanes: Vec::new(),
+            auto_open: true,
+            batch_capacity: DEFAULT_ROUTER_BATCH,
+            unrouted: 0,
+            reference_diffs: 0,
+        }
+    }
+
+    /// Restricts the router to a fixed lane set: the given TLDs are
+    /// opened immediately and domains of any other TLD are counted as
+    /// unrouted instead of detected.
+    pub fn with_tlds<I, S>(mut self, tlds: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for tld in tlds {
+            let tld = tld.into();
+            if let Err(at) = self.lane_position(&tld) {
+                let session = self.open_session(&tld);
+                self.lanes.insert(at, RouterLane { tld, session, pending: Vec::new() });
+            }
+        }
+        self.auto_open = false;
+        self
+    }
+
+    /// Switches the database selection for every (current and future)
+    /// lane. Builder-phase only, like the other `with_*` knobs: lanes
+    /// preopened by [`SessionRouter::with_tlds`] are reopened with the
+    /// new configuration (they have no accumulated state yet).
+    pub fn with_selection(mut self, selection: DbSelection) -> Self {
+        self.selection = selection;
+        self.reopen_lanes();
+        self
+    }
+
+    /// Switches the candidate-generation strategy for every lane.
+    pub fn with_indexing(mut self, indexing: Indexing) -> Self {
+        self.indexing = indexing;
+        self.reopen_lanes();
+        self
+    }
+
+    /// Sets every lane's overlay-compaction threshold (see
+    /// [`DetectorSession::with_compaction_threshold`]).
+    pub fn with_compaction_threshold(mut self, min_dead: usize) -> Self {
+        self.compact_min_dead = Some(min_dead);
+        self.reopen_lanes();
+        self
+    }
+
+    /// Re-creates every lane's session with the current configuration.
+    fn reopen_lanes(&mut self) {
+        let index = Arc::clone(&self.index);
+        let (selection, indexing, compact) =
+            (self.selection, self.indexing, self.compact_min_dead);
+        for lane in &mut self.lanes {
+            lane.session = Self::make_session(&index, selection, indexing, compact, &lane.tld);
+        }
+    }
+
+    /// Sets how many registrations a lane buffers before flushing them
+    /// as one batch (1 disables buffering). Batching is unobservable in
+    /// the report — it only controls how much work each detection call
+    /// hands the worker pool.
+    pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
+        self.batch_capacity = capacity.max(1);
+        self
+    }
+
+    /// The shared index every lane reads.
+    pub fn index(&self) -> &Arc<DetectionIndex> {
+        &self.index
+    }
+
+    /// The TLDs with an open lane, sorted.
+    pub fn tlds(&self) -> impl Iterator<Item = &str> {
+        self.lanes.iter().map(|l| l.tld.as_str())
+    }
+
+    /// Index of the lane for `tld`, or the insertion point.
+    fn lane_position(&self, tld: &str) -> Result<usize, usize> {
+        self.lanes.binary_search_by(|lane| lane.tld.as_str().cmp(tld))
+    }
+
+    /// A fresh session configured like this router's lanes.
+    fn open_session(&self, tld: &str) -> DetectorSession {
+        Self::make_session(&self.index, self.selection, self.indexing, self.compact_min_dead, tld)
+    }
+
+    /// [`SessionRouter::open_session`] with the configuration passed
+    /// explicitly, so callers holding disjoint borrows of the router
+    /// (lane mutation during reopen) can still use it.
+    fn make_session(
+        index: &Arc<DetectionIndex>,
+        selection: DbSelection,
+        indexing: Indexing,
+        compact_min_dead: Option<usize>,
+        tld: &str,
+    ) -> DetectorSession {
+        let session = DetectorSession::new(Arc::clone(index), tld)
+            .with_selection(selection)
+            .with_indexing(indexing);
+        match compact_min_dead {
+            Some(min_dead) => session.with_compaction_threshold(min_dead),
+            None => session,
+        }
+    }
+
+    /// Routes one slice of the interleaved feed: each domain joins its
+    /// TLD's lane (opened on first sight unless the lane set is fixed),
+    /// and any lane whose buffer reaches capacity flushes as one batch.
+    pub fn push_domains<'a>(&mut self, domains: impl IntoIterator<Item = &'a DomainName>) {
+        for domain in domains {
+            let at = match self.lane_position(domain.tld()) {
+                Ok(at) => at,
+                Err(at) if self.auto_open => {
+                    let tld = domain.tld().to_string();
+                    let session = self.open_session(&tld);
+                    self.lanes.insert(at, RouterLane { tld, session, pending: Vec::new() });
+                    at
+                }
+                Err(_) => {
+                    self.unrouted += 1;
+                    continue;
+                }
+            };
+            let lane = &mut self.lanes[at];
+            lane.pending.push(domain.clone());
+            if lane.pending.len() >= self.batch_capacity {
+                lane.session.push_domains(lane.pending.iter());
+                lane.pending.clear();
+            }
+        }
+    }
+
+    /// Flushes every lane's pending registrations through its session.
+    pub fn flush(&mut self) {
+        for lane in &mut self.lanes {
+            if !lane.pending.is_empty() {
+                lane.session.push_domains(lane.pending.iter());
+                lane.pending.clear();
+            }
+        }
+    }
+
+    /// Applies global reference churn to the whole fleet: pending
+    /// registrations are flushed first (they were observed under the
+    /// pre-diff list), then every lane's session takes the diff.
+    pub fn apply_reference_diff(&mut self, added: &[String], removed: &[String]) {
+        self.flush();
+        for lane in &mut self.lanes {
+            lane.session.apply_reference_diff(added, removed);
+        }
+        self.reference_diffs += 1;
+    }
+
+    /// Flushes and folds the current state into a [`RouterReport`]
+    /// without ending the router.
+    pub fn report(&mut self) -> RouterReport {
+        self.flush();
+        RouterReport {
+            per_tld: self
+                .lanes
+                .iter()
+                .map(|lane| TldReport { tld: lane.tld.clone(), report: lane.session.report() })
+                .collect(),
+            unrouted_domains: self.unrouted,
+            reference_diffs: self.reference_diffs,
+        }
+    }
+
+    /// Ends the router, yielding the final report without cloning the
+    /// accumulated detections.
+    pub fn into_report(mut self) -> RouterReport {
+        self.flush();
+        RouterReport {
+            per_tld: self
+                .lanes
+                .into_iter()
+                .map(|lane| TldReport { tld: lane.tld, report: lane.session.into_report() })
+                .collect(),
+            unrouted_domains: self.unrouted,
+            reference_diffs: self.reference_diffs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sham_confusables::UcDatabase;
+    use sham_glyph::SynthUnifont;
+    use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+
+    fn shared_index(refs: &[&str]) -> Arc<DetectionIndex> {
+        let font = SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        DetectionIndex::shared(
+            HomoglyphDb::new(result.db, UcDatabase::embedded()),
+            refs.iter().map(|s| s.to_string()),
+        )
+    }
+
+    fn name(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn routes_by_tld_and_reports_in_sorted_order() {
+        let index = shared_index(&["google", "paypal"]);
+        let mut router = SessionRouter::new(Arc::clone(&index)).with_batch_capacity(2);
+        router.push_domains(&[
+            name("xn--ggle-55da.net"), // gооgle under .net
+            name("ordinary.com"),
+            name("xn--pypal-4ve.org"), // pаypal under .org
+            name("xn--ggle-55da.com"),
+            name("benign.net"),
+        ]);
+        let report = router.into_report();
+        let tlds: Vec<&str> = report.per_tld.iter().map(|t| t.tld.as_str()).collect();
+        assert_eq!(tlds, ["com", "net", "org"]);
+        assert_eq!(report.total_domains(), 5);
+        assert_eq!(report.idn_count(), 3);
+        assert_eq!(report.detection_count(), 3);
+        assert_eq!(report.unrouted_domains, 0);
+        // Per-lane counts see only that TLD's slice of the feed.
+        assert_eq!(report.per_tld[0].report.total_domains, 2);
+        assert_eq!(report.per_tld[1].report.total_domains, 2);
+        assert_eq!(report.per_tld[2].report.total_domains, 1);
+        // Every lane's detections hold handles on the one shared index.
+        for d in report.detections() {
+            assert!(Arc::ptr_eq(&d.reference, &index.references()[0])
+                || Arc::ptr_eq(&d.reference, &index.references()[1]));
+        }
+    }
+
+    #[test]
+    fn fixed_lane_set_counts_unrouted_domains() {
+        let index = shared_index(&["google"]);
+        let mut router = SessionRouter::new(index).with_tlds(["com", "net"]);
+        router.push_domains(&[
+            name("xn--ggle-55da.com"),
+            name("xn--ggle-55da.xyz"), // no lane: dropped, counted
+            name("plain.net"),
+        ]);
+        let report = router.report();
+        assert_eq!(report.per_tld.len(), 2);
+        assert_eq!(report.unrouted_domains, 1);
+        assert_eq!(report.total_domains(), 3);
+        assert_eq!(report.detection_count(), 1);
+    }
+
+    #[test]
+    fn global_reference_diff_reaches_every_lane() {
+        let index = shared_index(&["google", "amazon"]);
+        let mut router = SessionRouter::new(index);
+        let com = name("xn--ggle-55da.com");
+        let net = name("xn--ggle-55da.net");
+        router.push_domains(&[com.clone(), net.clone()]);
+        // Drop google fleet-wide; later lookalikes miss on every lane.
+        router.apply_reference_diff(&[], &["google".to_string()]);
+        router.push_domains(&[com, net]);
+        let report = router.into_report();
+        assert_eq!(report.reference_diffs, 1);
+        assert_eq!(report.detection_count(), 2);
+        for lane in &report.per_tld {
+            assert_eq!(lane.report.detections.len(), 1, "{}", lane.tld);
+        }
+    }
+
+    #[test]
+    fn batching_is_unobservable() {
+        let index = shared_index(&["google", "paypal"]);
+        let feed: Vec<DomainName> = (0..40)
+            .map(|i| match i % 4 {
+                0 => name("xn--ggle-55da.com"),
+                1 => name("xn--pypal-4ve.net"),
+                2 => name("ordinary.com"),
+                _ => name("plain.net"),
+            })
+            .collect();
+        let run = |capacity: usize| {
+            let mut router =
+                SessionRouter::new(Arc::clone(&index)).with_batch_capacity(capacity);
+            for domain in &feed {
+                router.push_domains(std::iter::once(domain));
+            }
+            router.into_report()
+        };
+        let single = run(1);
+        assert_eq!(single.detection_count(), 20);
+        for capacity in [3, 7, 1_024] {
+            assert_eq!(run(capacity), single, "capacity {capacity} diverges");
+        }
+    }
+}

@@ -20,8 +20,20 @@
 //! reference-set half (names, stems and candidate buckets — *not*
 //! the flat character index, which stays shared) and subsequent diffs
 //! edit that overlay incrementally — additions append and index one
-//! entry, removals tombstone and leave the touched buckets. No rebuild
-//! of the surviving references ever happens.
+//! entry, removals tombstone and leave the touched buckets.
+//!
+//! Tombstones are reclaimed by *compaction*: when the overlay's dead
+//! entries both reach the session's threshold
+//! ([`DetectorSession::with_compaction_threshold`], default
+//! [`DEFAULT_COMPACTION_THRESHOLD`]) and outnumber the live ones, the
+//! overlay is rebuilt over the survivors — so a long-lived session
+//! under heavy reference churn stays bounded by its live reference
+//! count instead of growing with the total churn history, while the
+//! amortised per-diff cost stays O(1) (each rebuild at least halves
+//! the table). Compaction preserves the `Arc<str>` name handles that
+//! already-emitted detections share, and is observable only through
+//! [`DetectorSession::overlay_tombstones`] — detections are identical
+//! with compaction on, off, or forced after every diff.
 //!
 //! [`Framework::run`]: crate::Framework::run
 
@@ -32,6 +44,11 @@ use crate::index::{DetectionIndex, ReferenceSet};
 use sham_punycode::DomainName;
 use sham_simchar::DbSelection;
 use std::sync::Arc;
+
+/// Default minimum number of tombstoned overlay entries before a
+/// session considers compacting (they must also outnumber the live
+/// entries — see [`DetectorSession::with_compaction_threshold`]).
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 64;
 
 /// A streaming detection session over a shared [`DetectionIndex`].
 ///
@@ -62,6 +79,8 @@ pub struct DetectorSession {
     index: Arc<DetectionIndex>,
     /// Copy-on-write reference overlay; `None` until the first diff.
     overlay: Option<ReferenceSet>,
+    /// Minimum dead entries before overlay compaction can trigger.
+    compact_min_dead: usize,
     tld: String,
     selection: DbSelection,
     indexing: Indexing,
@@ -83,6 +102,7 @@ impl DetectorSession {
         DetectorSession {
             index,
             overlay: None,
+            compact_min_dead: DEFAULT_COMPACTION_THRESHOLD,
             tld: tld.to_string(),
             selection: DbSelection::Union,
             indexing: Indexing::CanonicalClosure,
@@ -103,6 +123,19 @@ impl DetectorSession {
     /// Switches the candidate-generation strategy.
     pub fn with_indexing(mut self, indexing: Indexing) -> Self {
         self.indexing = indexing;
+        self
+    }
+
+    /// Sets the overlay-compaction trigger: after a reference diff, the
+    /// copy-on-write overlay is rebuilt over its live entries once the
+    /// tombstone count reaches `min_dead` *and* the tombstones
+    /// outnumber the live entries (so each compaction at least halves
+    /// the table, keeping the amortised per-diff cost constant).
+    /// `usize::MAX` disables compaction; `0` compacts whenever the
+    /// table is at least half dead. Purely a memory/layout knob —
+    /// detections are identical at every setting.
+    pub fn with_compaction_threshold(mut self, min_dead: usize) -> Self {
+        self.compact_min_dead = min_dead;
         self
     }
 
@@ -187,6 +220,22 @@ impl DetectorSession {
         for name in added {
             overlay.add(self.index.db(), name);
         }
+        // Reclaim tombstones once they dominate the table (and pass the
+        // configured floor): heavy churn would otherwise grow the
+        // overlay's names/stems vectors without bound.
+        if overlay.dead_count() >= self.compact_min_dead
+            && overlay.dead_count() >= overlay.live_count()
+        {
+            overlay.compact();
+        }
+    }
+
+    /// Tombstoned entries currently held by the copy-on-write overlay
+    /// (0 while no diff has been applied, and again right after a
+    /// compaction). Diagnostic companion to
+    /// [`DetectorSession::with_compaction_threshold`].
+    pub fn overlay_tombstones(&self) -> usize {
+        self.overlay.as_ref().map_or(0, ReferenceSet::dead_count)
     }
 
     /// Detections accumulated so far, in push order.
@@ -292,6 +341,31 @@ mod tests {
         session.push_idns(&[idn("gооgle")]);
         assert!(session.detections().is_empty());
         assert_eq!(session.reference_count(), 0);
+    }
+
+    #[test]
+    fn compaction_triggers_at_the_threshold_and_keeps_detecting() {
+        let index = shared_index(&["google", "paypal"]);
+        let mut session = DetectorSession::new(Arc::clone(&index), "com")
+            .with_compaction_threshold(4);
+        // Churn a throwaway stem in and out: each cycle leaves one
+        // tombstone (the `add` appends a fresh entry).
+        for i in 0..3 {
+            session.apply_reference_diff(&["trending".to_string()], &[]);
+            session.apply_reference_diff(&[], &["trending".to_string()]);
+            assert_eq!(session.overlay_tombstones(), i + 1, "cycle {i}");
+        }
+        // The 4th dead entry reaches the threshold and outnumbers the
+        // 2 live references: the overlay compacts.
+        session.apply_reference_diff(&["trending".to_string()], &[]);
+        session.apply_reference_diff(&[], &["trending".to_string()]);
+        assert_eq!(session.overlay_tombstones(), 0);
+        assert_eq!(session.reference_count(), 2);
+        // Detection against the compacted overlay still works, and the
+        // emitted reference is still the shared index's allocation.
+        session.push_idns(&[idn("gооgle")]);
+        assert_eq!(session.detections().len(), 1);
+        assert!(Arc::ptr_eq(&session.detections()[0].reference, &index.references()[0]));
     }
 
     #[test]

@@ -190,6 +190,46 @@ fn twenty_k_corpus_in_64_domain_batches_at_every_thread_count() {
     }
 }
 
+/// Overlay compaction is unobservable: a session that compacts after
+/// every diff, one that compacts at the default threshold and one that
+/// never compacts fold an identical churn-heavy stream — with *real*
+/// diffs that change detections mid-stream — into identical reports.
+#[test]
+fn overlay_compaction_matches_no_compaction() {
+    let fw = framework();
+    let corpus = corpus(1_800);
+    let segments: Vec<&[sham_punycode::DomainName]> = corpus.chunks(150).collect();
+
+    let run = |threshold: usize| {
+        let mut session = fw.session().with_compaction_threshold(threshold);
+        for (i, segment) in segments.iter().enumerate() {
+            session.push_domains(*segment);
+            // Real churn: rotate a live reference out and a fresh stem
+            // in, alternating, so removals tombstone entries that
+            // genuinely carry detections.
+            let target = REFERENCES[i % REFERENCES.len()].to_string();
+            let trending = format!("trending-{i}");
+            session.apply_reference_diff(
+                std::slice::from_ref(&trending),
+                std::slice::from_ref(&target),
+            );
+            session.apply_reference_diff(&[target], &[trending]);
+        }
+        (session.overlay_tombstones(), session.into_report())
+    };
+
+    let (eager_dead, eager) = run(1); // compact whenever half-dead
+    let (default_dead, default) = run(sham_core::DEFAULT_COMPACTION_THRESHOLD);
+    let (never_dead, never) = run(usize::MAX);
+    assert_eq!(eager, never, "compaction changed the report");
+    assert_eq!(default, never);
+    assert!(eager.detections.len() > 50, "churn stream must stay detection-rich");
+    // The no-compaction session really accumulated garbage the eager
+    // one reclaimed — otherwise this test pins nothing.
+    assert!(never_dead > eager_dead, "{never_dead} vs {eager_dead}");
+    let _ = default_dead;
+}
+
 /// Real (non-no-op) diffs take effect exactly at their position in the
 /// stream: earlier detections are kept, later batches see the edited
 /// list — equivalent to running each segment against its then-current

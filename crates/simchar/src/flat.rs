@@ -147,6 +147,53 @@ impl Dsu {
 const TAG_SIMCHAR: u8 = 1;
 const TAG_UC: u8 = 2;
 
+/// Identity of the two source databases a [`FlatPairIndex`] was built
+/// from, recorded in the snapshot header so a serialized index can be
+/// checked against the databases it is loaded for.
+///
+/// * `font` digests the SimChar side: θ plus every `(a, b, Δ)` pair —
+///   anything that changes when the font (or the build repertoire /
+///   threshold) changes, since SimChar pairs are a pure function of
+///   the rendered glyphs.
+/// * `unicode` digests the UC side: every `(source, prototype)` entry —
+///   the identity of the confusables.txt revision, i.e. the Unicode
+///   version the database models.
+///
+/// A snapshot whose fingerprint differs from the databases it is
+/// mounted on is *stale* (built from another font release or another
+/// confusables revision) and must be rejected, not trusted — see
+/// [`crate::HomoglyphDb::from_prebuilt`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceFingerprint {
+    /// FNV-1a over the SimChar build (θ and the pair list).
+    pub font: u64,
+    /// FNV-1a over the UC mapping entries.
+    pub unicode: u64,
+}
+
+impl SourceFingerprint {
+    /// Digests the two component databases. Deterministic: SimChar
+    /// pairs iterate in sorted order and the UC map is a `BTreeMap`.
+    pub fn of(simchar: &SimCharDb, uc: &UcDatabase) -> SourceFingerprint {
+        let mix = |h: u64, v: u32| fnv1a_update(h, &v.to_le_bytes());
+        let mut font = mix(FNV_OFFSET, simchar.theta());
+        for (a, b, delta) in simchar.pairs() {
+            font = mix(font, a);
+            font = mix(font, b);
+            font = mix(font, u32::from(delta));
+        }
+        let mut unicode = FNV_OFFSET;
+        for (source, proto) in uc.entries() {
+            unicode = mix(unicode, source);
+            unicode = mix(unicode, proto.len() as u32);
+            for &cp in proto {
+                unicode = mix(unicode, cp);
+            }
+        }
+        SourceFingerprint { font, unicode }
+    }
+}
+
 /// The flat pair index over SimChar ∪ UC: interner, component
 /// representatives, and CSR adjacency with per-edge attribution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -161,6 +208,8 @@ pub struct FlatPairIndex {
     neighbours: Vec<u32>,
     /// Attribution parallel to `neighbours`.
     sources: Vec<PairSource>,
+    /// Identity of the source databases, carried through snapshots.
+    fingerprint: SourceFingerprint,
 }
 
 impl FlatPairIndex {
@@ -256,12 +305,25 @@ impl FlatPairIndex {
         let neighbours: Vec<u32> = directed.iter().map(|&(_, to, _)| to).collect();
         let sources: Vec<PairSource> = directed.iter().map(|&(_, _, s)| s).collect();
 
-        FlatPairIndex { interner, rep, offsets, neighbours, sources }
+        FlatPairIndex {
+            interner,
+            rep,
+            offsets,
+            neighbours,
+            sources,
+            fingerprint: SourceFingerprint::of(simchar, uc),
+        }
     }
 
     /// The interner over the pair universe.
     pub fn interner(&self) -> &CharInterner {
         &self.interner
+    }
+
+    /// Identity of the source databases this index was built from
+    /// (restored verbatim from a snapshot on load).
+    pub fn fingerprint(&self) -> SourceFingerprint {
+        self.fingerprint
     }
 
     /// Component representative of `cp`: the smallest code point
@@ -322,11 +384,15 @@ impl FlatPairIndex {
 
     /// Writes the index as a versioned, checksummed binary snapshot —
     /// see the format table in `docs/ARCHITECTURE.md`. Layout: an
-    /// 8-byte magic, a little-endian `u32` format version, the payload
-    /// length (`u64`) and an FNV-1a checksum (`u64`) over the payload,
-    /// followed by the six `u32` array sections and the attribution
-    /// byte section, each length-prefixed. Everything is flat arrays
-    /// already, so serialization is a linear copy.
+    /// 8-byte magic, a little-endian `u32` format version, the source
+    /// fingerprint (font digest `u64` + UC digest `u64` — see
+    /// [`SourceFingerprint`]), the payload length (`u64`) and an FNV-1a
+    /// checksum (`u64`) over the fingerprint fields and the payload
+    /// (so a corrupted fingerprint fails the checksum instead of
+    /// masquerading as a stale snapshot), followed by the six `u32`
+    /// array sections and the attribution byte section, each
+    /// length-prefixed. Everything is flat arrays already, so
+    /// serialization is a linear copy.
     pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
         let mut payload = Vec::with_capacity(
             4 * (self.interner.page_table.len()
@@ -358,10 +424,17 @@ impl FlatPairIndex {
             PairSource::Both => 2,
         }));
 
+        let mut digest = FNV_OFFSET;
+        digest = fnv1a_update(digest, &self.fingerprint.font.to_le_bytes());
+        digest = fnv1a_update(digest, &self.fingerprint.unicode.to_le_bytes());
+        digest = fnv1a_update(digest, &payload);
+
         writer.write_all(SNAPSHOT_MAGIC)?;
         writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        writer.write_all(&self.fingerprint.font.to_le_bytes())?;
+        writer.write_all(&self.fingerprint.unicode.to_le_bytes())?;
         writer.write_all(&(payload.len() as u64).to_le_bytes())?;
-        writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+        writer.write_all(&digest.to_le_bytes())?;
         writer.write_all(&payload)
     }
 
@@ -389,6 +462,11 @@ impl FlatPairIndex {
         }
         let mut long = [0u8; 8];
         reader.read_exact(&mut long)?;
+        let font = u64::from_le_bytes(long);
+        reader.read_exact(&mut long)?;
+        let unicode = u64::from_le_bytes(long);
+        let fingerprint = SourceFingerprint { font, unicode };
+        reader.read_exact(&mut long)?;
         let payload_len = u64::from_le_bytes(long);
         reader.read_exact(&mut long)?;
         let checksum = u64::from_le_bytes(long);
@@ -401,7 +479,11 @@ impl FlatPairIndex {
         if payload.len() as u64 != payload_len {
             return Err(bad("truncated FlatPairIndex snapshot payload"));
         }
-        if fnv1a(&payload) != checksum {
+        let mut digest = FNV_OFFSET;
+        digest = fnv1a_update(digest, &fingerprint.font.to_le_bytes());
+        digest = fnv1a_update(digest, &fingerprint.unicode.to_le_bytes());
+        digest = fnv1a_update(digest, &payload);
+        if digest != checksum {
             return Err(bad("FlatPairIndex snapshot checksum mismatch"));
         }
 
@@ -475,6 +557,7 @@ impl FlatPairIndex {
             offsets,
             neighbours,
             sources,
+            fingerprint,
         })
     }
 }
@@ -482,11 +565,15 @@ impl FlatPairIndex {
 /// Snapshot magic: identifies a serialized [`FlatPairIndex`].
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAMFIDX";
 /// Snapshot format version; bumped on any layout change.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 added the [`SourceFingerprint`] header fields.
+const SNAPSHOT_VERSION: u32 = 2;
 
-/// FNV-1a over a byte slice — the snapshot payload checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis — the checksum chain's initial state.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a state; the snapshot checksum
+/// chains the fingerprint header fields and the payload through this.
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -657,25 +744,73 @@ mod tests {
         let mut truncated = &bytes[..bytes.len() / 2];
         assert!(FlatPairIndex::read_from(&mut truncated).is_err());
 
-        // The payload-length field (LE u64 at offset 12..20) is outside
-        // the checksum: a flipped high byte claims an enormous payload.
-        // It must surface as a clean truncation error — never a huge
-        // up-front allocation or a panic.
+        // The payload-length field (LE u64 at offset 28..36, after the
+        // 16-byte fingerprint) is outside the checksum: a flipped high
+        // byte claims an enormous payload. It must surface as a clean
+        // truncation error — never a huge up-front allocation or a
+        // panic.
         let mut bad = bytes.clone();
-        bad[19] ^= 0x80;
+        bad[35] ^= 0x80;
         let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+
+        // A flipped *fingerprint* byte (offsets 12..28) is plain file
+        // corruption, not a version mismatch: it must fail the
+        // checksum here, never reach the staleness check with rebuild
+        // advice.
+        for at in [12usize, 27] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "offset {at}: {err}");
+        }
 
         // Likewise a forged section count (checksum recomputed so
         // parsing reaches it) must be bounds-checked against the bytes
         // actually present before it sizes any buffer. The payload
-        // starts at offset 28; its first u32 is the page_table count.
+        // starts at offset 44; its first u32 is the page_table count.
         let mut forged = bytes.clone();
-        forged[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
-        let digest = fnv1a(&forged[28..]);
-        forged[20..28].copy_from_slice(&digest.to_le_bytes());
+        forged[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
+        let digest = fnv1a_update(fnv1a_update(FNV_OFFSET, &forged[12..28]), &forged[44..]);
+        forged[36..44].copy_from_slice(&digest.to_le_bytes());
         let err = FlatPairIndex::read_from(&mut forged.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated array section"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_sources() {
+        let sim = simchar(&[(1, 2), (2, 3)]);
+        let uc = UcDatabase::from_mappings(parse("043E ; 006F ; MA\n").unwrap());
+        let fp = SourceFingerprint::of(&sim, &uc);
+        // Deterministic, and sensitive to each half independently.
+        assert_eq!(fp, SourceFingerprint::of(&sim, &uc));
+        let other_font = SourceFingerprint::of(&simchar(&[(1, 2), (2, 4)]), &uc);
+        assert_eq!(other_font.unicode, fp.unicode);
+        assert_ne!(other_font.font, fp.font);
+        let other_uc = SourceFingerprint::of(
+            &sim,
+            &UcDatabase::from_mappings(parse("03BF ; 006F ; MA\n").unwrap()),
+        );
+        assert_eq!(other_uc.font, fp.font);
+        assert_ne!(other_uc.unicode, fp.unicode);
+        // θ alone changes the font digest (same pair list).
+        let retuned = SimCharDb::from_pairs(
+            [(1u32, 2u32), (2, 3)].iter().map(|&(a, b)| Pair { a, b, delta: 1 }).collect(),
+            7,
+        );
+        assert_ne!(SourceFingerprint::of(&retuned, &uc).font, fp.font);
+    }
+
+    #[test]
+    fn snapshot_carries_the_fingerprint() {
+        let sim = simchar(&[('o' as u32, 0x043E)]);
+        let uc = UcDatabase::from_mappings(parse("043E ; 006F ; MA\n").unwrap());
+        let idx = FlatPairIndex::build(&sim, &uc);
+        assert_eq!(idx.fingerprint(), SourceFingerprint::of(&sim, &uc));
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        let back = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.fingerprint(), idx.fingerprint());
     }
 
     #[test]

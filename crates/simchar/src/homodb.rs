@@ -14,10 +14,11 @@
 //! Δ) — the hot path never touches them.
 
 use crate::db::SimCharDb;
-use crate::flat::FlatPairIndex;
+use crate::flat::{FlatPairIndex, SourceFingerprint};
 use serde::{Deserialize, Serialize};
 use sham_confusables::UcDatabase;
 use std::collections::BTreeSet;
+use std::io;
 
 /// Which database(s) attest a homoglyph pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,12 +64,46 @@ impl HomoglyphDb {
     /// Assembles the database around a prebuilt flat index — typically
     /// one loaded with [`FlatPairIndex::read_from`] from a snapshot
     /// produced earlier by [`FlatPairIndex::write_to`] — skipping the
-    /// interner/union-find/CSR construction entirely. The caller
-    /// asserts that `flat` was built from these exact component
-    /// databases; a mismatched snapshot makes pair queries answer for
-    /// the snapshot's universe, not `simchar`/`uc`'s.
-    pub fn from_prebuilt(simchar: SimCharDb, uc: UcDatabase, flat: FlatPairIndex) -> Self {
-        HomoglyphDb { simchar, uc, flat }
+    /// interner/union-find/CSR construction entirely.
+    ///
+    /// The snapshot's recorded [`SourceFingerprint`] is checked against
+    /// the component databases actually supplied: a *stale* snapshot —
+    /// built from a different font release (SimChar digest mismatch) or
+    /// a different confusables revision (UC digest mismatch) — is
+    /// rejected with a descriptive [`io::ErrorKind::InvalidData`]
+    /// error instead of trusted, because its pair universe would answer
+    /// queries for databases the process is not running.
+    pub fn from_prebuilt(
+        simchar: SimCharDb,
+        uc: UcDatabase,
+        flat: FlatPairIndex,
+    ) -> io::Result<Self> {
+        let expected = SourceFingerprint::of(&simchar, &uc);
+        let recorded = flat.fingerprint();
+        if recorded != expected {
+            let mut stale = Vec::new();
+            if recorded.font != expected.font {
+                stale.push("SimChar/font build");
+            }
+            if recorded.unicode != expected.unicode {
+                stale.push("UC confusables revision");
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "stale FlatPairIndex snapshot: recorded source fingerprint \
+                     (font {:#018x}, unicode {:#018x}) does not match the supplied \
+                     databases (font {:#018x}, unicode {:#018x}) — mismatched: {}. \
+                     Rebuild the snapshot with `shamfinder index build`.",
+                    recorded.font,
+                    recorded.unicode,
+                    expected.font,
+                    expected.unicode,
+                    stale.join(" and "),
+                ),
+            ));
+        }
+        Ok(HomoglyphDb { simchar, uc, flat })
     }
 
     /// The SimChar component.
@@ -229,6 +264,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_prebuilt_accepts_matching_and_rejects_stale_snapshots() {
+        let db = db();
+        let (sim, uc) = (db.simchar().clone(), db.uc().clone());
+
+        // Round trip against the same sources: accepted, identical
+        // answers.
+        let mut bytes = Vec::new();
+        db.flat().write_to(&mut bytes).unwrap();
+        let flat = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
+        let mounted = HomoglyphDb::from_prebuilt(sim.clone(), uc.clone(), flat).unwrap();
+        assert!(mounted.is_pair('o' as u32, 0x0585));
+
+        // A snapshot from a different font build: rejected, naming the
+        // stale half.
+        let other_sim = SimCharDb::from_pairs(
+            vec![Pair { a: 'o' as u32, b: 0x0585, delta: 1 }],
+            4,
+        );
+        let stale = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
+        let err = HomoglyphDb::from_prebuilt(other_sim, uc.clone(), stale).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("stale"), "{err}");
+        assert!(err.to_string().contains("SimChar/font build"), "{err}");
+
+        // A snapshot from a different confusables revision likewise.
+        let other_uc = UcDatabase::from_mappings(parse("03BF ; 006F ; MA\n").unwrap());
+        let stale = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
+        let err = HomoglyphDb::from_prebuilt(sim, other_uc, stale).unwrap_err();
+        assert!(err.to_string().contains("UC confusables revision"), "{err}");
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub mod webgen;
 
 pub use attacker::{plant, substitutes, HomographPlan, PlantedHomograph, SubClass};
 pub use domains::{benign_corpus, popularity_weight, reference_list, LANGUAGE_MIX};
-pub use stream::{event_stream, union_corpus, StreamConfig, ZoneEvent};
+pub use stream::{
+    event_stream, multi_tld_event_stream, union_corpus, MultiTldConfig, StreamConfig, ZoneEvent,
+};
 pub use webgen::{
     assign, domain_list_text, plant_resolution_stars, zone_text, FunnelPlan, GroundTruth,
     SiteAssignment,

@@ -114,6 +114,72 @@ pub fn event_stream(workload: &Workload, config: &StreamConfig) -> Vec<ZoneEvent
     events
 }
 
+/// Shape of a multi-TLD feed: the single-TLD feed parameters plus the
+/// TLD set registrations are spread across.
+#[derive(Debug, Clone)]
+pub struct MultiTldConfig {
+    /// Registration order, churn cadence and seed of the base feed.
+    pub base: StreamConfig,
+    /// TLDs the interleaved feed carries; each registration is assigned
+    /// one (seeded, so the assignment is reproducible).
+    pub tlds: Vec<String>,
+}
+
+impl Default for MultiTldConfig {
+    fn default() -> Self {
+        MultiTldConfig {
+            base: StreamConfig::default(),
+            tlds: vec!["com".to_string(), "net".to_string(), "org".to_string()],
+        }
+    }
+}
+
+/// Generates an *interleaved multi-TLD* feed: the same seeded-shuffle
+/// registration order and sliding churn window as [`event_stream`],
+/// but each registered name is re-homed onto one of `config.tlds`
+/// (seeded draw per registration, weighted toward the first TLD the
+/// way real zones skew toward `.com` — the first entry gets as many
+/// draws as the rest combined). Reference churn stays global: one
+/// popularity list serves every TLD, which is exactly the sharing the
+/// `sham_core` `SessionRouter` exploits.
+///
+/// The multiset of registered *stems* is identical to the single-TLD
+/// feed's, so per-TLD slices of this feed partition the union corpus —
+/// the equivalence the router cross-check in
+/// `examples/phishing_hunt.rs` pins.
+pub fn multi_tld_event_stream(
+    workload: &Workload,
+    config: &MultiTldConfig,
+) -> Vec<ZoneEvent> {
+    assert!(!config.tlds.is_empty(), "a feed needs at least one TLD");
+    let mut rng = StdRng::seed_from_u64(config.base.seed ^ 0x71D5_F00D);
+    event_stream(workload, &config.base)
+        .into_iter()
+        .map(|event| match event {
+            ZoneEvent::ReferenceChurn { .. } => event,
+            ZoneEvent::Registered(name) => {
+                // Index 0 is drawn with probability exactly 1/2 (zone
+                // skew), the remaining TLDs uniformly with 1/(2(k−1)).
+                let tld = if config.tlds.len() == 1 {
+                    config.tlds[0].as_str()
+                } else {
+                    let rest = config.tlds.len() - 1;
+                    let draw = rng.gen_range(0..2 * rest);
+                    if draw < rest {
+                        config.tlds[0].as_str()
+                    } else {
+                        config.tlds[draw - rest + 1].as_str()
+                    }
+                };
+                let stem = name.without_tld().expect("corpus names have a TLD");
+                let rehomed = DomainName::parse(&format!("{stem}.{tld}"))
+                    .expect("re-homing a valid name onto a valid TLD stays valid");
+                ZoneEvent::Registered(rehomed)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +245,46 @@ mod tests {
         assert!(quiet
             .iter()
             .all(|e| matches!(e, ZoneEvent::Registered(_))));
+    }
+
+    #[test]
+    fn multi_tld_feed_rehomes_stems_without_losing_any() {
+        let w = workload();
+        let config = MultiTldConfig::default();
+        let events = multi_tld_event_stream(&w, &config);
+        // Deterministic: same config, same feed.
+        assert_eq!(events, multi_tld_event_stream(&w, &config));
+
+        // Same stem multiset as the single-TLD feed, every TLD from the
+        // configured set actually used, nothing else.
+        let mut stems: Vec<String> = Vec::new();
+        let mut seen_tlds: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        for event in &events {
+            if let ZoneEvent::Registered(d) = event {
+                stems.push(d.without_tld().unwrap().to_string());
+                seen_tlds.insert(d.tld().to_string());
+            }
+        }
+        stems.sort();
+        let mut base_stems: Vec<String> = union_corpus(&w)
+            .iter()
+            .map(|d| d.without_tld().unwrap().to_string())
+            .collect();
+        base_stems.sort();
+        assert_eq!(stems, base_stems);
+        let expected: std::collections::BTreeSet<String> =
+            config.tlds.iter().cloned().collect();
+        assert_eq!(seen_tlds, expected);
+
+        // Churn events ride through untouched (same cadence + windows).
+        let churn_of = |events: &[ZoneEvent]| {
+            events
+                .iter()
+                .filter(|e| matches!(e, ZoneEvent::ReferenceChurn { .. }))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(churn_of(&events), churn_of(&event_stream(&w, &config.base)));
     }
 }

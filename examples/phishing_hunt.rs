@@ -1,18 +1,24 @@
-//! Phishing hunt, production-style: drive the three-layer detection
-//! stack end to end over a zone-diff event stream.
+//! Phishing hunt, production-style: drive the four-layer detection
+//! stack end to end over an *interleaved multi-TLD* zone-diff stream.
 //!
-//! The paper's §5–6 measurement is a batch pass over a zone snapshot;
-//! a production monitor instead ingests *diffs* — newly-registered
-//! names trickling in, with the popularity reference list itself
-//! churning underneath. This example wires the layers together:
+//! The paper's §5–6 measurement is a batch pass over one TLD's zone
+//! snapshot; a production monitor instead ingests diffs from several
+//! TLD feeds at once — newly-registered `.com`/`.net`/`.org` names
+//! arriving mixed together, with the popularity reference list
+//! churning globally underneath. This example wires the layers
+//! together:
 //!
 //! 1. **Index layer** — one immutable `DetectionIndex` (homoglyph
 //!    database + indexed reference list), built once and shared via
-//!    `Arc` by every pipeline below; nothing is cloned.
-//! 2. **Session layer** — a `DetectorSession` drains the feed in
-//!    bounded batches and applies reference churn incrementally.
-//! 3. **Driver layer** — `sham_workload::stream` turns the synthetic
-//!    `.com` world into the event feed (registrations + churn).
+//!    `Arc` by every per-TLD pipeline; nothing is cloned.
+//! 2. **Router layer** — a `SessionRouter` demultiplexes the
+//!    interleaved feed into one `DetectorSession` per TLD, buffering
+//!    registrations into batches that shard across the persistent
+//!    worker pool (`SHAM_THREADS` sizes it).
+//! 3. **Session layer** — each lane ingests its batches and the
+//!    global reference churn incrementally.
+//! 4. **Driver layer** — `sham_workload::stream` turns the synthetic
+//!    world into the multi-TLD event feed.
 //!
 //! ```sh
 //! cargo run --release --example phishing_hunt
@@ -22,38 +28,40 @@
 //! release mode):
 //!
 //! ```text
-//! ingesting 103,0xx zone-diff events (batch 1,024, churn every 4,096) …
-//!   … 50,000 events: 5xx homographs so far
-//! == streaming ingest ==
-//! events                  103,0xx
-//! reference churn events  2x (2 stems in / 2 out each)
-//! detections              1,0xx
+//! ingesting 103,0xx zone-diff events across 3 TLDs (batch 1,024, churn every 4,096) …
+//! == routed multi-TLD ingest ==
+//! TLD    domains    IDNs    detections
+//! com    5x,xxx     2,xxx   5xx
+//! net    2x,xxx     1,xxx   2xx
+//! org    2x,xxx     1,xxx   2xx
+//! total  103,0xx    4,xxx   1,0xx
 //! throughput              x.xM events/s
 //!
-//! == top targeted domains (streaming session) ==
-//! 1  myetherwallet.com   5x
-//! 2  google.com          3x
+//! == top targeted domains (all lanes) ==
+//! 1  myetherwallet   5x
 //! …
-//! streaming ≡ batch cross-check: ok (identical reports)
+//! router ≡ per-TLD batch cross-check: ok (3 lanes identical)
 //! ```
 //!
-//! The cross-check at the end replays the same corpus without churn
-//! and asserts the session's report is identical to one-shot
-//! `Framework::run` — the equivalence the streaming refactor pins.
+//! The cross-check at the end replays the same feed without churn and
+//! asserts each lane's report is identical to a one-shot
+//! `Framework::run` over that TLD's slice of the corpus — the
+//! equivalence the router refactor pins (see
+//! `crates/core/tests/router_equivalence.rs`).
 
-use shamfinder::core::{DetectionIndex, DetectorSession, Framework};
+use shamfinder::core::{DetectionIndex, Framework, SessionRouter};
 use shamfinder::measure::{thousands, CharDbContext, TextTable};
 use shamfinder::punycode::DomainName;
 use shamfinder::simchar::HomoglyphDb;
 use shamfinder::workload::{
-    event_stream, union_corpus, StreamConfig, Workload, WorkloadConfig, ZoneEvent,
+    multi_tld_event_stream, MultiTldConfig, Workload, WorkloadConfig, ZoneEvent,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Registrations per session batch — the ingest granularity a zone
-/// provider's diff API would deliver.
+/// Registrations a router lane buffers before one batch flush — the
+/// ingest granularity a zone provider's diff API would deliver.
 const BATCH: usize = 1_024;
 
 fn main() {
@@ -70,85 +78,82 @@ fn main() {
     println!("building homoglyph databases …");
     let ctx = CharDbContext::create();
 
-    println!("generating the synthetic .com world …");
+    println!("generating the synthetic multi-TLD world …");
     let workload = Workload::generate(config);
 
-    // Layer 1: one immutable index for the whole process. Every
-    // framework and session below holds the same Arc — no HomoglyphDb
-    // clone, no re-indexed reference list.
+    // Layer 1: one immutable index for the whole process. Every lane
+    // the router opens below holds the same Arc — no HomoglyphDb
+    // clone, no re-indexed reference list, however many TLDs arrive.
     let index = DetectionIndex::shared(
         HomoglyphDb::new(ctx.build.db.clone(), ctx.uc.clone()),
         workload.references.iter().cloned(),
     );
-    let fw = Framework::with_shared_index(Arc::clone(&index), "com");
 
-    // Layer 3: the zone-diff feed.
-    let stream_config = StreamConfig::default();
-    let events = event_stream(&workload, &stream_config);
+    // Layer 4: the interleaved .com/.net/.org zone-diff feed.
+    let feed = MultiTldConfig::default();
+    let events = multi_tld_event_stream(&workload, &feed);
     println!(
-        "ingesting {} zone-diff events (batch {}, churn every {}) …",
+        "ingesting {} zone-diff events across {} TLDs (batch {}, churn every {}) …",
         thousands(events.len() as u64),
+        feed.tlds.len(),
         thousands(BATCH as u64),
-        thousands(stream_config.churn_every as u64),
+        thousands(feed.base.churn_every as u64),
     );
 
-    // Layer 2: a streaming session drains the feed.
+    // Layers 2–3: the router demultiplexes the feed into per-TLD
+    // sessions and batches each lane through the shared worker pool.
     let t0 = Instant::now();
-    let mut session = fw.session();
-    let mut batch: Vec<DomainName> = Vec::with_capacity(BATCH);
+    let mut router = SessionRouter::new(Arc::clone(&index)).with_batch_capacity(BATCH);
     let mut churn_events = 0usize;
-    for (i, event) in events.iter().enumerate() {
+    for event in &events {
         match event {
             ZoneEvent::Registered(name) => {
-                batch.push(name.clone());
-                if batch.len() == BATCH {
-                    session.push_domains(&batch);
-                    batch.clear();
-                }
+                router.push_domains(std::iter::once(name));
             }
             ZoneEvent::ReferenceChurn { added, removed } => {
-                // Flush pending registrations first: they were observed
-                // under the pre-churn reference list.
-                session.push_domains(&batch);
-                batch.clear();
-                session.apply_reference_diff(added, removed);
+                // Global churn: flushes every lane (pending names were
+                // observed under the pre-churn list), then edits every
+                // session's overlay.
+                router.apply_reference_diff(added, removed);
                 churn_events += 1;
             }
         }
-        if (i + 1) % 50_000 == 0 {
-            println!(
-                "  … {} events: {} homographs so far",
-                thousands((i + 1) as u64),
-                thousands(session.detections().len() as u64)
-            );
-        }
     }
-    session.push_domains(&batch);
+    let report = router.into_report();
     let elapsed = t0.elapsed().as_secs_f64();
-    let streamed = session.into_report();
 
-    let mut summary = TextTable::new("streaming ingest", &["Metric", "Value"]);
-    summary.row(&["events".into(), thousands(events.len() as u64)]);
+    let mut summary = TextTable::new(
+        "routed multi-TLD ingest",
+        &["TLD", "Domains", "IDNs", "Detections"],
+    );
+    for lane in &report.per_tld {
+        summary.row(&[
+            lane.tld.clone(),
+            thousands(lane.report.total_domains as u64),
+            thousands(lane.report.idn_count as u64),
+            thousands(lane.report.detections.len() as u64),
+        ]);
+    }
     summary.row(&[
-        "reference churn events".into(),
-        format!(
-            "{churn_events} ({} stems in / {} out each)",
-            stream_config.churn_size, stream_config.churn_size
-        ),
-    ]);
-    summary.row(&["domains seen".into(), thousands(streamed.total_domains as u64)]);
-    summary.row(&["IDNs matched".into(), thousands(streamed.idn_count as u64)]);
-    summary.row(&["detections".into(), thousands(streamed.detections.len() as u64)]);
-    summary.row(&[
-        "throughput".into(),
-        format!("{:.2}M events/s", events.len() as f64 / elapsed / 1e6),
+        "total".into(),
+        thousands(report.total_domains() as u64),
+        thousands(report.idn_count() as u64),
+        thousands(report.detection_count() as u64),
     ]);
     println!("{}", summary.render());
+    println!(
+        "reference churn: {churn_events} events ({} stems in / {} out each)",
+        feed.base.churn_size, feed.base.churn_size
+    );
+    println!(
+        "throughput: {:.2}M events/s\n",
+        events.len() as f64 / elapsed / 1e6
+    );
 
-    // Table 9's question, answered from the live session: who is being
-    // imitated hardest right now?
+    // Table 9's question, answered fleet-wide from the live lanes: who
+    // is being imitated hardest right now, across every TLD?
     let mut per_target: HashMap<&str, HashSet<&str>> = HashMap::new();
-    for d in &streamed.detections {
+    for d in report.detections() {
         per_target
             .entry(&d.reference)
             .or_default()
@@ -158,27 +163,37 @@ fn main() {
         per_target.into_iter().map(|(t, set)| (t, set.len())).collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
     let mut top = TextTable::new(
-        "top targeted domains (streaming session)",
-        &["Rank", "Domain", "# homographs"],
+        "top targeted domains (all lanes)",
+        &["Rank", "Reference", "# homographs"],
     );
     for (i, (target, n)) in rows.into_iter().take(5).enumerate() {
-        top.row(&[(i + 1).to_string(), format!("{target}.com"), n.to_string()]);
+        top.row(&[(i + 1).to_string(), target.to_string(), n.to_string()]);
     }
     println!("{}", top.render());
 
-    // Cross-check: the same corpus, streamed without churn, must fold
-    // into a report identical to one-shot batch detection — batch and
-    // streaming share one code path.
-    let corpus = union_corpus(&workload);
-    let batch_report = fw.run(&corpus);
-    let mut quiet = DetectorSession::new(Arc::clone(&index), "com");
-    for chunk in corpus.chunks(BATCH) {
-        quiet.push_domains(chunk);
+    // Cross-check: replay the registrations without churn through a
+    // fresh router, and demand each lane's report be *identical* to a
+    // one-shot `Framework::run` over that TLD's slice of the feed —
+    // routing and batching must be unobservable in the results.
+    let mut quiet = SessionRouter::new(Arc::clone(&index)).with_batch_capacity(BATCH);
+    let mut per_tld_corpus: HashMap<&str, Vec<DomainName>> = HashMap::new();
+    for event in &events {
+        if let ZoneEvent::Registered(name) = event {
+            quiet.push_domains(std::iter::once(name));
+            per_tld_corpus.entry(name.tld()).or_default().push(name.clone());
+        }
     }
-    let quiet_report = quiet.into_report();
-    assert_eq!(quiet_report, batch_report, "streaming and batch reports diverged");
+    let routed = quiet.into_report();
+    assert_eq!(routed.per_tld.len(), per_tld_corpus.len());
+    for lane in &routed.per_tld {
+        let corpus = &per_tld_corpus[lane.tld.as_str()];
+        let fw = Framework::with_shared_index(Arc::clone(&index), &lane.tld);
+        let batch = fw.run(corpus);
+        assert_eq!(lane.report, batch, "lane .{} diverged from batch run", lane.tld);
+    }
     println!(
-        "streaming ≡ batch cross-check: ok (identical reports, {} detections)",
-        thousands(batch_report.detections.len() as u64)
+        "router ≡ per-TLD batch cross-check: ok ({} lanes identical, {} detections)",
+        routed.per_tld.len(),
+        thousands(routed.detection_count() as u64)
     );
 }

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! shamfinder build-db [--theta N] [--out FILE]     build SimChar, print stats
+//! shamfinder index build <out> [--theta N]         snapshot the flat pair index
+//! shamfinder index load <path> [--theta N]         mount + verify a snapshot
 //! shamfinder check <domain> [--refs a,b,c]         check one domain
 //! shamfinder scan <zone-file> [--tld com] [--refs-file FILE]
 //! shamfinder revert <idn>                          map an IDN back to LDH
@@ -17,6 +19,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  shamfinder build-db [--theta N] [--out FILE]\n  \
+         shamfinder index build <out> [--theta N]\n  \
+         shamfinder index load <path> [--theta N]\n  \
          shamfinder check <domain> [--refs a,b,c]\n  \
          shamfinder scan <zone-file> [--tld com] [--refs-file FILE]\n  \
          shamfinder revert <idn-or-stem>\n  \
@@ -74,6 +78,94 @@ fn cmd_build_db(args: &[String]) -> ExitCode {
         println!("exported to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// `index build <out>` / `index load <path>`: the serve-path snapshot
+/// round trip. `build` serializes the flat pair index (interner +
+/// union-find closure + CSR, with its source fingerprint) so later
+/// processes skip that construction; `load` mounts a snapshot back
+/// onto freshly built component databases, which also *verifies* it —
+/// a snapshot from another font build or confusables revision is
+/// rejected with the fingerprint mismatch error instead of trusted.
+fn cmd_index(args: &[String]) -> ExitCode {
+    let (Some(action), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    // The library default, not a literal: a retuned DEFAULT_THETA must
+    // keep `index build`/`load` fingerprint-compatible with library
+    // builds.
+    let theta = flag_value(args, "--theta")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(shamfinder::simchar::DEFAULT_THETA);
+    match action.as_str() {
+        "build" => {
+            let db = build_db(theta);
+            let flat = db.flat();
+            let mut bytes = Vec::new();
+            if let Err(e) = flat.write_to(&mut bytes) {
+                eprintln!("error: cannot serialize index: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let fp = flat.fingerprint();
+            println!("snapshot: {path} ({} bytes)", bytes.len());
+            println!("characters: {}", flat.char_count());
+            println!("pairs: {}", flat.pair_count());
+            println!("components: {}", flat.component_count());
+            println!(
+                "fingerprint: font {:#018x} / unicode {:#018x}",
+                fp.font, fp.unicode
+            );
+            ExitCode::SUCCESS
+        }
+        "load" => {
+            let mut file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let flat = match shamfinder::simchar::FlatPairIndex::read_from(&mut file) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    eprintln!("error: invalid snapshot {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Mounting validates the recorded fingerprint against the
+            // databases this binary would build (same θ ⇒ same pairs).
+            eprintln!("[shamfinder] rebuilding component databases for verification …");
+            let font = SynthUnifont::v12();
+            let result = build(&font, &BuildConfig { theta, ..BuildConfig::default() });
+            let db = match HomoglyphDb::from_prebuilt(
+                result.db,
+                UcDatabase::embedded(),
+                flat,
+            ) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let flat = db.flat();
+            let fp = flat.fingerprint();
+            println!("snapshot {path}: ok (fingerprint verified)");
+            println!("characters: {}", flat.char_count());
+            println!("pairs: {}", flat.pair_count());
+            println!("components: {}", flat.component_count());
+            println!(
+                "fingerprint: font {:#018x} / unicode {:#018x}",
+                fp.font, fp.unicode
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -248,6 +340,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     match command.as_str() {
         "build-db" => cmd_build_db(rest),
+        "index" => cmd_index(rest),
         "check" => cmd_check(rest),
         "scan" => cmd_scan(rest),
         "revert" => cmd_revert(rest),

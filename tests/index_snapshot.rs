@@ -69,7 +69,8 @@ fn snapshot_load_detects_bit_identically_to_source_build() {
     };
     std::fs::remove_file(&path).ok();
     assert_eq!(&loaded_flat, built.flat(), "loaded index differs from built");
-    let loaded = HomoglyphDb::from_prebuilt(simchar.clone(), uc.clone(), loaded_flat);
+    let loaded = HomoglyphDb::from_prebuilt(simchar.clone(), uc.clone(), loaded_flat)
+        .expect("matching sources must mount");
 
     // Identical detections — the whole report, order included.
     let refs = || REFS.iter().map(|s| s.to_string());
@@ -106,8 +107,10 @@ fn corrupted_and_mismatched_snapshots_are_rejected() {
     let err = FlatPairIndex::read_from(&mut wrong_version.as_slice()).unwrap_err();
     assert!(err.to_string().contains("version 7"), "{err}");
 
-    // A single flipped payload bit anywhere fails the checksum.
-    for at in [28usize, bytes.len() / 2, bytes.len() - 1] {
+    // A single flipped bit in the fingerprint fields (12..28) or the
+    // payload (from offset 44) fails the checksum — corruption is
+    // reported as corruption, never as a staleness mismatch.
+    for at in [12usize, 27, 44, bytes.len() / 2, bytes.len() - 1] {
         let mut corrupted = bytes.clone();
         corrupted[at] ^= 0x10;
         let err = FlatPairIndex::read_from(&mut corrupted.as_slice()).unwrap_err();
@@ -115,10 +118,50 @@ fn corrupted_and_mismatched_snapshots_are_rejected() {
     }
 
     // Truncation anywhere is an error, never a partial index.
-    for cut in [0usize, 7, 11, 27, bytes.len() - 1] {
+    for cut in [0usize, 7, 11, 27, 43, bytes.len() - 1] {
         assert!(
             FlatPairIndex::read_from(&mut &bytes[..cut]).is_err(),
             "truncated at {cut}"
         );
     }
+}
+
+#[test]
+fn stale_snapshots_are_rejected_on_mount() {
+    // Snapshot the v12-font index…
+    let uc = UcDatabase::embedded();
+    let built = HomoglyphDb::new(simchar(), uc.clone());
+    let mut bytes = Vec::new();
+    built.flat().write_to(&mut bytes).expect("serialize index");
+
+    // …then try to mount it over a *different* SimChar build (a
+    // stricter θ — exactly what a font or threshold upgrade produces).
+    // The recorded source fingerprint no longer matches and the mount
+    // must fail descriptively instead of serving the wrong pair
+    // universe.
+    let font = SynthUnifont::v12();
+    let retuned_simchar = build(
+        &font,
+        &BuildConfig {
+            theta: 2,
+            repertoire: Repertoire::Blocks(vec![
+                "Basic Latin",
+                "Latin-1 Supplement",
+                "Cyrillic",
+                "Greek and Coptic",
+                "Armenian",
+            ]),
+            ..BuildConfig::default()
+        },
+    )
+    .db;
+    let loaded = FlatPairIndex::read_from(&mut bytes.as_slice()).expect("well-formed bytes");
+    let err = HomoglyphDb::from_prebuilt(retuned_simchar, uc.clone(), loaded).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("stale"), "{err}");
+    assert!(err.to_string().contains("SimChar/font build"), "{err}");
+
+    // The same bytes still mount fine over the matching sources.
+    let loaded = FlatPairIndex::read_from(&mut bytes.as_slice()).expect("well-formed bytes");
+    assert!(HomoglyphDb::from_prebuilt(simchar(), uc, loaded).is_ok());
 }

@@ -9,12 +9,23 @@
 //! base index space `[0, n)` into contiguous chunks (about four per
 //! worker, never smaller than [`ParallelIterator::min_len`], tunable via
 //! [`IndexedParallelIterator::with_min_len`]), then drives the chunks
-//! from a [`std::thread::scope`] worker pool. Workers claim chunks from a
-//! shared atomic counter (cheap work splitting — no stealing, which is
-//! enough because chunks outnumber workers), run the composed adapter
-//! pipeline over their chunk, and buffer the produced items in a
-//! per-chunk `Vec`. After the scope joins, the chunk buffers are
-//! concatenated in chunk order.
+//! over a **persistent, lazily-started worker pool**. The calling thread
+//! always participates; pool workers receive one type-erased job handle
+//! each through a channel and join the same chunk-claiming loop. Chunks
+//! are claimed from a shared atomic counter (cheap work splitting — no
+//! stealing, which is enough because chunks outnumber workers), each
+//! worker runs the composed adapter pipeline over its chunk and buffers
+//! the produced items in a per-chunk `Vec`; once every chunk is done the
+//! buffers are concatenated in chunk order.
+//!
+//! Pool workers are spawned on the first multi-threaded call and then
+//! parked on the job channel — a streaming server dispatching thousands
+//! of multi-shard batches pays the thread-spawn cost once, not per
+//! call. The scoped-borrow semantics of the old per-call
+//! `std::thread::scope` executor are preserved by a cancellation
+//! protocol (see the pool section below): a parallel call never
+//! returns while any pool worker can still touch its borrowed
+//! pipeline.
 //!
 //! # Determinism
 //!
@@ -28,9 +39,12 @@
 //! [`set_thread_override`] (used by benches and tests), the
 //! `SHAM_THREADS` environment variable, then
 //! [`std::thread::available_parallelism`]. A count of 1 runs the whole
-//! pipeline inline on the calling thread — no spawns, fully
+//! pipeline inline on the calling thread — no pool, no spawns, fully
 //! deterministic scheduling — which is what single-core CI gets by
-//! default.
+//! default. [`set_thread_override`] also *resizes* the pool: forcing a
+//! smaller count synchronously retires surplus workers, and forcing 1
+//! drains the pool entirely; growth stays lazy (the next parallel call
+//! spawns what it needs). [`pool_size`] reports the live worker count.
 //!
 //! # Limits
 //!
@@ -44,8 +58,10 @@
 //! `map`/`filter`/`filter_map`/`flat_map_iter`/`copied`/`enumerate`/
 //! `with_min_len`/`collect`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Process-wide worker-count override; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -54,8 +70,17 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// to the default resolution). Benches use this to measure 1-thread vs
 /// N-thread runs; tests use it to exercise multi-thread execution on
 /// single-core machines.
+///
+/// Forcing a count also resizes the persistent pool: a parallel call at
+/// `n` threads uses the caller plus `n - 1` pool workers, so forcing a
+/// *smaller* `n` synchronously retires the surplus workers (`Some(1)`
+/// drains the pool entirely — the inline path needs no pool at all).
+/// Growing is left lazy: the next parallel call spawns what it needs.
 pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+    if let Some(n) = threads {
+        resize_pool(n.saturating_sub(1));
+    }
 }
 
 /// RAII worker-count override: sets the count on construction and
@@ -66,15 +91,21 @@ pub struct ThreadOverride {
 }
 
 impl ThreadOverride {
-    /// Forces `threads` workers until the guard drops.
+    /// Forces `threads` workers until the guard drops, resizing the
+    /// pool down (like [`set_thread_override`]) when the forced count
+    /// needs fewer workers than are alive.
     pub fn new(threads: usize) -> ThreadOverride {
-        ThreadOverride { prev: THREAD_OVERRIDE.swap(threads, Ordering::SeqCst) }
+        let prev = THREAD_OVERRIDE.swap(threads, Ordering::SeqCst);
+        resize_pool(threads.saturating_sub(1));
+        ThreadOverride { prev }
     }
 }
 
 impl Drop for ThreadOverride {
     fn drop(&mut self) {
-        THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
+        // Route through `set_thread_override` so restoring a smaller
+        // previous count also resizes the pool back down.
+        set_thread_override((self.prev != 0).then_some(self.prev));
     }
 }
 
@@ -107,8 +138,250 @@ pub fn current_num_threads() -> usize {
     })
 }
 
+// ---------------------------------------------------------------------
+// The persistent worker pool.
+//
+// Workers are OS threads spawned lazily by the first multi-threaded
+// parallel call and then parked on an mpsc channel. A parallel call
+// submits `k - 1` copies of a type-erased *job* (the caller is the
+// k-th participant); each copy, when a worker dequeues it, runs the
+// call's chunk-claiming loop until the chunk counter is exhausted.
+//
+// Because the job borrows the caller's stack (the pipeline, the chunk
+// counter, the output buffers), the borrow is erased to a raw trait-
+// object pointer and guarded by a cancellation protocol instead of a
+// thread scope:
+//
+// * a worker *enters* a job by incrementing `active` and only then
+//   re-checking `cancelled` (skipping the body if set);
+// * the caller, once its own loop is done, sets `cancelled` and waits
+//   for `active` to drain before returning.
+//
+// Under `SeqCst` ordering this guarantees no worker can be inside the
+// erased closure after the caller returns: a worker that read
+// `cancelled == false` incremented `active` *before* the caller's
+// store, so the caller's drain-wait observes it. Job copies still
+// sitting in the channel after cancellation are discarded (a few Arc
+// clones of dead state) by whichever worker eventually dequeues them —
+// nobody waits on them, so a busy pool never stalls an already-finished
+// call.
+// ---------------------------------------------------------------------
+
+/// Thread name of pool workers — also how `resize_pool` recognises it
+/// is running *on* a worker and must not wait for the pool to shrink.
+const WORKER_THREAD_NAME: &str = "sham-pool-worker";
+
+/// One message on the pool channel.
+enum Message {
+    /// Join a parallel call's chunk loop (skipped when already done).
+    Run(Arc<JobShared>),
+    /// Retire: the receiving worker exits (pool shrink / drain).
+    Exit,
+}
+
+/// Shared state of one in-flight parallel call, type-erased so it can
+/// cross the pool channel while borrowing the caller's stack.
+struct JobShared {
+    /// The call's chunk-claiming loop, lifetime-erased. Only valid
+    /// while the owning `run_on_pool` frame is alive; the cancellation
+    /// protocol enforces exactly that.
+    task: *const (dyn Fn() + Sync),
+    /// Set by the caller when the job is complete and `task` is about
+    /// to go out of scope.
+    cancelled: AtomicBool,
+    /// Number of workers currently inside `task`.
+    active: AtomicUsize,
+    /// Parking for the caller's drain-wait.
+    lock: Mutex<()>,
+    cvar: Condvar,
+    /// First panic that escaped `task` on a worker, replayed on the
+    /// caller (matching `std::thread::scope` semantics).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `task` points at a `Sync` closure; the raw pointer is only
+// dereferenced while the caller guarantees the referent is alive (see
+// the cancellation protocol above).
+unsafe impl Send for JobShared {}
+unsafe impl Sync for JobShared {}
+
+impl JobShared {
+    /// Runs one pool worker's share of the job: enter, re-check
+    /// cancellation, run the chunk loop, leave, wake the caller.
+    fn run_from_worker(&self) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        if !self.cancelled.load(Ordering::SeqCst) {
+            // SAFETY: `cancelled` was still clear after our `active`
+            // increment, so the caller is parked in its drain-wait and
+            // the borrowed pipeline is alive until we decrement.
+            let body = || unsafe { (*self.task)() };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+        }
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        let _guard = self.lock.lock().unwrap();
+        self.cvar.notify_all();
+    }
+}
+
+/// The process-wide pool: the submit side of the job channel plus the
+/// bookkeeping `resize_pool` and `pool_size` need.
+struct Pool {
+    sender: Sender<Message>,
+    receiver: Arc<Mutex<Receiver<Message>>>,
+    /// Live workers (incremented at spawn, decremented at exit).
+    alive: Arc<AtomicUsize>,
+    /// Intended worker count (alive converges to it as Exit messages
+    /// are consumed).
+    target: usize,
+}
+
+fn pool() -> &'static Mutex<Pool> {
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (sender, receiver) = channel();
+        Mutex::new(Pool {
+            sender,
+            receiver: Arc::new(Mutex::new(receiver)),
+            alive: Arc::new(AtomicUsize::new(0)),
+            target: 0,
+        })
+    })
+}
+
+/// Number of live pool workers right now (0 until the first
+/// multi-threaded parallel call, and again after a drain).
+pub fn pool_size() -> usize {
+    pool().lock().unwrap().alive.load(Ordering::SeqCst)
+}
+
+/// Parks on the job channel, running jobs until an Exit message (or a
+/// closed channel) retires this worker.
+fn worker_loop(receiver: Arc<Mutex<Receiver<Message>>>, alive: Arc<AtomicUsize>) {
+    loop {
+        // Take the lock only to dequeue; jobs run unlocked so workers
+        // claim chunks concurrently.
+        let message = {
+            let guard = receiver.lock().unwrap();
+            guard.recv()
+        };
+        match message {
+            Ok(Message::Run(job)) => job.run_from_worker(),
+            Ok(Message::Exit) | Err(_) => break,
+        }
+    }
+    alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Shrinks the pool to at most `workers` threads, synchronously: sends
+/// the surplus Exit messages and waits for the live count to drop.
+/// Growing is not done here — parallel calls grow the pool lazily.
+fn resize_pool(workers: usize) {
+    {
+        let mut pool = pool().lock().unwrap();
+        if pool.target <= workers {
+            return;
+        }
+        for _ in workers..pool.target {
+            let _ = pool.sender.send(Message::Exit);
+        }
+        pool.target = workers;
+    }
+    // A pool worker must never block on the pool's own shrink: the
+    // Exit message that would satisfy the wait may be the one *this*
+    // thread has to consume once its current job ends. From a worker
+    // the shrink stays queued (best-effort, drains as jobs finish);
+    // only external threads wait for it synchronously.
+    if std::thread::current().name() == Some(WORKER_THREAD_NAME) {
+        return;
+    }
+    // Exit messages queue behind in-flight jobs, so retiring workers
+    // finish (or skip) those first; a brief spin-yield is enough. The
+    // bound is re-read from the pool each turn: if a concurrent
+    // parallel call regrows the pool meanwhile, waiting for the *old*
+    // bound would never terminate — the live count converges to the
+    // current target, whatever it is by now.
+    loop {
+        let pool = pool().lock().unwrap();
+        if pool.alive.load(Ordering::SeqCst) <= pool.target {
+            break;
+        }
+        drop(pool);
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `work` on the calling thread plus `helpers` pool workers,
+/// growing the pool as needed, and does not return until no worker can
+/// still be inside `work`. Worker panics are replayed here.
+fn run_on_pool(helpers: usize, work: &(dyn Fn() + Sync)) {
+    // Erase the borrow's lifetime so the job can cross the channel; the
+    // cancellation drain below guarantees no dereference can happen
+    // after this frame ends.
+    let erased: *const (dyn Fn() + Sync + 'static) = unsafe {
+        std::mem::transmute::<*const (dyn Fn() + Sync + '_), *const (dyn Fn() + Sync + 'static)>(
+            work as *const (dyn Fn() + Sync),
+        )
+    };
+    let job = Arc::new(JobShared {
+        task: erased,
+        cancelled: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        lock: Mutex::new(()),
+        cvar: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    {
+        let mut pool = pool().lock().unwrap();
+        while pool.target < helpers {
+            let receiver = Arc::clone(&pool.receiver);
+            let alive = Arc::clone(&pool.alive);
+            alive.fetch_add(1, Ordering::SeqCst);
+            let spawned = std::thread::Builder::new()
+                .name(WORKER_THREAD_NAME.into())
+                .spawn(move || worker_loop(receiver, alive));
+            match spawned {
+                Ok(_) => pool.target += 1,
+                Err(_) => {
+                    // Spawn failure (resource limits): undo the count
+                    // and run with however many workers exist.
+                    pool.alive.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+        for _ in 0..helpers.min(pool.target) {
+            let _ = pool.sender.send(Message::Run(Arc::clone(&job)));
+        }
+    }
+
+    // The caller participates; the drop guard cancels and drains even
+    // if `work` panics on this thread, so the borrow never escapes.
+    struct Drain<'a>(&'a JobShared);
+    impl Drop for Drain<'_> {
+        fn drop(&mut self) {
+            self.0.cancelled.store(true, Ordering::SeqCst);
+            let mut guard = self.0.lock.lock().unwrap();
+            while self.0.active.load(Ordering::SeqCst) != 0 {
+                guard = self.0.cvar.wait(guard).unwrap();
+            }
+        }
+    }
+    {
+        let _drain = Drain(&job);
+        work();
+    }
+    let worker_panic = job.panic.lock().unwrap().take();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
 /// Splits `[0, n)` into chunks and runs `pipeline` over them on the
-/// worker pool, returning the per-chunk outputs concatenated in order.
+/// persistent worker pool, returning the per-chunk outputs concatenated
+/// in order.
 fn execute<P: ParallelIterator + Sync>(pipeline: P) -> Vec<P::Item> {
     let n = pipeline.base_len();
     let threads = current_num_threads().max(1);
@@ -128,20 +401,16 @@ fn execute<P: ParallelIterator + Sync>(pipeline: P) -> Vec<P::Item> {
     let filled: Mutex<Vec<(usize, Vec<P::Item>)>> =
         Mutex::new(Vec::with_capacity(chunk_count));
     let pipeline = &pipeline;
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= chunk_count {
-                    break;
-                }
-                let lo = c * chunk;
-                let hi = (lo + chunk).min(n);
-                let mut buf = Vec::new();
-                pipeline.run_chunk(lo, hi, &mut |x| buf.push(x));
-                filled.lock().unwrap().push((c, buf));
-            });
+    run_on_pool(workers - 1, &|| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= chunk_count {
+            break;
         }
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut buf = Vec::new();
+        pipeline.run_chunk(lo, hi, &mut |x| buf.push(x));
+        filled.lock().unwrap().push((c, buf));
     });
     let mut chunks = filled.into_inner().unwrap();
     chunks.sort_unstable_by_key(|&(c, _)| c);
@@ -549,6 +818,9 @@ mod tests {
 
     #[test]
     fn par_iter_matches_iter() {
+        // Guarded: even tiny collects may touch the shared pool when a
+        // concurrent test has forced a multi-thread override.
+        let _guard = override_guard();
         let v = [1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
@@ -650,9 +922,133 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_inputs() {
+        let _guard = override_guard();
         let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().collect();
         assert!(empty.is_empty());
         let one: Vec<u32> = [7u32].par_iter().copied().collect();
         assert_eq!(one, vec![7]);
+    }
+
+    /// One multi-thread pass with enough per-item work that pool
+    /// helpers must claim chunks; returns the distinct worker (non-
+    /// caller) thread ids that participated.
+    fn heavy_pass() -> HashSet<std::thread::ThreadId> {
+        let caller = std::thread::current().id();
+        (0..64usize)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                let mut acc = i as u64;
+                for k in 0..200_000u64 {
+                    acc = std::hint::black_box(
+                        acc.wrapping_mul(6364136223846793005).wrapping_add(k),
+                    );
+                }
+                std::hint::black_box(acc);
+                std::thread::current().id()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|&id| id != caller)
+            .collect()
+    }
+
+    #[test]
+    fn pool_persists_across_calls() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(4);
+        let first = heavy_pass();
+        let size_after_first = super::pool_size();
+        assert!(size_after_first >= 1, "pool never started");
+        let second = heavy_pass();
+        // No per-call spawn: the pool did not grow, and the same worker
+        // threads (stable ids) served both calls.
+        assert_eq!(super::pool_size(), size_after_first);
+        assert!(!first.is_empty() && !second.is_empty());
+        assert!(
+            first.intersection(&second).next().is_some(),
+            "second call did not reuse any pool worker"
+        );
+    }
+
+    #[test]
+    fn override_resizes_and_drains_the_pool() {
+        let _guard = override_guard();
+        {
+            let _forced = super::ThreadOverride::new(4);
+            heavy_pass();
+            assert_eq!(super::pool_size(), 3, "4 threads = caller + 3 workers");
+            {
+                // Shrinking the override retires surplus workers
+                // synchronously…
+                let _shrunk = super::ThreadOverride::new(2);
+                assert_eq!(super::pool_size(), 1);
+                // …and a 2-thread call still works (and must not
+                // regrow past its own needs).
+                heavy_pass();
+                assert_eq!(super::pool_size(), 1);
+            }
+            // Dropping the inner guard restores 4 threads lazily: the
+            // pool grows again on the next call, not eagerly.
+            assert_eq!(super::pool_size(), 1);
+            heavy_pass();
+            assert_eq!(super::pool_size(), 3);
+        }
+        // Forcing the inline path drains the pool entirely.
+        let _one = super::ThreadOverride::new(1);
+        assert_eq!(super::pool_size(), 0);
+    }
+
+    #[test]
+    fn shrink_requested_from_inside_a_job_does_not_deadlock() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(4);
+        // A closure running (possibly on a pool worker) that flips the
+        // override down must not wait for the pool's own shrink — that
+        // Exit might be addressed to the very thread running it.
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                let mut acc = i as u64;
+                for k in 0..50_000u64 {
+                    acc = std::hint::black_box(acc.wrapping_add(k));
+                }
+                std::hint::black_box(acc);
+                if i == 20 {
+                    let _nested = super::ThreadOverride::new(1);
+                }
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_is_replayed_on_the_caller() {
+        let _guard = override_guard();
+        let _forced = super::ThreadOverride::new(4);
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0..64usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    // Slow every item down so pool workers share the
+                    // chunks, whichever thread hits the poisoned one.
+                    let mut acc = i as u64;
+                    for k in 0..100_000u64 {
+                        acc = std::hint::black_box(acc.wrapping_add(k));
+                    }
+                    if i == 33 {
+                        panic!("poisoned item");
+                    }
+                    acc
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "panic must propagate out of collect");
+        // The pool survives a panicking job.
+        let after = heavy_pass();
+        assert!(!after.is_empty());
     }
 }
