@@ -29,6 +29,12 @@
 //!   `DomainName` feed routed through a `SessionRouter` (1024-per-lane
 //!   batches): per-domain demux + TLD filtering + per-lane sessions on
 //!   top of detection.
+//! * `ingest_clean` / `ingest_faulty` — the same interleaved feed
+//!   through the full `IngestService` front-end (connector thread,
+//!   bounded queues, drainer): `clean` prices the queue/thread
+//!   machinery against `router_3tld`; `faulty` adds a seeded 10‰
+//!   corrupt/stall/disconnect schedule (zero-delay retry policy, so
+//!   the cost measured is the recovery machinery, not sleeping).
 //!
 //! The snapshot section `streaming_ingest` lands in
 //! `BENCH_detection.json` next to `detection_throughput`'s
@@ -99,6 +105,36 @@ fn router_pass(detector: &Detector, feed: &[DomainName]) -> usize {
     router.into_report().detection_count()
 }
 
+/// One full ingest-service pass: connector thread + bounded queues +
+/// drainer over the interleaved feed, under `schedule`.
+fn ingest_pass(
+    detector: &Detector,
+    events: &[sham_workload::ZoneEvent],
+    schedule: &sham_workload::FaultSchedule,
+) -> usize {
+    let service = sham_core::IngestService::new(
+        Arc::clone(detector.index()),
+        sham_core::IngestConfig {
+            queue_capacity: 2_048,
+            batch_capacity: 1_024,
+            // Zero-delay backoff: measure recovery work, not sleeps.
+            retry: sham_core::RetryPolicy {
+                base: std::time::Duration::ZERO,
+                ..sham_core::RetryPolicy::default()
+            },
+            ..sham_core::IngestConfig::default()
+        },
+    );
+    let feed = sham_workload::FaultyZoneFeed::new(
+        "bench",
+        events.to_vec(),
+        schedule.clone(),
+        sham_workload::FeedStats::shared(),
+    );
+    let report = service.run(vec![Box::new(feed)]);
+    report.router.detection_count()
+}
+
 fn bench_streaming(c: &mut Criterion) {
     let idn_count = 20_000usize;
     let (references, idns) = detection_corpus(idn_count);
@@ -140,6 +176,19 @@ fn bench_streaming(c: &mut Criterion) {
     group.bench_function("router_3tld", |b| {
         b.iter(|| std::hint::black_box(router_pass(&detector, &feed)))
     });
+    let ingest_events: Vec<sham_workload::ZoneEvent> = feed
+        .iter()
+        .map(|name| sham_workload::ZoneEvent::Registered(name.clone()))
+        .collect();
+    let clean = sham_workload::FaultSchedule::none();
+    let faulty =
+        sham_workload::FaultSchedule::seeded(0xBE7C4, ingest_events.len() as u64, 10);
+    group.bench_function("ingest_clean", |b| {
+        b.iter(|| std::hint::black_box(ingest_pass(&detector, &ingest_events, &clean)))
+    });
+    group.bench_function("ingest_faulty", |b| {
+        b.iter(|| std::hint::black_box(ingest_pass(&detector, &ingest_events, &faulty)))
+    });
     group.finish();
 
     snapshot_thread_sweep(
@@ -151,6 +200,8 @@ fn bench_streaming(c: &mut Criterion) {
             "push_1024_pool2",
             "one_shot_pool2",
             "router_3tld",
+            "ingest_clean",
+            "ingest_faulty",
         ],
         |name| {
             // The pool2 configs force 2 workers for the *whole*
@@ -168,6 +219,12 @@ fn bench_streaming(c: &mut Criterion) {
                 }
                 "router_3tld" => {
                     std::hint::black_box(router_pass(&detector, &feed));
+                }
+                "ingest_clean" => {
+                    std::hint::black_box(ingest_pass(&detector, &ingest_events, &clean));
+                }
+                "ingest_faulty" => {
+                    std::hint::black_box(ingest_pass(&detector, &ingest_events, &faulty));
                 }
                 _ => {
                     std::hint::black_box(

@@ -18,6 +18,16 @@
 //! * [`router`] — the multi-TLD fan-out: [`SessionRouter`]
 //!   demultiplexes one interleaved feed into per-TLD sessions sharing
 //!   one index and merges their reports deterministically.
+//! * [`ingest`] — the fault-tolerant always-on front-end:
+//!   [`IngestService`] runs connector threads over [`FeedSource`]s
+//!   into bounded per-lane queues (block/shed backpressure), with
+//!   malformed-record quarantine, retry/backoff/circuit-open on feed
+//!   errors, worker-panic isolation and idle-lane folding — draining
+//!   into a `SessionRouter` whose no-fault output is bit-identical to
+//!   a batch replay.
+//! * [`feeds`] — byte-stream feed sources: master-file text
+//!   ([`ZoneTextFeed`]) and length-prefixed DNS wire frames
+//!   ([`WireMessageFeed`]) off any `Read` transport.
 //! * [`framework`] — the Steps 1–3 pipeline of Fig. 1 (a one-shot
 //!   wrapper over a session).
 //! * [`revert`] — §6.4's homograph-to-original reverting.
@@ -54,9 +64,11 @@
 
 pub mod algorithm;
 pub mod detection;
+pub mod feeds;
 pub mod framework;
 pub mod highlight;
 pub mod index;
+pub mod ingest;
 pub mod plagiarism;
 pub mod policy;
 pub mod registry;
@@ -66,8 +78,14 @@ pub mod session;
 
 pub use algorithm::{Detector, Indexing};
 pub use detection::{CharSubstitution, Detection};
+pub use feeds::{WireMessageFeed, ZoneTextFeed};
 pub use framework::{Framework, FrameworkReport};
 pub use index::DetectionIndex;
+pub use ingest::{
+    Backpressure, FeedError, FeedItem, FeedOutcome, FeedReport, FeedSource, FlushHook,
+    IngestConfig, IngestEvent, IngestReport, IngestService, LaneStats, QuarantineSample,
+    RetryPolicy,
+};
 pub use router::{RouterReport, SessionRouter, TldReport};
 pub use session::{DetectorSession, DEFAULT_COMPACTION_THRESHOLD};
 pub use highlight::{HighlightedSubstitution, Warning};

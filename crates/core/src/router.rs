@@ -28,6 +28,18 @@
 //! Reports merge deterministically: lanes are kept sorted by TLD, and
 //! [`RouterReport`] lists per-TLD reports in that order with each
 //! lane's detections in its own event order.
+//!
+//! Lanes have a *lifecycle*: [`SessionRouter::fold_lane`] flushes a
+//! lane, folds its report into the final aggregate and closes it (the
+//! ingest front-end evicts idle lanes this way, so a junk TLD cannot
+//! leak a lane forever), and [`SessionRouter::poison_lane`] does the
+//! same after a worker panic, discarding the unflushed buffer whose
+//! fate is unknown. Either way the next domain of that TLD (if the
+//! lane set permits it) reopens a fresh lane — and because the router
+//! records every reference diff it has applied and replays that
+//! history into each newly opened session, a reopened (or late-opened)
+//! lane sees exactly the reference view a lane open from the start
+//! would: folding and reopening are unobservable in the final report.
 
 use crate::algorithm::Indexing;
 use crate::detection::Detection;
@@ -63,7 +75,7 @@ pub struct TldReport {
 }
 
 /// Aggregate outcome of a routed multi-TLD feed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RouterReport {
     /// Per-TLD reports, sorted by TLD name.
     pub per_tld: Vec<TldReport>,
@@ -123,12 +135,13 @@ impl RouterReport {
 ///     "xn--ggle-55da.com", // gооgle under .com
 ///     "ordinary.net",
 ///     "xn--ggle-55da.net", // …and under .net
-/// ].iter().map(|s| DomainName::parse(s).unwrap()).collect();
+/// ].iter().map(|s| DomainName::parse(s)).collect::<Result<_, _>>()?;
 /// router.push_domains(&feed);
 /// let report = router.into_report();
 /// assert_eq!(report.per_tld.len(), 2);
 /// assert_eq!(report.detection_count(), 2);
 /// assert_eq!(report.per_tld[0].tld, "com");
+/// # Ok::<(), sham_punycode::PunycodeError>(())
 /// ```
 pub struct SessionRouter {
     index: Arc<DetectionIndex>,
@@ -138,8 +151,18 @@ pub struct SessionRouter {
     /// Lanes sorted by TLD (binary-searched on every routed domain).
     lanes: Vec<RouterLane>,
     /// When false, a domain whose TLD has no lane is counted as
-    /// unrouted instead of opening one.
+    /// unrouted instead of opening one — unless the TLD is in
+    /// `allowed` (a folded or poisoned lane of the fixed set reopens).
     auto_open: bool,
+    /// The fixed lane set, sorted, when built via `with_tlds`.
+    allowed: Option<Vec<String>>,
+    /// Reports of lanes closed by `fold_lane` / `poison_lane`, in
+    /// close order; merged back per TLD at report time.
+    folded: Vec<TldReport>,
+    /// Every reference diff applied so far, replayed into any lane
+    /// opened (or reopened) later so late lanes see the same
+    /// reference view as lanes open from the start.
+    diff_history: Vec<(Vec<String>, Vec<String>)>,
     batch_capacity: usize,
     unrouted: usize,
     reference_diffs: usize,
@@ -156,6 +179,9 @@ impl SessionRouter {
             compact_min_dead: None,
             lanes: Vec::new(),
             auto_open: true,
+            allowed: None,
+            folded: Vec::new(),
+            diff_history: Vec::new(),
             batch_capacity: DEFAULT_ROUTER_BATCH,
             unrouted: 0,
             reference_diffs: 0,
@@ -164,19 +190,29 @@ impl SessionRouter {
 
     /// Restricts the router to a fixed lane set: the given TLDs are
     /// opened immediately and domains of any other TLD are counted as
-    /// unrouted instead of detected.
+    /// unrouted instead of detected. TLDs of the set whose lane was
+    /// later folded or poisoned reopen on their next domain.
     pub fn with_tlds<I, S>(mut self, tlds: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        let mut allowed = Vec::new();
         for tld in tlds {
             let tld = tld.into();
             if let Err(at) = self.lane_position(&tld) {
                 let session = self.open_session(&tld);
-                self.lanes.insert(at, RouterLane { tld, session, pending: Vec::new() });
+                self.lanes.insert(at, RouterLane {
+                    tld: tld.clone(),
+                    session,
+                    pending: Vec::new(),
+                });
             }
+            allowed.push(tld);
         }
+        allowed.sort();
+        allowed.dedup();
+        self.allowed = Some(allowed);
         self.auto_open = false;
         self
     }
@@ -211,9 +247,16 @@ impl SessionRouter {
         let index = Arc::clone(&self.index);
         let (selection, indexing, compact) =
             (self.selection, self.indexing, self.compact_min_dead);
+        let history = std::mem::take(&mut self.diff_history);
         for lane in &mut self.lanes {
-            lane.session = Self::make_session(&index, selection, indexing, compact, &lane.tld);
+            let mut session =
+                Self::make_session(&index, selection, indexing, compact, &lane.tld);
+            for (added, removed) in &history {
+                session.apply_reference_diff(added, removed);
+            }
+            lane.session = session;
         }
+        self.diff_history = history;
     }
 
     /// Sets how many registrations a lane buffers before flushing them
@@ -240,9 +283,32 @@ impl SessionRouter {
         self.lanes.binary_search_by(|lane| lane.tld.as_str().cmp(tld))
     }
 
-    /// A fresh session configured like this router's lanes.
+    /// A fresh session configured like this router's lanes, with every
+    /// reference diff applied so far replayed into it — a lane opened
+    /// (or reopened) mid-feed sees the same reference view as one open
+    /// from the start.
     fn open_session(&self, tld: &str) -> DetectorSession {
-        Self::make_session(&self.index, self.selection, self.indexing, self.compact_min_dead, tld)
+        let mut session = Self::make_session(
+            &self.index,
+            self.selection,
+            self.indexing,
+            self.compact_min_dead,
+            tld,
+        );
+        for (added, removed) in &self.diff_history {
+            session.apply_reference_diff(added, removed);
+        }
+        session
+    }
+
+    /// Whether a domain of `tld` may open a lane right now: always for
+    /// an auto-opening router, and for a fixed lane set exactly when
+    /// the TLD belongs to it (a folded/poisoned lane reopening).
+    fn lane_permitted(&self, tld: &str) -> bool {
+        self.auto_open
+            || self.allowed.as_ref().is_some_and(|set| {
+                set.binary_search_by(|t| t.as_str().cmp(tld)).is_ok()
+            })
     }
 
     /// [`SessionRouter::open_session`] with the configuration passed
@@ -271,7 +337,7 @@ impl SessionRouter {
         for domain in domains {
             let at = match self.lane_position(domain.tld()) {
                 Ok(at) => at,
-                Err(at) if self.auto_open => {
+                Err(at) if self.lane_permitted(domain.tld()) => {
                     let tld = domain.tld().to_string();
                     let session = self.open_session(&tld);
                     self.lanes.insert(at, RouterLane { tld, session, pending: Vec::new() });
@@ -309,19 +375,78 @@ impl SessionRouter {
         for lane in &mut self.lanes {
             lane.session.apply_reference_diff(added, removed);
         }
+        self.diff_history.push((added.to_vec(), removed.to_vec()));
         self.reference_diffs += 1;
+    }
+
+    /// Folds one lane: flushes its pending registrations, closes its
+    /// session and banks the report, which report-time merging adds
+    /// back into that TLD's aggregate. The ingest front-end evicts
+    /// idle lanes this way; the next domain of the TLD (if permitted)
+    /// reopens a fresh lane with the diff history replayed, so folding
+    /// is unobservable in the final report. Returns `false` if no lane
+    /// for `tld` is open.
+    pub fn fold_lane(&mut self, tld: &str) -> bool {
+        let Ok(at) = self.lane_position(tld) else { return false };
+        let mut lane = self.lanes.remove(at);
+        if !lane.pending.is_empty() {
+            lane.session.push_domains(lane.pending.iter());
+            lane.pending.clear();
+        }
+        self.folded.push(TldReport { tld: lane.tld, report: lane.session.into_report() });
+        true
+    }
+
+    /// Poisons one lane after a worker panic: the pending buffer —
+    /// whose fate inside the panicking flush is unknown — is
+    /// *discarded* (its size is returned so the caller can account the
+    /// loss), and whatever the session durably ingested before the
+    /// panic is banked like a fold. Returns `None` if no lane for
+    /// `tld` is open.
+    pub fn poison_lane(&mut self, tld: &str) -> Option<usize> {
+        let Ok(at) = self.lane_position(tld) else { return None };
+        let lane = self.lanes.remove(at);
+        let dropped = lane.pending.len();
+        self.folded.push(TldReport { tld: lane.tld, report: lane.session.into_report() });
+        Some(dropped)
+    }
+
+    /// Merges banked (folded/poisoned) lane reports with the live
+    /// ones: grouped per TLD in sorted order, counts summed and
+    /// detections concatenated in close-then-live order — the
+    /// chronological event order for that TLD, hence identical to an
+    /// unfolded run.
+    fn merge_reports(folded: Vec<TldReport>, live: Vec<TldReport>) -> Vec<TldReport> {
+        use std::collections::btree_map::Entry;
+        let mut merged: std::collections::BTreeMap<String, FrameworkReport> =
+            std::collections::BTreeMap::new();
+        for part in folded.into_iter().chain(live) {
+            match merged.entry(part.tld) {
+                Entry::Vacant(slot) => {
+                    slot.insert(part.report);
+                }
+                Entry::Occupied(mut slot) => {
+                    let report = slot.get_mut();
+                    report.total_domains += part.report.total_domains;
+                    report.idn_count += part.report.idn_count;
+                    report.detections.extend(part.report.detections);
+                }
+            }
+        }
+        merged.into_iter().map(|(tld, report)| TldReport { tld, report }).collect()
     }
 
     /// Flushes and folds the current state into a [`RouterReport`]
     /// without ending the router.
     pub fn report(&mut self) -> RouterReport {
         self.flush();
+        let live = self
+            .lanes
+            .iter()
+            .map(|lane| TldReport { tld: lane.tld.clone(), report: lane.session.report() })
+            .collect();
         RouterReport {
-            per_tld: self
-                .lanes
-                .iter()
-                .map(|lane| TldReport { tld: lane.tld.clone(), report: lane.session.report() })
-                .collect(),
+            per_tld: Self::merge_reports(self.folded.clone(), live),
             unrouted_domains: self.unrouted,
             reference_diffs: self.reference_diffs,
         }
@@ -331,12 +456,13 @@ impl SessionRouter {
     /// accumulated detections.
     pub fn into_report(mut self) -> RouterReport {
         self.flush();
+        let live = self
+            .lanes
+            .into_iter()
+            .map(|lane| TldReport { tld: lane.tld, report: lane.session.into_report() })
+            .collect();
         RouterReport {
-            per_tld: self
-                .lanes
-                .into_iter()
-                .map(|lane| TldReport { tld: lane.tld, report: lane.session.into_report() })
-                .collect(),
+            per_tld: Self::merge_reports(self.folded, live),
             unrouted_domains: self.unrouted,
             reference_diffs: self.reference_diffs,
         }
@@ -370,7 +496,7 @@ mod tests {
     }
 
     fn name(s: &str) -> DomainName {
-        DomainName::parse(s).unwrap()
+        DomainName::parse(s).expect("test domain literal must parse")
     }
 
     #[test]
@@ -434,6 +560,78 @@ mod tests {
         for lane in &report.per_tld {
             assert_eq!(lane.report.detections.len(), 1, "{}", lane.tld);
         }
+    }
+
+    #[test]
+    fn folding_and_reopening_is_unobservable() {
+        let index = shared_index(&["google", "paypal"]);
+        let feed: Vec<DomainName> = (0..30)
+            .map(|i| match i % 3 {
+                0 => name("xn--ggle-55da.com"),
+                1 => name("xn--pypal-4ve.net"),
+                _ => name("ordinary.com"),
+            })
+            .collect();
+        let plain = {
+            let mut router =
+                SessionRouter::new(Arc::clone(&index)).with_batch_capacity(4);
+            router.push_domains(&feed);
+            router.into_report()
+        };
+        // Fold every open lane after each third of the feed; lanes
+        // reopen on their next domain. The report must not notice.
+        let mut router = SessionRouter::new(Arc::clone(&index)).with_batch_capacity(4);
+        for (i, domain) in feed.iter().enumerate() {
+            router.push_domains(std::iter::once(domain));
+            if i % 10 == 9 {
+                for tld in ["com", "net"] {
+                    router.fold_lane(tld);
+                }
+            }
+        }
+        assert_eq!(router.into_report(), plain);
+    }
+
+    #[test]
+    fn folded_lane_reopens_with_diff_history_replayed() {
+        let index = shared_index(&["google", "paypal"]);
+        let mut router = SessionRouter::new(index);
+        router.push_domains(&[name("xn--ggle-55da.com")]);
+        router.apply_reference_diff(&[], &["google".to_string()]);
+        assert!(router.fold_lane("com"));
+        assert!(!router.fold_lane("com"), "already folded");
+        // The reopened lane must observe the pre-fold diff: google is
+        // gone, so the same lookalike no longer detects.
+        router.push_domains(&[name("xn--ggle-55da.com"), name("xn--pypal-4ve.com")]);
+        let report = router.into_report();
+        assert_eq!(report.per_tld.len(), 1);
+        assert_eq!(report.per_tld[0].report.total_domains, 3);
+        let targets: Vec<&str> =
+            report.detections().map(|d| d.reference.as_ref()).collect();
+        assert_eq!(targets, ["google", "paypal"], "pre-diff hit, then post-diff miss");
+    }
+
+    #[test]
+    fn poisoned_lane_discards_pending_and_banks_the_rest() {
+        let index = shared_index(&["google"]);
+        let mut router = SessionRouter::new(Arc::clone(&index))
+            .with_tlds(["com", "net"])
+            .with_batch_capacity(100);
+        // Two flushed (capacity never reached ⇒ flush explicitly),
+        // then two stuck in the pending buffer a panic invalidated.
+        router.push_domains(&[name("xn--ggle-55da.com"), name("ordinary.com")]);
+        router.flush();
+        router.push_domains(&[name("benign.com"), name("xn--ggle-55da.com")]);
+        assert_eq!(router.poison_lane("com"), Some(2));
+        assert_eq!(router.poison_lane("com"), None, "lane already closed");
+        // The fixed lane set still permits .com, so the TLD reopens.
+        router.push_domains(&[name("xn--ggle-55da.com"), name("foreign.xyz")]);
+        let report = router.into_report();
+        let com = &report.per_tld[0];
+        assert_eq!(com.tld, "com");
+        assert_eq!(com.report.total_domains, 3, "2 banked + 1 reopened, 2 dropped");
+        assert_eq!(com.report.detections.len(), 2);
+        assert_eq!(report.unrouted_domains, 1, ".xyz stays outside the fixed set");
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub use portscan::{scan, table10_counts, HostScan, PortProber, ProbeOutcome, Sim
 pub use records::{RecordData, RecordType, ResourceRecord};
 pub use resolver::{LookupResult, SimResolver};
 pub use wire::{udp_query, Message, Question, Rcode, UdpDnsServer, WireAnswer, WireError};
-pub use zone::{parse, parse_domain_list, parse_lenient, Zone, ZoneError};
+pub use zone::{parse, parse_domain_list, parse_lenient, Zone, ZoneError, ZoneStreamParser};

@@ -86,20 +86,18 @@ fn resolve_name(token: &str, origin: &str, line: usize) -> Result<DomainName, Zo
     DomainName::parse(&full).map_err(|e| err(line, format!("bad name {token:?}: {e}")))
 }
 
-struct LineParser<'a> {
+struct LineParser {
     origin: String,
     default_ttl: u32,
     last_owner: Option<DomainName>,
-    text: &'a str,
 }
 
-impl<'a> LineParser<'a> {
-    fn new(text: &'a str, fallback_origin: &str) -> Self {
+impl LineParser {
+    fn new(fallback_origin: &str) -> Self {
         LineParser {
             origin: fallback_origin.to_string(),
             default_ttl: 86_400,
             last_owner: None,
-            text,
         }
     }
 
@@ -201,40 +199,104 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// Strict parse: the first malformed line aborts.
-pub fn parse(text: &str, fallback_origin: &str) -> Result<Zone, ZoneError> {
-    let mut parser = LineParser::new(text, fallback_origin);
-    let mut records = Vec::new();
-    for (idx, raw) in parser.text.lines().enumerate() {
+/// Incremental master-file parser: feed it one raw line at a time (in
+/// any chunking a network read delivers) and collect records as they
+/// complete.
+///
+/// This is the streaming face of [`parse`]/[`parse_lenient`]: the same
+/// line-level machine ($ORIGIN/$TTL state, previous-owner
+/// continuation, comment stripping), detached from any borrowed input
+/// buffer so a connector can hold it across reads. A malformed line
+/// yields `Err` for *that line only* — the parser state stays valid
+/// and the next line parses normally, which is what lets an ingest
+/// connector quarantine bad records instead of dying.
+///
+/// ```
+/// use sham_dns::zone::ZoneStreamParser;
+///
+/// let mut parser = ZoneStreamParser::new("com");
+/// assert!(parser.push_line("$ORIGIN com.").unwrap().is_none());
+/// let rr = parser.push_line("google IN NS ns1.google.com.").unwrap().unwrap();
+/// assert_eq!(rr.name.as_ascii(), "google.com");
+/// assert!(parser.push_line("broken IN A nope").is_err());
+/// // The error poisoned nothing: parsing continues.
+/// assert!(parser.push_line("mail IN A 192.0.2.1").unwrap().is_some());
+/// ```
+pub struct ZoneStreamParser {
+    inner: LineParser,
+    line_no: usize,
+}
+
+impl ZoneStreamParser {
+    /// A fresh parser resolving relative names against
+    /// `fallback_origin` until a `$ORIGIN` directive overrides it.
+    pub fn new(fallback_origin: &str) -> Self {
+        ZoneStreamParser { inner: LineParser::new(fallback_origin), line_no: 0 }
+    }
+
+    /// Consumes one raw line (comments and surrounding blank space
+    /// included). Returns `Ok(Some(record))` for a data line,
+    /// `Ok(None)` for directives, comments and blanks, and `Err` for a
+    /// malformed line — after which the parser remains usable.
+    pub fn push_line(&mut self, raw: &str) -> Result<Option<ResourceRecord>, ZoneError> {
+        self.line_no += 1;
         let line = strip_comment(raw);
         if line.trim().is_empty() {
-            continue;
+            return Ok(None);
         }
-        if let Some(rr) = parser.parse_line(line, idx + 1)? {
+        self.inner.parse_line(line, self.line_no)
+    }
+
+    /// Lines consumed so far (1-based line number of the last push).
+    pub fn lines_seen(&self) -> usize {
+        self.line_no
+    }
+
+    /// The current origin (tracks `$ORIGIN` directives).
+    pub fn origin(&self) -> &str {
+        &self.inner.origin
+    }
+
+    /// The current default TTL (tracks `$TTL` directives).
+    pub fn default_ttl(&self) -> u32 {
+        self.inner.default_ttl
+    }
+}
+
+/// Strict parse: the first malformed line aborts.
+pub fn parse(text: &str, fallback_origin: &str) -> Result<Zone, ZoneError> {
+    let mut parser = ZoneStreamParser::new(fallback_origin);
+    let mut records = Vec::new();
+    for raw in text.lines() {
+        if let Some(rr) = parser.push_line(raw)? {
             records.push(rr);
         }
     }
-    Ok(Zone { origin: parser.origin, default_ttl: parser.default_ttl, records })
+    Ok(Zone {
+        origin: parser.inner.origin,
+        default_ttl: parser.inner.default_ttl,
+        records,
+    })
 }
 
 /// Lenient parse: malformed lines are collected, good lines kept.
 pub fn parse_lenient(text: &str, fallback_origin: &str) -> (Zone, Vec<ZoneError>) {
-    let mut parser = LineParser::new(text, fallback_origin);
+    let mut parser = ZoneStreamParser::new(fallback_origin);
     let mut records = Vec::new();
     let mut errors = Vec::new();
-    for (idx, raw) in parser.text.lines().enumerate() {
-        let line = strip_comment(raw);
-        if line.trim().is_empty() {
-            continue;
-        }
-        match parser.parse_line(line, idx + 1) {
+    for raw in text.lines() {
+        match parser.push_line(raw) {
             Ok(Some(rr)) => records.push(rr),
             Ok(None) => {}
             Err(e) => errors.push(e),
         }
     }
     (
-        Zone { origin: parser.origin, default_ttl: parser.default_ttl, records },
+        Zone {
+            origin: parser.inner.origin,
+            default_ttl: parser.inner.default_ttl,
+            records,
+        },
         errors,
     )
 }
@@ -359,6 +421,29 @@ note IN TXT \"hello; world\"
         );
         assert_eq!(names.len(), 3);
         assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn stream_parser_matches_batch_parse_and_survives_errors() {
+        let noisy = "$ORIGIN com.\n\
+                     good IN A 192.0.2.1\n\
+                     broken IN A nope\n\
+                     alsogood IN NS ns.x.com.\n";
+        let (zone, errors) = parse_lenient(noisy, "com");
+        let mut parser = ZoneStreamParser::new("com");
+        let mut records = Vec::new();
+        let mut failures = Vec::new();
+        for raw in noisy.lines() {
+            match parser.push_line(raw) {
+                Ok(Some(rr)) => records.push(rr),
+                Ok(None) => {}
+                Err(e) => failures.push(e),
+            }
+        }
+        assert_eq!(records, zone.records);
+        assert_eq!(failures, errors);
+        assert_eq!(parser.origin(), "com");
+        assert_eq!(parser.lines_seen(), 4);
     }
 
     #[test]

@@ -488,8 +488,8 @@ impl FlatPairIndex {
         }
 
         let mut cursor = 0usize;
-        let mut read_u32s = |payload: &[u8]| -> io::Result<Vec<u32>> {
-            let count = read_len(payload, &mut cursor)?;
+        let mut read_u32s = |payload: &[u8], section: &str| -> io::Result<Vec<u32>> {
+            let count = read_len(payload, &mut cursor, section)?;
             // Bound the allocation by bytes actually present — the
             // checksum is forgeable, so a section count must never
             // size a buffer beyond the payload it claims to describe.
@@ -497,7 +497,7 @@ impl FlatPairIndex {
                 .checked_mul(4)
                 .and_then(|bytes| cursor.checked_add(bytes))
                 .filter(|&end| end <= payload.len())
-                .ok_or_else(|| bad("truncated array section"))?;
+                .ok_or_else(|| bad(&format!("truncated `{section}` section")))?;
             let out = payload[cursor..end]
                 .chunks_exact(4)
                 .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
@@ -505,16 +505,16 @@ impl FlatPairIndex {
             cursor = end;
             Ok(out)
         };
-        let page_table = read_u32s(&payload)?;
-        let slots = read_u32s(&payload)?;
-        let cps = read_u32s(&payload)?;
-        let rep = read_u32s(&payload)?;
-        let offsets = read_u32s(&payload)?;
-        let neighbours = read_u32s(&payload)?;
-        let source_count = read_len(&payload, &mut cursor)?;
+        let page_table = read_u32s(&payload, "interner page table")?;
+        let slots = read_u32s(&payload, "interner slots")?;
+        let cps = read_u32s(&payload, "interner code points")?;
+        let rep = read_u32s(&payload, "component representatives")?;
+        let offsets = read_u32s(&payload, "CSR offsets")?;
+        let neighbours = read_u32s(&payload, "CSR neighbours")?;
+        let source_count = read_len(&payload, &mut cursor, "pair attribution")?;
         let source_bytes = payload
             .get(cursor..cursor + source_count)
-            .ok_or_else(|| bad("truncated attribution section"))?;
+            .ok_or_else(|| bad("truncated `pair attribution` section"))?;
         let sources: Vec<PairSource> = source_bytes
             .iter()
             .map(|&b| match b {
@@ -530,25 +530,39 @@ impl FlatPairIndex {
         }
 
         // Structural consistency: the arrays must describe one coherent
-        // interner + rep table + CSR.
+        // interner + rep table + CSR. Each check names the section it
+        // convicts, so a rejected file says *what* is inconsistent.
         let n = cps.len();
+        let inconsistent = |section: &str| {
+            bad(&format!("inconsistent FlatPairIndex snapshot: `{section}` section"))
+        };
         if page_table.len() != PAGE_COUNT
-            || slots.len() % PAGE_SIZE as usize != 0
-            || rep.len() != n
-            // A `Default` index has no offsets row at all; a built one
-            // always has n + 1 entries.
-            || !(offsets.len() == n + 1 || (n == 0 && offsets.is_empty()))
-            || offsets.first().is_some_and(|&f| f != 0)
-            || offsets.windows(2).any(|w| w[0] > w[1])
-            || offsets.last().is_some_and(|&l| l as usize != neighbours.len())
-            || sources.len() != neighbours.len()
             || page_table
                 .iter()
                 .any(|&base| base != NO_PAGE && base as usize + PAGE_SIZE as usize > slots.len())
-            || slots.iter().any(|&s| s as usize > n)
-            || neighbours.iter().any(|&s| s as usize >= n.max(1))
         {
-            return Err(bad("inconsistent FlatPairIndex snapshot sections"));
+            return Err(inconsistent("interner page table"));
+        }
+        if slots.len() % PAGE_SIZE as usize != 0 || slots.iter().any(|&s| s as usize > n) {
+            return Err(inconsistent("interner slots"));
+        }
+        if rep.len() != n {
+            return Err(inconsistent("component representatives"));
+        }
+        // A `Default` index has no offsets row at all; a built one
+        // always has n + 1 entries.
+        if !(offsets.len() == n + 1 || (n == 0 && offsets.is_empty()))
+            || offsets.first().is_some_and(|&f| f != 0)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().is_some_and(|&l| l as usize != neighbours.len())
+        {
+            return Err(inconsistent("CSR offsets"));
+        }
+        if neighbours.iter().any(|&s| s as usize >= n.max(1)) {
+            return Err(inconsistent("CSR neighbours"));
+        }
+        if sources.len() != neighbours.len() {
+            return Err(inconsistent("pair attribution"));
         }
 
         Ok(FlatPairIndex {
@@ -559,6 +573,20 @@ impl FlatPairIndex {
             sources,
             fingerprint,
         })
+    }
+
+    /// [`FlatPairIndex::read_from`] over a file on disk, with every
+    /// rejection — open failure, truncation, checksum mismatch, any
+    /// named-section inconsistency — prefixed with the file's path, so
+    /// an operator staring at a multi-snapshot deployment knows *which*
+    /// file to rebuild and *which* section convicted it.
+    pub fn read_from_path(path: impl AsRef<std::path::Path>) -> io::Result<FlatPairIndex> {
+        let path = path.as_ref();
+        let named = |e: io::Error| {
+            io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+        };
+        let mut file = std::fs::File::open(path).map_err(named)?;
+        FlatPairIndex::read_from(&mut io::BufReader::new(&mut file)).map_err(named)
     }
 }
 
@@ -581,11 +609,15 @@ fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Reads one little-endian `u32` length prefix at `*cursor`.
-fn read_len(payload: &[u8], cursor: &mut usize) -> io::Result<usize> {
+/// Reads one little-endian `u32` length prefix at `*cursor`, naming
+/// `section` in the rejection when the prefix itself is cut off.
+fn read_len(payload: &[u8], cursor: &mut usize, section: &str) -> io::Result<usize> {
     let end = *cursor + 4;
     let bytes = payload.get(*cursor..end).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidData, "truncated length prefix".to_string())
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("truncated length prefix of `{section}` section"),
+        )
     })?;
     *cursor = end;
     Ok(u32::from_le_bytes(bytes.try_into().unwrap()) as usize)
@@ -774,7 +806,107 @@ mod tests {
         let digest = fnv1a_update(fnv1a_update(FNV_OFFSET, &forged[12..28]), &forged[44..]);
         forged[36..44].copy_from_slice(&digest.to_le_bytes());
         let err = FlatPairIndex::read_from(&mut forged.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("truncated array section"), "{err}");
+        assert!(
+            err.to_string().contains("truncated `interner page table` section"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejections_name_the_offending_section() {
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2), (2, 3)]), &UcDatabase::default());
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        // Payload layout: sections start at offset 44, each a u32 count
+        // then count u32s. Walk to each section's count, forge it, and
+        // re-checksum so parsing reaches the structural check.
+        let reload = |bytes: &[u8]| FlatPairIndex::read_from(&mut &bytes[..]);
+        let section_offsets = {
+            let mut at = 44usize;
+            let mut offs = Vec::new();
+            for _ in 0..6 {
+                offs.push(at);
+                let count =
+                    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+                at += 4 + 4 * count;
+            }
+            offs.push(at); // attribution count
+            offs
+        };
+        let reseal = |bytes: &mut Vec<u8>| {
+            let digest =
+                fnv1a_update(fnv1a_update(FNV_OFFSET, &bytes[12..28]), &bytes[44..]);
+            bytes[36..44].copy_from_slice(&digest.to_le_bytes());
+        };
+        for (i, section) in [
+            "interner page table",
+            "interner slots",
+            "interner code points",
+            "component representatives",
+            "CSR offsets",
+            "CSR neighbours",
+            "pair attribution",
+        ]
+        .iter()
+        .enumerate()
+        {
+            // Oversized count → a truncation naming the section.
+            let mut forged = bytes.clone();
+            forged[section_offsets[i]..section_offsets[i] + 4]
+                .copy_from_slice(&u32::MAX.to_le_bytes());
+            reseal(&mut forged);
+            let err = reload(&forged).unwrap_err();
+            assert!(err.to_string().contains(section), "section {section}: {err}");
+        }
+        // A structurally inconsistent (but well-framed) section names
+        // itself too: point a rep entry nowhere by shrinking the rep
+        // count to 0 while keeping the code-point section non-empty.
+        let rep_at = section_offsets[3];
+        let rep_count =
+            u32::from_le_bytes(bytes[rep_at..rep_at + 4].try_into().unwrap()) as usize;
+        let mut forged = bytes.clone();
+        forged[rep_at..rep_at + 4].copy_from_slice(&0u32.to_le_bytes());
+        forged.drain(rep_at + 4..rep_at + 4 + 4 * rep_count);
+        reseal(&mut forged);
+        // The removed bytes shrink the payload; fix the length header.
+        let new_len = (forged.len() - 44) as u64;
+        forged[28..36].copy_from_slice(&new_len.to_le_bytes());
+        reseal(&mut forged);
+        let err = reload(&forged).unwrap_err();
+        assert!(
+            err.to_string().contains("component representatives"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn path_loader_names_the_file_in_every_rejection() {
+        let dir = std::env::temp_dir().join("shamfinder-flat-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Open failure names the missing file.
+        let missing = dir.join("does-not-exist.idx");
+        let err = FlatPairIndex::read_from_path(&missing).unwrap_err();
+        assert!(err.to_string().contains("does-not-exist.idx"), "{err}");
+
+        // A corrupt file names both the file and the reason.
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2)]), &UcDatabase::default());
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let corrupt = dir.join("corrupt.idx");
+        std::fs::write(&corrupt, &bytes).unwrap();
+        let err = FlatPairIndex::read_from_path(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("corrupt.idx"), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // And a good file loads identically through the path API.
+        bytes[last] ^= 0x01;
+        let good = dir.join("good.idx");
+        std::fs::write(&good, &bytes).unwrap();
+        assert_eq!(FlatPairIndex::read_from_path(&good).unwrap(), idx);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

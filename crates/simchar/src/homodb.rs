@@ -106,6 +106,24 @@ impl HomoglyphDb {
         Ok(HomoglyphDb { simchar, uc, flat })
     }
 
+    /// Loads a [`FlatPairIndex`] snapshot from `path` and mounts it on
+    /// the supplied component databases — [`FlatPairIndex::read_from_path`]
+    /// followed by [`HomoglyphDb::from_prebuilt`], with the staleness
+    /// rejection also prefixed by the file's path. Every error out of
+    /// this function — unreadable file, truncated or inconsistent
+    /// section (named), checksum mismatch, stale fingerprint — says
+    /// which file it is talking about.
+    pub fn from_snapshot_file(
+        path: impl AsRef<std::path::Path>,
+        simchar: SimCharDb,
+        uc: UcDatabase,
+    ) -> io::Result<Self> {
+        let path = path.as_ref();
+        let flat = FlatPairIndex::read_from_path(path)?;
+        HomoglyphDb::from_prebuilt(simchar, uc, flat)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    }
+
     /// The SimChar component.
     pub fn simchar(&self) -> &SimCharDb {
         &self.simchar
@@ -296,6 +314,47 @@ mod tests {
         let stale = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
         let err = HomoglyphDb::from_prebuilt(sim, other_uc, stale).unwrap_err();
         assert!(err.to_string().contains("UC confusables revision"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_file_mount_names_the_file() {
+        let db = db();
+        let dir = std::env::temp_dir().join("shamfinder-homodb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pairs.idx");
+        let mut bytes = Vec::new();
+        db.flat().write_to(&mut bytes).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Matching sources: mounts cleanly from disk.
+        let mounted = HomoglyphDb::from_snapshot_file(
+            &path,
+            db.simchar().clone(),
+            db.uc().clone(),
+        )
+        .unwrap();
+        assert!(mounted.is_pair('o' as u32, 0x0585));
+
+        // Stale sources: rejected naming the file AND the stale half.
+        let other_sim = SimCharDb::from_pairs(
+            vec![Pair { a: 'o' as u32, b: 0x0585, delta: 1 }],
+            4,
+        );
+        let err =
+            HomoglyphDb::from_snapshot_file(&path, other_sim, db.uc().clone()).unwrap_err();
+        assert!(err.to_string().contains("pairs.idx"), "{err}");
+        assert!(err.to_string().contains("SimChar/font build"), "{err}");
+
+        // Unreadable file: rejected naming the file.
+        let missing = dir.join("missing.idx");
+        let err = HomoglyphDb::from_snapshot_file(
+            &missing,
+            db.simchar().clone(),
+            db.uc().clone(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("missing.idx"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

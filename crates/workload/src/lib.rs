@@ -16,16 +16,25 @@
 //!   (Table 6) — in their real file formats,
 //! * a zone-diff event stream over the corpus — registrations
 //!   interleaved with reference-list churn — for driving the
-//!   incremental `DetectorSession` ingest path ([`stream`]).
+//!   incremental `DetectorSession` ingest path ([`stream`]),
+//! * a deterministic fault-injection harness — seeded schedules of
+//!   corrupt records, stalls, disconnects and forced lane panics —
+//!   for exercising the `sham_core::ingest` robustness layers
+//!   ([`faults`]).
 
 pub mod attacker;
 pub mod dictionary;
 pub mod domains;
+pub mod faults;
 pub mod stream;
 pub mod webgen;
 
 pub use attacker::{plant, substitutes, HomographPlan, PlantedHomograph, SubClass};
 pub use domains::{benign_corpus, popularity_weight, reference_list, LANGUAGE_MIX};
+pub use faults::{
+    ingest_event, lane_panic_hook, Fault, FaultSchedule, FaultyReader, FaultyZoneFeed,
+    FeedStats,
+};
 pub use stream::{
     event_stream, multi_tld_event_stream, union_corpus, MultiTldConfig, StreamConfig, ZoneEvent,
 };

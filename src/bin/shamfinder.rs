@@ -6,6 +6,9 @@
 //! shamfinder index load <path> [--theta N]         mount + verify a snapshot
 //! shamfinder check <domain> [--refs a,b,c]         check one domain
 //! shamfinder scan <zone-file> [--tld com] [--refs-file FILE]
+//! shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N]
+//!                       [--policy block|shed] [--faults PERMILLE] [--seed S]
+//!                       [--events N] [--zone FILE --tld com] [--refs-file FILE]
 //! shamfinder revert <idn>                          map an IDN back to LDH
 //! shamfinder homoglyphs <char-or-hex>              list a character's twins
 //! shamfinder surface <label> [--tld com|jp|de]     registrable homograph count
@@ -23,6 +26,9 @@ fn usage() -> ExitCode {
          shamfinder index load <path> [--theta N]\n  \
          shamfinder check <domain> [--refs a,b,c]\n  \
          shamfinder scan <zone-file> [--tld com] [--refs-file FILE]\n  \
+         shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N] \
+[--policy block|shed] [--faults PERMILLE] [--seed S] [--events N] \
+[--zone FILE --tld com] [--refs-file FILE]\n  \
          shamfinder revert <idn-or-stem>\n  \
          shamfinder homoglyphs <char-or-hex>\n  \
          shamfinder surface <label> [--tld com|jp|de|kr]"
@@ -122,29 +128,17 @@ fn cmd_index(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         "load" => {
-            let mut file = match std::fs::File::open(path) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("error: cannot open {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let flat = match shamfinder::simchar::FlatPairIndex::read_from(&mut file) {
-                Ok(flat) => flat,
-                Err(e) => {
-                    eprintln!("error: invalid snapshot {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
             // Mounting validates the recorded fingerprint against the
-            // databases this binary would build (same θ ⇒ same pairs).
+            // databases this binary would build (same θ ⇒ same pairs);
+            // every rejection out of the loader names the file and, for
+            // structural damage, the offending section.
             eprintln!("[shamfinder] rebuilding component databases for verification …");
             let font = SynthUnifont::v12();
             let result = build(&font, &BuildConfig { theta, ..BuildConfig::default() });
-            let db = match HomoglyphDb::from_prebuilt(
+            let db = match HomoglyphDb::from_snapshot_file(
+                path,
                 result.db,
                 UcDatabase::embedded(),
-                flat,
             ) {
                 Ok(db) => db,
                 Err(e) => {
@@ -334,6 +328,156 @@ fn cmd_surface(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `serve-feed`: run the fault-tolerant ingest front-end over a feed —
+/// by default a synthetic multi-TLD registration stream (optionally
+/// with a seeded fault schedule), or a master-file zone text with
+/// `--zone FILE`. Prints the per-TLD detection table plus the
+/// robustness ledger (shed/quarantined/retries/panics/folds and the
+/// accounting identity).
+fn cmd_serve_feed(args: &[String]) -> ExitCode {
+    use shamfinder::core::{
+        Backpressure, IngestConfig, IngestService, RetryPolicy, ZoneTextFeed,
+    };
+    use shamfinder::workload::{FaultSchedule, FaultyZoneFeed, FeedStats};
+
+    let tlds: Vec<String> = flag_value(args, "--tlds")
+        .unwrap_or_else(|| "com,net,org".into())
+        .split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect();
+    let queue = flag_value(args, "--queue").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let batch = flag_value(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let policy = match flag_value(args, "--policy").as_deref() {
+        None | Some("block") => Backpressure::Block,
+        Some("shed") => Backpressure::Shed,
+        Some(other) => {
+            eprintln!("error: unknown backpressure policy {other:?} (block|shed)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let faults: u32 =
+        flag_value(args, "--faults").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+
+    let refs: Vec<String> = match flag_value(args, "--refs-file") {
+        Some(f) => match std::fs::read_to_string(&f) {
+            Ok(t) => t
+                .lines()
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty())
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => default_refs(),
+    };
+    let db = build_db(4);
+    let index = shamfinder::core::DetectionIndex::shared(db, refs);
+    let config = IngestConfig {
+        queue_capacity: queue,
+        batch_capacity: batch,
+        backpressure: policy,
+        tlds: Some(tlds.clone()),
+        retry: RetryPolicy::default(),
+        ..IngestConfig::default()
+    };
+    let service = IngestService::new(index, config);
+
+    let report = if let Some(zone_path) = flag_value(args, "--zone") {
+        let origin = flag_value(args, "--tld").unwrap_or_else(|| "com".into());
+        let file = match std::fs::File::open(&zone_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot open {zone_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let feed = ZoneTextFeed::new(zone_path.clone(), &origin, file);
+        eprintln!("[shamfinder] ingesting zone {zone_path} (.{origin}) …");
+        service.run(vec![Box::new(feed)])
+    } else {
+        let events_scale: usize =
+            flag_value(args, "--events").and_then(|v| v.parse().ok()).unwrap_or(20_000);
+        let workload =
+            shamfinder::workload::Workload::generate(shamfinder::workload::WorkloadConfig {
+                benign_ascii: events_scale.saturating_sub(events_scale / 10),
+                benign_idns: events_scale / 10,
+                reference_size: 2_000,
+                homograph_permille: 100,
+                seed,
+            });
+        let feed_shape = shamfinder::workload::MultiTldConfig {
+            base: shamfinder::workload::StreamConfig {
+                churn_every: 4096,
+                churn_size: 2,
+                seed,
+            },
+            tlds: tlds.clone(),
+        };
+        let events = shamfinder::workload::multi_tld_event_stream(&workload, &feed_shape);
+        let schedule = if faults > 0 {
+            FaultSchedule::seeded(seed, events.len() as u64, faults)
+        } else {
+            FaultSchedule::none()
+        };
+        eprintln!(
+            "[shamfinder] replaying {} synthetic events over {} ({}‰ faults, seed {seed}) …",
+            events.len(),
+            tlds.join("/"),
+            faults,
+        );
+        let stats = FeedStats::shared();
+        let feed = FaultyZoneFeed::new("synthetic", events, schedule, stats);
+        service.run(vec![Box::new(feed)])
+    };
+
+    println!("-- per-TLD detections --");
+    for lane in &report.router.per_tld {
+        println!(
+            "  .{}: {} domains, {} IDNs, {} homographs",
+            lane.tld,
+            lane.report.total_domains,
+            lane.report.idn_count,
+            lane.report.detections.len()
+        );
+    }
+    if report.router.unrouted_domains > 0 {
+        println!("  (unrouted: {})", report.router.unrouted_domains);
+    }
+    println!("-- robustness --");
+    println!("  shed: {}", report.shed);
+    println!("  quarantined: {}", report.quarantined);
+    println!("  lost: {}", report.lost);
+    println!("  lane panics: {}", report.lane_panics);
+    println!("  lane folds: {}", report.lane_folds);
+    for feed in &report.feeds {
+        println!(
+            "  feed {}: {} registrations, {} churns, {} quarantined, {} retries, {:?}{}",
+            feed.name,
+            feed.registrations,
+            feed.churns,
+            feed.quarantined,
+            feed.retries,
+            feed.outcome,
+            feed.last_error.as_deref().map_or(String::new(), |e| format!(" ({e})")),
+        );
+    }
+    for sample in &report.quarantine {
+        println!("  quarantine[{}@{}]: {}", sample.feed, sample.position, sample.detail);
+    }
+    println!(
+        "  accounted: {} (routed {} + shed {} + lost {})",
+        report.events_accounted(),
+        report.router.total_domains(),
+        report.shed,
+        report.lost
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
@@ -343,6 +487,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(rest),
         "check" => cmd_check(rest),
         "scan" => cmd_scan(rest),
+        "serve-feed" => cmd_serve_feed(rest),
         "revert" => cmd_revert(rest),
         "homoglyphs" => cmd_homoglyphs(rest),
         "surface" => cmd_surface(rest),

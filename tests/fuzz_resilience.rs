@@ -58,6 +58,73 @@ proptest! {
         prop_assert!(zone.records.len() + errors.len() <= text.lines().count() + 1);
     }
 
+    /// The strict zone parser is total over arbitrary bytes: any input —
+    /// valid UTF-8 or not — yields `Ok` or `ZoneError`, never a panic.
+    #[test]
+    fn zone_strict_total_over_bytes(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&data);
+        let _ = shamfinder::dns::parse(&text, "com");
+        let _ = shamfinder::dns::parse_domain_list(&text);
+    }
+
+    /// A valid zone truncated at *every* byte offset parses or fails
+    /// cleanly — a disconnect can cut a feed anywhere, including inside
+    /// a multi-byte UTF-8 sequence (the lossy decode models the
+    /// replacement a byte-stream reader would hand the parser).
+    #[test]
+    fn zone_truncation_at_every_offset_total(extra in 0usize..3) {
+        let zone = format!(
+            "$ORIGIN com.\n$TTL 3600\ngoogle IN NS ns{extra}.google.com.\n\
+             xn--ggle-55da 60 IN A 192.0.2.7\nnote IN TXT \"sémi; colon\"\n"
+        );
+        let bytes = zone.as_bytes();
+        for cut in 0..=bytes.len() {
+            let text = String::from_utf8_lossy(&bytes[..cut]);
+            let _ = shamfinder::dns::parse(&text, "com");
+            let (parsed, errors) = shamfinder::dns::parse_lenient(&text, "com");
+            prop_assert!(parsed.records.len() + errors.len() <= text.lines().count() + 1);
+        }
+    }
+
+    /// A valid zone with random byte flips parses or fails cleanly, and
+    /// the lenient pass never loses account of a line.
+    #[test]
+    fn zone_bitflip_total(
+        flips in proptest::collection::vec((0usize..200, 0u8..8), 1..8),
+    ) {
+        let mut bytes = b"$ORIGIN com.\n$TTL 3600\ngoogle IN NS ns1.google.com.\n\
+                          mail IN MX 10 mx.mail.com.\nalias IN CNAME www.google.com.\n"
+            .to_vec();
+        for &(pos, bit) in &flips {
+            let at = pos % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = shamfinder::dns::parse(&text, "com");
+        let (zone, errors) = shamfinder::dns::parse_lenient(&text, "com");
+        prop_assert!(zone.records.len() + errors.len() <= text.lines().count() + 1);
+    }
+
+    /// The streaming line parser agrees with the batch parser on any
+    /// input, fed line by line — chunking is unobservable, and an error
+    /// line never poisons the lines after it.
+    #[test]
+    fn zone_stream_equals_batch(text in "[ -~\\n\\t]{0,400}") {
+        let (zone, errors) = shamfinder::dns::parse_lenient(&text, "com");
+        let mut parser = shamfinder::dns::ZoneStreamParser::new("com");
+        let mut records = Vec::new();
+        let mut failures = 0usize;
+        for raw in text.lines() {
+            match parser.push_line(raw) {
+                Ok(Some(rr)) => records.push(rr),
+                Ok(None) => {}
+                Err(_) => failures += 1,
+            }
+        }
+        prop_assert_eq!(records, zone.records);
+        prop_assert_eq!(failures, errors.len());
+    }
+
     /// The SimChar text loader is total.
     #[test]
     fn simchar_from_text_total(text in "[ -~\\n]{0,200}") {
