@@ -15,6 +15,12 @@
 //!   linear array copy, no union-find).
 //! * `detector` — the full `HomoglyphDb::new` + `Detector::new` path,
 //!   including the closure-hash index over the 10k-reference list.
+//! * `refset_build` — the reference-list half alone: arena interning,
+//!   closure hashing and the two sorted candidate runs over 10k stems.
+//! * `detector_10k_refs_mount` — the v3 cold start:
+//!   `DetectionIndex::from_snapshot` mounting pair index *and*
+//!   reference set from serialized bytes (checksum + pointer fixups,
+//!   no rebuild) — the zero-rebuild alternative to `detector_10k_refs`.
 //!
 //! Snapshot entries are builds/sec (per worker-thread count, matching
 //! the other sections' layout; construction itself is single-threaded).
@@ -24,7 +30,7 @@ use sham_bench::{
     detection_corpus, measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep,
 };
 use sham_confusables::UcDatabase;
-use sham_core::Detector;
+use sham_core::{DetectionIndex, Detector, ReferenceSet};
 use sham_glyph::SynthUnifont;
 use sham_simchar::{build, BuildConfig, FlatPairIndex, HomoglyphDb, Repertoire};
 
@@ -47,8 +53,11 @@ fn simchar_db() -> sham_simchar::SimCharDb {
 }
 
 fn bench_index_build(c: &mut Criterion) {
-    let simchar = simchar_db();
-    let uc = UcDatabase::embedded();
+    // The component databases are Arc-shared exactly as a worker fleet
+    // shares them: each mount pays two refcount bumps, not two deep
+    // copies.
+    let simchar = std::sync::Arc::new(simchar_db());
+    let uc = std::sync::Arc::new(UcDatabase::embedded());
     let (references, _) = detection_corpus(0);
 
     let mut group = c.benchmark_group("index_build");
@@ -71,7 +80,25 @@ fn bench_index_build(c: &mut Criterion) {
         b.iter(|| {
             let db = HomoglyphDb::new(simchar.clone(), uc.clone());
             std::hint::black_box(
-                Detector::new(db, references.iter().cloned()).references().len(),
+                Detector::new(db, references.iter().cloned()).reference_count(),
+            )
+        })
+    });
+    let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+    group.bench_function("refset_build", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                ReferenceSet::build(&db, references.iter().cloned()).live_count(),
+            )
+        })
+    });
+    let full = serialized_full_index(db, &references);
+    group.bench_function("detector_10k_refs_mount", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                DetectionIndex::from_snapshot_bytes(&full, simchar.clone(), uc.clone())
+                    .expect("full snapshot mounts")
+                    .reference_count(),
             )
         })
     });
@@ -83,14 +110,22 @@ fn bench_index_build(c: &mut Criterion) {
 /// Merges builds/sec into the `index_build` section of
 /// `BENCH_detection.json`.
 fn write_snapshot(
-    simchar: &sham_simchar::SimCharDb,
-    uc: &UcDatabase,
+    simchar: &std::sync::Arc<sham_simchar::SimCharDb>,
+    uc: &std::sync::Arc<UcDatabase>,
     references: &[String],
 ) {
     let serialized = serialized_index(simchar, uc);
+    let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+    let full = serialized_full_index(db.clone(), references);
     snapshot_thread_sweep(
         "index_build",
-        &["flat_index", "flat_index_load", "detector_10k_refs"],
+        &[
+            "flat_index",
+            "flat_index_load",
+            "detector_10k_refs",
+            "refset_build",
+            "detector_10k_refs_mount",
+        ],
         |name| {
             measure_ops_per_sec(1, snapshot_samples(), || match name {
                 "flat_index" => {
@@ -103,10 +138,26 @@ fn write_snapshot(
                             .char_count(),
                     );
                 }
+                "refset_build" => {
+                    std::hint::black_box(
+                        ReferenceSet::build(&db, references.iter().cloned()).live_count(),
+                    );
+                }
+                "detector_10k_refs_mount" => {
+                    std::hint::black_box(
+                        DetectionIndex::from_snapshot_bytes(
+                            &full,
+                            simchar.clone(),
+                            uc.clone(),
+                        )
+                        .expect("full snapshot mounts")
+                        .reference_count(),
+                    );
+                }
                 _ => {
                     let db = HomoglyphDb::new(simchar.clone(), uc.clone());
                     std::hint::black_box(
-                        Detector::new(db, references.iter().cloned()).references().len(),
+                        Detector::new(db, references.iter().cloned()).reference_count(),
                     );
                 }
             })
@@ -121,6 +172,15 @@ fn serialized_index(simchar: &sham_simchar::SimCharDb, uc: &UcDatabase) -> Vec<u
     FlatPairIndex::build(simchar, uc)
         .write_to(&mut bytes)
         .expect("serialize index");
+    bytes
+}
+
+/// One serialized v3 full-index snapshot (pair index + 10k-reference
+/// section), reused by every mount measurement.
+fn serialized_full_index(db: HomoglyphDb, references: &[String]) -> Vec<u8> {
+    let index = DetectionIndex::new(db, references.iter().cloned());
+    let mut bytes = Vec::new();
+    index.write_snapshot(&mut bytes).expect("serialize full index");
     bytes
 }
 

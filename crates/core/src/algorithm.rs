@@ -59,7 +59,7 @@
 //!
 //! [`DetectorSession`]: crate::DetectorSession
 
-use crate::detection::{CharSubstitution, Detection};
+use crate::detection::{CharSubstitution, Detection, RefName};
 use crate::index::{closure_hash, DetectionIndex, ReferenceSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -110,9 +110,14 @@ impl Detector {
         self.index.db()
     }
 
-    /// Reference stems.
-    pub fn references(&self) -> &[Arc<str>] {
-        self.index.references()
+    /// Number of references in the index.
+    pub fn reference_count(&self) -> usize {
+        self.index.reference_count()
+    }
+
+    /// Reference `idx`'s name handle (insertion order).
+    pub fn reference(&self, idx: usize) -> RefName {
+        self.index.reference(idx)
     }
 
     /// The inner test of Algorithm 1. Returns the substitutions when
@@ -260,12 +265,12 @@ fn detect_shard(
                              unicode: &str,
                              ace: &str,
                              out: &mut Vec<Detection>| {
-        let r = &refs.stems[ref_idx as usize];
+        let r = refs.stem(ref_idx);
         if matches_into(db, r, stem, selection, subs) {
             out.push(Detection {
                 idn_unicode: unicode.to_string(),
                 idn_ascii: ace.to_string(),
-                reference: Arc::clone(&refs.names[ref_idx as usize]),
+                reference: refs.name(ref_idx),
                 substitutions: subs.clone(),
             });
         }
@@ -280,13 +285,13 @@ fn detect_shard(
                 }
             }
             Indexing::LengthBucket => {
-                for &ref_idx in refs.len_bucket(stem.len()) {
+                for ref_idx in refs.len_candidates(stem.len()) {
                     try_candidate(ref_idx, stem, subs, unicode, ace, out);
                 }
             }
             Indexing::CanonicalClosure => {
                 let h = closure_hash(db, stem);
-                for &ref_idx in refs.closure_bucket(h) {
+                for ref_idx in refs.closure_candidates(h) {
                     try_candidate(ref_idx, stem, subs, unicode, ace, out);
                 }
             }
@@ -457,7 +462,7 @@ mod tests {
         let hits = d2.detect(&[idn("gооgle")], DbSelection::Union, Indexing::CanonicalClosure);
         assert_eq!(hits.len(), 1);
         // The detection's reference name is a handle on the shared
-        // index's Arc, not a fresh String.
-        assert!(Arc::ptr_eq(&hits[0].reference, &d.references()[0]));
+        // index's name arena, not a fresh String.
+        assert!(RefName::ptr_eq(&hits[0].reference, &d.reference(0)));
     }
 }

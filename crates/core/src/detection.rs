@@ -1,8 +1,150 @@
 //! Detection result types shared across the framework.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use sham_simchar::PairSource;
+use std::fmt;
 use std::sync::Arc;
+
+/// A reference-name handle: one byte range of a shared name arena.
+///
+/// Detections used to carry a per-name `Arc<str>`; that costs one
+/// allocation per reference at construction time, which is fine when
+/// the list is built once but dominates a snapshot *mount* (10k names
+/// ≈ 455µs of allocator time against a sub-500µs cold-start budget).
+/// A `RefName` instead points into an arena: names materialised from a
+/// snapshot all share one `Arc<str>` allocation, names added
+/// individually get their own single-name arena. Cloning is an `Arc`
+/// handle copy either way, so emitting a detection still never copies
+/// string bytes.
+///
+/// Equality, ordering and hashing are by string content;
+/// [`RefName::ptr_eq`] is the sharing check (`Arc::ptr_eq` plus the
+/// range).
+#[derive(Debug, Clone)]
+pub struct RefName {
+    arena: Arc<str>,
+    start: u32,
+    end: u32,
+}
+
+impl RefName {
+    /// A handle owning its own single-name arena.
+    pub fn new(name: &str) -> RefName {
+        RefName { arena: Arc::from(name), start: 0, end: name.len() as u32 }
+    }
+
+    /// A handle on `arena[start..end]` — both offsets must be char
+    /// boundaries (the snapshot mount validates them before calling).
+    pub(crate) fn slice_of(arena: &Arc<str>, start: u32, end: u32) -> RefName {
+        debug_assert!(
+            arena.is_char_boundary(start as usize) && arena.is_char_boundary(end as usize)
+        );
+        RefName { arena: Arc::clone(arena), start, end }
+    }
+
+    /// The name itself.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.arena[self.start as usize..self.end as usize]
+    }
+
+    /// True when both handles view the same range of the same arena
+    /// allocation — the "no string bytes were copied" assertion, the
+    /// `RefName` analogue of `Arc::ptr_eq`.
+    pub fn ptr_eq(a: &RefName, b: &RefName) -> bool {
+        Arc::ptr_eq(&a.arena, &b.arena) && a.start == b.start && a.end == b.end
+    }
+
+    /// The backing arena allocation — for arena-sharing assertions.
+    #[cfg(test)]
+    pub(crate) fn arena(&self) -> &Arc<str> {
+        &self.arena
+    }
+}
+
+impl std::ops::Deref for RefName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for RefName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for RefName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for RefName {
+    fn eq(&self, other: &RefName) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for RefName {}
+
+impl PartialEq<str> for RefName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for RefName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialOrd for RefName {
+    fn partial_cmp(&self, other: &RefName) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RefName {
+    fn cmp(&self, other: &RefName) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for RefName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl From<&str> for RefName {
+    fn from(name: &str) -> RefName {
+        RefName::new(name)
+    }
+}
+
+impl From<String> for RefName {
+    fn from(name: String) -> RefName {
+        RefName::new(&name)
+    }
+}
+
+impl Serialize for RefName {
+    fn serialize(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for RefName {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(RefName::new(s)),
+            other => Err(Error(format!("expected string, got {other:?}"))),
+        }
+    }
+}
 
 /// One substituted character inside a detected homograph.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,10 +166,11 @@ pub struct Detection {
     pub idn_unicode: String,
     /// Full registered name in ACE form, e.g. `xn--ggle-0nda8c.com`.
     pub idn_ascii: String,
-    /// The targeted reference stem, e.g. `google` — an `Arc` handle on
-    /// the shared [`DetectionIndex`](crate::DetectionIndex) name, so
-    /// materialising a detection never clones the reference string.
-    pub reference: Arc<str>,
+    /// The targeted reference stem, e.g. `google` — a [`RefName`]
+    /// handle on the shared [`DetectionIndex`](crate::DetectionIndex)
+    /// name arena, so materialising a detection never clones the
+    /// reference string.
+    pub reference: RefName,
     /// The differential characters — the pinpointing capability the paper
     /// highlights as ShamFinder's advantage over image-based detectors.
     pub substitutions: Vec<CharSubstitution>,
@@ -76,6 +219,30 @@ mod tests {
             source: Some(PairSource::Both),
         });
         assert!(!mixed.simchar_exclusive());
+    }
+
+    #[test]
+    fn refname_slices_share_one_arena() {
+        let arena: Arc<str> = Arc::from("googlepaypal");
+        let google = RefName::slice_of(&arena, 0, 6);
+        let paypal = RefName::slice_of(&arena, 6, 12);
+        assert_eq!(&*google, "google");
+        assert_eq!(paypal.as_str(), "paypal");
+        assert_eq!(google.to_string(), "google");
+        // Content equality vs sharing identity.
+        assert_eq!(google, RefName::new("google"));
+        assert!(!RefName::ptr_eq(&google, &RefName::new("google")));
+        assert!(RefName::ptr_eq(&google, &google.clone()));
+        assert!(!RefName::ptr_eq(&google, &paypal));
+        // Hash/ord follow content: usable as map keys.
+        let mut seen = std::collections::HashMap::new();
+        seen.insert(google.clone(), 1);
+        assert_eq!(seen.get(&RefName::new("google")), Some(&1));
+        assert!(google < paypal);
+        // Serde round-trips by content.
+        let json = serde_json::to_string(&google).unwrap();
+        let back: RefName = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, google);
     }
 
     #[test]

@@ -77,10 +77,10 @@ pub mod router;
 pub mod session;
 
 pub use algorithm::{Detector, Indexing};
-pub use detection::{CharSubstitution, Detection};
+pub use detection::{CharSubstitution, Detection, RefName};
 pub use feeds::{WireMessageFeed, ZoneTextFeed};
 pub use framework::{Framework, FrameworkReport};
-pub use index::DetectionIndex;
+pub use index::{reference_digest, reference_section_summary, DetectionIndex, ReferenceSet};
 pub use ingest::{
     Backpressure, FeedError, FeedItem, FeedOutcome, FeedReport, FeedSource, FlushHook,
     IngestConfig, IngestEvent, IngestReport, IngestService, LaneStats, QuarantineSample,

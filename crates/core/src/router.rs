@@ -472,6 +472,7 @@ impl SessionRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detection::RefName;
     use sham_confusables::UcDatabase;
     use sham_glyph::SynthUnifont;
     use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
@@ -523,8 +524,8 @@ mod tests {
         assert_eq!(report.per_tld[2].report.total_domains, 1);
         // Every lane's detections hold handles on the one shared index.
         for d in report.detections() {
-            assert!(Arc::ptr_eq(&d.reference, &index.references()[0])
-                || Arc::ptr_eq(&d.reference, &index.references()[1]));
+            assert!(RefName::ptr_eq(&d.reference, &index.reference(0))
+                || RefName::ptr_eq(&d.reference, &index.reference(1)));
         }
     }
 

@@ -30,7 +30,8 @@
 //! under heavy reference churn stays bounded by its live reference
 //! count instead of growing with the total churn history, while the
 //! amortised per-diff cost stays O(1) (each rebuild at least halves
-//! the table). Compaction preserves the `Arc<str>` name handles that
+//! the table). Compaction preserves the
+//! [`RefName`](crate::detection::RefName) handles that
 //! already-emitted detections share, and is observable only through
 //! [`DetectorSession::overlay_tombstones`] — detections are identical
 //! with compaction on, off, or forced after every diff.
@@ -149,7 +150,7 @@ impl DetectorSession {
     pub fn reference_count(&self) -> usize {
         match &self.overlay {
             Some(overlay) => overlay.live_count(),
-            None => self.index.references().len(),
+            None => self.index.reference_count(),
         }
     }
 
@@ -267,6 +268,7 @@ impl DetectorSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detection::RefName;
     use sham_confusables::UcDatabase;
     use sham_glyph::SynthUnifont;
     use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
@@ -328,8 +330,8 @@ mod tests {
             report.detections.iter().map(|d| &*d.reference).collect();
         assert_eq!(refs, ["google", "amazon"]);
         // The shared index itself is untouched by the session overlay.
-        assert_eq!(index.references().len(), 2);
-        assert_eq!(&*index.references()[0], "google");
+        assert_eq!(index.reference_count(), 2);
+        assert_eq!(&*index.reference(0), "google");
     }
 
     #[test]
@@ -365,7 +367,7 @@ mod tests {
         // emitted reference is still the shared index's allocation.
         session.push_idns(&[idn("gооgle")]);
         assert_eq!(session.detections().len(), 1);
-        assert!(Arc::ptr_eq(&session.detections()[0].reference, &index.references()[0]));
+        assert!(RefName::ptr_eq(&session.detections()[0].reference, &index.reference(0)));
     }
 
     #[test]

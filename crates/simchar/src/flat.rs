@@ -383,17 +383,35 @@ impl FlatPairIndex {
     }
 
     /// Writes the index as a versioned, checksummed binary snapshot —
-    /// see the format table in `docs/ARCHITECTURE.md`. Layout: an
-    /// 8-byte magic, a little-endian `u32` format version, the source
-    /// fingerprint (font digest `u64` + UC digest `u64` — see
-    /// [`SourceFingerprint`]), the payload length (`u64`) and an FNV-1a
-    /// checksum (`u64`) over the fingerprint fields and the payload
-    /// (so a corrupted fingerprint fails the checksum instead of
-    /// masquerading as a stale snapshot), followed by the six `u32`
-    /// array sections and the attribution byte section, each
-    /// length-prefixed. Everything is flat arrays already, so
-    /// serialization is a linear copy.
+    /// [`FlatPairIndex::write_with_section`] without a reference
+    /// section.
     pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        self.write_with_section(writer, None)
+    }
+
+    /// Writes the v3 snapshot — see the format table in
+    /// `docs/ARCHITECTURE.md`. Layout: an 8-byte magic, a little-endian
+    /// `u32` format version, the source fingerprint (font digest and
+    /// UC digest, both `u64` — see [`SourceFingerprint`]), the
+    /// pair-payload length (`u64`) and a word-chunked FNV-1a checksum
+    /// (`u64`) over the fingerprint fields and the pair payload (so a
+    /// corrupted fingerprint fails the checksum instead of
+    /// masquerading as a stale snapshot), then the length and checksum
+    /// of the optional *reference section* (both zero when absent),
+    /// followed by the six `u32` array sections and the attribution
+    /// byte section (each length-prefixed) and finally the
+    /// reference-section bytes verbatim. Everything is flat arrays
+    /// already, so serialization is a linear copy.
+    ///
+    /// The reference section is opaque at this layer: `sham_core`
+    /// serializes its flat `ReferenceSet` into it, keyed by the same
+    /// fingerprint, so one file cold-starts a whole `DetectionIndex`.
+    /// An empty slice is treated as absent.
+    pub fn write_with_section(
+        &self,
+        writer: &mut impl Write,
+        extra: Option<&[u8]>,
+    ) -> io::Result<()> {
         let mut payload = Vec::with_capacity(
             4 * (self.interner.page_table.len()
                 + self.interner.slots.len()
@@ -424,10 +442,9 @@ impl FlatPairIndex {
             PairSource::Both => 2,
         }));
 
-        let mut digest = FNV_OFFSET;
-        digest = fnv1a_update(digest, &self.fingerprint.font.to_le_bytes());
-        digest = fnv1a_update(digest, &self.fingerprint.unicode.to_le_bytes());
-        digest = fnv1a_update(digest, &payload);
+        let digest = snapshot_checksum(&self.fingerprint, &payload);
+        let extra = extra.unwrap_or(&[]);
+        let extra_digest = if extra.is_empty() { 0 } else { fnv1a_lanes(extra) };
 
         writer.write_all(SNAPSHOT_MAGIC)?;
         writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
@@ -435,58 +452,75 @@ impl FlatPairIndex {
         writer.write_all(&self.fingerprint.unicode.to_le_bytes())?;
         writer.write_all(&(payload.len() as u64).to_le_bytes())?;
         writer.write_all(&digest.to_le_bytes())?;
-        writer.write_all(&payload)
+        writer.write_all(&(extra.len() as u64).to_le_bytes())?;
+        writer.write_all(&extra_digest.to_le_bytes())?;
+        writer.write_all(&payload)?;
+        writer.write_all(extra)
     }
 
-    /// Reads a snapshot written by [`FlatPairIndex::write_to`],
+    /// Reads a snapshot written by [`FlatPairIndex::write_to`] (or any
+    /// `write_with_section` output — the reference section, when
+    /// present, is read past and dropped). Accepts both the current v3
+    /// layout and the 44-byte-header v2 layout of earlier releases.
+    pub fn read_from(reader: &mut impl Read) -> io::Result<FlatPairIndex> {
+        FlatPairIndex::read_with_section(reader).map(|(idx, _)| idx)
+    }
+
+    /// Reads a snapshot together with its optional reference section,
     /// rejecting wrong magic, unsupported versions, truncated payloads
     /// and checksum mismatches with [`io::ErrorKind::InvalidData`].
     /// A successful load is structurally revalidated (section lengths
     /// must be mutually consistent), so a corrupted-but-checksummed
-    /// file cannot produce out-of-bounds panics later.
-    pub fn read_from(reader: &mut impl Read) -> io::Result<FlatPairIndex> {
+    /// file cannot produce out-of-bounds panics later. The reference
+    /// section comes back verbatim (`None` on v2 files and on v3 files
+    /// written without one); its own checksum has already been
+    /// verified, but its internal layout is the caller's to parse.
+    pub fn read_with_section(
+        reader: &mut impl Read,
+    ) -> io::Result<(FlatPairIndex, Option<Vec<u8>>)> {
+        let header = SnapshotHeader::read_from(reader)?;
+        let payload = header.read_pair_payload(reader)?;
+        let extra = header.read_reference_section(reader)?;
+        Ok((FlatPairIndex::parse_payload(&payload, header.fingerprint)?, extra))
+    }
+
+    /// [`FlatPairIndex::read_with_section`] over an in-memory snapshot
+    /// — the zero-copy mount path. The header is parsed in place, both
+    /// checksums run directly over sub-slices of `bytes`, and the
+    /// reference section comes back as a *borrow* of the input: no
+    /// intermediate payload buffer is allocated or copied, which is
+    /// most of the difference between a mount and a read on a
+    /// memory-mapped or already-resident snapshot. Bytes past the end
+    /// of the framed sections are ignored, exactly as a streaming read
+    /// leaves them unconsumed.
+    pub fn read_with_section_bytes(
+        bytes: &[u8],
+    ) -> io::Result<(FlatPairIndex, Option<&[u8]>)> {
+        let (header, rest) = SnapshotHeader::parse(bytes)?;
+        let (payload, extra) = header.split_sections(rest)?;
+        Ok((FlatPairIndex::parse_payload(payload, header.fingerprint)?, extra))
+    }
+
+    /// [`FlatPairIndex::read_with_section`] over a file on disk, with
+    /// every rejection prefixed with the file's path (the
+    /// [`FlatPairIndex::read_from_path`] convention).
+    pub fn read_with_section_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<(FlatPairIndex, Option<Vec<u8>>)> {
+        let path = path.as_ref();
+        let named =
+            |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        let mut file = std::fs::File::open(path).map_err(named)?;
+        FlatPairIndex::read_with_section(&mut io::BufReader::new(&mut file)).map_err(named)
+    }
+
+    /// Parses and structurally revalidates one checksum-verified pair
+    /// payload.
+    fn parse_payload(
+        payload: &[u8],
+        fingerprint: SourceFingerprint,
+    ) -> io::Result<FlatPairIndex> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-
-        let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
-        if &magic != SNAPSHOT_MAGIC {
-            return Err(bad("not a FlatPairIndex snapshot (bad magic)"));
-        }
-        let mut word = [0u8; 4];
-        reader.read_exact(&mut word)?;
-        let version = u32::from_le_bytes(word);
-        if version != SNAPSHOT_VERSION {
-            return Err(bad(&format!(
-                "unsupported FlatPairIndex snapshot version {version} (expected {SNAPSHOT_VERSION})"
-            )));
-        }
-        let mut long = [0u8; 8];
-        reader.read_exact(&mut long)?;
-        let font = u64::from_le_bytes(long);
-        reader.read_exact(&mut long)?;
-        let unicode = u64::from_le_bytes(long);
-        let fingerprint = SourceFingerprint { font, unicode };
-        reader.read_exact(&mut long)?;
-        let payload_len = u64::from_le_bytes(long);
-        reader.read_exact(&mut long)?;
-        let checksum = u64::from_le_bytes(long);
-        // The length field itself is outside the checksum, so it must
-        // not size any allocation: read through `take`, which grows the
-        // buffer only as bytes actually arrive — a corrupt huge length
-        // on a short file becomes a truncation error, not an OOM.
-        let mut payload = Vec::new();
-        reader.take(payload_len).read_to_end(&mut payload)?;
-        if payload.len() as u64 != payload_len {
-            return Err(bad("truncated FlatPairIndex snapshot payload"));
-        }
-        let mut digest = FNV_OFFSET;
-        digest = fnv1a_update(digest, &fingerprint.font.to_le_bytes());
-        digest = fnv1a_update(digest, &fingerprint.unicode.to_le_bytes());
-        digest = fnv1a_update(digest, &payload);
-        if digest != checksum {
-            return Err(bad("FlatPairIndex snapshot checksum mismatch"));
-        }
-
         let mut cursor = 0usize;
         let mut read_u32s = |payload: &[u8], section: &str| -> io::Result<Vec<u32>> {
             let count = read_len(payload, &mut cursor, section)?;
@@ -505,13 +539,13 @@ impl FlatPairIndex {
             cursor = end;
             Ok(out)
         };
-        let page_table = read_u32s(&payload, "interner page table")?;
-        let slots = read_u32s(&payload, "interner slots")?;
-        let cps = read_u32s(&payload, "interner code points")?;
-        let rep = read_u32s(&payload, "component representatives")?;
-        let offsets = read_u32s(&payload, "CSR offsets")?;
-        let neighbours = read_u32s(&payload, "CSR neighbours")?;
-        let source_count = read_len(&payload, &mut cursor, "pair attribution")?;
+        let page_table = read_u32s(payload, "interner page table")?;
+        let slots = read_u32s(payload, "interner slots")?;
+        let cps = read_u32s(payload, "interner code points")?;
+        let rep = read_u32s(payload, "component representatives")?;
+        let offsets = read_u32s(payload, "CSR offsets")?;
+        let neighbours = read_u32s(payload, "CSR neighbours")?;
+        let source_count = read_len(payload, &mut cursor, "pair attribution")?;
         let source_bytes = payload
             .get(cursor..cursor + source_count)
             .ok_or_else(|| bad("truncated `pair attribution` section"))?;
@@ -588,23 +622,373 @@ impl FlatPairIndex {
         let mut file = std::fs::File::open(path).map_err(named)?;
         FlatPairIndex::read_from(&mut io::BufReader::new(&mut file)).map_err(named)
     }
+
+    /// Inspects a v3 snapshot without mounting it: header fields, per-
+    /// section sizes, both checksums, and the raw reference section
+    /// (already checksum-verified) for the caller to break down
+    /// further. Both checksums are verified and the pair payload is
+    /// structurally revalidated, so a corrupt file is reported with
+    /// the same named-section errors as a load. Older versions get a
+    /// readable rejection instead of a partial report.
+    pub fn snapshot_stat(reader: &mut impl Read) -> io::Result<SnapshotStat> {
+        let header = SnapshotHeader::read_from(reader)?;
+        if header.version != SNAPSHOT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "version {} FlatPairIndex snapshot: `index stat` reads the \
+                     v{SNAPSHOT_VERSION} full-index layout — rebuild the file with \
+                     `shamfinder index build`",
+                    header.version
+                ),
+            ));
+        }
+        let payload = header.read_pair_payload(reader)?;
+        let idx = FlatPairIndex::parse_payload(&payload, header.fingerprint)?;
+        let reference_section = header.read_reference_section(reader)?;
+        let u32s = |name, v: &Vec<u32>| SnapshotSection {
+            name,
+            elements: v.len(),
+            bytes: 4 + 4 * v.len(),
+        };
+        let sections = vec![
+            u32s("interner page table", &idx.interner.page_table),
+            u32s("interner slots", &idx.interner.slots),
+            u32s("interner code points", &idx.interner.cps),
+            u32s("component representatives", &idx.rep),
+            u32s("CSR offsets", &idx.offsets),
+            u32s("CSR neighbours", &idx.neighbours),
+            SnapshotSection {
+                name: "pair attribution",
+                elements: idx.sources.len(),
+                bytes: 4 + idx.sources.len(),
+            },
+        ];
+        Ok(SnapshotStat {
+            version: header.version,
+            fingerprint: header.fingerprint,
+            pair_payload_bytes: header.payload_len,
+            pair_checksum: header.checksum,
+            sections,
+            reference_bytes: header.extra_len,
+            reference_checksum: header.extra_checksum,
+            reference_section,
+        })
+    }
+
+    /// [`FlatPairIndex::snapshot_stat`] over a file on disk, rejections
+    /// prefixed with the file's path.
+    pub fn snapshot_stat_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<SnapshotStat> {
+        let path = path.as_ref();
+        let named =
+            |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        let mut file = std::fs::File::open(path).map_err(named)?;
+        FlatPairIndex::snapshot_stat(&mut io::BufReader::new(&mut file)).map_err(named)
+    }
+}
+
+/// One pair-payload section as reported by
+/// [`FlatPairIndex::snapshot_stat`].
+#[derive(Debug, Clone)]
+pub struct SnapshotSection {
+    /// The section's name — the same string load errors convict by.
+    pub name: &'static str,
+    /// Element count (array entries, not bytes).
+    pub elements: usize,
+    /// On-disk footprint including the length prefix.
+    pub bytes: usize,
+}
+
+/// A parsed v3 snapshot header plus section inventory — everything
+/// `shamfinder index stat` prints, without mounting the index.
+#[derive(Debug, Clone)]
+pub struct SnapshotStat {
+    /// Format version (always the current `SNAPSHOT_VERSION`; older
+    /// files are rejected with a readable error instead).
+    pub version: u32,
+    /// The recorded source fingerprint (both digests).
+    pub fingerprint: SourceFingerprint,
+    /// Pair-payload length in bytes.
+    pub pair_payload_bytes: u64,
+    /// Checksum over fingerprint + pair payload (the v3
+    /// interleaved-lane FNV-1a fold).
+    pub pair_checksum: u64,
+    /// Per-section inventory of the pair payload.
+    pub sections: Vec<SnapshotSection>,
+    /// Reference-section length in bytes (0 = absent).
+    pub reference_bytes: u64,
+    /// Reference-section checksum (0 = absent).
+    pub reference_checksum: u64,
+    /// The verified reference-section bytes, for callers that can
+    /// parse its layout (`sham_core`).
+    pub reference_section: Option<Vec<u8>>,
+}
+
+/// The fixed-size snapshot header: 44 bytes in v2, 60 in v3 (the two
+/// reference-section fields were appended).
+struct SnapshotHeader {
+    version: u32,
+    fingerprint: SourceFingerprint,
+    payload_len: u64,
+    checksum: u64,
+    extra_len: u64,
+    extra_checksum: u64,
+}
+
+impl SnapshotHeader {
+    fn read_from(reader: &mut impl Read) -> io::Result<SnapshotHeader> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(bad("not a FlatPairIndex snapshot (bad magic)".into()));
+        }
+        let mut word = [0u8; 4];
+        reader.read_exact(&mut word)?;
+        let version = u32::from_le_bytes(word);
+        if version != SNAPSHOT_VERSION_V2 && version != SNAPSHOT_VERSION {
+            return Err(bad(format!(
+                "unsupported FlatPairIndex snapshot version {version} \
+                 (expected {SNAPSHOT_VERSION_V2} or {SNAPSHOT_VERSION})"
+            )));
+        }
+        let mut long = [0u8; 8];
+        let mut read_u64 = |reader: &mut dyn Read| -> io::Result<u64> {
+            reader.read_exact(&mut long)?;
+            Ok(u64::from_le_bytes(long))
+        };
+        let font = read_u64(reader)?;
+        let unicode = read_u64(reader)?;
+        let payload_len = read_u64(reader)?;
+        let checksum = read_u64(reader)?;
+        let (extra_len, extra_checksum) = if version >= SNAPSHOT_VERSION {
+            (read_u64(reader)?, read_u64(reader)?)
+        } else {
+            (0, 0)
+        };
+        Ok(SnapshotHeader {
+            version,
+            fingerprint: SourceFingerprint { font, unicode },
+            payload_len,
+            checksum,
+            extra_len,
+            extra_checksum,
+        })
+    }
+
+    /// Reads and checksum-verifies the pair payload. The length field
+    /// itself is outside the checksum, so it must not size any
+    /// allocation: reading through `take` grows the buffer only as
+    /// bytes actually arrive — a corrupt huge length on a short file
+    /// becomes a truncation error, not an OOM.
+    fn read_pair_payload(&self, reader: &mut impl Read) -> io::Result<Vec<u8>> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        // Reserving exactly `payload_len` would let a forged length
+        // demand an arbitrary allocation; a capped reserve avoids the
+        // doubling-realloc copies for every honest snapshot while a
+        // forged length still only costs the cap before it surfaces as
+        // a truncation error.
+        let mut payload = Vec::with_capacity(self.payload_len.min(PREALLOC_CAP) as usize);
+        reader.by_ref().take(self.payload_len).read_to_end(&mut payload)?;
+        if payload.len() as u64 != self.payload_len {
+            return Err(bad("truncated FlatPairIndex snapshot payload"));
+        }
+        self.verify_pair_checksum(&payload)?;
+        Ok(payload)
+    }
+
+    /// Checks the recorded pair-payload checksum against `payload`.
+    fn verify_pair_checksum(&self, payload: &[u8]) -> io::Result<()> {
+        // v2 chained the checksum byte-at-a-time; v3 switched to the
+        // interleaved-lane fold (~30× less of the mount budget on the
+        // same bytes).
+        let digest = if self.version >= SNAPSHOT_VERSION {
+            snapshot_checksum(&self.fingerprint, payload)
+        } else {
+            let mut digest = FNV_OFFSET;
+            digest = fnv1a_update(digest, &self.fingerprint.font.to_le_bytes());
+            digest = fnv1a_update(digest, &self.fingerprint.unicode.to_le_bytes());
+            fnv1a_update(digest, payload)
+        };
+        if digest != self.checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "FlatPairIndex snapshot checksum mismatch".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the recorded reference-section checksum against `extra`.
+    fn verify_extra_checksum(&self, extra: &[u8]) -> io::Result<()> {
+        if fnv1a_lanes(extra) != self.extra_checksum {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "`reference section` checksum mismatch".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Reads and checksum-verifies the optional reference section.
+    fn read_reference_section(&self, reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        if self.extra_len == 0 {
+            return Ok(None);
+        }
+        // Same capped reserve as the pair payload.
+        let mut extra = Vec::with_capacity(self.extra_len.min(PREALLOC_CAP) as usize);
+        reader.by_ref().take(self.extra_len).read_to_end(&mut extra)?;
+        if extra.len() as u64 != self.extra_len {
+            return Err(bad("truncated `reference section`"));
+        }
+        self.verify_extra_checksum(&extra)?;
+        Ok(Some(extra))
+    }
+
+    /// Parses the header from the front of an in-memory snapshot,
+    /// returning it together with the bytes that follow. Same
+    /// rejections as [`SnapshotHeader::read_from`].
+    fn parse(bytes: &[u8]) -> io::Result<(SnapshotHeader, &[u8])> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if bytes.len() < 12 {
+            return Err(bad("truncated FlatPairIndex snapshot header".into()));
+        }
+        if &bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(bad("not a FlatPairIndex snapshot (bad magic)".into()));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION_V2 && version != SNAPSHOT_VERSION {
+            return Err(bad(format!(
+                "unsupported FlatPairIndex snapshot version {version} \
+                 (expected {SNAPSHOT_VERSION_V2} or {SNAPSHOT_VERSION})"
+            )));
+        }
+        let header_len = if version >= SNAPSHOT_VERSION { 60 } else { 44 };
+        if bytes.len() < header_len {
+            return Err(bad("truncated FlatPairIndex snapshot header".into()));
+        }
+        let u64_at =
+            |offset: usize| u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
+        let (extra_len, extra_checksum) =
+            if version >= SNAPSHOT_VERSION { (u64_at(44), u64_at(52)) } else { (0, 0) };
+        Ok((
+            SnapshotHeader {
+                version,
+                fingerprint: SourceFingerprint { font: u64_at(12), unicode: u64_at(20) },
+                payload_len: u64_at(28),
+                checksum: u64_at(36),
+                extra_len,
+                extra_checksum,
+            },
+            &bytes[header_len..],
+        ))
+    }
+
+    /// Splits `rest` (the bytes after the header) into the
+    /// checksum-verified pair payload and optional reference section,
+    /// borrowing both — the zero-copy counterpart of
+    /// [`SnapshotHeader::read_pair_payload`] +
+    /// [`SnapshotHeader::read_reference_section`].
+    fn split_sections<'a>(&self, rest: &'a [u8]) -> io::Result<(&'a [u8], Option<&'a [u8]>)> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let payload = rest
+            .get(..self.payload_len as usize)
+            .ok_or_else(|| bad("truncated FlatPairIndex snapshot payload"))?;
+        self.verify_pair_checksum(payload)?;
+        if self.extra_len == 0 {
+            return Ok((payload, None));
+        }
+        let extra = rest[payload.len()..]
+            .get(..self.extra_len as usize)
+            .ok_or_else(|| bad("truncated `reference section`"))?;
+        self.verify_extra_checksum(extra)?;
+        Ok((payload, Some(extra)))
+    }
 }
 
 /// Snapshot magic: identifies a serialized [`FlatPairIndex`].
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SHAMFIDX";
 /// Snapshot format version; bumped on any layout change.
-/// Version 2 added the [`SourceFingerprint`] header fields.
-const SNAPSHOT_VERSION: u32 = 2;
+/// Version 2 added the [`SourceFingerprint`] header fields; version 3
+/// added the optional reference section (length + checksum in the
+/// header, bytes after the pair payload) and switched the checksums to
+/// the interleaved-lane FNV-1a fold. v2 files still load.
+const SNAPSHOT_VERSION: u32 = 3;
+/// The previous, still-readable format version.
+const SNAPSHOT_VERSION_V2: u32 = 2;
 
 /// FNV-1a offset basis — the checksum chain's initial state.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// Folds `bytes` into a running FNV-1a state; the snapshot checksum
-/// chains the fingerprint header fields and the payload through this.
+/// Largest up-front buffer reservation a snapshot header field may
+/// cause (the read itself is still bounded by bytes actually present).
+const PREALLOC_CAP: u64 = 8 << 20;
+
+/// Folds `bytes` into a running FNV-1a state byte-at-a-time — the v2
+/// checksum chain, kept for reading old snapshots.
 fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Folds `bytes` into a running FNV-1a state one little-endian `u64`
+/// word at a time (trailing partial word byte-wise). ~8× cheaper per
+/// byte than [`fnv1a_update`], but still a serial multiply chain —
+/// [`fnv1a_lanes`] is the bulk digest. Chaining calls is only
+/// concatenation-equivalent when every piece but the last is a
+/// multiple of 8 bytes.
+fn fnv1a_words(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        h ^= u64::from_le_bytes(chunk.try_into().unwrap());
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    fnv1a_update(h, chunks.remainder())
+}
+
+/// The v3 bulk digest: four FNV-1a word lanes interleaved over the
+/// input (lane `j` folds words `j, j + 4, j + 8, …`), trailing bytes
+/// and the four lane states folded into one word chain at the end.
+/// FNV's multiply chain is serial — each step waits on the previous
+/// multiply — so a plain word fold caps out near one word per multiply
+/// latency; four independent lanes keep four multiplies in flight,
+/// which matters because both checksum passes run on every cold-start
+/// mount of a megabyte-scale snapshot. Word order still matters both
+/// within and across lanes (the final fold consumes lane states in
+/// order), so swapped or moved words are detected as reliably as in
+/// the single chain.
+fn fnv1a_lanes(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut lanes = [FNV_OFFSET; 4];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (lane, word) in lanes.iter_mut().zip(chunk.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(word.try_into().unwrap());
+            *lane = lane.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = FNV_OFFSET;
+    for lane in lanes {
+        h ^= lane;
+        h = h.wrapping_mul(PRIME);
+    }
+    fnv1a_words(h, chunks.remainder())
+}
+
+/// The v3 pair-payload checksum: both fingerprint digests and the
+/// [`fnv1a_lanes`] payload digest folded into one FNV-1a chain.
+fn snapshot_checksum(fingerprint: &SourceFingerprint, payload: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for word in [fingerprint.font, fingerprint.unicode, fnv1a_lanes(payload)] {
+        h ^= word;
+        h = h.wrapping_mul(PRIME);
     }
     h
 }
@@ -800,10 +1184,14 @@ mod tests {
         // Likewise a forged section count (checksum recomputed so
         // parsing reaches it) must be bounds-checked against the bytes
         // actually present before it sizes any buffer. The payload
-        // starts at offset 44; its first u32 is the page_table count.
+        // starts at offset 60; its first u32 is the page_table count.
         let mut forged = bytes.clone();
-        forged[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
-        let digest = fnv1a_update(fnv1a_update(FNV_OFFSET, &forged[12..28]), &forged[44..]);
+        forged[60..64].copy_from_slice(&u32::MAX.to_le_bytes());
+        let fp = SourceFingerprint {
+            font: u64::from_le_bytes(forged[12..20].try_into().unwrap()),
+            unicode: u64::from_le_bytes(forged[20..28].try_into().unwrap()),
+        };
+        let digest = snapshot_checksum(&fp, &forged[60..]);
         forged[36..44].copy_from_slice(&digest.to_le_bytes());
         let err = FlatPairIndex::read_from(&mut forged.as_slice()).unwrap_err();
         assert!(
@@ -817,12 +1205,12 @@ mod tests {
         let idx = FlatPairIndex::build(&simchar(&[(1, 2), (2, 3)]), &UcDatabase::default());
         let mut bytes = Vec::new();
         idx.write_to(&mut bytes).unwrap();
-        // Payload layout: sections start at offset 44, each a u32 count
+        // Payload layout: sections start at offset 60, each a u32 count
         // then count u32s. Walk to each section's count, forge it, and
         // re-checksum so parsing reaches the structural check.
         let reload = |bytes: &[u8]| FlatPairIndex::read_from(&mut &bytes[..]);
         let section_offsets = {
-            let mut at = 44usize;
+            let mut at = 60usize;
             let mut offs = Vec::new();
             for _ in 0..6 {
                 offs.push(at);
@@ -834,8 +1222,11 @@ mod tests {
             offs
         };
         let reseal = |bytes: &mut Vec<u8>| {
-            let digest =
-                fnv1a_update(fnv1a_update(FNV_OFFSET, &bytes[12..28]), &bytes[44..]);
+            let fp = SourceFingerprint {
+                font: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+                unicode: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+            };
+            let digest = snapshot_checksum(&fp, &bytes[60..]);
             bytes[36..44].copy_from_slice(&digest.to_le_bytes());
         };
         for (i, section) in [
@@ -869,7 +1260,7 @@ mod tests {
         forged.drain(rep_at + 4..rep_at + 4 + 4 * rep_count);
         reseal(&mut forged);
         // The removed bytes shrink the payload; fix the length header.
-        let new_len = (forged.len() - 44) as u64;
+        let new_len = (forged.len() - 60) as u64;
         forged[28..36].copy_from_slice(&new_len.to_le_bytes());
         reseal(&mut forged);
         let err = reload(&forged).unwrap_err();
@@ -943,6 +1334,124 @@ mod tests {
         idx.write_to(&mut bytes).unwrap();
         let back = FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap();
         assert_eq!(back.fingerprint(), idx.fingerprint());
+    }
+
+    /// Rewrites v3 snapshot bytes into the 44-byte-header v2 layout
+    /// (reference section dropped, byte-wise checksum), for
+    /// backward-compat tests.
+    fn downgrade_to_v2(v3: &[u8]) -> Vec<u8> {
+        let mut v2 = Vec::with_capacity(v3.len() - 16);
+        v2.extend_from_slice(&v3[..44]);
+        let payload_len =
+            u64::from_le_bytes(v3[28..36].try_into().unwrap()) as usize;
+        v2.extend_from_slice(&v3[60..60 + payload_len]);
+        v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let digest = fnv1a_update(fnv1a_update(FNV_OFFSET, &v2[12..28]), &v2[44..]);
+        v2[36..44].copy_from_slice(&digest.to_le_bytes());
+        v2
+    }
+
+    #[test]
+    fn v2_snapshots_still_load() {
+        let idx = FlatPairIndex::build(
+            &simchar(&[('o' as u32, 0x043E), (1, 2)]),
+            &UcDatabase::from_mappings(parse("043E ; 006F ; MA\n").unwrap()),
+        );
+        let mut v3 = Vec::new();
+        idx.write_with_section(&mut v3, Some(b"reference bytes")).unwrap();
+        let v2 = downgrade_to_v2(&v3);
+        assert_eq!(FlatPairIndex::read_from(&mut v2.as_slice()).unwrap(), idx);
+        // The section-aware reader reports the absence, not an error.
+        let (back, section) =
+            FlatPairIndex::read_with_section(&mut v2.as_slice()).unwrap();
+        assert_eq!(back, idx);
+        assert!(section.is_none());
+        // A corrupted v2 payload still fails its (byte-wise) checksum.
+        let mut bad = v2.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let err = FlatPairIndex::read_from(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn reference_section_round_trips_and_rejects_corruption() {
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2), (2, 3)]), &UcDatabase::default());
+        let section: Vec<u8> = (0u16..600).flat_map(u16::to_le_bytes).collect();
+        let mut bytes = Vec::new();
+        idx.write_with_section(&mut bytes, Some(&section)).unwrap();
+
+        // Both halves come back; the plain reader skips the section.
+        let (back, got) = FlatPairIndex::read_with_section(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, idx);
+        assert_eq!(got.as_deref(), Some(&section[..]));
+        assert_eq!(FlatPairIndex::read_from(&mut bytes.as_slice()).unwrap(), idx);
+
+        // No section (or an empty one) reads back as None.
+        let mut plain = Vec::new();
+        idx.write_to(&mut plain).unwrap();
+        let (_, none) = FlatPairIndex::read_with_section(&mut plain.as_slice()).unwrap();
+        assert!(none.is_none());
+        let mut empty = Vec::new();
+        idx.write_with_section(&mut empty, Some(&[])).unwrap();
+        assert_eq!(empty, plain);
+
+        // A flipped section byte fails the section checksum — the pair
+        // half is untouched, so the error names the reference section.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let err = FlatPairIndex::read_with_section(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("`reference section` checksum"), "{err}");
+
+        // Truncation inside the section names it too.
+        let cut = bytes.len() - 7;
+        let err = FlatPairIndex::read_with_section(&mut &bytes[..cut]).unwrap_err();
+        assert!(err.to_string().contains("truncated `reference section`"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_stat_inventories_the_file() {
+        let idx = FlatPairIndex::build(&simchar(&[(1, 2), (2, 3)]), &UcDatabase::default());
+        let section = vec![0xABu8; 96];
+        let mut bytes = Vec::new();
+        idx.write_with_section(&mut bytes, Some(&section)).unwrap();
+
+        let stat = FlatPairIndex::snapshot_stat(&mut bytes.as_slice()).unwrap();
+        assert_eq!(stat.version, SNAPSHOT_VERSION);
+        assert_eq!(stat.fingerprint, idx.fingerprint());
+        assert_eq!(stat.reference_bytes, 96);
+        assert_eq!(stat.reference_section.as_deref(), Some(&section[..]));
+        assert_ne!(stat.reference_checksum, 0);
+        // The section inventory accounts for the whole pair payload.
+        let total: usize = stat.sections.iter().map(|s| s.bytes).sum();
+        assert_eq!(total as u64, stat.pair_payload_bytes);
+        assert_eq!(bytes.len() as u64, 60 + stat.pair_payload_bytes + 96);
+        // Header checksum field matches the reported one.
+        assert_eq!(
+            u64::from_le_bytes(bytes[36..44].try_into().unwrap()),
+            stat.pair_checksum
+        );
+
+        // Sectionless files stat too; old versions get a readable error.
+        let mut plain = Vec::new();
+        idx.write_to(&mut plain).unwrap();
+        let stat = FlatPairIndex::snapshot_stat(&mut plain.as_slice()).unwrap();
+        assert_eq!(stat.reference_bytes, 0);
+        assert!(stat.reference_section.is_none());
+        let v2 = downgrade_to_v2(&plain);
+        let err = FlatPairIndex::snapshot_stat(&mut v2.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 2"), "{err}");
+        assert!(err.to_string().contains("index build"), "{err}");
+        let mut v1 = v2.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = FlatPairIndex::snapshot_stat(&mut v1.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unsupported"), "{err}");
+        // Corruption surfaces with the load path's named errors.
+        let mut bad = bytes.clone();
+        bad[61] ^= 0x01;
+        let err = FlatPairIndex::snapshot_stat(&mut bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

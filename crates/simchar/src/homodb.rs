@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use sham_confusables::UcDatabase;
 use std::collections::BTreeSet;
 use std::io;
+use std::sync::Arc;
 
 /// Which database(s) attest a homoglyph pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -44,10 +45,16 @@ pub enum DbSelection {
 }
 
 /// The combined homoglyph database.
+///
+/// The component databases are held behind [`Arc`]s: every constructor
+/// takes `impl Into<Arc<_>>`, so existing owned-value callers compile
+/// unchanged while a fleet of workers mounting snapshots over one
+/// shared SimChar build + confusables table passes `Arc` clones and
+/// pays two refcount bumps per mount instead of two deep copies.
 #[derive(Debug, Clone)]
 pub struct HomoglyphDb {
-    simchar: SimCharDb,
-    uc: UcDatabase,
+    simchar: Arc<SimCharDb>,
+    uc: Arc<UcDatabase>,
     /// Flat interned view of the union pair relation: interner,
     /// component representatives, CSR adjacency with attribution.
     flat: FlatPairIndex,
@@ -56,7 +63,11 @@ pub struct HomoglyphDb {
 impl HomoglyphDb {
     /// Combines a SimChar build with a UC database, building the flat
     /// pair index (interner + union-find closure + CSR) eagerly.
-    pub fn new(simchar: SimCharDb, uc: UcDatabase) -> Self {
+    pub fn new(
+        simchar: impl Into<Arc<SimCharDb>>,
+        uc: impl Into<Arc<UcDatabase>>,
+    ) -> Self {
+        let (simchar, uc) = (simchar.into(), uc.into());
         let flat = FlatPairIndex::build(&simchar, &uc);
         HomoglyphDb { simchar, uc, flat }
     }
@@ -74,10 +85,11 @@ impl HomoglyphDb {
     /// error instead of trusted, because its pair universe would answer
     /// queries for databases the process is not running.
     pub fn from_prebuilt(
-        simchar: SimCharDb,
-        uc: UcDatabase,
+        simchar: impl Into<Arc<SimCharDb>>,
+        uc: impl Into<Arc<UcDatabase>>,
         flat: FlatPairIndex,
     ) -> io::Result<Self> {
+        let (simchar, uc) = (simchar.into(), uc.into());
         let expected = SourceFingerprint::of(&simchar, &uc);
         let recorded = flat.fingerprint();
         if recorded != expected {
@@ -115,8 +127,8 @@ impl HomoglyphDb {
     /// which file it is talking about.
     pub fn from_snapshot_file(
         path: impl AsRef<std::path::Path>,
-        simchar: SimCharDb,
-        uc: UcDatabase,
+        simchar: impl Into<Arc<SimCharDb>>,
+        uc: impl Into<Arc<UcDatabase>>,
     ) -> io::Result<Self> {
         let path = path.as_ref();
         let flat = FlatPairIndex::read_from_path(path)?;
@@ -129,9 +141,20 @@ impl HomoglyphDb {
         &self.simchar
     }
 
+    /// The SimChar component's shared handle — clone this to mount
+    /// further snapshots without copying the database.
+    pub fn simchar_shared(&self) -> Arc<SimCharDb> {
+        Arc::clone(&self.simchar)
+    }
+
     /// The UC component.
     pub fn uc(&self) -> &UcDatabase {
         &self.uc
+    }
+
+    /// The UC component's shared handle.
+    pub fn uc_shared(&self) -> Arc<UcDatabase> {
+        Arc::clone(&self.uc)
     }
 
     /// The flat pair index over the union universe.

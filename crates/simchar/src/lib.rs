@@ -41,6 +41,6 @@ pub use builder::{
     DEFAULT_THETA, SPARSE_MIN_PIXELS,
 };
 pub use db::SimCharDb;
-pub use flat::{CharInterner, FlatPairIndex, SourceFingerprint};
+pub use flat::{CharInterner, FlatPairIndex, SnapshotSection, SnapshotStat, SourceFingerprint};
 pub use homodb::{DbSelection, HomoglyphDb, PairSource};
 pub use pairs::{find_pairs, find_pairs_ssim, Pair, Strategy};

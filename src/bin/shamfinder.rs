@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! shamfinder build-db [--theta N] [--out FILE]     build SimChar, print stats
-//! shamfinder index build <out> [--theta N]         snapshot the flat pair index
+//! shamfinder index build <out> [--theta N] [--with-refs [FILE]]
+//!                                                  snapshot the flat pair index,
+//!                                                  optionally with the reference set
 //! shamfinder index load <path> [--theta N]         mount + verify a snapshot
+//! shamfinder index stat <path>                     inspect a snapshot's sections
 //! shamfinder check <domain> [--refs a,b,c]         check one domain
 //! shamfinder scan <zone-file> [--tld com] [--refs-file FILE]
 //! shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N]
@@ -22,8 +25,9 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  shamfinder build-db [--theta N] [--out FILE]\n  \
-         shamfinder index build <out> [--theta N]\n  \
+         shamfinder index build <out> [--theta N] [--with-refs [FILE]]\n  \
          shamfinder index load <path> [--theta N]\n  \
+         shamfinder index stat <path>\n  \
          shamfinder check <domain> [--refs a,b,c]\n  \
          shamfinder scan <zone-file> [--tld com] [--refs-file FILE]\n  \
          shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N] \
@@ -86,14 +90,24 @@ fn cmd_build_db(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `index build <out>` / `index load <path>`: the serve-path snapshot
-/// round trip. `build` serializes the flat pair index (interner +
-/// union-find closure + CSR, with its source fingerprint) so later
-/// processes skip that construction; `load` mounts a snapshot back
-/// onto freshly built component databases, which also *verifies* it —
-/// a snapshot from another font build or confusables revision is
-/// rejected with the fingerprint mismatch error instead of trusted.
+/// `index build <out>` / `index load <path>` / `index stat <path>`:
+/// the serve-path snapshot round trip. `build` serializes the flat
+/// pair index (interner + union-find closure + CSR, with its source
+/// fingerprint) so later processes skip that construction; with
+/// `--with-refs [FILE]` it also embeds the fully-indexed reference set
+/// (FILE's lines, or the default 10k list) as the v3 reference
+/// section, making the file a complete cold-startable detection
+/// index. `load` mounts a snapshot back onto freshly built component
+/// databases, which also *verifies* it — a snapshot from another font
+/// build or confusables revision is rejected with the fingerprint
+/// mismatch error instead of trusted, and a full-index snapshot
+/// additionally mounts its reference section. `stat` inspects the
+/// file without rebuilding anything: version, per-section sizes,
+/// checksums and both staleness digests.
 fn cmd_index(args: &[String]) -> ExitCode {
+    use shamfinder::core::DetectionIndex;
+    use shamfinder::simchar::FlatPairIndex;
+
     let (Some(action), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
@@ -105,7 +119,49 @@ fn cmd_index(args: &[String]) -> ExitCode {
         .unwrap_or(shamfinder::simchar::DEFAULT_THETA);
     match action.as_str() {
         "build" => {
+            let with_refs = args.iter().any(|a| a == "--with-refs");
             let db = build_db(theta);
+            if with_refs {
+                // `--with-refs` with no FILE (next token absent or a
+                // flag) embeds the default reference list.
+                let refs: Vec<String> = match flag_value(args, "--with-refs")
+                    .filter(|v| !v.starts_with("--"))
+                {
+                    Some(f) => match std::fs::read_to_string(&f) {
+                        Ok(t) => t
+                            .lines()
+                            .map(|l| l.trim().to_string())
+                            .filter(|l| !l.is_empty())
+                            .collect(),
+                        Err(e) => {
+                            eprintln!("error: cannot read {f}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => default_refs(),
+                };
+                eprintln!("[shamfinder] indexing {} references …", refs.len());
+                let index = DetectionIndex::new(db, refs);
+                if let Err(e) = index.write_snapshot_file(path) {
+                    eprintln!("error: cannot write snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let flat = index.db().flat();
+                let fp = flat.fingerprint();
+                let bytes =
+                    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!("snapshot: {path} ({bytes} bytes, full index)");
+                println!("characters: {}", flat.char_count());
+                println!("pairs: {}", flat.pair_count());
+                println!("components: {}", flat.component_count());
+                println!("references: {}", index.reference_count());
+                println!(
+                    "fingerprint: font {:#018x} / unicode {:#018x}",
+                    fp.font, fp.unicode
+                );
+                println!("reference digest: {:#018x}", index.reference_digest());
+                return ExitCode::SUCCESS;
+            }
             let flat = db.flat();
             let mut bytes = Vec::new();
             if let Err(e) = flat.write_to(&mut bytes) {
@@ -135,6 +191,41 @@ fn cmd_index(args: &[String]) -> ExitCode {
             eprintln!("[shamfinder] rebuilding component databases for verification …");
             let font = SynthUnifont::v12();
             let result = build(&font, &BuildConfig { theta, ..BuildConfig::default() });
+            // Peek the framing to decide between the pair-only load
+            // and the full-index mount (v2 files have no section).
+            let section_present = match FlatPairIndex::read_with_section_path(path) {
+                Ok((_, section)) => section.is_some(),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if section_present {
+                let index = match DetectionIndex::from_snapshot_file(
+                    path,
+                    result.db,
+                    UcDatabase::embedded(),
+                ) {
+                    Ok(index) => index,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let flat = index.db().flat();
+                let fp = flat.fingerprint();
+                println!("snapshot {path}: ok (full index mounted, fingerprint verified)");
+                println!("characters: {}", flat.char_count());
+                println!("pairs: {}", flat.pair_count());
+                println!("components: {}", flat.component_count());
+                println!("references: {}", index.reference_count());
+                println!(
+                    "fingerprint: font {:#018x} / unicode {:#018x}",
+                    fp.font, fp.unicode
+                );
+                println!("reference digest: {:#018x}", index.reference_digest());
+                return ExitCode::SUCCESS;
+            }
             let db = match HomoglyphDb::from_snapshot_file(
                 path,
                 result.db,
@@ -148,7 +239,7 @@ fn cmd_index(args: &[String]) -> ExitCode {
             };
             let flat = db.flat();
             let fp = flat.fingerprint();
-            println!("snapshot {path}: ok (fingerprint verified)");
+            println!("snapshot {path}: ok (pair index only, fingerprint verified)");
             println!("characters: {}", flat.char_count());
             println!("pairs: {}", flat.pair_count());
             println!("components: {}", flat.component_count());
@@ -156,6 +247,53 @@ fn cmd_index(args: &[String]) -> ExitCode {
                 "fingerprint: font {:#018x} / unicode {:#018x}",
                 fp.font, fp.unicode
             );
+            ExitCode::SUCCESS
+        }
+        "stat" => {
+            // Pure file inspection: no database rebuild, readable
+            // errors on v1/v2/corrupt files.
+            let stat = match FlatPairIndex::snapshot_stat_path(path) {
+                Ok(stat) => stat,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("snapshot: {path}");
+            println!("version: {}", stat.version);
+            println!(
+                "fingerprint: font {:#018x} / unicode {:#018x}",
+                stat.fingerprint.font, stat.fingerprint.unicode
+            );
+            println!(
+                "pair payload: {} bytes (checksum {:#018x})",
+                stat.pair_payload_bytes, stat.pair_checksum
+            );
+            for section in &stat.sections {
+                println!(
+                    "  {:<24} {:>9} elements {:>10} bytes",
+                    section.name, section.elements, section.bytes
+                );
+            }
+            match &stat.reference_section {
+                Some(section) => {
+                    println!(
+                        "reference section: {} bytes (checksum {:#018x})",
+                        stat.reference_bytes, stat.reference_checksum
+                    );
+                    match shamfinder::core::reference_section_summary(section) {
+                        Ok((digest, count)) => {
+                            println!("  references: {count}");
+                            println!("  list digest: {digest:#018x}");
+                        }
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => println!("reference section: absent (pair-only snapshot)"),
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),

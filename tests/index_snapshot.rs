@@ -6,8 +6,9 @@
 //! exercises the exact serve-path sequence (build → serialize → load →
 //! detect).
 
+use proptest::prelude::*;
 use shamfinder::confusables::UcDatabase;
-use shamfinder::core::Framework;
+use shamfinder::core::{DetectionIndex, Framework};
 use shamfinder::glyph::SynthUnifont;
 use shamfinder::punycode::DomainName;
 use shamfinder::simchar::{build, BuildConfig, FlatPairIndex, HomoglyphDb, Repertoire};
@@ -164,4 +165,255 @@ fn stale_snapshots_are_rejected_on_mount() {
     // The same bytes still mount fine over the matching sources.
     let loaded = FlatPairIndex::read_from(&mut bytes.as_slice()).expect("well-formed bytes");
     assert!(HomoglyphDb::from_prebuilt(simchar(), uc, loaded).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// v3 full-index snapshots (reference section)
+// ---------------------------------------------------------------------------
+
+/// A deliberately tiny full-index snapshot (one-pair SimChar, empty UC,
+/// three references) so exhaustive per-offset corruption sweeps stay
+/// fast, plus the component databases needed to attempt a mount.
+fn tiny_full_snapshot() -> (shamfinder::simchar::SimCharDb, UcDatabase, Vec<u8>) {
+    use shamfinder::simchar::Pair;
+    let simchar = shamfinder::simchar::SimCharDb::from_pairs(
+        vec![Pair { a: 'o' as u32, b: 0x043E, delta: 1 }],
+        4,
+    );
+    let uc = UcDatabase::from_mappings(Vec::new());
+    let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+    let index =
+        DetectionIndex::new(db, ["google", "paypal", "oo"].map(String::from).to_vec());
+    let mut bytes = Vec::new();
+    index.write_snapshot(&mut bytes).expect("serialize full index");
+    (simchar, uc, bytes)
+}
+
+#[test]
+fn full_index_snapshot_round_trips_and_checks_the_reference_list() {
+    let simchar = simchar();
+    let uc = UcDatabase::embedded();
+    let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+    let refs = || REFS.iter().map(|s| s.to_string());
+    let built = shamfinder::core::DetectionIndex::shared(db, refs());
+
+    let mut bytes = Vec::new();
+    built.write_snapshot(&mut bytes).expect("serialize full index");
+    let mounted =
+        DetectionIndex::from_snapshot(&mut bytes.as_slice(), simchar.clone(), uc.clone())
+            .expect("mount full index");
+
+    // The three-way staleness check: font build and confusables
+    // revision are fingerprint-verified by the mount itself; the
+    // reference list is pinned by its digest.
+    assert_eq!(mounted.reference_digest(), built.reference_digest());
+    mounted.expect_references(REFS.iter().copied()).expect("same list");
+    let err = mounted.expect_references(["google", "facebook"]).unwrap_err();
+    assert!(err.to_string().contains("reference list"), "{err}");
+
+    // Identical detections, order included, batch and streaming alike.
+    let corpus = corpus();
+    let from_build = Framework::with_shared_index(built, "com").run(&corpus);
+    let mut session = Framework::with_shared_index(
+        std::sync::Arc::new(mounted),
+        "com",
+    )
+    .session();
+    session.push_domains(&corpus);
+    assert_eq!(session.into_report(), from_build);
+    assert_eq!(from_build.detections.len(), 4);
+
+    // A pair-only snapshot is not a full index: the mount must say so.
+    let pair_only = {
+        let mut out = Vec::new();
+        let db = HomoglyphDb::new(simchar.clone(), uc.clone());
+        db.flat().write_to(&mut out).expect("serialize pair index");
+        out
+    };
+    let err =
+        DetectionIndex::from_snapshot(&mut pair_only.as_slice(), simchar, uc).unwrap_err();
+    assert!(err.to_string().contains("no reference section"), "{err}");
+}
+
+#[test]
+fn v2_snapshots_without_reference_section_still_load() {
+    // Byte-wise FNV-1a — the v2 checksum (v3 switched to word-chunked).
+    fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    let built = HomoglyphDb::new(simchar(), UcDatabase::embedded());
+    let mut v3 = Vec::new();
+    built.flat().write_to(&mut v3).expect("serialize index");
+
+    // Downgrade the v3 bytes to the v2 layout: drop the two extra
+    // header fields (bytes 44..60), stamp version 2, reseal with the
+    // byte-wise checksum over fingerprint + payload.
+    let mut v2 = Vec::with_capacity(v3.len() - 16);
+    v2.extend_from_slice(&v3[..44]);
+    v2.extend_from_slice(&v3[60..]);
+    v2[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let checksum = fnv1a(fnv1a(0xcbf2_9ce4_8422_2325, &v2[12..28]), &v2[44..]);
+    v2[36..44].copy_from_slice(&checksum.to_le_bytes());
+
+    // The old format still loads, bit-identical to the built index…
+    let loaded = FlatPairIndex::read_from(&mut v2.as_slice()).expect("v2 loads");
+    assert_eq!(&loaded, built.flat(), "v2 load differs from built");
+    // …and the section-aware reader reports "no reference section".
+    let (loaded, section) =
+        FlatPairIndex::read_with_section(&mut v2.as_slice()).expect("v2 loads");
+    assert_eq!(&loaded, built.flat());
+    assert!(section.is_none());
+}
+
+#[test]
+fn full_snapshot_rejects_truncation_at_every_offset() {
+    let (simchar, uc, bytes) = tiny_full_snapshot();
+    // Sanity: the intact bytes mount.
+    DetectionIndex::from_snapshot(&mut bytes.as_slice(), simchar.clone(), uc.clone())
+        .expect("intact snapshot mounts");
+
+    let payload_len =
+        u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+    let section_start = 60 + payload_len;
+    for cut in 0..bytes.len() {
+        let err = DetectionIndex::from_snapshot(
+            &mut &bytes[..cut],
+            simchar.clone(),
+            uc.clone(),
+        )
+        .expect_err("truncated snapshot must not mount");
+        // Cuts inside the reference section convict it by name.
+        if cut > section_start {
+            assert!(err.to_string().contains("reference section"), "cut {cut}: {err}");
+        }
+    }
+}
+
+proptest! {
+    /// Seeded single-bit flips anywhere in a full-index snapshot:
+    /// every flip is rejected (checksums cover both halves, framing
+    /// errors cover the header) — an error, never a panic, and flips
+    /// landing in the reference section name it.
+    #[test]
+    fn full_snapshot_rejects_any_bit_flip(at in 0usize..usize::MAX, bit in 0u8..8) {
+        let (simchar, uc, bytes) = tiny_full_snapshot();
+        let at = at % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[at] ^= 1 << bit;
+        let err = DetectionIndex::from_snapshot(
+            &mut corrupted.as_slice(),
+            simchar,
+            uc,
+        )
+        .expect_err("corrupted snapshot must not mount");
+        let payload_len =
+            u64::from_le_bytes(bytes[28..36].try_into().unwrap()) as usize;
+        if at >= 60 + payload_len {
+            prop_assert!(
+                err.to_string().contains("reference section"),
+                "flip at {at}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mounted_index_detects_bit_identically_at_scale() {
+    use shamfinder::core::{DbSelection, Detector, DetectorSession, Indexing};
+    use std::sync::Arc;
+
+    // The acceptance corpus: the 10k-stem reference list and a 20k-IDN
+    // feed, half single-substitution lookalikes, half benign IDN noise
+    // (the same shape as the bench corpus).
+    let references = shamfinder::workload::reference_list(10_000);
+    let corpus: Vec<(String, String)> = (0..20_000)
+        .map(|i| {
+            let stem = if i % 2 == 0 {
+                let target = &references[(i / 2) % 500];
+                let len = target.chars().count().max(1);
+                target
+                    .chars()
+                    .enumerate()
+                    .map(|(pos, c)| {
+                        if pos == i % len {
+                            match c {
+                                'a' => 'а',
+                                'e' => 'е',
+                                'o' => 'о',
+                                'c' => 'с',
+                                'p' => 'р',
+                                other => other,
+                            }
+                        } else {
+                            c
+                        }
+                    })
+                    .collect::<String>()
+            } else {
+                format!("münchen-shop-{i}")
+            };
+            let ace = shamfinder::punycode::ace::to_ascii(&stem).unwrap();
+            (stem, format!("{ace}.com"))
+        })
+        .collect();
+
+    let simchar = simchar();
+    let uc = UcDatabase::embedded();
+    let built = shamfinder::core::DetectionIndex::shared(
+        HomoglyphDb::new(simchar.clone(), uc.clone()),
+        references.iter().cloned(),
+    );
+    let mut bytes = Vec::new();
+    built.write_snapshot(&mut bytes).expect("serialize full index");
+    let mounted = Arc::new(
+        DetectionIndex::from_snapshot(&mut bytes.as_slice(), simchar, uc)
+            .expect("mount full index"),
+    );
+    mounted
+        .expect_references(references.iter().map(String::as_str))
+        .expect("same reference list");
+
+    // The reference churn both sessions will replay: a small
+    // add/remove wave, then a mass removal that crosses the
+    // compaction threshold (dead must outnumber live).
+    let wave_add: Vec<String> = (0..50).map(|i| format!("zz-new-{i}")).collect();
+    let wave_remove: Vec<String> = references[..100].to_vec();
+    let mass_remove: Vec<String> = references[100..6_000].to_vec();
+
+    for threads in [1usize, 4] {
+        let _force = rayon::ThreadOverride::new(threads);
+
+        // Batch detection: bit-identical reports, all strategies.
+        let d_built = Detector::from_index(Arc::clone(&built));
+        let d_mounted = Detector::from_index(Arc::clone(&mounted));
+        for indexing in [Indexing::CanonicalClosure, Indexing::LengthBucket] {
+            let a = d_built.detect(&corpus, DbSelection::Union, indexing);
+            let b = d_mounted.detect(&corpus, DbSelection::Union, indexing);
+            assert!(!a.is_empty(), "corpus must produce detections");
+            assert_eq!(a, b, "threads {threads}, {indexing:?}");
+        }
+
+        // Streaming with reference-diff churn and forced compaction.
+        let mut s_built = DetectorSession::new(Arc::clone(&built), "com");
+        let mut s_mounted = DetectorSession::new(Arc::clone(&mounted), "com");
+        let halves = corpus.split_at(corpus.len() / 2);
+        for s in [&mut s_built, &mut s_mounted] {
+            s.apply_reference_diff(&wave_add, &wave_remove);
+            s.push_idns(halves.0);
+            s.apply_reference_diff(&[], &mass_remove);
+            s.push_idns(halves.1);
+        }
+        assert_eq!(
+            s_built.overlay_tombstones(),
+            s_mounted.overlay_tombstones(),
+            "threads {threads}"
+        );
+        assert_eq!(s_built.overlay_tombstones(), 0, "mass removal must compact");
+        assert_eq!(s_built.into_report(), s_mounted.into_report(), "threads {threads}");
+    }
 }
