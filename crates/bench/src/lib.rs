@@ -95,21 +95,34 @@ pub fn snapshot_samples() -> usize {
 }
 
 /// Shared scaffolding for the perf-snapshot benches: measures each
-/// named config at 1 worker thread and (when the hardware has more) at
-/// all available threads — `measure(name)` runs with the thread
-/// override already set — then merges the ops/sec entries into
-/// `section` of `BENCH_detection.json`. In `--test` dry-run mode the
-/// sweep still executes (smoking the measured code path) but the
-/// snapshot file is left untouched, so single-sample noise never
-/// replaces committed trajectory numbers.
+/// named config at 1 worker thread and (when the run is configured for
+/// more — `SHAM_THREADS` or the machine's available parallelism) at
+/// that count — `measure(name)` runs with the thread override already
+/// set — then merges the ops/sec entries into `section` of
+/// `BENCH_detection.json`. In `--test` dry-run mode the sweep still
+/// executes (smoking the measured code path) but the snapshot file is
+/// left untouched, so single-sample noise never replaces committed
+/// trajectory numbers.
+///
+/// The machine's hardware thread count is recorded *per run*
+/// (`hardware_threads/threads_{top}`), keyed like the measurements, so
+/// a 1-thread smoke and a 2-thread smoke stop clobbering each other's
+/// context — the old single `hardware_threads` scalar did exactly
+/// that, making committed sections lie about which machine measured
+/// them.
 pub fn snapshot_thread_sweep(
     section: &str,
     configs: &[&str],
     mut measure: impl FnMut(&str) -> f64,
 ) {
     let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let threads_list: Vec<usize> = if hardware > 1 { vec![1, hardware] } else { vec![1] };
-    let mut entries = vec![("hardware_threads".to_string(), hardware as f64)];
+    // Honour SHAM_THREADS (and any ambient override): a CI smoke at
+    // SHAM_THREADS=2 must actually measure the 2-thread pooled path,
+    // even on single-core runners where `hardware` alone would say 1.
+    let top = rayon::current_num_threads().max(1);
+    let threads_list: Vec<usize> = if top > 1 { vec![1, top] } else { vec![1] };
+    let mut entries =
+        vec![(format!("hardware_threads/threads_{top}"), hardware as f64)];
     for &name in configs {
         for &threads in &threads_list {
             rayon::set_thread_override(Some(threads));
@@ -152,6 +165,14 @@ pub fn measure_ops_per_sec(elements: usize, samples: usize, mut f: impl FnMut())
 /// workspace root, preserving the sections other benches wrote — the
 /// file accumulates the perf trajectory (ops/sec at 1 thread vs N
 /// threads) across bench runs and PRs.
+///
+/// Within a section, entries merge *by key* into whatever the section
+/// already holds: a run that measured only `threads_2` updates those
+/// keys and leaves the committed `threads_1` numbers in place, instead
+/// of replacing the whole section (which is how per-thread runs used
+/// to erase each other). The legacy un-keyed `hardware_threads` scalar
+/// is dropped on the way — its per-run replacement
+/// (`hardware_threads/threads_{n}`) is one of the merged entries.
 pub fn record_snapshot(section: &str, entries: &[(String, f64)]) {
     use serde::Value;
     let path = snapshot_path();
@@ -169,12 +190,24 @@ pub fn record_snapshot(section: &str, entries: &[(String, f64)]) {
             }
         },
     };
-    let section_value = Value::Map(
-        entries
-            .iter()
-            .map(|(k, ops)| (k.clone(), Value::F64((ops * 10.0).round() / 10.0)))
-            .collect(),
-    );
+    let mut merged: Vec<(String, Value)> =
+        match root.iter().find(|(k, _)| k == section) {
+            Some((_, Value::Map(existing))) => existing
+                .iter()
+                .filter(|(k, _)| k != "hardware_threads")
+                .cloned()
+                .collect(),
+            _ => Vec::new(),
+        };
+    for (k, ops) in entries {
+        let rounded = Value::F64((ops * 10.0).round() / 10.0);
+        match merged.iter_mut().find(|(key, _)| key == k) {
+            Some(slot) => slot.1 = rounded,
+            None => merged.push((k.clone(), rounded)),
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let section_value = Value::Map(merged);
     match root.iter_mut().find(|(k, _)| k == section) {
         Some(slot) => slot.1 = section_value,
         None => root.push((section.to_string(), section_value)),

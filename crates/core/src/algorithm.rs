@@ -61,6 +61,7 @@
 
 use crate::detection::{CharSubstitution, Detection, RefName};
 use crate::index::{closure_hash, DetectionIndex, ReferenceSet};
+use crate::sched::ExecStats;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use sham_simchar::{DbSelection, HomoglyphDb};
@@ -147,6 +148,7 @@ impl Detector {
     ) -> Vec<Detection> {
         let mut out = Vec::new();
         let mut scratch = DetectScratch::default();
+        let mut exec = ExecStats::default();
         detect_append(
             self.db(),
             self.index.refs(),
@@ -155,6 +157,7 @@ impl Detector {
             indexing,
             &mut scratch,
             &mut out,
+            &mut exec,
         );
         out
     }
@@ -211,7 +214,11 @@ fn matches_into(
 /// `Framework::run` and the streaming session all funnel through here,
 /// so the two ingestion modes cannot diverge. A corpus larger than one
 /// shard fans out across the worker pool; smaller batches run inline
-/// with the caller's scratch.
+/// with the caller's scratch. The shard size adapts to the observed
+/// pool occupancy (see [`crate::sched`]) — partitioning only, the
+/// output is bit-identical at every occupancy and thread count — and
+/// the decision taken is recorded into `exec`.
+#[allow(clippy::too_many_arguments)] // internal funnel: every caller threads the same context
 pub(crate) fn detect_append(
     db: &HomoglyphDb,
     refs: &ReferenceSet,
@@ -220,21 +227,24 @@ pub(crate) fn detect_append(
     indexing: Indexing,
     scratch: &mut DetectScratch,
     out: &mut Vec<Detection>,
+    exec: &mut ExecStats,
 ) {
     if idns.is_empty() {
         return;
     }
     let threads = rayon::current_num_threads().max(1);
-    // Shards of ≥ 64 IDNs amortise the per-shard scratch buffers;
-    // ~4 shards per worker keeps the pool load-balanced.
-    let shard_len = idns.len().div_ceil(threads * 4).max(64);
+    let shard_len = crate::sched::shard_len_for(idns.len(), threads);
     if idns.len() <= shard_len {
+        exec.record(1, idns.len(), 1);
         detect_shard(db, refs, idns, selection, indexing, scratch, out);
         return;
     }
-    let shards: Vec<&[(String, String)]> = idns.chunks(shard_len).collect();
-    let outs: Vec<Vec<Detection>> = shards
-        .par_iter()
+    let shard_count = idns.len().div_ceil(shard_len);
+    exec.record(shard_count, shard_len, threads.min(shard_count));
+    // Shard by index range straight over the input slice — no per-call
+    // `Vec<&[_]>` of subslices; only the per-shard outputs allocate.
+    let outs: Vec<Vec<Detection>> = idns
+        .par_chunks(shard_len)
         .map(|shard| {
             let mut scratch = DetectScratch::default();
             let mut hits = Vec::new();

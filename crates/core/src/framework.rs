@@ -17,6 +17,7 @@
 use crate::algorithm::{Detector, Indexing};
 use crate::detection::Detection;
 use crate::index::DetectionIndex;
+use crate::sched::ExecStats;
 use crate::session::DetectorSession;
 use serde::{Deserialize, Serialize};
 use sham_confusables::UcDatabase;
@@ -25,7 +26,7 @@ use sham_simchar::{DbSelection, HomoglyphDb, SimCharDb};
 use std::sync::Arc;
 
 /// Pipeline outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FrameworkReport {
     /// Step 1: domains inspected.
     pub total_domains: usize,
@@ -33,6 +34,25 @@ pub struct FrameworkReport {
     pub idn_count: usize,
     /// Step 3: detections.
     pub detections: Vec<Detection>,
+    /// How the detection calls behind this report were scheduled
+    /// (batches, shards, workers engaged) — observational only, and
+    /// deliberately **ignored by equality**: partitioning varies with
+    /// pool occupancy and thread count while results must not, so two
+    /// reports of the same corpus compare equal whatever the scheduler
+    /// chose.
+    pub exec: ExecStats,
+}
+
+/// Equality covers the *results* (counts and detections), never the
+/// `exec` scheduling trace — see the field's documentation. Keeping
+/// this manual is what lets every equivalence suite `assert_eq!` whole
+/// reports across thread counts and forced occupancy histories.
+impl PartialEq for FrameworkReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_domains == other.total_domains
+            && self.idn_count == other.idn_count
+            && self.detections == other.detections
+    }
 }
 
 impl FrameworkReport {

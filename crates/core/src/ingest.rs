@@ -311,6 +311,12 @@ impl IngestReport {
     pub fn events_delivered(&self) -> u64 {
         self.feeds.iter().map(|f| f.registrations).sum()
     }
+
+    /// Scheduling decisions aggregated across every router lane (see
+    /// [`ExecStats`](crate::sched::ExecStats)).
+    pub fn exec(&self) -> crate::sched::ExecStats {
+        self.router.exec()
+    }
 }
 
 /// Deterministic jitter stream (splitmix-free xorshift64; zero-proof).
@@ -635,7 +641,12 @@ impl IngestService {
                     .map(|(tld, _)| tld.clone());
                 match lagging {
                     Some(tld) => {
-                        let cap = self.config.batch_capacity;
+                        // Adaptive drain batch: the full configured
+                        // capacity while the pool is busy, an earlier
+                        // (smaller) flush when it is idle — see
+                        // `crate::sched`. Batch size never affects the
+                        // report, only dispatch granularity.
+                        let cap = crate::sched::flush_capacity(self.config.batch_capacity);
                         let lane = inner.lanes.get_mut(&tld).expect("lane just found");
                         let mut batch = Vec::new();
                         while batch.len() < cap
@@ -664,7 +675,7 @@ impl IngestService {
                 .min_by_key(|(_, lane)| lane.queue.front().expect("nonempty").0)
                 .map(|(tld, _)| tld.clone());
             if let Some(tld) = oldest {
-                let cap = self.config.batch_capacity;
+                let cap = crate::sched::flush_capacity(self.config.batch_capacity);
                 let lane = inner.lanes.get_mut(&tld).expect("lane just found");
                 let take = lane.queue.len().min(cap);
                 let batch: Vec<DomainName> =

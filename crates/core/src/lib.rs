@@ -28,6 +28,10 @@
 //! * [`feeds`] — byte-stream feed sources: master-file text
 //!   ([`ZoneTextFeed`]) and length-prefixed DNS wire frames
 //!   ([`WireMessageFeed`]) off any `Read` transport.
+//! * [`sched`] — the occupancy-driven execution policy: shard sizing
+//!   and flush batching adapt to the worker pool's observed occupancy
+//!   (partitioning only — outputs stay bit-identical), with
+//!   [`ExecStats`] recording the decisions into every report.
 //! * [`framework`] — the Steps 1–3 pipeline of Fig. 1 (a one-shot
 //!   wrapper over a session).
 //! * [`revert`] — §6.4's homograph-to-original reverting.
@@ -74,6 +78,7 @@ pub mod policy;
 pub mod registry;
 pub mod revert;
 pub mod router;
+pub mod sched;
 pub mod session;
 
 pub use algorithm::{Detector, Indexing};
@@ -87,6 +92,7 @@ pub use ingest::{
     RetryPolicy,
 };
 pub use router::{RouterReport, SessionRouter, TldReport};
+pub use sched::ExecStats;
 pub use session::{DetectorSession, DEFAULT_COMPACTION_THRESHOLD};
 pub use highlight::{HighlightedSubstitution, Warning};
 pub use policy::{bypasses_policy, display, Display, Policy};
@@ -97,3 +103,8 @@ pub use revert::{revert_char, revert_stem, Reverted};
 // Re-export the database selection so framework users need not depend on
 // sham-simchar directly.
 pub use sham_simchar::DbSelection;
+
+// Re-export the executor's telemetry surface so CLI/servers can read
+// pool occupancy and counters without depending on the vendored
+// executor crate directly.
+pub use rayon::{busy_workers, pool_stats, PoolStats};

@@ -108,6 +108,17 @@ impl RouterReport {
     pub fn detections(&self) -> impl Iterator<Item = &Detection> {
         self.per_tld.iter().flat_map(|t| t.report.detections.iter())
     }
+
+    /// Scheduling decisions aggregated across every lane (see
+    /// [`ExecStats`](crate::sched::ExecStats) — observational, ignored
+    /// by report equality).
+    pub fn exec(&self) -> crate::sched::ExecStats {
+        let mut total = crate::sched::ExecStats::default();
+        for lane in &self.per_tld {
+            total.merge(&lane.report.exec);
+        }
+        total
+    }
 }
 
 /// Demultiplexes one interleaved registration stream into per-TLD
@@ -260,9 +271,11 @@ impl SessionRouter {
     }
 
     /// Sets how many registrations a lane buffers before flushing them
-    /// as one batch (1 disables buffering). Batching is unobservable in
-    /// the report — it only controls how much work each detection call
-    /// hands the worker pool.
+    /// as one batch (1 disables buffering). This is the *upper* bound:
+    /// when the worker pool is idle the router flushes earlier (see
+    /// [`crate::sched`]) to trade batch amortisation for latency.
+    /// Batching is unobservable in the report either way — it only
+    /// controls how much work each detection call hands the pool.
     pub fn with_batch_capacity(mut self, capacity: usize) -> Self {
         self.batch_capacity = capacity.max(1);
         self
@@ -334,6 +347,12 @@ impl SessionRouter {
     /// TLD's lane (opened on first sight unless the lane set is fixed),
     /// and any lane whose buffer reaches capacity flushes as one batch.
     pub fn push_domains<'a>(&mut self, domains: impl IntoIterator<Item = &'a DomainName>) {
+        // Adapt the flush trigger to the pool occupancy once per call
+        // (never per domain — this is the 1M+ events/s hot path): an
+        // idle pool flushes earlier for latency, a busy one amortises
+        // full batches. Partitioning only — the report is identical at
+        // any capacity (see `batching_is_unobservable`).
+        let capacity = crate::sched::flush_capacity(self.batch_capacity);
         for domain in domains {
             let at = match self.lane_position(domain.tld()) {
                 Ok(at) => at,
@@ -350,7 +369,7 @@ impl SessionRouter {
             };
             let lane = &mut self.lanes[at];
             lane.pending.push(domain.clone());
-            if lane.pending.len() >= self.batch_capacity {
+            if lane.pending.len() >= capacity {
                 lane.session.push_domains(lane.pending.iter());
                 lane.pending.clear();
             }
@@ -430,6 +449,7 @@ impl SessionRouter {
                     report.total_domains += part.report.total_domains;
                     report.idn_count += part.report.idn_count;
                     report.detections.extend(part.report.detections);
+                    report.exec.merge(&part.report.exec);
                 }
             }
         }

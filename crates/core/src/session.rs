@@ -42,6 +42,7 @@ use crate::algorithm::{detect_append, DetectScratch, Indexing};
 use crate::detection::Detection;
 use crate::framework::FrameworkReport;
 use crate::index::{DetectionIndex, ReferenceSet};
+use crate::sched::ExecStats;
 use sham_punycode::DomainName;
 use sham_simchar::DbSelection;
 use std::sync::Arc;
@@ -88,6 +89,10 @@ pub struct DetectorSession {
     total_domains: usize,
     idn_count: usize,
     detections: Vec<Detection>,
+    /// Scheduling decisions of the detection calls so far (shards,
+    /// sizes, workers) — threaded into the report, ignored by report
+    /// equality.
+    exec: ExecStats,
     /// Reused extraction buffer — bounds `push_domains` memory by the
     /// batch size.
     batch: Vec<(String, String)>,
@@ -110,6 +115,7 @@ impl DetectorSession {
             total_domains: 0,
             idn_count: 0,
             detections: Vec::new(),
+            exec: ExecStats::default(),
             batch: Vec::new(),
             scratch: DetectScratch::default(),
         }
@@ -202,7 +208,14 @@ impl DetectorSession {
             self.indexing,
             &mut self.scratch,
             &mut self.detections,
+            &mut self.exec,
         );
+    }
+
+    /// Scheduling decisions accumulated by this session's detection
+    /// calls so far (also carried by the report's `exec` field).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec
     }
 
     /// Applies reference-list churn: `removed` names leave the
@@ -251,6 +264,7 @@ impl DetectorSession {
             total_domains: self.total_domains,
             idn_count: self.idn_count,
             detections: self.detections.clone(),
+            exec: self.exec,
         }
     }
 
@@ -261,6 +275,7 @@ impl DetectorSession {
             total_domains: self.total_domains,
             idn_count: self.idn_count,
             detections: self.detections,
+            exec: self.exec,
         }
     }
 }

@@ -1,0 +1,288 @@
+//! Adaptive scheduling ≡ fixed scheduling: occupancy readings steer
+//! *partitioning only* — shard sizes in `detect_append`, early flushes
+//! in the router — so any occupancy history, however adversarial, must
+//! fold into bit-identical reports at every thread count. This suite
+//! drives the forced-occupancy hook ([`rayon::OccupancyOverride`], the
+//! same mechanism `SHAM_OCC_PERTURB` installs from the environment)
+//! through session and router runs and pins the reports against the
+//! fixed 1-thread baseline. It also pins the observational contract of
+//! [`ExecStats`]: report equality ignores it, accessors accumulate it.
+
+use proptest::prelude::*;
+use sham_core::{DetectionIndex, Framework, FrameworkReport, SessionRouter};
+use sham_punycode::DomainName;
+use sham_simchar::{build, BuildConfig, HomoglyphDb, Repertoire};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+const REFERENCES: &[&str] = &[
+    "google", "amazon", "facebook", "apple", "paypal", "netflix", "coinbase",
+];
+
+const TLDS: &[&str] = &["com", "net", "org"];
+
+/// Serialises every test in this binary: occupancy and thread
+/// overrides are process-global, and the exec-stats assertions below
+/// would observe a neighbouring test's forced occupancy.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One shared index for every case — the SimChar build is the
+/// expensive part and the index is immutable.
+fn index() -> &'static Arc<DetectionIndex> {
+    static INDEX: OnceLock<Arc<DetectionIndex>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let font = sham_glyph::SynthUnifont::v12();
+        let result = build(
+            &font,
+            &BuildConfig {
+                repertoire: Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Latin-1 Supplement",
+                    "Cyrillic",
+                ]),
+                ..BuildConfig::default()
+            },
+        );
+        DetectionIndex::shared(
+            HomoglyphDb::new(result.db, sham_confusables::UcDatabase::embedded()),
+            REFERENCES.iter().map(|s| s.to_string()),
+        )
+    })
+}
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK
+        .get_or_init(|| Framework::with_shared_index(Arc::clone(index()), "com"))
+}
+
+/// Deterministic multi-TLD corpus: Cyrillic lookalikes of the
+/// references, identical copies, benign IDNs and ASCII noise.
+fn corpus(n: usize) -> &'static [DomainName] {
+    static CORPUS: OnceLock<Vec<DomainName>> = OnceLock::new();
+    let all = CORPUS.get_or_init(|| {
+        (0..6_000usize)
+            .map(|i| {
+                let tld = TLDS[(i * 7 + i / 5) % TLDS.len()];
+                let stem = match i % 4 {
+                    0 | 3 => {
+                        let target = REFERENCES[i % REFERENCES.len()];
+                        let len = target.chars().count().max(1);
+                        let lookalike: String = target
+                            .chars()
+                            .enumerate()
+                            .map(|(pos, c)| {
+                                if pos == i % len {
+                                    match c {
+                                        'a' => 'а',
+                                        'e' => 'е',
+                                        'o' => 'о',
+                                        'c' => 'с',
+                                        'p' => 'р',
+                                        other => other,
+                                    }
+                                } else {
+                                    c
+                                }
+                            })
+                            .collect();
+                        sham_punycode::ace::to_ascii(&lookalike).unwrap()
+                    }
+                    1 => REFERENCES[i % REFERENCES.len()].to_string(),
+                    2 => sham_punycode::ace::to_ascii(&format!("münchen-{i}")).unwrap(),
+                    _ => format!("plain-ascii-{i}"),
+                };
+                DomainName::parse(&format!("{stem}.{tld}")).unwrap()
+            })
+            .collect()
+    });
+    &all[..n]
+}
+
+/// The `.com` slice of the corpus (sessions are single-TLD).
+fn com_corpus(n: usize) -> Vec<DomainName> {
+    corpus(n)
+        .iter()
+        .filter(|d| d.tld() == "com")
+        .cloned()
+        .collect()
+}
+
+/// Fixed-scheduling ground truth: one 1-thread run, no occupancy
+/// override installed.
+fn baseline(domains: &[DomainName]) -> FrameworkReport {
+    let _one = rayon::ThreadOverride::new(1);
+    framework().run(domains)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any forced-occupancy sequence — rotating through the readings
+    /// batch by batch — over any batch partition, at 1/2/4 threads,
+    /// folds into the fixed-baseline report. Occupancy must be
+    /// partitioning-only.
+    #[test]
+    fn forced_occupancy_never_changes_session_reports(
+        n in 0usize..1_200,
+        cuts in proptest::collection::vec(0usize..160, 0..10),
+        occupancy in proptest::collection::vec(0usize..16, 1..8),
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let _serial = guard();
+        let domains = com_corpus(n);
+        let expected = baseline(&domains);
+
+        let _threads = rayon::ThreadOverride::new(threads);
+        let _occ = rayon::OccupancyOverride::new(occupancy);
+        let mut session = framework().session();
+        let mut rest = &domains[..];
+        for &cut in &cuts {
+            let take = cut.min(rest.len());
+            let (batch, tail) = rest.split_at(take);
+            session.push_domains(batch);
+            rest = tail;
+        }
+        session.push_domains(rest);
+        prop_assert_eq!(session.into_report(), expected);
+    }
+
+    /// The router under forced occupancy — where the readings also
+    /// steer adaptive early flushes — produces per-TLD reports equal
+    /// to the fixed 1-thread baseline over each TLD's slice.
+    #[test]
+    fn forced_occupancy_never_changes_router_reports(
+        n in 0usize..1_200,
+        cuts in proptest::collection::vec(0usize..160, 0..10),
+        occupancy in proptest::collection::vec(0usize..16, 1..8),
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let _serial = guard();
+        let domains = corpus(n);
+        let expected: Vec<(String, FrameworkReport)> = {
+            let _one = rayon::ThreadOverride::new(1);
+            TLDS.iter()
+                .map(|&tld| {
+                    let slice: Vec<DomainName> =
+                        domains.iter().filter(|d| d.tld() == tld).cloned().collect();
+                    let fw = Framework::with_shared_index(Arc::clone(index()), tld);
+                    (tld.to_string(), fw.run(&slice))
+                })
+                .collect()
+        };
+
+        let _threads = rayon::ThreadOverride::new(threads);
+        let _occ = rayon::OccupancyOverride::new(occupancy);
+        let mut router = SessionRouter::new(Arc::clone(index()));
+        let mut rest = domains;
+        for &cut in &cuts {
+            let take = cut.min(rest.len());
+            let (batch, tail) = rest.split_at(take);
+            router.push_domains(batch);
+            rest = tail;
+        }
+        router.push_domains(rest);
+        let report = router.into_report();
+        for (tld, batch) in &expected {
+            match report.per_tld.iter().find(|lane| &lane.tld == tld) {
+                Some(lane) => {
+                    prop_assert_eq!(&lane.report, batch, "lane .{} diverged", tld)
+                }
+                None => prop_assert_eq!(batch.total_domains, 0),
+            }
+        }
+        prop_assert_eq!(report.total_domains(), domains.len());
+    }
+}
+
+/// Report equality is blind to `exec` — the same corpus run with
+/// deliberately different partitioning (idle-fine vs busy-coarse
+/// shards) compares equal while the recorded stats differ.
+#[test]
+fn report_equality_ignores_exec_stats() {
+    let _serial = guard();
+    let domains = com_corpus(2_000);
+    let _threads = rayon::ThreadOverride::new(4);
+
+    let fine = {
+        let _idle = rayon::OccupancyOverride::new(vec![0]);
+        framework().run(&domains)
+    };
+    let coarse = {
+        let _busy = rayon::OccupancyOverride::new(vec![3]);
+        framework().run(&domains)
+    };
+    assert_eq!(fine, coarse, "partitioning leaked into the results");
+    assert!(
+        fine.detections.len() > 100,
+        "corpus must be detection-rich ({} found)",
+        fine.detections.len()
+    );
+    assert!(
+        fine.exec.shards > coarse.exec.shards,
+        "idle scheduling should shard finer ({} vs {} shards)",
+        fine.exec.shards,
+        coarse.exec.shards,
+    );
+    assert!(fine.exec.min_shard_len < coarse.exec.min_shard_len);
+}
+
+/// `ExecStats` accumulate across a session's batches: every non-empty
+/// push records one batch, 1-thread pushes are inline single shards,
+/// and the router folds its lanes' stats into one accumulator.
+#[test]
+fn exec_stats_accumulate_across_batches_and_lanes() {
+    let _serial = guard();
+    let domains = com_corpus(1_500);
+
+    // 1 thread: every batch is one inline shard of the batch's length.
+    {
+        let _one = rayon::ThreadOverride::new(1);
+        let mut session = framework().session();
+        let mut idn_batches = 0u64;
+        for batch in domains.chunks(100) {
+            session.push_domains(batch);
+            if batch.iter().any(|d| d.is_idn()) {
+                idn_batches += 1;
+            }
+        }
+        let exec = session.exec_stats();
+        assert_eq!(exec.batches, idn_batches);
+        assert_eq!(exec.inline_batches, idn_batches);
+        assert_eq!(exec.shards, idn_batches);
+        assert_eq!(exec.max_workers, 1);
+        assert!(exec.max_shard_len <= 100);
+        assert_eq!(session.into_report().exec, exec);
+    }
+
+    // Router: the folded accumulator covers every lane's batches.
+    {
+        let _one = rayon::ThreadOverride::new(1);
+        let all = corpus(1_500);
+        let mut router = SessionRouter::new(Arc::clone(index()));
+        router.push_domains(all);
+        let report = router.into_report();
+        let folded = report.exec();
+        let per_lane: u64 = report.per_tld.iter().map(|l| l.report.exec.batches).sum();
+        assert!(!folded.is_empty());
+        assert_eq!(folded.batches, per_lane);
+        assert_eq!(report.exec(), folded);
+    }
+}
+
+/// The empty run records nothing: no batches, `is_empty`, and the
+/// default accumulator round-trips through report merging unchanged.
+#[test]
+fn empty_runs_record_no_exec_stats() {
+    let _serial = guard();
+    let _one = rayon::ThreadOverride::new(1);
+    let report = framework().run(&[]);
+    assert!(report.exec.is_empty());
+    assert_eq!(report.exec, sham_core::ExecStats::default());
+}

@@ -12,6 +12,7 @@
 //! shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N]
 //!                       [--policy block|shed] [--faults PERMILLE] [--seed S]
 //!                       [--events N] [--zone FILE --tld com] [--refs-file FILE]
+//!                       [--metrics-json FILE]
 //! shamfinder revert <idn>                          map an IDN back to LDH
 //! shamfinder homoglyphs <char-or-hex>              list a character's twins
 //! shamfinder surface <label> [--tld com|jp|de]     registrable homograph count
@@ -32,7 +33,7 @@ fn usage() -> ExitCode {
          shamfinder scan <zone-file> [--tld com] [--refs-file FILE]\n  \
          shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N] \
 [--policy block|shed] [--faults PERMILLE] [--seed S] [--events N] \
-[--zone FILE --tld com] [--refs-file FILE]\n  \
+[--zone FILE --tld com] [--refs-file FILE] [--metrics-json FILE]\n  \
          shamfinder revert <idn-or-stem>\n  \
          shamfinder homoglyphs <char-or-hex>\n  \
          shamfinder surface <label> [--tld com|jp|de|kr]"
@@ -613,7 +614,141 @@ fn cmd_serve_feed(args: &[String]) -> ExitCode {
         report.shed,
         report.lost
     );
+    let exec = report.exec();
+    let pool = shamfinder::core::pool_stats();
+    println!("-- scheduling --");
+    println!(
+        "  detect batches: {} ({} inline), {} shards, shard len {}..{}, ≤ {} workers",
+        exec.batches,
+        exec.inline_batches,
+        exec.shards,
+        exec.min_shard_len,
+        exec.max_shard_len,
+        exec.max_workers
+    );
+    println!(
+        "  pool: {} workers ({} busy, {} queued), jobs {}/{} executed/submitted, \
+busy {:.1} ms, parked {:.1} ms, occupancy {:.0}%",
+        pool.workers,
+        pool.busy_workers,
+        pool.queue_depth,
+        pool.jobs_executed,
+        pool.jobs_submitted,
+        pool.busy_nanos as f64 / 1e6,
+        pool.parked_nanos as f64 / 1e6,
+        pool.occupancy() * 100.0
+    );
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let json = serve_feed_metrics_json(&report, &exec, &pool);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[shamfinder] wrote metrics to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// The machine-readable counterpart of the `serve-feed` ledger: per-TLD
+/// counts, per-feed accounting, the robustness counters, and the new
+/// scheduling/pool telemetry — everything the console tables print,
+/// minus the individual detections (counts only, so the file stays
+/// small at zone scale).
+fn serve_feed_metrics_json(
+    report: &shamfinder::core::IngestReport,
+    exec: &shamfinder::core::ExecStats,
+    pool: &shamfinder::core::PoolStats,
+) -> String {
+    use serde::Value;
+    let map = |entries: Vec<(&str, Value)>| {
+        Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let per_tld = Value::Map(
+        report
+            .router
+            .per_tld
+            .iter()
+            .map(|lane| {
+                (
+                    lane.tld.clone(),
+                    map(vec![
+                        ("domains", Value::U64(lane.report.total_domains as u64)),
+                        ("idns", Value::U64(lane.report.idn_count as u64)),
+                        ("detections", Value::U64(lane.report.detections.len() as u64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let feeds = Value::Seq(
+        report
+            .feeds
+            .iter()
+            .map(|feed| {
+                map(vec![
+                    ("name", Value::Str(feed.name.clone())),
+                    ("registrations", Value::U64(feed.registrations)),
+                    ("churns", Value::U64(feed.churns)),
+                    ("quarantined", Value::U64(feed.quarantined)),
+                    ("retries", Value::U64(feed.retries)),
+                    ("outcome", Value::Str(format!("{:?}", feed.outcome))),
+                ])
+            })
+            .collect(),
+    );
+    let doc = map(vec![
+        (
+            "events",
+            map(vec![
+                ("delivered", Value::U64(report.events_delivered())),
+                ("accounted", Value::U64(report.events_accounted())),
+                ("routed", Value::U64(report.router.total_domains() as u64)),
+                ("unrouted", Value::U64(report.router.unrouted_domains as u64)),
+                ("detections", Value::U64(report.router.detection_count() as u64)),
+                ("reference_diffs", Value::U64(report.router.reference_diffs as u64)),
+            ]),
+        ),
+        ("per_tld", per_tld),
+        ("feeds", feeds),
+        (
+            "robustness",
+            map(vec![
+                ("shed", Value::U64(report.shed)),
+                ("quarantined", Value::U64(report.quarantined)),
+                ("lost", Value::U64(report.lost)),
+                ("lane_panics", Value::U64(report.lane_panics)),
+                ("lane_folds", Value::U64(report.lane_folds)),
+            ]),
+        ),
+        (
+            "exec",
+            map(vec![
+                ("batches", Value::U64(exec.batches)),
+                ("inline_batches", Value::U64(exec.inline_batches)),
+                ("shards", Value::U64(exec.shards)),
+                ("min_shard_len", Value::U64(exec.min_shard_len as u64)),
+                ("max_shard_len", Value::U64(exec.max_shard_len as u64)),
+                ("max_workers", Value::U64(exec.max_workers as u64)),
+            ]),
+        ),
+        (
+            "pool",
+            map(vec![
+                ("workers", Value::U64(pool.workers as u64)),
+                ("busy_workers", Value::U64(pool.busy_workers as u64)),
+                ("queue_depth", Value::U64(pool.queue_depth as u64)),
+                ("jobs_submitted", Value::U64(pool.jobs_submitted)),
+                ("jobs_dequeued", Value::U64(pool.jobs_dequeued)),
+                ("jobs_executed", Value::U64(pool.jobs_executed)),
+                ("jobs_discarded", Value::U64(pool.jobs_discarded)),
+                ("jobs_panicked", Value::U64(pool.jobs_panicked)),
+                ("busy_nanos", Value::U64(pool.busy_nanos)),
+                ("parked_nanos", Value::U64(pool.parked_nanos)),
+                ("occupancy", Value::F64(pool.occupancy())),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_default()
 }
 
 fn main() -> ExitCode {

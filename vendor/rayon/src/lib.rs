@@ -59,9 +59,10 @@
 //! `with_min_len`/`collect`.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Process-wide worker-count override; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -139,6 +140,237 @@ pub fn current_num_threads() -> usize {
 }
 
 // ---------------------------------------------------------------------
+// Pool telemetry.
+//
+// A handful of process-wide relaxed atomics, bumped only on state
+// transitions the pool already performs (job submit, dequeue, body
+// enter/leave, park/unpark) — never inside the chunk-claiming loop, so
+// the per-chunk fast path is untouched and the 1-thread inline path
+// never sees a single telemetry instruction. Reading is snapshot-on-
+// read: `pool_stats` loads each counter individually, so a snapshot is
+// internally consistent per counter (each is monotone) but not a
+// linearised cross-counter view — good enough for scheduling and
+// ledgers, free for the workers.
+// ---------------------------------------------------------------------
+
+/// The process-wide telemetry counters (all relaxed; see module note).
+struct Telemetry {
+    /// `Run` messages sent to the pool channel.
+    jobs_submitted: AtomicU64,
+    /// `Run` messages taken off the channel by a worker.
+    jobs_dequeued: AtomicU64,
+    /// Dequeued jobs whose body actually ran (not cancelled).
+    jobs_executed: AtomicU64,
+    /// Dequeued jobs discarded because the call had already finished.
+    jobs_discarded: AtomicU64,
+    /// Executed jobs whose body panicked.
+    jobs_panicked: AtomicU64,
+    /// Nanoseconds workers spent inside job bodies.
+    busy_nanos: AtomicU64,
+    /// Nanoseconds workers spent parked on the job channel.
+    parked_nanos: AtomicU64,
+    /// Workers currently inside a job body (gauge; never suspended so
+    /// the adaptive scheduler always sees the true occupancy).
+    busy_workers: AtomicUsize,
+}
+
+static TELEMETRY: Telemetry = Telemetry {
+    jobs_submitted: AtomicU64::new(0),
+    jobs_dequeued: AtomicU64::new(0),
+    jobs_executed: AtomicU64::new(0),
+    jobs_discarded: AtomicU64::new(0),
+    jobs_panicked: AtomicU64::new(0),
+    busy_nanos: AtomicU64::new(0),
+    parked_nanos: AtomicU64::new(0),
+    busy_workers: AtomicUsize::new(0),
+};
+
+/// Bench-only switch: `true` pauses every cumulative counter (the
+/// `busy_workers` gauge stays live — scheduling depends on it).
+static TELEMETRY_SUSPENDED: AtomicBool = AtomicBool::new(false);
+
+/// Suspends (or resumes) the cumulative telemetry counters. Benchmark
+/// plumbing for measuring the counters-on vs counters-off overhead
+/// pair; production code leaves telemetry on. Toggling while jobs are
+/// in flight can desynchronise the submitted/dequeued identities, so
+/// flip it only around a quiescent pool.
+#[doc(hidden)]
+pub fn set_telemetry_suspended(suspended: bool) {
+    TELEMETRY_SUSPENDED.store(suspended, Ordering::SeqCst);
+}
+
+#[inline]
+fn telemetry_count(counter: &AtomicU64) {
+    if !TELEMETRY_SUSPENDED.load(Ordering::Relaxed) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn telemetry_add(counter: &AtomicU64, delta: u64) {
+    if !TELEMETRY_SUSPENDED.load(Ordering::Relaxed) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+fn telemetry_clock() -> Option<Instant> {
+    (!TELEMETRY_SUSPENDED.load(Ordering::Relaxed)).then(Instant::now)
+}
+
+/// Snapshot of the pool telemetry counters. Each field is read
+/// individually (snapshot-on-read); cumulative counters are monotone
+/// for the life of the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Live pool workers (the caller of a parallel call is one more).
+    pub workers: usize,
+    /// Workers currently inside a job body.
+    pub busy_workers: usize,
+    /// Submitted-but-not-yet-dequeued job handles on the channel.
+    pub queue_depth: usize,
+    /// Job handles ever submitted to the channel.
+    pub jobs_submitted: u64,
+    /// Job handles ever taken off the channel.
+    pub jobs_dequeued: u64,
+    /// Dequeued jobs whose body ran.
+    pub jobs_executed: u64,
+    /// Dequeued jobs discarded after their call had finished.
+    pub jobs_discarded: u64,
+    /// Executed jobs whose body panicked.
+    pub jobs_panicked: u64,
+    /// Total nanoseconds workers spent inside job bodies.
+    pub busy_nanos: u64,
+    /// Total nanoseconds workers spent parked waiting for work.
+    pub parked_nanos: u64,
+}
+
+impl PoolStats {
+    /// Fraction of the pool that is currently committed: busy workers
+    /// plus still-queued jobs over the live worker count, clamped to
+    /// `[0, 1]`. Zero when the pool has no workers.
+    pub fn occupancy(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            let committed = (self.busy_workers + self.queue_depth) as f64;
+            (committed / self.workers as f64).min(1.0)
+        }
+    }
+}
+
+/// Reads the pool telemetry counters (snapshot-on-read, relaxed).
+pub fn pool_stats() -> PoolStats {
+    let submitted = TELEMETRY.jobs_submitted.load(Ordering::Relaxed);
+    let dequeued = TELEMETRY.jobs_dequeued.load(Ordering::Relaxed);
+    PoolStats {
+        workers: pool_size(),
+        busy_workers: TELEMETRY.busy_workers.load(Ordering::Relaxed),
+        queue_depth: submitted.saturating_sub(dequeued) as usize,
+        jobs_submitted: submitted,
+        jobs_dequeued: dequeued,
+        jobs_executed: TELEMETRY.jobs_executed.load(Ordering::Relaxed),
+        jobs_discarded: TELEMETRY.jobs_discarded.load(Ordering::Relaxed),
+        jobs_panicked: TELEMETRY.jobs_panicked.load(Ordering::Relaxed),
+        busy_nanos: TELEMETRY.busy_nanos.load(Ordering::Relaxed),
+        parked_nanos: TELEMETRY.parked_nanos.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Occupancy: the one telemetry reading the adaptive scheduler consumes,
+// plus the test-only hook that forces it through a scripted sequence.
+// Forced occupancy perturbs *partitioning decisions only* — the
+// equivalence suites pin that outputs stay bit-identical regardless.
+// ---------------------------------------------------------------------
+
+/// Fast-path flag: is an occupancy override installed?
+static OCC_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Rotation cursor over the forced sequence.
+static OCC_CURSOR: AtomicUsize = AtomicUsize::new(0);
+
+fn occ_slot() -> &'static Mutex<Option<Arc<Vec<usize>>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<Vec<usize>>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or clears, with `None` or an empty sequence) a forced
+/// busy-worker sequence: successive [`busy_workers`] reads rotate
+/// through it instead of reading the live gauge. Test-only hook — it
+/// exists so equivalence suites can drive the adaptive scheduler
+/// through adversarial occupancy histories; it never changes what the
+/// pool *does*, only what schedulers observe.
+pub fn set_occupancy_override(sequence: Option<Vec<usize>>) {
+    let mut slot = occ_slot().lock().unwrap();
+    OCC_CURSOR.store(0, Ordering::SeqCst);
+    match sequence {
+        Some(seq) if !seq.is_empty() => {
+            *slot = Some(Arc::new(seq));
+            OCC_ACTIVE.store(true, Ordering::SeqCst);
+        }
+        _ => {
+            *slot = None;
+            OCC_ACTIVE.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// RAII occupancy override: installs `sequence` on construction and
+/// restores the previously installed override (if any) on drop, so a
+/// panicking test cannot leak a forced occupancy into its neighbours.
+pub struct OccupancyOverride {
+    prev: Option<Arc<Vec<usize>>>,
+}
+
+impl OccupancyOverride {
+    /// Forces [`busy_workers`] through `sequence` until the guard drops.
+    pub fn new(sequence: Vec<usize>) -> OccupancyOverride {
+        let prev = occ_slot().lock().unwrap().clone();
+        set_occupancy_override(Some(sequence));
+        OccupancyOverride { prev }
+    }
+}
+
+impl Drop for OccupancyOverride {
+    fn drop(&mut self) {
+        set_occupancy_override(self.prev.take().map(|seq| (*seq).clone()));
+    }
+}
+
+/// Installs an occupancy override from `SHAM_OCC_PERTURB` (a comma-
+/// separated busy-count sequence) the first time occupancy is read, so
+/// CI can perturb the adaptive scheduler without code changes.
+fn occ_env_init() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if let Ok(raw) = std::env::var("SHAM_OCC_PERTURB") {
+            let seq: Vec<usize> = raw
+                .split(',')
+                .filter_map(|tok| tok.trim().parse().ok())
+                .collect();
+            if !seq.is_empty() {
+                set_occupancy_override(Some(seq));
+            }
+        }
+    });
+}
+
+/// Number of workers currently inside a job body — the occupancy
+/// reading adaptive schedulers partition against. Honours the
+/// [`set_occupancy_override`] / `SHAM_OCC_PERTURB` forcing hook.
+pub fn busy_workers() -> usize {
+    occ_env_init();
+    if OCC_ACTIVE.load(Ordering::Relaxed) {
+        let seq = occ_slot().lock().unwrap().clone();
+        if let Some(seq) = seq {
+            let i = OCC_CURSOR.fetch_add(1, Ordering::Relaxed);
+            return seq[i % seq.len()];
+        }
+    }
+    TELEMETRY.busy_workers.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
 // The persistent worker pool.
 //
 // Workers are OS threads spawned lazily by the first multi-threaded
@@ -211,14 +443,24 @@ impl JobShared {
     fn run_from_worker(&self) {
         self.active.fetch_add(1, Ordering::SeqCst);
         if !self.cancelled.load(Ordering::SeqCst) {
+            TELEMETRY.busy_workers.fetch_add(1, Ordering::Relaxed);
+            let entered = telemetry_clock();
             // SAFETY: `cancelled` was still clear after our `active`
             // increment, so the caller is parked in its drain-wait and
             // the borrowed pipeline is alive until we decrement.
             let body = || unsafe { (*self.task)() };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                telemetry_count(&TELEMETRY.jobs_panicked);
                 let mut slot = self.panic.lock().unwrap();
                 slot.get_or_insert(payload);
             }
+            if let Some(t0) = entered {
+                telemetry_add(&TELEMETRY.busy_nanos, t0.elapsed().as_nanos() as u64);
+            }
+            telemetry_count(&TELEMETRY.jobs_executed);
+            TELEMETRY.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        } else {
+            telemetry_count(&TELEMETRY.jobs_discarded);
         }
         self.active.fetch_sub(1, Ordering::SeqCst);
         let _guard = self.lock.lock().unwrap();
@@ -262,13 +504,21 @@ pub fn pool_size() -> usize {
 fn worker_loop(receiver: Arc<Mutex<Receiver<Message>>>, alive: Arc<AtomicUsize>) {
     loop {
         // Take the lock only to dequeue; jobs run unlocked so workers
-        // claim chunks concurrently.
+        // claim chunks concurrently. Parked time covers the lock wait
+        // plus the channel wait — everything that isn't job work.
+        let parked = telemetry_clock();
         let message = {
             let guard = receiver.lock().unwrap();
             guard.recv()
         };
+        if let Some(t0) = parked {
+            telemetry_add(&TELEMETRY.parked_nanos, t0.elapsed().as_nanos() as u64);
+        }
         match message {
-            Ok(Message::Run(job)) => job.run_from_worker(),
+            Ok(Message::Run(job)) => {
+                telemetry_count(&TELEMETRY.jobs_dequeued);
+                job.run_from_worker()
+            }
             Ok(Message::Exit) | Err(_) => break,
         }
     }
@@ -353,6 +603,7 @@ fn run_on_pool(helpers: usize, work: &(dyn Fn() + Sync)) {
             }
         }
         for _ in 0..helpers.min(pool.target) {
+            telemetry_count(&TELEMETRY.jobs_submitted);
             let _ = pool.sender.send(Message::Run(Arc::clone(&job)));
         }
     }
@@ -556,6 +807,33 @@ impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
 }
 
 impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {}
+
+/// Borrowed-subslice pipeline: the result of `par_chunks()`. The base
+/// index space is the *chunk* index, so each item is a `&[T]` window of
+/// up to `size` elements carved straight out of the source slice — no
+/// per-call `Vec<&[T]>` materialisation.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn base_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn run_chunk<E: FnMut(&'a [T])>(&self, lo: usize, hi: usize, each: &mut E) {
+        for c in lo..hi {
+            let start = c * self.size;
+            let end = (start + self.size).min(self.slice.len());
+            each(&self.slice[start..end]);
+        }
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {}
 
 /// See [`ParallelIterator::map`].
 pub struct Map<P, F> {
@@ -788,15 +1066,30 @@ pub mod prelude {
 
     impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Clone + Send + Sync {}
 
-    /// `par_iter()` for slices (and anything that derefs to one).
+    /// `par_iter()` / `par_chunks()` for slices (and anything that
+    /// derefs to one).
     pub trait ParallelSlice<T: Sync> {
         /// Returns the parallel pipeline borrowing this slice.
         fn par_iter(&self) -> super::ParIter<'_, T>;
+
+        /// Returns the parallel pipeline over `size`-element windows of
+        /// this slice (the last window may be shorter). Each base index
+        /// is one window, so callers shard without materialising a
+        /// `Vec<&[T]>` of subslices.
+        ///
+        /// # Panics
+        /// Panics if `size` is zero.
+        fn par_chunks(&self, size: usize) -> super::ParChunks<'_, T>;
     }
 
     impl<T: Sync> ParallelSlice<T> for [T] {
         fn par_iter(&self) -> super::ParIter<'_, T> {
             super::ParIter { slice: self }
+        }
+
+        fn par_chunks(&self, size: usize) -> super::ParChunks<'_, T> {
+            assert!(size > 0, "par_chunks size must be non-zero");
+            super::ParChunks { slice: self, size }
         }
     }
 }
@@ -1022,6 +1315,120 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let _guard = override_guard();
+        let v: Vec<u32> = (0..1_003).collect();
+        for size in [1, 7, 64, 1_000, 5_000] {
+            let expected: Vec<Vec<u32>> =
+                v.chunks(size).map(|c| c.to_vec()).collect();
+            for threads in [1, 4] {
+                let _forced = super::ThreadOverride::new(threads);
+                let got: Vec<Vec<u32>> =
+                    v.par_chunks(size).map(|c| c.to_vec()).collect();
+                assert_eq!(got, expected, "size {size} at {threads} threads");
+            }
+        }
+        let empty: Vec<Vec<u32>> =
+            Vec::<u32>::new().par_chunks(8).map(|c| c.to_vec()).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pool_stats_invariants_across_drain_resize_and_panic() {
+        let _guard = override_guard();
+        // Serialise against a quiescent pool so counter deltas below are
+        // attributable to this test alone.
+        let base = {
+            let _one = super::ThreadOverride::new(1);
+            super::pool_stats()
+        };
+        assert_eq!(base.queue_depth, 0, "drained pool must have no queue");
+
+        // A multi-thread burst, a shrink/regrow cycle, and a panicking
+        // job — then drain and check the accounting identities.
+        let _forced = super::ThreadOverride::new(4);
+        heavy_pass();
+        {
+            let _shrunk = super::ThreadOverride::new(2);
+            heavy_pass();
+        }
+        heavy_pass();
+        let panicked = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0..64usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    let mut acc = i as u64;
+                    for k in 0..100_000u64 {
+                        acc = std::hint::black_box(acc.wrapping_add(k));
+                    }
+                    if i == 33 {
+                        panic!("poisoned item");
+                    }
+                    acc
+                })
+                .collect();
+        });
+        assert!(panicked.is_err());
+
+        let stats = {
+            // Forcing 1 thread drains the pool: every queued Run message
+            // is consumed (executed or discarded) before the Exits that
+            // retire the workers, so the identities are exact.
+            let _one = super::ThreadOverride::new(1);
+            super::pool_stats()
+        };
+        assert!(stats.jobs_submitted > base.jobs_submitted, "burst submitted jobs");
+        assert_eq!(
+            stats.jobs_submitted, stats.jobs_dequeued,
+            "drained pool consumed every submitted job"
+        );
+        assert_eq!(
+            stats.jobs_dequeued,
+            stats.jobs_executed + stats.jobs_discarded,
+            "every dequeued job either ran or was discarded"
+        );
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.busy_workers, 0, "no body can outlive its call");
+        assert_eq!(stats.workers, 0, "pool drained");
+        assert!(
+            stats.jobs_panicked > base.jobs_panicked,
+            "the poisoned job was counted"
+        );
+        assert!(
+            stats.busy_nanos > base.busy_nanos,
+            "job bodies accrued busy time"
+        );
+        assert!(
+            stats.parked_nanos >= base.parked_nanos,
+            "parked time is monotone"
+        );
+        assert!(stats.occupancy() == 0.0, "drained pool is idle");
+    }
+
+    #[test]
+    fn occupancy_override_rotates_and_restores() {
+        let _guard = override_guard();
+        {
+            let _forced = super::OccupancyOverride::new(vec![3, 1, 4]);
+            assert_eq!(super::busy_workers(), 3);
+            assert_eq!(super::busy_workers(), 1);
+            assert_eq!(super::busy_workers(), 4);
+            assert_eq!(super::busy_workers(), 3, "sequence wraps around");
+            {
+                let _nested = super::OccupancyOverride::new(vec![7]);
+                assert_eq!(super::busy_workers(), 7);
+                assert_eq!(super::busy_workers(), 7);
+            }
+            // The outer override is restored (cursor reset to 0).
+            assert_eq!(super::busy_workers(), 3);
+        }
+        // No override: the live gauge, which is 0 on a quiescent pool.
+        let _one = super::ThreadOverride::new(1);
+        assert_eq!(super::busy_workers(), 0);
     }
 
     #[test]
