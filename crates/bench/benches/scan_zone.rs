@@ -1,0 +1,137 @@
+//! End-to-end batch zone scanning: file on disk → detections, through
+//! the full `ZoneScanner` pipeline (reader thread, recycled chunk
+//! buffers, SWAR line split, streaming parse, dedup, router batches,
+//! pooled detection).
+//!
+//! Two fixtures, both written by `sham_workload::write_synthetic_zone`
+//! into the temp dir:
+//!
+//! * an 8 MB zone for the criterion group (interactive, dry-run safe);
+//! * a ≥100 MB zone (120 MB) for the perf snapshot — the whole-TLD-dump
+//!   scale the pipeline is sized for. Generated (and deleted) only on
+//!   real snapshot runs; `--test` dry runs reuse the small fixture.
+//!
+//! The snapshot section `scan_zone` lands in `BENCH_detection.json`
+//! with both rates of record:
+//!
+//! * `scan_zone_end_to_end/threads_{n}_ops_per_sec` — records/sec;
+//! * `scan_zone_mb/threads_{n}_ops_per_sec` — MB/sec over the same
+//!   passes (derived from the measured record rate and the fixture's
+//!   exact bytes-per-record, so the two numbers can never disagree
+//!   about which run they describe).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sham_bench::{measure_ops_per_sec, snapshot_samples, snapshot_thread_sweep};
+use sham_core::{DetectionIndex, ScanConfig, SessionRouter, ZoneScanner};
+use sham_workload::{reference_list, write_synthetic_zone, ZoneGenConfig, ZoneGenStats};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Detection index over the same reference stems the generator plants
+/// lookalikes of, so every pass exercises real detections.
+fn shared_index() -> Arc<DetectionIndex> {
+    let font = sham_glyph::SynthUnifont::v12();
+    let result = sham_simchar::build(
+        &font,
+        &sham_simchar::BuildConfig {
+            repertoire: sham_simchar::Repertoire::Blocks(vec!["Basic Latin", "Cyrillic"]),
+            ..sham_simchar::BuildConfig::default()
+        },
+    );
+    DetectionIndex::shared(
+        sham_simchar::HomoglyphDb::new(result.db, sham_confusables::UcDatabase::embedded()),
+        reference_list(500),
+    )
+}
+
+/// Writes one fixture zone of `target_bytes` to `path`, streaming.
+fn generate(path: &Path, target_bytes: u64) -> ZoneGenStats {
+    let cfg = ZoneGenConfig {
+        target_bytes,
+        homograph_permille: 5,
+        malformed_permille: 2,
+        seed: 0xBE2C_5CA4,
+        ..ZoneGenConfig::default()
+    };
+    let file = std::fs::File::create(path).expect("create bench fixture");
+    let mut out = std::io::BufWriter::new(file);
+    write_synthetic_zone(&mut out, &cfg).expect("write bench fixture")
+}
+
+/// One full pass: open, scan, detect, close the books.
+fn scan_pass(index: &Arc<DetectionIndex>, path: &Path) -> usize {
+    let mut scanner = ZoneScanner::new(
+        SessionRouter::new(Arc::clone(index)),
+        ScanConfig::default(),
+    );
+    scanner.scan_file("com", path).expect("bench fixture scans");
+    let report = scanner.finish();
+    report
+        .verify_accounting()
+        .expect("bench pass must keep the books closed");
+    report.detection_count()
+}
+
+fn bench_scan_zone(c: &mut Criterion) {
+    let dry = criterion::dry_run_mode();
+    let dir = std::env::temp_dir();
+    let index = shared_index();
+
+    let small_path = dir.join("shamfinder_bench_small.zone");
+    let small = generate(&small_path, 8 << 20);
+
+    let mut group = c.benchmark_group("scan_zone");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(small.records));
+    group.bench_function("scan_8mb_end_to_end", |b| {
+        b.iter(|| std::hint::black_box(scan_pass(&index, &small_path)))
+    });
+    group.finish();
+
+    // The snapshot fixture: the acceptance-scale ≥100 MB dump on real
+    // runs; the small one on dry runs (which never write the snapshot).
+    let (big_path, big): (PathBuf, ZoneGenStats) = if dry {
+        (small_path.clone(), small)
+    } else {
+        let path = dir.join("shamfinder_bench_120mb.zone");
+        let stats = generate(&path, 120 << 20);
+        (path, stats)
+    };
+
+    // records/sec measured; MB/sec derived from the same passes via the
+    // fixture's exact bytes-per-record ratio (no second scan).
+    let record_rates: RefCell<HashMap<usize, f64>> = RefCell::new(HashMap::new());
+    snapshot_thread_sweep(
+        "scan_zone",
+        &["scan_zone_end_to_end", "scan_zone_mb"],
+        |name| {
+            let threads = rayon::current_num_threads().max(1);
+            match name {
+                "scan_zone_end_to_end" => {
+                    let rate =
+                        measure_ops_per_sec(big.records as usize, snapshot_samples(), || {
+                            std::hint::black_box(scan_pass(&index, &big_path));
+                        });
+                    record_rates.borrow_mut().insert(threads, rate);
+                    rate
+                }
+                _ => {
+                    let bytes_per_record = big.bytes as f64 / big.records.max(1) as f64;
+                    record_rates.borrow().get(&threads).copied().unwrap_or(0.0)
+                        * bytes_per_record
+                        / 1e6
+                }
+            }
+        },
+    );
+
+    if !dry {
+        let _ = std::fs::remove_file(&big_path);
+    }
+    let _ = std::fs::remove_file(&small_path);
+}
+
+criterion_group!(benches, bench_scan_zone);
+criterion_main!(benches);

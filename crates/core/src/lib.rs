@@ -78,6 +78,7 @@ pub mod policy;
 pub mod registry;
 pub mod revert;
 pub mod router;
+pub mod scan;
 pub mod sched;
 pub mod session;
 
@@ -92,6 +93,7 @@ pub use ingest::{
     RetryPolicy,
 };
 pub use router::{RouterReport, SessionRouter, TldReport};
+pub use scan::{ScanConfig, ScanReport, TldScanStats, ZoneScanner};
 pub use sched::ExecStats;
 pub use session::{DetectorSession, DEFAULT_COMPACTION_THRESHOLD};
 pub use highlight::{HighlightedSubstitution, Warning};

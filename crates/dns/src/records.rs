@@ -30,17 +30,21 @@ impl RecordType {
         }
     }
 
-    /// Parses a presentation-format type name.
+    /// Parses a presentation-format type name (case-insensitive,
+    /// allocation-free — this runs once per line in the zone scanner).
     pub fn parse(s: &str) -> Option<Self> {
-        match s.to_ascii_uppercase().as_str() {
-            "A" => Some(RecordType::A),
-            "AAAA" => Some(RecordType::Aaaa),
-            "NS" => Some(RecordType::Ns),
-            "MX" => Some(RecordType::Mx),
-            "CNAME" => Some(RecordType::Cname),
-            "TXT" => Some(RecordType::Txt),
-            _ => None,
-        }
+        const NAMES: [(&str, RecordType); 6] = [
+            ("A", RecordType::A),
+            ("AAAA", RecordType::Aaaa),
+            ("NS", RecordType::Ns),
+            ("MX", RecordType::Mx),
+            ("CNAME", RecordType::Cname),
+            ("TXT", RecordType::Txt),
+        ];
+        NAMES
+            .iter()
+            .find(|(name, _)| s.eq_ignore_ascii_case(name))
+            .map(|&(_, t)| t)
     }
 }
 

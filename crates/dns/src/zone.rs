@@ -90,6 +90,13 @@ struct LineParser {
     origin: String,
     default_ttl: u32,
     last_owner: Option<DomainName>,
+    /// The raw owner token `last_owner` was resolved from, under the
+    /// current origin (reused buffer). A record line whose owner token
+    /// matches byte-for-byte skips name resolution entirely — zone
+    /// dumps list each delegation as a run of records for one owner,
+    /// so this is the per-line hot path. Cleared when `$ORIGIN`
+    /// changes (the same token would resolve differently).
+    last_owner_token: String,
 }
 
 impl LineParser {
@@ -98,18 +105,51 @@ impl LineParser {
             origin: fallback_origin.to_string(),
             default_ttl: 86_400,
             last_owner: None,
+            last_owner_token: String::new(),
         }
     }
 
     /// Parses one data line (comments/blank already stripped). Returns
     /// `Ok(None)` for directives.
     fn parse_line(&mut self, line: &str, no: usize) -> Result<Option<ResourceRecord>, ZoneError> {
+        match self.scan_line(line, no, true)? {
+            None => Ok(None),
+            Some((_, ttl, data)) => Ok(Some(ResourceRecord {
+                name: self
+                    .last_owner
+                    .clone()
+                    .expect("scan_line resolves an owner for every record line"),
+                ttl,
+                data: data.expect("want_data builds record data"),
+            })),
+        }
+    }
+
+    /// The shared line machine behind [`LineParser::parse_line`] and
+    /// the allocation-conscious scan path: validates the line exactly
+    /// like a full parse (same accept/reject decisions, same error
+    /// messages) and tracks the owner state, but materialises
+    /// [`RecordData`] only when `want_data` is set. Returns `None` for
+    /// directives and `Some((owner_changed, ttl, data))` for records;
+    /// the resolved owner is left in `self.last_owner`.
+    fn scan_line(
+        &mut self,
+        line: &str,
+        no: usize,
+        want_data: bool,
+    ) -> Result<Option<(bool, u32, Option<RecordData>)>, ZoneError> {
         if let Some(rest) = line.strip_prefix("$ORIGIN") {
             let token = rest.trim().trim_end_matches('.');
             if token.is_empty() {
                 return Err(err(no, "$ORIGIN requires a name"));
             }
-            self.origin = token.to_string();
+            if token != self.origin {
+                self.origin.clear();
+                self.origin.push_str(token);
+                // The cached owner token resolved against the old
+                // origin; the same token now names a different owner.
+                self.last_owner_token.clear();
+            }
             return Ok(None);
         }
         if let Some(rest) = line.strip_prefix("$TTL") {
@@ -123,16 +163,27 @@ impl LineParser {
         let starts_with_space = line.starts_with(' ') || line.starts_with('\t');
         let mut tokens = line.split_whitespace().peekable();
 
-        // Owner: blank-led lines reuse the previous owner.
-        let owner = if starts_with_space {
-            self.last_owner
-                .clone()
-                .ok_or_else(|| err(no, "continuation line with no previous owner"))?
+        // Owner: blank-led lines reuse the previous owner; a repeated
+        // owner token reuses the previous resolution without
+        // allocating (the dominant case — records arrive in
+        // per-owner runs).
+        let owner_changed = if starts_with_space {
+            if self.last_owner.is_none() {
+                return Err(err(no, "continuation line with no previous owner"));
+            }
+            false
         } else {
             let tok = tokens.next().ok_or_else(|| err(no, "empty record line"))?;
-            resolve_name(tok, &self.origin, no)?
+            if self.last_owner.is_some() && tok == self.last_owner_token {
+                false
+            } else {
+                let owner = resolve_name(tok, &self.origin, no)?;
+                self.last_owner = Some(owner);
+                self.last_owner_token.clear();
+                self.last_owner_token.push_str(tok);
+                true
+            }
         };
-        self.last_owner = Some(owner.clone());
 
         // Optional TTL and class.
         let mut ttl = self.default_ttl;
@@ -153,19 +204,25 @@ impl LineParser {
         let data = match rtype {
             RecordType::A => {
                 let ip = tokens.next().ok_or_else(|| err(no, "A record missing address"))?;
-                RecordData::A(ip.parse().map_err(|e| err(no, format!("bad IPv4: {e}")))?)
+                let addr: std::net::Ipv4Addr =
+                    ip.parse().map_err(|e| err(no, format!("bad IPv4: {e}")))?;
+                want_data.then_some(RecordData::A(addr))
             }
             RecordType::Aaaa => {
                 let ip = tokens.next().ok_or_else(|| err(no, "AAAA record missing address"))?;
-                RecordData::Aaaa(ip.parse().map_err(|e| err(no, format!("bad IPv6: {e}")))?)
+                let addr: std::net::Ipv6Addr =
+                    ip.parse().map_err(|e| err(no, format!("bad IPv6: {e}")))?;
+                want_data.then_some(RecordData::Aaaa(addr))
             }
             RecordType::Ns => {
                 let t = tokens.next().ok_or_else(|| err(no, "NS record missing target"))?;
-                RecordData::Ns(resolve_name(t, &self.origin, no)?)
+                let target = resolve_name(t, &self.origin, no)?;
+                want_data.then_some(RecordData::Ns(target))
             }
             RecordType::Cname => {
                 let t = tokens.next().ok_or_else(|| err(no, "CNAME missing target"))?;
-                RecordData::Cname(resolve_name(t, &self.origin, no)?)
+                let target = resolve_name(t, &self.origin, no)?;
+                want_data.then_some(RecordData::Cname(target))
             }
             RecordType::Mx => {
                 let pref = tokens
@@ -174,16 +231,40 @@ impl LineParser {
                     .parse()
                     .map_err(|e| err(no, format!("bad MX preference: {e}")))?;
                 let t = tokens.next().ok_or_else(|| err(no, "MX missing exchange"))?;
-                RecordData::Mx { preference: pref, exchange: resolve_name(t, &self.origin, no)? }
+                let exchange = resolve_name(t, &self.origin, no)?;
+                want_data.then_some(RecordData::Mx { preference: pref, exchange })
             }
-            RecordType::Txt => {
+            // TXT payloads cannot fail validation; the scan path skips
+            // the join entirely (no per-line String).
+            RecordType::Txt => want_data.then(|| {
                 let rest: Vec<&str> = tokens.collect();
                 let joined = rest.join(" ");
                 RecordData::Txt(joined.trim_matches('"').to_string())
-            }
+            }),
         };
-        Ok(Some(ResourceRecord { name: owner, ttl, data }))
+        Ok(Some((owner_changed, ttl, data)))
     }
+}
+
+/// What one scanned line contained, from [`ZoneStreamParser::scan_line`].
+///
+/// `Record` borrows the parser's resolved owner instead of cloning it —
+/// the batch scan pipeline decides *whether* it wants the owner (dedup,
+/// blacklist) before paying for an owned copy.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ZoneScan<'a> {
+    /// A well-formed record line. `new_owner` is false when the line
+    /// reused the previous owner (continuation line or repeated owner
+    /// token) — the consecutive-owner dedup signal, for free.
+    Record {
+        /// The record's owner name, borrowed from the parser state.
+        owner: &'a DomainName,
+        /// False when this line's owner is the same as the previous
+        /// record line's.
+        new_owner: bool,
+    },
+    /// A directive, comment, or blank line — nothing to detect on.
+    Skip,
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -245,6 +326,34 @@ impl ZoneStreamParser {
             return Ok(None);
         }
         self.inner.parse_line(line, self.line_no)
+    }
+
+    /// Consumes one raw line like [`push_line`](Self::push_line) but
+    /// without materialising a [`ResourceRecord`]: the owner comes back
+    /// borrowed and record data (addresses, TXT payloads) is validated
+    /// but never allocated. Accept/reject decisions and error messages
+    /// are identical to `push_line` — the batch scanner and the strict
+    /// parser classify every line the same way.
+    ///
+    /// On the dominant zone-dump shape (runs of records per owner) a
+    /// well-formed `A` line allocates nothing at all.
+    pub fn scan_line(&mut self, raw: &str) -> Result<ZoneScan<'_>, ZoneError> {
+        self.line_no += 1;
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            return Ok(ZoneScan::Skip);
+        }
+        match self.inner.scan_line(line, self.line_no, false)? {
+            None => Ok(ZoneScan::Skip),
+            Some((new_owner, _ttl, _data)) => Ok(ZoneScan::Record {
+                owner: self
+                    .inner
+                    .last_owner
+                    .as_ref()
+                    .expect("scan_line resolves an owner for every record line"),
+                new_owner,
+            }),
+        }
     }
 
     /// Lines consumed so far (1-based line number of the last push).
@@ -450,5 +559,73 @@ note IN TXT \"hello; world\"
     fn unsupported_type_is_an_error() {
         let e = parse("$ORIGIN com.\nx IN SOA whatever\n", "com").unwrap_err();
         assert!(e.message.contains("unsupported record type"));
+    }
+
+    #[test]
+    fn scan_line_classifies_like_push_line() {
+        let noisy = "$ORIGIN com.\n\
+                     $TTL 3600\n\
+                     ; comment\n\
+                     good IN A 192.0.2.1\n\
+                     good IN NS ns1.good.com.\n\
+                     \tIN NS ns2.good.com.\n\
+                     broken IN A nope\n\
+                     ??? garbage line\n\
+                     other IN MX 10 mx.other.com.\n\
+                     note IN TXT \"x; y\"\n\
+                     bad IN MX ten mx.bad.com.\n";
+        let mut pusher = ZoneStreamParser::new("com");
+        let mut scanner = ZoneStreamParser::new("com");
+        for raw in noisy.lines() {
+            let pushed = pusher.push_line(raw);
+            let scanned = scanner.scan_line(raw);
+            match (pushed, scanned) {
+                (Ok(Some(rr)), Ok(ZoneScan::Record { owner, .. })) => {
+                    assert_eq!(&rr.name, owner, "owner mismatch on {raw:?}");
+                }
+                (Ok(None), Ok(ZoneScan::Skip)) => {}
+                (Err(a), Err(b)) => assert_eq!(a, b, "error mismatch on {raw:?}"),
+                (p, s) => panic!("classification diverged on {raw:?}: push={p:?} scan={s:?}"),
+            }
+        }
+        assert_eq!(pusher.lines_seen(), scanner.lines_seen());
+    }
+
+    #[test]
+    fn scan_line_flags_owner_runs() {
+        let mut p = ZoneStreamParser::new("com");
+        let new_owner = |r: Result<ZoneScan<'_>, ZoneError>| match r.unwrap() {
+            ZoneScan::Record { new_owner, .. } => new_owner,
+            ZoneScan::Skip => panic!("expected a record"),
+        };
+        assert!(new_owner(p.scan_line("alpha IN A 192.0.2.1")));
+        // Repeated owner token and continuation line: same owner.
+        assert!(!new_owner(p.scan_line("alpha IN NS ns1.alpha.com.")));
+        assert!(!new_owner(p.scan_line("\tIN NS ns2.alpha.com.")));
+        assert!(new_owner(p.scan_line("beta IN A 192.0.2.2")));
+        // Back to a previously seen owner: the cache only remembers the
+        // immediately preceding token, so this counts as new again.
+        assert!(new_owner(p.scan_line("alpha IN A 192.0.2.3")));
+    }
+
+    #[test]
+    fn owner_token_cache_respects_origin_change() {
+        let text = "$ORIGIN com.\n\
+                    shop IN A 192.0.2.1\n\
+                    $ORIGIN net.\n\
+                    shop IN A 192.0.2.2\n";
+        let zone = parse(text, "com").unwrap();
+        assert_eq!(zone.records[0].name.as_ascii(), "shop.com");
+        assert_eq!(zone.records[1].name.as_ascii(), "shop.net");
+    }
+
+    #[test]
+    fn owner_cache_not_poisoned_by_bad_owner() {
+        let mut p = ZoneStreamParser::new("com");
+        assert!(p.push_line("good IN A 192.0.2.1").unwrap().is_some());
+        // A malformed owner errors without clobbering the cached owner.
+        assert!(p.push_line("..bad.. IN A 192.0.2.2").is_err());
+        let rr = p.push_line("\tIN A 192.0.2.3").unwrap().unwrap();
+        assert_eq!(rr.name.as_ascii(), "good.com");
     }
 }

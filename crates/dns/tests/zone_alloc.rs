@@ -1,0 +1,96 @@
+//! Pins the allocation behaviour of the zone-scan hot path.
+//!
+//! The batch pipeline (`shamfinder scan-zone`) calls
+//! `ZoneStreamParser::scan_line` once per line over multi-GB files; the
+//! whole point of the scan API is that the dominant line shape — a
+//! well-formed record in a run of records for one owner — allocates
+//! nothing. This test counts allocations through a wrapping global
+//! allocator and fails if that guarantee regresses.
+
+use sham_dns::zone::{ZoneScan, ZoneStreamParser};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+std::thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+/// Counts alloc/realloc calls per thread so concurrently running tests
+/// in this binary cannot pollute each other's counts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn same_owner_record_run_is_allocation_free() {
+    let mut parser = ZoneStreamParser::new("com");
+    // Warm the owner cache: the first line for an owner resolves and
+    // stores the name (that one may allocate).
+    match parser.scan_line("steady IN A 192.0.2.1").unwrap() {
+        ZoneScan::Record { new_owner, .. } => assert!(new_owner),
+        ZoneScan::Skip => panic!("expected a record"),
+    }
+
+    let lines = [
+        "steady IN A 192.0.2.2",
+        "steady 3600 IN A 192.0.2.3",
+        "\tIN A 192.0.2.4",
+        "steady IN AAAA 2001:db8::1",
+    ];
+    let before = allocs_on_this_thread();
+    for _ in 0..10_000 {
+        for raw in lines {
+            match parser.scan_line(raw).unwrap() {
+                ZoneScan::Record { new_owner, .. } => assert!(!new_owner),
+                ZoneScan::Skip => panic!("expected a record"),
+            }
+        }
+    }
+    let delta = allocs_on_this_thread() - before;
+    assert_eq!(
+        delta, 0,
+        "scan_line allocated {delta} times over 40k same-owner record lines"
+    );
+}
+
+#[test]
+fn owner_changes_allocate_a_bounded_amount() {
+    // Alternating owners defeat the cache, so each line resolves a
+    // name: allocations must stay proportional to lines (a handful per
+    // resolve), never superlinear.
+    let mut parser = ZoneStreamParser::new("com");
+    parser.scan_line("a IN A 192.0.2.1").unwrap();
+    let before = allocs_on_this_thread();
+    let rounds = 1_000u64;
+    for _ in 0..rounds {
+        parser.scan_line("alpha IN A 192.0.2.1").unwrap();
+        parser.scan_line("beta IN A 192.0.2.2").unwrap();
+    }
+    let delta = allocs_on_this_thread() - before;
+    let per_line = delta as f64 / (rounds as f64 * 2.0);
+    assert!(
+        per_line <= 8.0,
+        "owner-changing scan lines average {per_line:.1} allocations each"
+    );
+}

@@ -8,7 +8,8 @@
 //! paper's relative sizes.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::OnceLock;
 
 /// A named blacklist of domain names.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -16,22 +17,84 @@ pub struct Blacklist {
     /// Feed name (e.g. `hpHosts`).
     pub name: String,
     entries: BTreeSet<String>,
+    /// FNV-1a hashes of every entry, built lazily on the first
+    /// [`contains_suffix`](Self::contains_suffix) call and invalidated
+    /// by mutation. Derived state — never serialised (deserialisation
+    /// leaves it empty and the next lookup rebuilds it).
+    #[serde(skip)]
+    suffix_index: OnceLock<HashSet<u64>>,
+}
+
+/// FNV-1a 64-bit over lowercased ASCII: cheap enough to run per
+/// label-suffix of every scanned domain, and entries are verified
+/// against the real set on a hash hit, so collisions cost a probe,
+/// never a wrong answer.
+fn fnv1a_lower(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Blacklist {
     /// Empty feed.
     pub fn new(name: &str) -> Self {
-        Blacklist { name: name.to_string(), entries: BTreeSet::new() }
+        Blacklist {
+            name: name.to_string(),
+            entries: BTreeSet::new(),
+            suffix_index: OnceLock::new(),
+        }
     }
 
     /// Adds a domain (stored lowercased).
     pub fn add(&mut self, domain: &str) {
         self.entries.insert(domain.to_ascii_lowercase());
+        self.suffix_index = OnceLock::new();
     }
 
     /// True when the exact domain is listed.
     pub fn contains(&self, domain: &str) -> bool {
         self.entries.contains(&domain.to_ascii_lowercase())
+    }
+
+    /// True when the domain itself **or any parent suffix** is listed:
+    /// `a.b.evil.com` matches an entry `evil.com`. This is the hosts-file
+    /// convention (listing an apex blocks the whole subtree) and the
+    /// filter the zone scanner runs per candidate domain.
+    ///
+    /// Each label-suffix of `domain` is probed against a hashed entry
+    /// index (built lazily, O(entries) once); a hash hit is confirmed
+    /// against the real entry set, so the answer is exact. Cost per call
+    /// is O(labels), independent of feed size — no linear iteration.
+    pub fn contains_suffix(&self, domain: &str) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        // The index hashes case-insensitively, but the confirming set
+        // lookup needs lowercase text: only pay for it on mixed-case
+        // input (zone scan owners are already lowercase ACE).
+        let lowered: String;
+        let domain = if domain.bytes().any(|b| b.is_ascii_uppercase()) {
+            lowered = domain.to_ascii_lowercase();
+            &lowered
+        } else {
+            domain
+        };
+        let index = self
+            .suffix_index
+            .get_or_init(|| self.entries.iter().map(|e| fnv1a_lower(e)).collect());
+        let mut suffix = domain;
+        loop {
+            if index.contains(&fnv1a_lower(suffix)) && self.entries.contains(suffix) {
+                return true;
+            }
+            match suffix.find('.') {
+                Some(dot) => suffix = &suffix[dot + 1..],
+                None => return false,
+            }
+        }
     }
 
     /// Number of entries.
@@ -133,6 +196,60 @@ mod tests {
         let feeds = vec![a, b, c];
         assert_eq!(check_all(&feeds, "x.com"), vec!["hpHosts", "GSB"]);
         assert!(check_all(&feeds, "y.com").is_empty());
+    }
+
+    #[test]
+    fn suffix_match_exact_parent_and_non_match() {
+        let mut bl = Blacklist::new("test");
+        bl.add("evil.com");
+        bl.add("bad.example.net");
+
+        // Exact match.
+        assert!(bl.contains_suffix("evil.com"));
+        // Parent-suffix match at any depth.
+        assert!(bl.contains_suffix("login.evil.com"));
+        assert!(bl.contains_suffix("a.b.c.evil.com"));
+        assert!(bl.contains_suffix("deep.bad.example.net"));
+        // Non-matches: substring ≠ label suffix.
+        assert!(!bl.contains_suffix("evil.com.org"));
+        assert!(!bl.contains_suffix("notevil.com"));
+        assert!(!bl.contains_suffix("com"));
+        assert!(!bl.contains_suffix("example.net"));
+        assert!(!bl.contains_suffix("good.com"));
+    }
+
+    #[test]
+    fn suffix_match_is_case_insensitive() {
+        let mut bl = Blacklist::new("test");
+        bl.add("Evil.COM");
+        assert!(bl.contains_suffix("WWW.EVIL.COM"));
+        assert!(bl.contains_suffix("www.evil.com"));
+    }
+
+    #[test]
+    fn suffix_index_survives_mutation_and_serde() {
+        let mut bl = Blacklist::new("test");
+        bl.add("first.com");
+        // Build the index, then mutate: the next lookup must see the
+        // new entry (mutation invalidates the lazy index).
+        assert!(bl.contains_suffix("x.first.com"));
+        bl.add("second.net");
+        assert!(bl.contains_suffix("x.second.net"));
+
+        // Round-trip through serde: the index field is skipped and
+        // rebuilds lazily on the deserialised value.
+        let json = serde_json::to_string(&bl).unwrap();
+        let back: Blacklist = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(back.contains_suffix("x.first.com"));
+        assert!(back.contains_suffix("deep.second.net"));
+        assert!(!back.contains_suffix("third.org"));
+    }
+
+    #[test]
+    fn empty_feed_matches_nothing() {
+        let bl = Blacklist::new("empty");
+        assert!(!bl.contains_suffix("anything.com"));
     }
 
     #[test]

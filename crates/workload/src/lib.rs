@@ -28,6 +28,7 @@ pub mod domains;
 pub mod faults;
 pub mod stream;
 pub mod webgen;
+pub mod zonegen;
 
 pub use attacker::{plant, substitutes, HomographPlan, PlantedHomograph, SubClass};
 pub use domains::{benign_corpus, popularity_weight, reference_list, LANGUAGE_MIX};
@@ -42,6 +43,7 @@ pub use webgen::{
     assign, domain_list_text, plant_resolution_stars, zone_text, FunnelPlan, GroundTruth,
     SiteAssignment,
 };
+pub use zonegen::{write_synthetic_zone, ZoneGenConfig, ZoneGenStats};
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;

@@ -1,0 +1,279 @@
+//! Streaming synthetic TLD zone files at arbitrary byte scale.
+//!
+//! The batch scanner (`shamfinder scan-zone`) needs multi-hundred-MB
+//! inputs with the real `.com` dump's shape: runs of records per owner,
+//! a sprinkle of IDN lookalikes among overwhelmingly benign names, and
+//! the occasional malformed line. [`write_synthetic_zone`] produces
+//! exactly that, deterministically from a seed, writing straight to any
+//! `Write` — it never holds the file in memory, so a 1 GB fixture
+//! costs 1 GB of disk and nothing else.
+//!
+//! Lookalikes are Cyrillic single-substitution homographs of reference
+//! stems ([`reference_list`]), so a detector
+//! built over the default references finds them — the generated file
+//! exercises the full detection path, not just the parser.
+
+use crate::reference_list;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+
+/// Knobs for one generated zone file.
+#[derive(Debug, Clone)]
+pub struct ZoneGenConfig {
+    /// TLD the zone covers (`com`, `net`, …) — becomes `$ORIGIN`.
+    pub tld: String,
+    /// Stop once this many bytes are written (0 = use `target_records`).
+    pub target_bytes: u64,
+    /// Stop once this many record lines are written (0 = bytes only).
+    pub target_records: u64,
+    /// Per-mille of owners that are reference-stem lookalikes.
+    pub homograph_permille: u32,
+    /// Reference stems drawn from the top of `reference_list(n)`.
+    pub reference_size: usize,
+    /// Per-mille of lines that are deliberately malformed.
+    pub malformed_permille: u32,
+    /// Master seed — identical configs produce identical files.
+    pub seed: u64,
+}
+
+impl Default for ZoneGenConfig {
+    fn default() -> Self {
+        ZoneGenConfig {
+            tld: "com".to_string(),
+            target_bytes: 8 << 20,
+            target_records: 0,
+            homograph_permille: 5,
+            reference_size: 500,
+            malformed_permille: 2,
+            seed: 0x5CA4_203E,
+        }
+    }
+}
+
+/// What a generation run produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneGenStats {
+    /// Bytes written (newlines included).
+    pub bytes: u64,
+    /// Total lines written.
+    pub lines: u64,
+    /// Well-formed record lines.
+    pub records: u64,
+    /// Distinct owner runs emitted.
+    pub owners: u64,
+    /// Owner runs that are planted homograph lookalikes.
+    pub homographs: u64,
+    /// Deliberately malformed lines.
+    pub malformed: u64,
+}
+
+/// Cyrillic stand-ins the detection index resolves back to Latin — the
+/// same confusions the paper's Table 8 cross-script class is built on.
+const CYRILLIC_SUBS: &[(char, char)] = &[
+    ('a', 'а'), // U+0430
+    ('c', 'с'), // U+0441
+    ('e', 'е'), // U+0435
+    ('o', 'о'), // U+043E
+    ('p', 'р'), // U+0440
+    ('s', 'ѕ'), // U+0455
+    ('x', 'х'), // U+0445
+    ('y', 'у'), // U+0443
+];
+
+/// Substitutes one eligible character of `stem` (picked by `choice`)
+/// with its Cyrillic lookalike; `None` if nothing is substitutable.
+fn cyrillic_lookalike(stem: &str, choice: usize) -> Option<String> {
+    let spots: Vec<(usize, char)> = stem
+        .char_indices()
+        .filter_map(|(i, ch)| {
+            CYRILLIC_SUBS
+                .iter()
+                .find(|&&(lat, _)| lat == ch)
+                .map(|&(_, cyr)| (i, cyr))
+        })
+        .collect();
+    if spots.is_empty() {
+        return None;
+    }
+    let (at, cyr) = spots[choice % spots.len()];
+    let mut out = String::with_capacity(stem.len() + 1);
+    out.push_str(&stem[..at]);
+    out.push(cyr);
+    // Reference stems are ASCII: the replaced character is one byte.
+    out.push_str(&stem[at + 1..]);
+    Some(out)
+}
+
+const SYLLABLES: &[&str] = &[
+    "ba", "co", "da", "fe", "gi", "ho", "ju", "ka", "li", "mo", "nu", "pa", "qu", "ra", "si",
+    "to", "ur", "va", "wi", "xo", "ya", "ze", "bran", "clo", "dru", "fla", "gre", "hol", "jun",
+    "kra", "lum", "mer", "nor", "pol", "quin", "rev", "sta", "tru", "vex", "wol",
+];
+
+/// Writes one synthetic zone file, streaming. Returns what it wrote.
+///
+/// The layout mirrors real TLD dumps: `$ORIGIN`/`$TTL` header, then
+/// owner runs of 1–3 records (NS + glue A/AAAA), with homographs and
+/// malformed lines interleaved at the configured rates.
+pub fn write_synthetic_zone<W: Write>(
+    out: &mut W,
+    cfg: &ZoneGenConfig,
+) -> io::Result<ZoneGenStats> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let refs = reference_list(cfg.reference_size.max(1));
+    let mut stats = ZoneGenStats::default();
+    let mut line = String::with_capacity(128);
+
+    let emit = |out: &mut W, stats: &mut ZoneGenStats, line: &str| -> io::Result<()> {
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        stats.bytes += line.len() as u64 + 1;
+        stats.lines += 1;
+        Ok(())
+    };
+
+    line.clear();
+    line.push_str("$ORIGIN ");
+    line.push_str(&cfg.tld);
+    line.push('.');
+    emit(out, &mut stats, &line)?;
+    emit(out, &mut stats, "$TTL 86400")?;
+
+    let done = |stats: &ZoneGenStats| {
+        (cfg.target_bytes > 0 && stats.bytes >= cfg.target_bytes)
+            || (cfg.target_records > 0 && stats.records >= cfg.target_records)
+            || (cfg.target_bytes == 0 && cfg.target_records == 0)
+    };
+
+    let mut serial: u64 = 0;
+    while !done(&stats) {
+        serial += 1;
+
+        if rng.gen_range(0u32..1000) < cfg.malformed_permille {
+            stats.malformed += 1;
+            match rng.gen_range(0..3) {
+                0 => emit(out, &mut stats, "corrupt IN A not-an-address")?,
+                1 => emit(out, &mut stats, "??? truncated garbage ???")?,
+                _ => emit(out, &mut stats, "weird IN SOA unsupported.example.")?,
+            }
+            continue;
+        }
+
+        // Owner: a planted lookalike or a unique benign name.
+        let owner = if rng.gen_range(0u32..1000) < cfg.homograph_permille {
+            let stem = &refs[rng.gen_range(0..refs.len())];
+            match cyrillic_lookalike(stem, rng.gen_range(0..8)) {
+                Some(uni) => match sham_punycode::ace::to_ascii(&uni) {
+                    Ok(ace) => {
+                        stats.homographs += 1;
+                        ace
+                    }
+                    Err(_) => continue,
+                },
+                None => continue,
+            }
+        } else {
+            let mut name = String::with_capacity(24);
+            for _ in 0..rng.gen_range(2..5usize) {
+                name.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+            }
+            // Serial suffix keeps benign owners unique across the file.
+            name.push_str(&serial.to_string());
+            name
+        };
+        stats.owners += 1;
+
+        // 1–3 records per owner, NS first — the real dump's shape.
+        let runs = rng.gen_range(1..4usize);
+        for r in 0..runs {
+            line.clear();
+            line.push_str(&owner);
+            match r {
+                0 => {
+                    line.push_str("\tIN\tNS\tns");
+                    line.push_str(&((serial % 4) + 1).to_string());
+                    line.push_str(".registrar.example.");
+                }
+                1 => {
+                    line.push_str("\tIN\tA\t192.0.2.");
+                    line.push_str(&(serial % 250 + 1).to_string());
+                }
+                _ => {
+                    line.push_str("\tIN\tAAAA\t2001:db8::");
+                    line.push_str(&format!("{:x}", serial % 0xffff + 1));
+                }
+            }
+            emit(out, &mut stats, &line)?;
+            stats.records += 1;
+        }
+    }
+    out.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ZoneGenConfig {
+        ZoneGenConfig {
+            target_bytes: 64 << 10,
+            homograph_permille: 30,
+            malformed_permille: 5,
+            seed: 42,
+            ..ZoneGenConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_hits_the_byte_target() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let sa = write_synthetic_zone(&mut a, &small_cfg()).unwrap();
+        let sb = write_synthetic_zone(&mut b, &small_cfg()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(sa.bytes >= 64 << 10);
+        assert_eq!(sa.bytes, a.len() as u64);
+        assert!(sa.homographs > 0, "no lookalikes planted");
+        assert!(sa.malformed > 0, "no malformed lines planted");
+    }
+
+    #[test]
+    fn generated_zone_parses_with_only_planted_garbage() {
+        let mut buf = Vec::new();
+        let stats = write_synthetic_zone(&mut buf, &small_cfg()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (zone, errors) = sham_dns::parse_lenient(&text, "com");
+        assert_eq!(zone.records.len() as u64, stats.records);
+        assert_eq!(errors.len() as u64, stats.malformed);
+        assert!(zone
+            .owner_names()
+            .iter()
+            .any(|d| d.is_idn()), "no IDN owners in generated zone");
+    }
+
+    #[test]
+    fn record_target_stops_generation() {
+        let cfg = ZoneGenConfig {
+            target_bytes: 0,
+            target_records: 100,
+            malformed_permille: 0,
+            ..ZoneGenConfig::default()
+        };
+        let mut buf = Vec::new();
+        let stats = write_synthetic_zone(&mut buf, &cfg).unwrap();
+        assert!(stats.records >= 100 && stats.records < 110);
+    }
+
+    #[test]
+    fn lookalike_substitution_cycles_eligible_spots() {
+        // "google": substitutable at o(1), o(2), e(5).
+        assert_eq!(cyrillic_lookalike("google", 0).as_deref(), Some("g\u{43e}ogle"));
+        assert_eq!(cyrillic_lookalike("google", 2).as_deref(), Some("googl\u{435}"));
+        assert_eq!(cyrillic_lookalike("google", 3).as_deref(), Some("g\u{43e}ogle"));
+        // Nothing substitutable: no lookalike.
+        assert_eq!(cyrillic_lookalike("drhtml", 0), None);
+    }
+}

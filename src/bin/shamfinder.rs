@@ -13,6 +13,14 @@
 //!                       [--policy block|shed] [--faults PERMILLE] [--seed S]
 //!                       [--events N] [--zone FILE --tld com] [--refs-file FILE]
 //!                       [--metrics-json FILE]
+//! shamfinder scan-zone <FILE...> [--tld TLD] [--refs-file FILE]
+//!                      [--blacklist FILE] [--batch N] [--window N]
+//!                      [--chunk BYTES] [--metrics-json FILE]
+//!                                                  batch-scan zone files (streaming,
+//!                                                  overlapped I/O, per-TLD metrics)
+//! shamfinder gen-zone <FILE> [--mb N | --records N] [--tld com] [--seed S]
+//!                     [--malformed PERMILLE] [--homographs PERMILLE]
+//!                                                  generate a synthetic zone file
 //! shamfinder revert <idn>                          map an IDN back to LDH
 //! shamfinder homoglyphs <char-or-hex>              list a character's twins
 //! shamfinder surface <label> [--tld com|jp|de]     registrable homograph count
@@ -34,6 +42,10 @@ fn usage() -> ExitCode {
          shamfinder serve-feed [--tlds com,net,org] [--queue N] [--batch N] \
 [--policy block|shed] [--faults PERMILLE] [--seed S] [--events N] \
 [--zone FILE --tld com] [--refs-file FILE] [--metrics-json FILE]\n  \
+         shamfinder scan-zone <FILE...> [--tld TLD] [--refs-file FILE] \
+[--blacklist FILE] [--batch N] [--window N] [--chunk BYTES] [--metrics-json FILE]\n  \
+         shamfinder gen-zone <FILE> [--mb N | --records N] [--tld com] [--seed S] \
+[--malformed PERMILLE] [--homographs PERMILLE]\n  \
          shamfinder revert <idn-or-stem>\n  \
          shamfinder homoglyphs <char-or-hex>\n  \
          shamfinder surface <label> [--tld com|jp|de|kr]"
@@ -639,7 +651,7 @@ busy {:.1} ms, parked {:.1} ms, occupancy {:.0}%",
         pool.occupancy() * 100.0
     );
     if let Some(path) = flag_value(args, "--metrics-json") {
-        let json = serve_feed_metrics_json(&report, &exec, &pool);
+        let json = shamfinder::metrics::ingest_metrics_json(&report, &exec, &pool);
         if let Err(e) = std::fs::write(&path, json + "\n") {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -649,106 +661,242 @@ busy {:.1} ms, parked {:.1} ms, occupancy {:.0}%",
     ExitCode::SUCCESS
 }
 
-/// The machine-readable counterpart of the `serve-feed` ledger: per-TLD
-/// counts, per-feed accounting, the robustness counters, and the new
-/// scheduling/pool telemetry — everything the console tables print,
-/// minus the individual detections (counts only, so the file stays
-/// small at zone scale).
-fn serve_feed_metrics_json(
-    report: &shamfinder::core::IngestReport,
-    exec: &shamfinder::core::ExecStats,
-    pool: &shamfinder::core::PoolStats,
-) -> String {
-    use serde::Value;
-    let map = |entries: Vec<(&str, Value)>| {
-        Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+/// `scan-zone <FILE...>`: the GB-scale batch pipeline — streaming
+/// chunked reads on a reader thread, allocation-conscious line scan,
+/// consecutive + windowed owner dedup, blacklist suffix filtering, and
+/// occupancy-adaptive fan-out into the per-TLD router. Prints the
+/// per-TLD accounting table, the `records_accounted` identity and the
+/// scheduling ledger; `--metrics-json` writes the machine-readable
+/// document (same `exec`/`pool`/`per_tld` schema as `serve-feed`).
+fn cmd_scan_zone(args: &[String]) -> ExitCode {
+    use shamfinder::core::scan::{tld_from_path, ScanConfig, ZoneScanner};
+    use shamfinder::core::SessionRouter;
+    use shamfinder::web::Blacklist;
+    use std::path::Path;
+
+    // Positional FILE arguments: everything that is neither a flag nor
+    // a flag's value.
+    const VALUE_FLAGS: [&str; 7] = [
+        "--tld",
+        "--refs-file",
+        "--blacklist",
+        "--batch",
+        "--window",
+        "--chunk",
+        "--metrics-json",
+    ];
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            eprintln!("error: unknown flag {a:?}");
+            return usage();
+        } else {
+            files.push(a.clone());
+            i += 1;
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let batch: usize =
+        flag_value(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let window: usize =
+        flag_value(args, "--window").and_then(|v| v.parse().ok()).unwrap_or(8_192);
+    let chunk: usize =
+        flag_value(args, "--chunk").and_then(|v| v.parse().ok()).unwrap_or(1 << 20);
+
+    let mut blacklists: Vec<Blacklist> = Vec::new();
+    for w in args.windows(2) {
+        if w[0] == "--blacklist" {
+            let path = &w[1];
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let (bl, bad) = Blacklist::from_hosts_file(path, &text);
+                    eprintln!(
+                        "[shamfinder] blacklist {path}: {} entries ({bad} junk lines)",
+                        bl.len()
+                    );
+                    blacklists.push(bl);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let refs: Vec<String> = match flag_value(args, "--refs-file") {
+        Some(f) => match std::fs::read_to_string(&f) {
+            Ok(t) => t
+                .lines()
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty())
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => default_refs(),
     };
-    let per_tld = Value::Map(
-        report
-            .router
-            .per_tld
-            .iter()
-            .map(|lane| {
-                (
-                    lane.tld.clone(),
-                    map(vec![
-                        ("domains", Value::U64(lane.report.total_domains as u64)),
-                        ("idns", Value::U64(lane.report.idn_count as u64)),
-                        ("detections", Value::U64(lane.report.detections.len() as u64)),
-                    ]),
-                )
-            })
-            .collect(),
+    let db = build_db(4);
+    let index = shamfinder::core::DetectionIndex::shared(db, refs);
+    let router = SessionRouter::new(index).with_batch_capacity(batch);
+    let config = ScanConfig {
+        chunk_bytes: chunk,
+        dedup_window: window,
+        batch_capacity: batch,
+        blacklists,
+        ..ScanConfig::default()
+    };
+    let mut scanner = ZoneScanner::new(router, config);
+
+    let tld_override = flag_value(args, "--tld");
+    for file in &files {
+        let path = Path::new(file);
+        let tld = tld_override
+            .clone()
+            .or_else(|| tld_from_path(path))
+            .unwrap_or_else(|| "com".into());
+        eprintln!("[shamfinder] scanning {file} as .{tld} …");
+        if let Err(e) = scanner.scan_file(&tld, path) {
+            eprintln!("error: scanning {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = scanner.finish();
+    let totals = report.totals();
+    println!("-- per-TLD scan --");
+    for (tld, s) in &report.per_tld {
+        let lane = report.router.per_tld.iter().find(|l| &l.tld == tld);
+        let detections = lane.map_or(0, |l| l.report.detections.len());
+        println!(
+            "  .{tld}: {:.1} MB, {} lines, {} records → {} routed \
+(dedup {} + {}, blacklisted {}, quarantined {}), {} detections in {:.2}s \
+({:.0} rec/s, {:.1} MB/s)",
+            s.bytes as f64 / 1e6,
+            s.lines,
+            s.records,
+            s.routed,
+            s.dedup_consecutive,
+            s.dedup_window,
+            s.blacklisted,
+            s.quarantined,
+            detections,
+            s.elapsed_secs,
+            if s.elapsed_secs > 0.0 { s.records as f64 / s.elapsed_secs } else { 0.0 },
+            if s.elapsed_secs > 0.0 { s.bytes as f64 / 1e6 / s.elapsed_secs } else { 0.0 },
+        );
+    }
+    for sample in &report.quarantine_samples {
+        println!("  quarantine: {sample}");
+    }
+    println!(
+        "  accounted: {} parsed = {} routed + {} deduped + {} blacklisted + {} quarantined",
+        totals.parsed(),
+        totals.routed,
+        totals.deduped(),
+        totals.blacklisted,
+        totals.quarantined
     );
-    let feeds = Value::Seq(
-        report
-            .feeds
-            .iter()
-            .map(|feed| {
-                map(vec![
-                    ("name", Value::Str(feed.name.clone())),
-                    ("registrations", Value::U64(feed.registrations)),
-                    ("churns", Value::U64(feed.churns)),
-                    ("quarantined", Value::U64(feed.quarantined)),
-                    ("retries", Value::U64(feed.retries)),
-                    ("outcome", Value::Str(format!("{:?}", feed.outcome))),
-                ])
-            })
-            .collect(),
+    if let Err(e) = report.verify_accounting() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let exec = report.router.exec();
+    let pool = shamfinder::core::pool_stats();
+    println!("-- scheduling --");
+    println!(
+        "  detect batches: {} ({} inline), {} shards, shard len {}..{}, ≤ {} workers",
+        exec.batches,
+        exec.inline_batches,
+        exec.shards,
+        exec.min_shard_len,
+        exec.max_shard_len,
+        exec.max_workers
     );
-    let doc = map(vec![
-        (
-            "events",
-            map(vec![
-                ("delivered", Value::U64(report.events_delivered())),
-                ("accounted", Value::U64(report.events_accounted())),
-                ("routed", Value::U64(report.router.total_domains() as u64)),
-                ("unrouted", Value::U64(report.router.unrouted_domains as u64)),
-                ("detections", Value::U64(report.router.detection_count() as u64)),
-                ("reference_diffs", Value::U64(report.router.reference_diffs as u64)),
-            ]),
-        ),
-        ("per_tld", per_tld),
-        ("feeds", feeds),
-        (
-            "robustness",
-            map(vec![
-                ("shed", Value::U64(report.shed)),
-                ("quarantined", Value::U64(report.quarantined)),
-                ("lost", Value::U64(report.lost)),
-                ("lane_panics", Value::U64(report.lane_panics)),
-                ("lane_folds", Value::U64(report.lane_folds)),
-            ]),
-        ),
-        (
-            "exec",
-            map(vec![
-                ("batches", Value::U64(exec.batches)),
-                ("inline_batches", Value::U64(exec.inline_batches)),
-                ("shards", Value::U64(exec.shards)),
-                ("min_shard_len", Value::U64(exec.min_shard_len as u64)),
-                ("max_shard_len", Value::U64(exec.max_shard_len as u64)),
-                ("max_workers", Value::U64(exec.max_workers as u64)),
-            ]),
-        ),
-        (
-            "pool",
-            map(vec![
-                ("workers", Value::U64(pool.workers as u64)),
-                ("busy_workers", Value::U64(pool.busy_workers as u64)),
-                ("queue_depth", Value::U64(pool.queue_depth as u64)),
-                ("jobs_submitted", Value::U64(pool.jobs_submitted)),
-                ("jobs_dequeued", Value::U64(pool.jobs_dequeued)),
-                ("jobs_executed", Value::U64(pool.jobs_executed)),
-                ("jobs_discarded", Value::U64(pool.jobs_discarded)),
-                ("jobs_panicked", Value::U64(pool.jobs_panicked)),
-                ("busy_nanos", Value::U64(pool.busy_nanos)),
-                ("parked_nanos", Value::U64(pool.parked_nanos)),
-                ("occupancy", Value::F64(pool.occupancy())),
-            ]),
-        ),
-    ]);
-    serde_json::to_string(&doc).unwrap_or_default()
+    println!(
+        "  pool: {} workers, occupancy {:.0}%",
+        pool.workers,
+        pool.occupancy() * 100.0
+    );
+
+    if let Some(path) = flag_value(args, "--metrics-json") {
+        let json = shamfinder::metrics::scan_metrics_json(&report, &pool);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[shamfinder] wrote metrics to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `gen-zone <FILE>`: write a deterministic synthetic TLD zone file at
+/// a byte or record target — the fixture generator behind the scan-zone
+/// smokes and the GB-scale bench.
+fn cmd_gen_zone(args: &[String]) -> ExitCode {
+    use shamfinder::workload::{write_synthetic_zone, ZoneGenConfig};
+
+    let Some(out_path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+    let mut cfg = ZoneGenConfig {
+        tld: flag_value(args, "--tld").unwrap_or_else(|| "com".into()),
+        seed: flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(11),
+        ..ZoneGenConfig::default()
+    };
+    if let Some(mb) = flag_value(args, "--mb").and_then(|v| v.parse::<u64>().ok()) {
+        cfg.target_bytes = mb << 20;
+        cfg.target_records = 0;
+    }
+    if let Some(n) = flag_value(args, "--records").and_then(|v| v.parse().ok()) {
+        cfg.target_records = n;
+        cfg.target_bytes = 0;
+    }
+    if let Some(p) = flag_value(args, "--malformed").and_then(|v| v.parse().ok()) {
+        cfg.malformed_permille = p;
+    }
+    if let Some(p) = flag_value(args, "--homographs").and_then(|v| v.parse().ok()) {
+        cfg.homograph_permille = p;
+    }
+
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = std::io::BufWriter::new(file);
+    match write_synthetic_zone(&mut writer, &cfg) {
+        Ok(stats) => {
+            println!(
+                "wrote {out_path}: {:.1} MB, {} lines, {} records over {} owners \
+({} homographs, {} malformed), seed {}",
+                stats.bytes as f64 / 1e6,
+                stats.lines,
+                stats.records,
+                stats.owners,
+                stats.homographs,
+                stats.malformed,
+                cfg.seed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -761,6 +909,8 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "scan" => cmd_scan(rest),
         "serve-feed" => cmd_serve_feed(rest),
+        "scan-zone" => cmd_scan_zone(rest),
+        "gen-zone" => cmd_gen_zone(rest),
         "revert" => cmd_revert(rest),
         "homoglyphs" => cmd_homoglyphs(rest),
         "surface" => cmd_surface(rest),

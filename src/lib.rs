@@ -58,6 +58,8 @@
 //! assert_eq!(&*report.detections[0].reference, "google");
 //! ```
 
+pub mod metrics;
+
 pub use sham_confusables as confusables;
 pub use sham_core as core;
 pub use sham_dns as dns;

@@ -1,0 +1,323 @@
+//! scan-zone ≡ batch replay: the chunked, overlapped-I/O [`ZoneScanner`]
+//! over a generated multi-TLD zone must be *detection-identical* to an
+//! unchunked line-by-line replay through [`ZoneStreamParser::scan_line`]
+//! plus the same dedup/blacklist pre-stage feeding a plain
+//! [`SessionRouter`] — same router report, same per-TLD accounting —
+//! at every chunk size and thread count. Truncating the input at an
+//! arbitrary byte offset or corrupting a byte mid-stream must never
+//! panic and must keep the `records_accounted` books closed (and the
+//! two models still agree on the damaged input).
+
+use proptest::prelude::*;
+use shamfinder::core::{
+    DetectionIndex, RouterReport, ScanConfig, SessionRouter, TldScanStats, ZoneScanner,
+};
+use shamfinder::dns::zone::{ZoneScan, ZoneStreamParser};
+use shamfinder::web::Blacklist;
+use shamfinder::workload::{reference_list, write_synthetic_zone, ZoneGenConfig};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
+
+/// Reference stems shared by the generator and the detection index, so
+/// the planted Cyrillic lookalikes are actually detectable.
+const REFERENCE_SIZE: usize = 60;
+
+/// One shared index for every case — the SimChar build is the expensive
+/// part and the index is immutable.
+fn index() -> &'static Arc<DetectionIndex> {
+    static INDEX: OnceLock<Arc<DetectionIndex>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let font = shamfinder::glyph::SynthUnifont::v12();
+        let result = shamfinder::simchar::build(
+            &font,
+            &shamfinder::simchar::BuildConfig {
+                repertoire: shamfinder::simchar::Repertoire::Blocks(vec![
+                    "Basic Latin",
+                    "Cyrillic",
+                ]),
+                ..shamfinder::simchar::BuildConfig::default()
+            },
+        );
+        DetectionIndex::shared(
+            shamfinder::simchar::HomoglyphDb::new(
+                result.db,
+                shamfinder::confusables::UcDatabase::embedded(),
+            ),
+            reference_list(REFERENCE_SIZE),
+        )
+    })
+}
+
+fn gen_zone(tld: &str, seed: u64, target_bytes: u64, homographs: u32, malformed: u32) -> Vec<u8> {
+    let cfg = ZoneGenConfig {
+        tld: tld.to_string(),
+        target_bytes,
+        target_records: 0,
+        homograph_permille: homographs,
+        reference_size: REFERENCE_SIZE,
+        malformed_permille: malformed,
+        seed,
+    };
+    let mut buf = Vec::new();
+    write_synthetic_zone(&mut buf, &cfg).expect("Vec<u8> writes cannot fail");
+    buf
+}
+
+/// The lines the scanner's chunk splitter yields for `data`: split on
+/// `\n`, no phantom empty line after a trailing newline, a final
+/// unterminated line still counts.
+fn byte_lines(data: &[u8]) -> Vec<&[u8]> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut lines: Vec<&[u8]> = data.split(|&b| b == b'\n').collect();
+    if data.last() == Some(&b'\n') {
+        lines.pop();
+    }
+    lines
+}
+
+/// The reference model: one unchunked, single-threaded-I/O pass per
+/// file through `scan_line` with the identical dedup-window, blacklist
+/// and accounting rules, feeding the router domain by domain. The
+/// dedup window is keyed by the owner *string* (not its hash), pinning
+/// the intended semantics of the scanner's hash window.
+fn replay(
+    inputs: &[(&str, &[u8])],
+    dedup_window: usize,
+    blacklists: &[Blacklist],
+) -> (RouterReport, BTreeMap<String, TldScanStats>) {
+    let mut router = SessionRouter::new(Arc::clone(index())).with_batch_capacity(97);
+    let mut per_tld: BTreeMap<String, TldScanStats> = BTreeMap::new();
+    let mut window: VecDeque<String> = VecDeque::new();
+    let mut window_set: HashSet<String> = HashSet::new();
+
+    for (tld, data) in inputs {
+        let stats = per_tld.entry(tld.to_string()).or_default();
+        stats.bytes += data.len() as u64;
+        let mut parser = ZoneStreamParser::new(tld);
+        for raw in byte_lines(data) {
+            stats.lines += 1;
+            let raw = match raw.split_last() {
+                Some((b'\r', head)) => head,
+                _ => raw,
+            };
+            let text = match std::str::from_utf8(raw) {
+                Ok(t) => t,
+                Err(_) => {
+                    stats.quarantined += 1;
+                    let _ = parser.scan_line("");
+                    continue;
+                }
+            };
+            match parser.scan_line(text) {
+                Ok(ZoneScan::Skip) => {}
+                Err(_) => stats.quarantined += 1,
+                Ok(ZoneScan::Record { owner, new_owner }) => {
+                    stats.records += 1;
+                    if !new_owner {
+                        stats.dedup_consecutive += 1;
+                        continue;
+                    }
+                    if dedup_window > 0 {
+                        let key = owner.as_ascii().to_string();
+                        if window_set.contains(&key) {
+                            stats.dedup_window += 1;
+                            continue;
+                        }
+                        if window.len() >= dedup_window {
+                            if let Some(old) = window.pop_front() {
+                                window_set.remove(&old);
+                            }
+                        }
+                        window_set.insert(key.clone());
+                        window.push_back(key);
+                    }
+                    if blacklists.iter().any(|bl| bl.contains_suffix(owner.as_ascii())) {
+                        stats.blacklisted += 1;
+                        continue;
+                    }
+                    stats.routed += 1;
+                    router.push_domains(std::iter::once(owner));
+                }
+            }
+        }
+    }
+    (router.into_report(), per_tld)
+}
+
+/// Runs the real scanner over the same inputs.
+fn scan(
+    inputs: &[(&str, &[u8])],
+    chunk_bytes: usize,
+    dedup_window: usize,
+    blacklists: Vec<Blacklist>,
+) -> shamfinder::core::ScanReport {
+    let config = ScanConfig {
+        chunk_bytes,
+        dedup_window,
+        blacklists,
+        batch_capacity: 256,
+        ..ScanConfig::default()
+    };
+    let mut scanner = ZoneScanner::new(SessionRouter::new(Arc::clone(index())), config);
+    for (tld, data) in inputs {
+        scanner
+            .scan_reader(tld, *data)
+            .expect("in-memory readers cannot fail I/O");
+    }
+    scanner.finish()
+}
+
+/// Full-fidelity comparison: router reports equal, every per-TLD
+/// counter equal (elapsed time excepted), books closed on both sides.
+fn assert_equivalent(
+    report: &shamfinder::core::ScanReport,
+    expected_router: &RouterReport,
+    expected_tld: &BTreeMap<String, TldScanStats>,
+    context: &str,
+) {
+    report
+        .verify_accounting()
+        .unwrap_or_else(|e| panic!("{context}: {e}"));
+    assert_eq!(&report.router, expected_router, "{context}: detections diverged");
+    assert_eq!(
+        report.per_tld.len(),
+        expected_tld.len(),
+        "{context}: TLD sets diverged"
+    );
+    for (tld, want) in expected_tld {
+        let mut got = report.per_tld[tld];
+        got.elapsed_secs = 0.0;
+        assert!(
+            want.is_accounted(),
+            "{context}: replay books don't close for .{tld}"
+        );
+        assert_eq!(&got, want, "{context}: .{tld} accounting diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generator shape (lookalike/malformed rates, seed), any chunk
+    /// size, any dedup-window length, with and without a TLD-wide
+    /// blacklist: the chunked scanner and the unchunked replay agree
+    /// exactly on a two-TLD feed.
+    #[test]
+    fn scanner_matches_unchunked_replay(
+        seed in any::<u64>(),
+        homographs in 10u32..80,
+        malformed in 0u32..30,
+        chunk in 4096usize..20_000,
+        window in 0usize..96,
+        blacklist_net in 0u8..2,
+    ) {
+        let com = gen_zone("com", seed, 24 << 10, homographs, malformed);
+        let net = gen_zone("net", seed ^ 0x9E37_79B9, 16 << 10, homographs, malformed);
+        let inputs: Vec<(&str, &[u8])> = vec![("com", &com), ("net", &net)];
+
+        let mut blacklists = Vec::new();
+        if blacklist_net == 1 {
+            let mut bl = Blacklist::new("tld-wide");
+            bl.add("net");
+            blacklists.push(bl);
+        }
+
+        let (want_router, want_tld) = replay(&inputs, window, &blacklists);
+        let report = scan(&inputs, chunk, window, blacklists);
+        assert_equivalent(&report, &want_router, &want_tld, "generated feed");
+
+        if blacklist_net == 1 {
+            let net_stats = &report.per_tld["net"];
+            prop_assert_eq!(net_stats.routed, 0, "TLD-wide blacklist leaked");
+            prop_assert!(net_stats.blacklisted > 0);
+        }
+    }
+}
+
+/// A fixed damaged-input corpus base; generated once.
+fn damage_base() -> &'static Vec<u8> {
+    static BASE: OnceLock<Vec<u8>> = OnceLock::new();
+    BASE.get_or_init(|| gen_zone("com", 0xDA11A6ED, 48 << 10, 40, 8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating at an arbitrary byte offset and corrupting a byte at
+    /// an arbitrary position (high-bit flip → invalid UTF-8, zero byte,
+    /// or an injected newline that reshapes line structure) never
+    /// panics, keeps the books closed, and the two models still agree
+    /// on the damaged bytes.
+    #[test]
+    fn truncation_and_corruption_keep_the_books(
+        cut in 0usize..(48 << 10),
+        flip_at in any::<usize>(),
+        flip_mode in 0u8..4,
+        chunk in 4096usize..9_000,
+    ) {
+        let base = damage_base();
+        let cut = cut.min(base.len());
+        let mut data = base[..cut].to_vec();
+        if !data.is_empty() {
+            let at = flip_at % data.len();
+            match flip_mode {
+                0 => data[at] ^= 0x80,      // often invalid UTF-8
+                1 => data[at] = 0x00,
+                2 => data[at] = b'\n',      // reshape line structure
+                _ => {}                     // pure truncation
+            }
+        }
+        let inputs: Vec<(&str, &[u8])> = vec![("com", &data)];
+        let (want_router, want_tld) = replay(&inputs, 64, &[]);
+        let report = scan(&inputs, chunk, 64, Vec::new());
+        assert_equivalent(&report, &want_router, &want_tld, "damaged feed");
+    }
+}
+
+/// The acceptance-criterion configuration, pinned exactly: a two-TLD
+/// generated feed with planted lookalikes scans to the same report at
+/// 1 and N worker threads, both equal to the unchunked replay, and the
+/// lookalikes are actually detected.
+#[test]
+fn scan_is_thread_count_invariant_and_detects_plants() {
+    let com = gen_zone("com", 11, 128 << 10, 50, 5);
+    let net = gen_zone("net", 12, 64 << 10, 50, 5);
+    let inputs: Vec<(&str, &[u8])> = vec![("com", &com), ("net", &net)];
+
+    let (want_router, want_tld) = {
+        let _one = rayon::ThreadOverride::new(1);
+        replay(&inputs, 8_192, &[])
+    };
+    assert!(
+        want_router.detection_count() > 0,
+        "generated corpus must be detection-rich"
+    );
+
+    let hardware = std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4));
+    for threads in [1usize, hardware] {
+        let _forced = rayon::ThreadOverride::new(threads);
+        let report = scan(&inputs, 1 << 16, 8_192, Vec::new());
+        assert_equivalent(
+            &report,
+            &want_router,
+            &want_tld,
+            &format!("{threads} thread(s)"),
+        );
+    }
+}
+
+/// An empty input file closes its books trivially and produces an
+/// all-zero ledger rather than a missing or phantom entry.
+#[test]
+fn empty_file_accounts_to_zero()  {
+    let inputs: Vec<(&str, &[u8])> = vec![("org", b"")];
+    let (want_router, want_tld) = replay(&inputs, 16, &[]);
+    let report = scan(&inputs, 4096, 16, Vec::new());
+    assert_equivalent(&report, &want_router, &want_tld, "empty file");
+    let mut org = report.per_tld["org"];
+    org.elapsed_secs = 0.0;
+    assert_eq!(org, TldScanStats::default());
+    assert_eq!(report.files, 1);
+}

@@ -1356,23 +1356,35 @@ mod tests {
             heavy_pass();
         }
         heavy_pass();
-        let panicked = std::panic::catch_unwind(|| {
-            let _: Vec<u64> = (0..64usize)
-                .into_par_iter()
-                .with_min_len(1)
-                .map(|i| {
-                    let mut acc = i as u64;
-                    for k in 0..100_000u64 {
-                        acc = std::hint::black_box(acc.wrapping_add(k));
-                    }
-                    if i == 33 {
-                        panic!("poisoned item");
-                    }
-                    acc
-                })
-                .collect();
-        });
-        assert!(panicked.is_err());
+        // The chunk holding the poisoned item may be claimed by the
+        // calling thread itself, whose panic replays without touching
+        // the pool's panic counter — retry (bounded) until a pool
+        // worker is the one that catches it.
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            let panicked = std::panic::catch_unwind(|| {
+                let _: Vec<u64> = (0..64usize)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|i| {
+                        let mut acc = i as u64;
+                        for k in 0..100_000u64 {
+                            acc = std::hint::black_box(acc.wrapping_add(k));
+                        }
+                        if i == 33 {
+                            panic!("poisoned item");
+                        }
+                        acc
+                    })
+                    .collect();
+            });
+            assert!(panicked.is_err());
+            if super::pool_stats().jobs_panicked > base.jobs_panicked {
+                break;
+            }
+            assert!(tries < 64, "pool workers never caught the poisoned item");
+        }
 
         let stats = {
             // Forcing 1 thread drains the pool: every queued Run message
